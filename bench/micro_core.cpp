@@ -1,0 +1,170 @@
+// Ablation A4: google-benchmark micro suite for the core primitives —
+// chain steps, key derivation by depth, delete planning by tree size, item
+// sealing by payload size. These are the constants behind Figures 5/6.
+#include <benchmark/benchmark.h>
+
+#include "core/client_math.h"
+#include "core/item_codec.h"
+#include "core/outsource.h"
+#include "core/tree.h"
+#include "crypto/random.h"
+#include "crypto/secure_buffer.h"
+
+namespace {
+
+using namespace fgad;
+using core::ClientMath;
+using core::ItemCodec;
+using core::ModulationTree;
+using core::ModulatedHashChain;
+using core::NodeId;
+using crypto::DeterministicRandom;
+using crypto::HashAlg;
+using crypto::MasterKey;
+using crypto::Md;
+
+void BM_ChainStep(benchmark::State& state) {
+  const auto alg = static_cast<HashAlg>(state.range(0));
+  ModulatedHashChain chain(alg);
+  DeterministicRandom rnd(1);
+  Md cur = rnd.random_md(chain.width());
+  const Md x = rnd.random_md(chain.width());
+  for (auto _ : state) {
+    cur = chain.step(cur, x);
+    benchmark::DoNotOptimize(cur);
+  }
+}
+BENCHMARK(BM_ChainStep)
+    ->Arg(static_cast<int>(HashAlg::kSha1))
+    ->Arg(static_cast<int>(HashAlg::kSha256));
+
+void BM_ChainEvalByDepth(benchmark::State& state) {
+  ModulatedHashChain chain(HashAlg::kSha1);
+  DeterministicRandom rnd(2);
+  const Md k = rnd.random_md(20);
+  std::vector<Md> mods(static_cast<std::size_t>(state.range(0)));
+  for (auto& m : mods) m = rnd.random_md(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.eval(k, mods));
+  }
+}
+BENCHMARK(BM_ChainEvalByDepth)->RangeMultiplier(2)->Range(4, 32);
+
+struct TreeFixture {
+  explicit TreeFixture(std::size_t n)
+      : rnd(n),
+        math(HashAlg::kSha1),
+        tree(ModulationTree::Config{HashAlg::kSha1, false}),
+        master(MasterKey::generate(rnd, 20)) {
+    tree.build(
+        n, [&](NodeId) { return rnd.random_md(20); },
+        [&](NodeId v) {
+          return std::pair<Md, std::uint64_t>(rnd.random_md(20), v);
+        });
+  }
+  DeterministicRandom rnd;
+  ClientMath math;
+  ModulationTree tree;
+  MasterKey master;
+};
+
+void BM_DeriveKeyByTreeSize(benchmark::State& state) {
+  TreeFixture f(static_cast<std::size_t>(state.range(0)));
+  const NodeId leaf = f.tree.last_leaf();
+  const auto path = f.tree.path_to(leaf);
+  const Md leaf_mod = f.tree.leaf_mod(leaf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.math.derive_key(f.master.value(), path, leaf_mod));
+  }
+}
+BENCHMARK(BM_DeriveKeyByTreeSize)->RangeMultiplier(16)->Range(1 << 6, 1 << 22);
+
+void BM_PlanDeleteByTreeSize(benchmark::State& state) {
+  TreeFixture f(static_cast<std::size_t>(state.range(0)));
+  const NodeId leaf =
+      static_cast<NodeId>(f.tree.node_count() / 2 + 1);  // some deep leaf
+  const auto info = f.tree.delete_info_for(f.tree.is_leaf(leaf)
+                                               ? leaf
+                                               : f.tree.last_leaf());
+  const MasterKey fresh = MasterKey::generate(f.rnd, 20);
+  for (auto _ : state) {
+    auto plan =
+        f.math.plan_delete(info, f.master.value(), fresh.value(), f.rnd);
+    if (!plan) {
+      state.SkipWithError("plan_delete failed");
+      return;
+    }
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanDeleteByTreeSize)
+    ->RangeMultiplier(16)
+    ->Range(1 << 6, 1 << 22);
+
+void BM_DeriveAllKeys(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  DeterministicRandom rnd(3);
+  ClientMath math(HashAlg::kSha1);
+  const Md k = rnd.random_md(20);
+  std::vector<Md> links(fgad::core::node_count_for(n));
+  for (std::size_t v = 1; v < links.size(); ++v) links[v] = rnd.random_md(20);
+  std::vector<Md> leaf_mods(n);
+  for (auto& m : leaf_mods) m = rnd.random_md(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math.derive_all_keys(k, links, leaf_mods));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DeriveAllKeys)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_SealByPayload(benchmark::State& state) {
+  ItemCodec codec(HashAlg::kSha1);
+  DeterministicRandom rnd(4);
+  const Md key = rnd.random_md(20);
+  const Bytes m(static_cast<std::size_t>(state.range(0)), 0x5a);
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.seal(key, m, r++, rnd));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SealByPayload)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_OpenByPayload(benchmark::State& state) {
+  ItemCodec codec(HashAlg::kSha1);
+  DeterministicRandom rnd(5);
+  const Md key = rnd.random_md(20);
+  const Bytes m(static_cast<std::size_t>(state.range(0)), 0x5a);
+  const Bytes sealed = codec.seal(key, m, 1, rnd);
+  for (auto _ : state) {
+    auto opened = codec.open(key, sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OpenByPayload)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_TreePathTo(benchmark::State& state) {
+  TreeFixture f(static_cast<std::size_t>(state.range(0)));
+  const NodeId leaf = f.tree.last_leaf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree.path_to(leaf));
+  }
+}
+BENCHMARK(BM_TreePathTo)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_TreeDeleteInfo(benchmark::State& state) {
+  TreeFixture f(static_cast<std::size_t>(state.range(0)));
+  const NodeId leaf = f.tree.last_leaf() - 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.tree.delete_info_for(f.tree.is_leaf(leaf) ? leaf
+                                                    : f.tree.last_leaf()));
+  }
+}
+BENCHMARK(BM_TreeDeleteInfo)->Arg(1 << 10)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// Shared benchmark scaffolding for the paper-reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper. They all
+// build the two-party stack natively (Outsourcer -> CloudServer) so setup
+// cost does not pollute the measured operations, then drive the measured
+// operations through the real wire protocol behind a CountingChannel.
+//
+// Environment knobs:
+//   FGAD_MAX_N  — caps the largest n in sweeps (default: paper scale, 1e7)
+//   FGAD_SAMPLES — operations averaged per data point (default 200)
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "common/stopwatch.h"
+#include "core/outsource.h"
+#include "net/transport.h"
+
+namespace fgad::bench {
+
+inline std::size_t env_size(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline std::size_t max_n() {
+  return env_size("FGAD_MAX_N", 10'000'000);
+}
+
+inline std::size_t sample_count() {
+  return env_size("FGAD_SAMPLES", 200);
+}
+
+/// Deterministic small payload (the sweep benches measure protocol
+/// overhead, which excludes item payloads; see the paper's metric note).
+inline Bytes small_item(std::size_t i) {
+  Bytes b(16, 0);
+  for (int k = 0; k < 8; ++k) {
+    b[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(i >> (8 * k));
+  }
+  return b;
+}
+
+/// 4 KB payload (Table II / Table III use the paper's item size).
+inline Bytes item_4k(std::size_t i) {
+  Bytes b(4096, static_cast<std::uint8_t>(i * 131 + 7));
+  for (int k = 0; k < 8; ++k) {
+    b[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(i >> (8 * k));
+  }
+  return b;
+}
+
+/// A fully assembled two-party stack with byte counting.
+struct Stack {
+  cloud::CloudServer server;
+  net::DirectChannel direct;
+  net::CountingChannel channel;
+  crypto::DeterministicRandom rnd;
+  client::Client client;
+  client::Client::FileHandle fh;
+
+  explicit Stack(crypto::HashAlg alg = crypto::HashAlg::kSha1,
+                 std::uint64_t seed = 1)
+      : server(cloud::CloudServer::Options{/*track_duplicates=*/false,
+                                           /*enable_integrity=*/false}),
+        direct([this](BytesView req) { return server.handle(req); }),
+        channel(direct),
+        rnd(seed),
+        client(channel, rnd, client::Client::Options{alg}) {}
+
+  /// Builds a file of n items natively (bypassing the wire for setup).
+  void build_file(std::uint64_t file_id, std::size_t n,
+                  const std::function<Bytes(std::size_t)>& item_at) {
+    core::Outsourcer out(client.math().alg(), /*track_duplicates=*/false);
+    fh.id = file_id;
+    fh.key = crypto::MasterKey::generate(rnd, client.math().width());
+    std::uint64_t counter = client.counter();
+    auto built = out.build(fh.key, n, item_at, counter, rnd);
+    client.set_counter(counter);
+    std::vector<cloud::FileStore::IngestItem> items;
+    items.reserve(built.items.size());
+    for (auto& it : built.items) {
+      items.push_back(cloud::FileStore::IngestItem{
+          it.item_id, std::move(it.ciphertext), it.plain_size});
+    }
+    built.items.clear();
+    built.items.shrink_to_fit();
+    auto st = server.outsource(file_id, std::move(built.tree),
+                               std::move(items));
+    if (!st) {
+      std::fprintf(stderr, "bench setup failed: %s\n",
+                   st.to_string().c_str());
+      std::abort();
+    }
+  }
+};
+
+/// Picks `count` pseudo-random live item ids from [0, n).
+inline std::vector<std::uint64_t> sample_ids(std::size_t n, std::size_t count,
+                                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ids.push_back(rng.next_below(n));
+  }
+  return ids;
+}
+
+inline std::string human_bytes(double b) {
+  char buf[64];
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1024.0 * 1024.0 * 1024.0));
+  } else if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", b);
+  }
+  return buf;
+}
+
+inline std::string human_time(double seconds) {
+  char buf[64];
+  if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace fgad::bench

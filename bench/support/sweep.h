@@ -1,0 +1,116 @@
+// Shared n-sweep used by the Figure 5 (communication) and Figure 6
+// (computation) benches: for each file size n, measure the average
+// per-operation cost of delete, insert, and access through the real wire
+// protocol, exactly as the paper does ("we perform the operation on each
+// data item once and take the average" — we sample FGAD_SAMPLES items,
+// which preserves the average for the log-scaling figures).
+#pragma once
+
+#include "support/bench_util.h"
+
+namespace fgad::bench {
+
+struct SweepPoint {
+  std::size_t n;
+  // Communication overhead per operation, in bytes (sent + received).
+  double delete_bytes;
+  double insert_bytes;
+  double access_bytes;  // excluding the item ciphertext, per the paper
+  // Client computation per operation, in seconds.
+  double delete_comp;
+  double insert_comp;
+  double access_comp;
+};
+
+inline SweepPoint run_sweep_point(std::size_t n, crypto::HashAlg alg,
+                                  std::size_t samples) {
+  Stack stack(alg, /*seed=*/n);
+  stack.build_file(1, n, small_item);
+
+  SweepPoint point{};
+  point.n = n;
+  const std::size_t item_ct_size =
+      stack.client.codec().sealed_size(small_item(0).size());
+
+  // --- access ---------------------------------------------------------
+  {
+    const std::size_t reps = std::min<std::size_t>(samples, n);
+    const auto ids = sample_ids(n, reps, n * 3 + 1);
+    stack.channel.reset();
+    stack.client.compute_timer().reset();
+    for (std::uint64_t id : ids) {
+      auto got = stack.client.access(stack.fh, proto::ItemRef::id(id));
+      if (!got) {
+        std::fprintf(stderr, "access failed: %s\n",
+                     got.status().to_string().c_str());
+        std::abort();
+      }
+    }
+    point.access_bytes =
+        static_cast<double>(stack.channel.total_bytes()) / reps -
+        static_cast<double>(item_ct_size);
+    point.access_comp = stack.client.compute_timer().total_seconds() / reps;
+  }
+
+  // --- insert (always lands at the same spot; a few reps suffice) -------
+  {
+    const std::size_t reps = 16;
+    stack.channel.reset();
+    stack.client.compute_timer().reset();
+    for (std::size_t i = 0; i < reps; ++i) {
+      auto id = stack.client.insert(stack.fh, small_item(n + i));
+      if (!id) {
+        std::fprintf(stderr, "insert failed\n");
+        std::abort();
+      }
+    }
+    point.insert_bytes =
+        static_cast<double>(stack.channel.total_bytes()) / reps;
+    point.insert_comp = stack.client.compute_timer().total_seconds() / reps;
+  }
+
+  // --- delete -----------------------------------------------------------
+  {
+    const std::size_t reps = std::min<std::size_t>(samples, n);
+    // Sample distinct victims (an id can only be deleted once).
+    Xoshiro256 rng(n * 5 + 7);
+    std::vector<bool> used(n, false);
+    std::vector<std::uint64_t> victims;
+    victims.reserve(reps);
+    while (victims.size() < reps) {
+      const std::uint64_t id = rng.next_below(n);
+      if (!used[id]) {
+        used[id] = true;
+        victims.push_back(id);
+      }
+    }
+    stack.channel.reset();
+    stack.client.compute_timer().reset();
+    for (std::uint64_t id : victims) {
+      auto st = stack.client.erase_item(stack.fh, proto::ItemRef::id(id));
+      if (!st) {
+        std::fprintf(stderr, "delete failed: %s\n", st.to_string().c_str());
+        std::abort();
+      }
+    }
+    // Like access, the paper's overhead metric excludes the data item
+    // itself; the delete exchange carries the target ciphertext once (for
+    // the client's verify step), so subtract it.
+    point.delete_bytes =
+        static_cast<double>(stack.channel.total_bytes()) / reps -
+        static_cast<double>(item_ct_size);
+    point.delete_comp = stack.client.compute_timer().total_seconds() / reps;
+  }
+
+  return point;
+}
+
+inline std::vector<std::size_t> sweep_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 10; n <= max_n(); n *= 10) {
+    sizes.push_back(n);
+  }
+  return sizes;
+}
+
+}  // namespace fgad::bench

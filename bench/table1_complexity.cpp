@@ -1,0 +1,106 @@
+// Table I reproduction: asymptotic complexity comparison, with empirical
+// growth factors measured on the running system to back the claimed
+// exponents.
+//
+//   solution         client storage   comm/comp for deletion
+//   master-key       O(1)             O(n)
+//   individual-key   O(n)             O(1)
+//   our work         O(1)             O(log n)
+//
+// Measurement: one deletion at n1 = 2^10 and n2 = 2^16 (64x). An O(1) cost
+// stays ~flat, an O(log n) cost grows by ~log(n2)/log(n1) = 1.6x, an O(n)
+// cost grows by ~64x.
+#include "baselines/individual_key.h"
+#include "baselines/master_key.h"
+#include "support/bench_util.h"
+
+namespace {
+
+using namespace fgad::bench;
+using fgad::crypto::HashAlg;
+
+struct Measured {
+  double storage;  // bytes
+  double comm;     // bytes for one deletion
+};
+
+Measured measure_master_key(std::size_t n) {
+  Stack stack;
+  fgad::baselines::MasterKeySolution sol(stack.channel, stack.rnd,
+                                         HashAlg::kSha1, 1);
+  sol.outsource(n, small_item);
+  stack.channel.reset();
+  sol.erase_item(n / 2);
+  return Measured{static_cast<double>(sol.client_storage_bytes()),
+                  static_cast<double>(stack.channel.total_bytes())};
+}
+
+Measured measure_individual_key(std::size_t n) {
+  Stack stack;
+  fgad::baselines::IndividualKeySolution sol(stack.channel, stack.rnd,
+                                             HashAlg::kSha1, 2);
+  sol.outsource(n, small_item);
+  stack.channel.reset();
+  sol.erase_item(n / 2);
+  return Measured{static_cast<double>(sol.client_storage_bytes()),
+                  static_cast<double>(stack.channel.total_bytes())};
+}
+
+Measured measure_ours(std::size_t n) {
+  Stack stack;
+  stack.build_file(1, n, small_item);
+  stack.channel.reset();
+  stack.client.erase_item(stack.fh, fgad::proto::ItemRef::id(n / 2));
+  return Measured{static_cast<double>(stack.client.math().width()),
+                  static_cast<double>(stack.channel.total_bytes())};
+}
+
+const char* classify(double factor) {
+  if (factor < 1.3) return "O(1)";
+  if (factor < 8.0) return "O(log n)";
+  return "O(n)";
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n1 = 1 << 10;
+  const std::size_t n2 = 1 << 16;
+
+  std::printf("=== Table I: complexity comparison ===\n\n");
+  std::printf("%-16s %-16s %-26s\n", "solution", "client storage",
+              "comm/comp for deletion");
+  std::printf("%-16s %-16s %-26s\n", "master-key", "O(1)", "O(n)");
+  std::printf("%-16s %-16s %-26s\n", "individual-key", "O(n)", "O(1)");
+  std::printf("%-16s %-16s %-26s\n", "our work", "O(1)", "O(log n)");
+
+  std::printf("\nempirical growth for one deletion, n: %zu -> %zu (%zux):\n\n",
+              n1, n2, n2 / n1);
+  std::printf("%-16s %14s %14s %10s %12s %14s %14s %10s %12s\n", "solution",
+              "comm@n1", "comm@n2", "factor", "class", "storage@n1",
+              "storage@n2", "factor", "class");
+
+  struct Row {
+    const char* name;
+    Measured a, b;
+  };
+  const Row rows[] = {
+      {"master-key", measure_master_key(n1), measure_master_key(n2)},
+      {"individual-key", measure_individual_key(n1),
+       measure_individual_key(n2)},
+      {"our work", measure_ours(n1), measure_ours(n2)},
+  };
+  for (const Row& r : rows) {
+    const double comm_factor = r.b.comm / r.a.comm;
+    const double sto_factor = r.b.storage / r.a.storage;
+    std::printf("%-16s %14s %14s %9.2fx %12s %14s %14s %9.2fx %12s\n", r.name,
+                human_bytes(r.a.comm).c_str(), human_bytes(r.b.comm).c_str(),
+                comm_factor, classify(comm_factor),
+                human_bytes(r.a.storage).c_str(),
+                human_bytes(r.b.storage).c_str(), sto_factor,
+                classify(sto_factor));
+  }
+  std::printf("\nexpected: the empirical classes match the analytic table "
+              "above (paper Table I).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Table II reproduction: experimental comparison of the three two-party
+// solutions for ONE deletion in a file of n items of 4 KB each.
+//
+//   paper (n = 10^5):            storage      comm        computation
+//     master-key                 16 B         391 MB      5.5 min (incl. WAN)
+//     individual-key             1.53 MB      ~0          ~0
+//     key modulation (ours)      16 B         1.61 KB     0.24 ms
+//
+// We measure the same three columns (client key storage, client
+// bytes sent+received for the deletion, client CPU time for the deletion).
+// Absolute times differ from the paper (no WAN, modern AES-NI), but the
+// orderings and orders of magnitude must match.
+#include "baselines/individual_key.h"
+#include "baselines/master_key.h"
+#include "support/bench_util.h"
+
+int main() {
+  using namespace fgad::bench;
+  using fgad::crypto::HashAlg;
+
+  const std::size_t n = env_size("FGAD_TABLE2_N", 100'000);
+  std::printf("=== Table II: deletion overhead comparison (n = %zu items x 4 "
+              "KB) ===\n\n",
+              n);
+  std::printf("%-18s %16s %18s %18s\n", "solution", "client storage",
+              "comm overhead", "computation");
+
+  // --- master-key solution (Section III-A) --------------------------------
+  {
+    Stack stack;
+    fgad::baselines::MasterKeySolution sol(stack.channel, stack.rnd,
+                                           HashAlg::kSha1, 1);
+    if (!sol.outsource(n, item_4k)) {
+      std::fprintf(stderr, "master-key outsource failed\n");
+      return 1;
+    }
+    stack.channel.reset();
+    sol.compute_timer().reset();
+    if (!sol.erase_item(n / 2)) {
+      std::fprintf(stderr, "master-key delete failed\n");
+      return 1;
+    }
+    std::printf("%-18s %16s %18s %18s\n", "master-key",
+                human_bytes(static_cast<double>(sol.client_storage_bytes()))
+                    .c_str(),
+                human_bytes(static_cast<double>(stack.channel.total_bytes()))
+                    .c_str(),
+                human_time(sol.compute_timer().total_seconds()).c_str());
+  }
+
+  // --- individual-key solution (Section III-B) -----------------------------
+  {
+    Stack stack;
+    fgad::baselines::IndividualKeySolution sol(stack.channel, stack.rnd,
+                                               HashAlg::kSha1, 2);
+    if (!sol.outsource(n, item_4k)) {
+      std::fprintf(stderr, "individual-key outsource failed\n");
+      return 1;
+    }
+    stack.channel.reset();
+    sol.compute_timer().reset();
+    if (!sol.erase_item(n / 2)) {
+      std::fprintf(stderr, "individual-key delete failed\n");
+      return 1;
+    }
+    std::printf("%-18s %16s %18s %18s\n", "individual-key",
+                human_bytes(static_cast<double>(sol.client_storage_bytes()))
+                    .c_str(),
+                human_bytes(static_cast<double>(stack.channel.total_bytes()))
+                    .c_str(),
+                human_time(sol.compute_timer().total_seconds()).c_str());
+  }
+
+  // --- our work: key modulation -------------------------------------------
+  {
+    Stack stack;
+    stack.build_file(1, n, item_4k);
+    stack.channel.reset();
+    stack.client.compute_timer().reset();
+    if (!stack.client.erase_item(stack.fh, fgad::proto::ItemRef::id(n / 2))) {
+      std::fprintf(stderr, "key-modulation delete failed\n");
+      return 1;
+    }
+    // Per the paper's metric, the data item itself is not overhead; the
+    // delete exchange carries the target ciphertext once for verification.
+    const std::uint64_t overhead_bytes =
+        stack.channel.total_bytes() - stack.client.codec().sealed_size(4096);
+    std::printf("%-18s %16s %18s %18s\n", "our work",
+                human_bytes(static_cast<double>(
+                                stack.client.math().width()))
+                    .c_str(),
+                human_bytes(static_cast<double>(overhead_bytes)).c_str(),
+                human_time(stack.client.compute_timer().total_seconds())
+                    .c_str());
+  }
+
+  std::printf("\nexpected shape (paper Table II): master-key moves hundreds "
+              "of MB and burns CPU-minutes;\nindividual-key is O(1) per "
+              "delete but stores %s of keys; ours stores one key and moves "
+              "~KB in sub-ms.\n",
+              human_bytes(static_cast<double>(n) * 16).c_str());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Mail archive: variable-size items, modification, and whole-file access.
+//
+// The paper's intro motivates deleting "an email from a mail backup file".
+// This example outsources a mail archive whose messages vary in size,
+// deletes one sensitive message, edits another in place (same data key,
+// fresh IV), and finally fetches the whole archive — reporting the
+// whole-file overhead ratios of Table III on real data.
+//
+// Build & run:  ./build/examples/mail_archive
+#include <cstdio>
+#include <string>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "net/transport.h"
+
+namespace {
+
+using namespace fgad;
+
+Bytes make_mail(std::size_t i) {
+  std::string body = "From: user" + std::to_string(i % 17) +
+                     "@example.com\nSubject: message " + std::to_string(i) +
+                     "\n\n";
+  // Bodies vary from a one-liner to a few KB.
+  const std::size_t body_len = 40 + (i * 97) % 3500;
+  while (body.size() < body_len) {
+    body += "lorem ipsum dolor sit amet ";
+  }
+  return to_bytes(body);
+}
+
+}  // namespace
+
+int main() {
+  cloud::CloudServer server;
+  net::DirectChannel direct(
+      [&server](BytesView req) { return server.handle(req); });
+  net::CountingChannel channel(direct);
+  crypto::SystemRandom rnd;
+  client::Client client(channel, rnd);
+
+  // --- outsource the archive -------------------------------------------------
+  const std::size_t n_mails = 1000;
+  auto fh = client.outsource(/*file_id=*/1, n_mails, make_mail);
+  if (!fh) {
+    std::printf("outsource failed\n");
+    return 1;
+  }
+  std::printf("outsourced %zu mails (variable sizes, %s on the server)\n",
+              n_mails,
+              [&] {
+                const auto* f = server.file(1);
+                const double b = static_cast<double>(
+                    f->items().ciphertext_bytes());
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1024.0);
+                return std::string(buf);
+              }()
+                  .c_str());
+
+  // --- delete one sensitive message -------------------------------------------
+  const std::uint64_t sensitive = 666;
+  channel.reset();
+  if (auto st = client.erase_item(fh.value(), proto::ItemRef::id(sensitive));
+      !st) {
+    std::printf("delete failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("deleted mail %llu; the deletion exchange moved %.2f KB "
+              "(tree has %zu leaves)\n",
+              static_cast<unsigned long long>(sensitive),
+              static_cast<double>(channel.total_bytes()) / 1024.0,
+              server.file(1)->tree().leaf_count());
+
+  // --- modify another message ---------------------------------------------------
+  if (auto st = client.modify(fh.value(), 42,
+                              to_bytes("From: user8@example.com\nSubject: "
+                                       "message 42\n\n[redacted]"));
+      !st) {
+    std::printf("modify failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  auto edited = client.access(fh.value(), proto::ItemRef::id(42));
+  std::printf("mail 42 edited in place; now ends with \"%s\"\n",
+              to_string(edited.value()).substr(
+                  to_string(edited.value()).size() - 10).c_str());
+
+  // --- whole-file access (Table III on live data) -----------------------------
+  channel.reset();
+  auto fetched = client.fetch_all(fh.value());
+  if (!fetched) {
+    std::printf("fetch_all failed\n");
+    return 1;
+  }
+  const auto& f = fetched.value();
+  std::printf("\nwhole-archive fetch: %zu mails, %.1f KB of ciphertext, "
+              "%.1f KB of modulation tree\n",
+              f.items.size(), static_cast<double>(f.file_bytes) / 1024.0,
+              static_cast<double>(f.tree_bytes) / 1024.0);
+  // (Table III's <1% / <0.3% thresholds assume 4 KB items; mails here
+  // average ~1.8 KB, so the tree is proportionally larger.)
+  std::printf("  comm overhead ratio: %.3f%%   (tree bytes / archive bytes)\n",
+              100.0 * static_cast<double>(f.tree_bytes) /
+                  static_cast<double>(f.file_bytes));
+  std::printf("  comp overhead ratio: %.3f%%   (key derivation vs decrypt)\n",
+              100.0 * f.key_derive_seconds / f.decrypt_seconds);
+
+  // The deleted mail is not in the archive; everything else is.
+  for (const auto& [id, plaintext] : f.items) {
+    if (id == sensitive) {
+      std::printf("deleted mail shipped back?! bug\n");
+      return 1;
+    }
+  }
+  std::printf("deleted mail absent from the fetched archive, %zu others "
+              "intact.\n",
+              f.items.size());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Master-key baseline (Section III-A of the paper).
+//
+// The client keeps ONE master key K and derives each item's key as
+// PRF(K, i). Deleting any single item forces the client to: fetch every
+// remaining ciphertext, decrypt it, permanently delete K, pick a fresh K',
+// re-encrypt everything under PRF(K', i'), and re-upload — O(n)
+// communication and computation per deletion. This is the baseline whose
+// pain motivates key modulation; Table II measures it head-to-head.
+//
+// Server side is a plain blob table (the scheme has no modulation tree).
+#pragma once
+
+#include <functional>
+
+#include "common/stopwatch.h"
+#include "core/item_codec.h"
+#include "crypto/prf.h"
+#include "crypto/secure_buffer.h"
+#include "net/transport.h"
+#include "proto/messages.h"
+
+namespace fgad::baselines {
+
+class MasterKeySolution {
+ public:
+  static constexpr std::size_t kKeyBytes = 16;
+
+  MasterKeySolution(net::RpcChannel& channel, crypto::RandomSource& rnd,
+                    crypto::HashAlg alg, std::uint64_t table);
+
+  /// Encrypts and uploads n items.
+  Status outsource(std::size_t n_items,
+                   const std::function<Bytes(std::size_t)>& item_at);
+
+  /// Fetches and decrypts item `index` (current indexing).
+  Result<Bytes> access(std::uint64_t index);
+
+  /// Deletes item `index`: O(n) fetch + re-encrypt + re-upload.
+  Status erase_item(std::uint64_t index);
+
+  std::size_t item_count() const { return n_; }
+
+  /// The paper's client-storage metric: one 16-byte master key.
+  std::size_t client_storage_bytes() const { return kKeyBytes; }
+
+  CumulativeTimer& compute_timer() { return compute_timer_; }
+
+ private:
+  crypto::Md item_key(const crypto::SecureBuffer& master,
+                      std::uint64_t index) const;
+  Result<Bytes> kv_fetch(std::uint64_t key);
+  Status kv_store(std::uint64_t key, Bytes value);
+
+  net::RpcChannel& channel_;
+  crypto::RandomSource& rnd_;
+  crypto::HashAlg alg_;
+  std::uint64_t table_;
+  core::ItemCodec codec_;
+  crypto::SecureBuffer master_;  // K (16 bytes)
+  std::size_t n_ = 0;
+  std::uint64_t counter_ = 0;
+  CumulativeTimer compute_timer_;
+};
+
+}  // namespace fgad::baselines

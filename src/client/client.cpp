@@ -1,0 +1,370 @@
+#include "client/client.h"
+
+namespace fgad::client {
+
+namespace proto = fgad::proto;
+using core::InsertCommit;
+using crypto::MasterKey;
+using proto::MsgType;
+
+Client::Client(net::RpcChannel& channel, crypto::RandomSource& rnd,
+               Options opts)
+    : channel_(channel),
+      rnd_(rnd),
+      opts_(opts),
+      math_(opts.alg),
+      codec_(opts.alg),
+      outsourcer_(opts.alg, /*track_duplicates=*/false) {}
+
+Result<Bytes> Client::call(BytesView frame, MsgType expect) {
+  Result<Bytes> resp = channel_.roundtrip(frame);
+  if (!resp) {
+    return resp;
+  }
+  auto env = proto::open_message(resp.value());
+  if (!env) {
+    return env.error();
+  }
+  if (env.value().type == MsgType::kError) {
+    proto::Reader r(env.value().payload);
+    auto err = proto::ErrorMsg::from(r);
+    if (!err) {
+      return Error(Errc::kDecodeError, "client: malformed error response");
+    }
+    return Error(err.value().code, err.value().message);
+  }
+  if (env.value().type != expect) {
+    return Error(Errc::kDecodeError, "client: unexpected response type");
+  }
+  return std::move(env.value().payload);
+}
+
+Result<Client::FileHandle> Client::outsource(
+    std::uint64_t file_id, std::size_t n_items,
+    const std::function<Bytes(std::size_t)>& item_at) {
+  FileHandle fh;
+  fh.id = file_id;
+  core::OutsourcedFile built;
+  {
+    CumulativeTimer::Section sec(compute_timer_);
+    fh.key = MasterKey::generate(rnd_, math_.width());
+    built = outsourcer_.build(fh.key, n_items, item_at, counter_, rnd_);
+  }
+  proto::OutsourceReq req;
+  req.file_id = file_id;
+  {
+    proto::Writer w;
+    built.tree.serialize(w);
+    req.tree_blob = std::move(w).take();
+  }
+  req.items.reserve(built.items.size());
+  for (auto& it : built.items) {
+    req.items.push_back(proto::OutsourceReq::Item{
+        it.item_id, std::move(it.ciphertext), it.plain_size});
+  }
+  auto resp = call(req.to_frame(), MsgType::kOutsourceResp);
+  if (!resp) {
+    return resp.error();
+  }
+  return fh;
+}
+
+Result<Client::FileHandle> Client::outsource(std::uint64_t file_id,
+                                             std::span<const Bytes> items) {
+  return outsource(file_id, items.size(),
+                   [&](std::size_t i) { return items[i]; });
+}
+
+Result<Bytes> Client::access(const FileHandle& fh, proto::ItemRef ref) {
+  proto::AccessReq req;
+  req.file_id = fh.id;
+  req.ref = ref;
+  auto payload = call(req.to_frame(), MsgType::kAccessResp);
+  if (!payload) {
+    return payload.error();
+  }
+  proto::Reader r(payload.value());
+  auto resp = proto::AccessResp::from(r);
+  if (!resp) {
+    return resp.error();
+  }
+  const core::AccessInfo& info = resp.value().info;
+
+  CumulativeTimer::Section sec(compute_timer_);
+  if (!info.path.well_formed()) {
+    return Error(Errc::kTamperDetected, "access: malformed path");
+  }
+  const crypto::Md key =
+      math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+  auto opened = codec_.open(key, info.ciphertext);
+  if (!opened) {
+    return Error(Errc::kIntegrityMismatch,
+                 "access: item failed integrity check (wrong path or "
+                 "tampered ciphertext)");
+  }
+  if (opened.value().r != info.item_id) {
+    return Error(Errc::kTamperDetected, "access: counter value mismatch");
+  }
+  return std::move(opened.value().plaintext);
+}
+
+Status Client::modify(const FileHandle& fh, std::uint64_t item_id,
+                      BytesView new_content) {
+  // Fetch the item first (the paper's modify = access, edit, re-encrypt
+  // under the same data key).
+  proto::AccessReq areq;
+  areq.file_id = fh.id;
+  areq.ref = proto::ItemRef::id(item_id);
+  auto payload = call(areq.to_frame(), MsgType::kAccessResp);
+  if (!payload) {
+    return payload.status();
+  }
+  proto::Reader r(payload.value());
+  auto resp = proto::AccessResp::from(r);
+  if (!resp) {
+    return resp.status();
+  }
+  const core::AccessInfo& info = resp.value().info;
+
+  proto::ModifyReq mreq;
+  {
+    CumulativeTimer::Section sec(compute_timer_);
+    if (!info.path.well_formed()) {
+      return Status(Errc::kTamperDetected, "modify: malformed path");
+    }
+    const crypto::Md key =
+        math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+    auto opened = codec_.open(key, info.ciphertext);
+    if (!opened) {
+      return Status(Errc::kIntegrityMismatch, "modify: item failed check");
+    }
+    if (opened.value().r != info.item_id) {
+      return Status(Errc::kTamperDetected, "modify: counter value mismatch");
+    }
+    mreq.file_id = fh.id;
+    mreq.item_id = item_id;
+    mreq.ciphertext = codec_.seal(key, new_content, opened.value().r, rnd_);
+    mreq.plain_size = new_content.size();
+  }
+  return call(mreq.to_frame(), MsgType::kModifyResp).status();
+}
+
+Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
+                                     std::uint64_t after_item_id) {
+  proto::InsertBeginReq breq;
+  breq.file_id = fh.id;
+  auto payload = call(breq.to_frame(), MsgType::kInsertBeginResp);
+  if (!payload) {
+    return payload.error();
+  }
+  proto::Reader r(payload.value());
+  auto bresp = proto::InsertBeginResp::from(r);
+  if (!bresp) {
+    return bresp.error();
+  }
+  const core::InsertInfo& info = bresp.value().info;
+
+  // The server rejects duplicate modulators; re-plan with fresh randomness
+  // until it accepts (the paper's re-perform rule).
+  for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+    proto::InsertCommitReq creq;
+    creq.file_id = fh.id;
+    std::uint64_t item_id = 0;
+    {
+      CumulativeTimer::Section sec(compute_timer_);
+      auto plan = math_.plan_insert(info, fh.key.value(), rnd_);
+      if (!plan) {
+        return plan.error();
+      }
+      item_id = counter_++;
+      creq.commit = std::move(plan.value().commit);
+      creq.commit.item_id = item_id;
+      creq.commit.after_item_id = after_item_id;
+      creq.commit.ciphertext =
+          codec_.seal(plan.value().item_key, content, item_id, rnd_);
+      creq.commit.plain_size = content.size();
+    }
+    auto resp = call(creq.to_frame(), MsgType::kInsertCommitResp);
+    if (resp) {
+      return item_id;
+    }
+    if (resp.error().code != Errc::kDuplicateModulator) {
+      return resp.error();
+    }
+  }
+  return Error(Errc::kDuplicateModulator,
+               "insert: retries exhausted (server kept reporting duplicates)");
+}
+
+Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
+  proto::DeleteBeginReq breq;
+  breq.file_id = fh.id;
+  breq.ref = ref;
+  auto payload = call(breq.to_frame(), MsgType::kDeleteBeginResp);
+  if (!payload) {
+    return payload.status();
+  }
+  proto::Reader r(payload.value());
+  auto bresp = proto::DeleteBeginResp::from(r);
+  if (!bresp) {
+    return bresp.status();
+  }
+  const core::DeleteInfo& info = bresp.value().info;
+
+  for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+    proto::DeleteCommitReq creq;
+    creq.file_id = fh.id;
+    MasterKey fresh;
+    {
+      CumulativeTimer::Section sec(compute_timer_);
+      fresh = MasterKey::generate(rnd_, math_.width());
+      auto plan =
+          math_.plan_delete(info, fh.key.value(), fresh.value(), rnd_);
+      if (!plan) {
+        if (plan.error().code == Errc::kInvalidArgument) {
+          continue;  // F(K',M_k) collision: pick another K'
+        }
+        return plan.status();
+      }
+      // Only a response that decrypts the target item to a record matching
+      // its embedded hash is accepted (Theorem 2's wrong-leaf defence).
+      auto opened = codec_.open(plan.value().old_key, info.ciphertext);
+      if (!opened) {
+        return Status(Errc::kTamperDetected,
+                      "delete: MT(k) does not decrypt the target item");
+      }
+      if (opened.value().r != info.item_id) {
+        return Status(Errc::kTamperDetected, "delete: counter value mismatch");
+      }
+      creq.commit = std::move(plan.value().commit);
+    }
+    auto resp = call(creq.to_frame(), MsgType::kDeleteCommitResp);
+    if (resp) {
+      // Server committed: permanently destroy the old master key.
+      fh.key = std::move(fresh);
+      return Status::ok();
+    }
+    if (resp.error().code != Errc::kDuplicateModulator) {
+      return resp.status();
+    }
+  }
+  return Status(Errc::kDuplicateModulator,
+                "delete: retries exhausted (server kept reporting duplicates)");
+}
+
+Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {
+  FetchedFile out;
+
+  proto::FetchTreeReq treq;
+  treq.file_id = fh.id;
+  auto tpayload = call(treq.to_frame(), MsgType::kFetchTreeResp);
+  if (!tpayload) {
+    return tpayload.error();
+  }
+  proto::Reader tr(tpayload.value());
+  auto tresp = proto::FetchTreeResp::from(tr);
+  if (!tresp) {
+    return tresp.error();
+  }
+  out.tree_bytes = tresp.value().tree_blob.size();
+
+  // Reconstruct the tree locally and derive every data key in one pass.
+  std::vector<crypto::Md> keys;
+  std::size_t first_leaf = 0;
+  {
+    CumulativeTimer::Section sec(compute_timer_);
+    Stopwatch sw;
+    proto::Reader blob(tresp.value().tree_blob);
+    auto tree = core::ModulationTree::deserialize(
+        blob, core::ModulationTree::Config{opts_.alg,
+                                           /*track_duplicates=*/false});
+    if (!tree) {
+      return tree.error();
+    }
+    const core::ModulationTree& t = tree.value();
+    if (t.alg() != opts_.alg) {
+      return Error(Errc::kTamperDetected, "fetch: algorithm mismatch");
+    }
+    const std::size_t nodes = t.node_count();
+    const std::size_t n = t.leaf_count();
+    first_leaf = n == 0 ? 0 : n - 1;
+    std::vector<crypto::Md> links(nodes);
+    for (core::NodeId v = 1; v < nodes; ++v) {
+      links[v] = t.link_mod(v);
+    }
+    std::vector<crypto::Md> leaf_mods(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      leaf_mods[i] = t.leaf_mod(first_leaf + i);
+    }
+    keys = math_.derive_all_keys(fh.key.value(), links, leaf_mods);
+    out.key_derive_seconds = sw.elapsed_seconds();
+  }
+
+  // Stream the ciphertexts and decrypt.
+  std::uint64_t ordinal = 0;
+  for (;;) {
+    proto::FetchItemsReq ireq;
+    ireq.file_id = fh.id;
+    ireq.start_ordinal = ordinal;
+    ireq.max_count = 4096;
+    auto ipayload = call(ireq.to_frame(), MsgType::kFetchItemsResp);
+    if (!ipayload) {
+      return ipayload.error();
+    }
+    proto::Reader ir(ipayload.value());
+    auto iresp = proto::FetchItemsResp::from(ir);
+    if (!iresp) {
+      return iresp.error();
+    }
+    CumulativeTimer::Section sec(compute_timer_);
+    Stopwatch sw;
+    for (auto& e : iresp.value().items) {
+      const std::size_t idx = e.leaf - first_leaf;
+      if (e.leaf < first_leaf || idx >= keys.size()) {
+        return Error(Errc::kTamperDetected, "fetch: leaf id out of range");
+      }
+      out.file_bytes += e.ciphertext.size();
+      auto opened = codec_.open(keys[idx], e.ciphertext);
+      if (!opened) {
+        return Error(Errc::kIntegrityMismatch, "fetch: item failed check");
+      }
+      if (opened.value().r != e.item_id) {
+        return Error(Errc::kTamperDetected, "fetch: counter value mismatch");
+      }
+      out.items.emplace_back(e.item_id, std::move(opened.value().plaintext));
+    }
+    out.decrypt_seconds += sw.elapsed_seconds();
+    ordinal += iresp.value().items.size();
+    if (!iresp.value().more) {
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::uint64_t>> Client::list_items(const FileHandle& fh) {
+  proto::ListItemsReq req;
+  req.file_id = fh.id;
+  auto payload = call(req.to_frame(), MsgType::kListItemsResp);
+  if (!payload) {
+    return payload.error();
+  }
+  proto::Reader r(payload.value());
+  auto resp = proto::ListItemsResp::from(r);
+  if (!resp) {
+    return resp.error();
+  }
+  return std::move(resp.value().ids);
+}
+
+Status Client::drop_file(FileHandle& fh) {
+  proto::DropFileReq req;
+  req.file_id = fh.id;
+  auto st = call(req.to_frame(), MsgType::kDropFileResp).status();
+  if (st) {
+    fh.key.erase();
+  }
+  return st;
+}
+
+}  // namespace fgad::client

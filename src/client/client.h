@@ -1,0 +1,118 @@
+// The client — the first party of the two-party scheme.
+//
+// Holds the master key of each outsourced file (and nothing else that
+// grows with file size), performs every cryptographic step of the protocol
+// (key derivation, MT(k) verification, delta computation, sealing/opening
+// items), and talks to the cloud through an RpcChannel.
+//
+// Security behaviours implemented here, per the paper:
+//   * master keys live in self-wiping MasterKey objects; a deletion rotates
+//     the key only after the server confirms the commit, and the old key is
+//     cleansed in place;
+//   * every server response is verified (path distinctness, geometry,
+//     ciphertext hash, counter echo) before the client acts on it;
+//   * the client re-runs an operation with fresh randomness when the server
+//     reports a duplicate modulator;
+//   * a global counter r makes every sealed record unique.
+//
+// compute_timer() accumulates pure client-side computation time — the
+// paper's "computation overhead" metric (Figure 6, Tables II-III).
+#pragma once
+
+#include <functional>
+
+#include "common/stopwatch.h"
+#include "core/client_math.h"
+#include "core/item_codec.h"
+#include "core/outsource.h"
+#include "crypto/secure_buffer.h"
+#include "net/transport.h"
+#include "proto/messages.h"
+
+namespace fgad::client {
+
+class Client {
+ public:
+  struct Options {
+    crypto::HashAlg alg = crypto::HashAlg::kSha1;
+    int max_retries = 8;  // duplicate-modulator re-run bound
+  };
+
+  Client(net::RpcChannel& channel, crypto::RandomSource& rnd)
+      : Client(channel, rnd, Options()) {}
+  Client(net::RpcChannel& channel, crypto::RandomSource& rnd, Options opts);
+
+  /// Client-held state for one outsourced file: its id and master key.
+  struct FileHandle {
+    std::uint64_t id = 0;
+    crypto::MasterKey key;
+  };
+
+  // ---- operations ---------------------------------------------------------
+
+  /// Encrypts `n_items` items (supplied by `item_at`) under a fresh master
+  /// key, builds the modulation tree, and ships everything to the cloud.
+  Result<FileHandle> outsource(std::uint64_t file_id, std::size_t n_items,
+                               const std::function<Bytes(std::size_t)>& item_at);
+  Result<FileHandle> outsource(std::uint64_t file_id,
+                               std::span<const Bytes> items);
+
+  /// Fetches and decrypts one item.
+  Result<Bytes> access(const FileHandle& fh, proto::ItemRef ref);
+
+  /// Replaces an item's content (same data key, fresh IV), Section IV-E.
+  Status modify(const FileHandle& fh, std::uint64_t item_id,
+                BytesView new_content);
+
+  /// Inserts a new item; returns its unique id r. `after_item_id` positions
+  /// it in file order (kAppend = end of file).
+  Result<std::uint64_t> insert(
+      const FileHandle& fh, BytesView content,
+      std::uint64_t after_item_id = core::InsertCommit::kAppend);
+
+  /// Fine-grained assured deletion of one item (Sections IV-C/IV-D): picks
+  /// a fresh master key, sends the modulator deltas, and rotates the handle
+  /// key — securely destroying the old one — once the server commits.
+  Status erase_item(FileHandle& fh, proto::ItemRef ref);
+
+  /// Whole-file access (Table III): fetches the modulation tree and all
+  /// ciphertexts, derives every data key in one pass, and decrypts.
+  struct FetchedFile {
+    std::vector<std::pair<std::uint64_t, Bytes>> items;  // (id, plaintext)
+    std::size_t tree_bytes = 0;      // communication overhead numerator
+    std::size_t file_bytes = 0;      // total ciphertext payload
+    double key_derive_seconds = 0;   // computation overhead numerator
+    double decrypt_seconds = 0;      // computation overhead denominator
+  };
+  Result<FetchedFile> fetch_all(const FileHandle& fh);
+
+  /// Item ids in file order.
+  Result<std::vector<std::uint64_t>> list_items(const FileHandle& fh);
+
+  /// Makes the entire file inaccessible (drops it server-side; the caller
+  /// destroys the handle, wiping the master key).
+  Status drop_file(FileHandle& fh);
+
+  // ---- metrics & internals --------------------------------------------------
+
+  CumulativeTimer& compute_timer() { return compute_timer_; }
+  std::uint64_t counter() const { return counter_; }
+  void set_counter(std::uint64_t c) { counter_ = c; }
+
+  const core::ClientMath& math() const { return math_; }
+  const core::ItemCodec& codec() const { return codec_; }
+
+ private:
+  Result<Bytes> call(BytesView frame, proto::MsgType expect);
+
+  net::RpcChannel& channel_;
+  crypto::RandomSource& rnd_;
+  Options opts_;
+  core::ClientMath math_;
+  core::ItemCodec codec_;
+  core::Outsourcer outsourcer_;
+  std::uint64_t counter_ = 0;
+  CumulativeTimer compute_timer_;
+};
+
+}  // namespace fgad::client

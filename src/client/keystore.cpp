@@ -1,0 +1,181 @@
+#include "client/keystore.h"
+
+#include <openssl/evp.h>
+
+#include <cstdio>
+
+#include "core/item_codec.h"
+#include "proto/wire.h"
+
+namespace fgad::client {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4647444b;  // "FGDK"
+constexpr std::size_t kSaltSize = 16;
+constexpr int kPbkdf2Iters = 100'000;
+
+// Derives the sealing key from passphrase + salt.
+crypto::Md derive_key(const std::string& passphrase, BytesView salt) {
+  crypto::Md key = crypto::Md::zero(20);
+  if (PKCS5_PBKDF2_HMAC(passphrase.data(),
+                        static_cast<int>(passphrase.size()), salt.data(),
+                        static_cast<int>(salt.size()), kPbkdf2Iters,
+                        EVP_sha256(), static_cast<int>(key.size()),
+                        key.data()) != 1) {
+    throw std::runtime_error("keystore: PBKDF2 failed");
+  }
+  return key;
+}
+
+}  // namespace
+
+Keystore::~Keystore() {
+  for (auto& [id, key] : keys_) {
+    key.cleanse();
+  }
+}
+
+void Keystore::put(std::uint64_t file_id, const crypto::Md& key) {
+  auto it = keys_.find(file_id);
+  if (it != keys_.end()) {
+    it->second.cleanse();
+    it->second = key;
+  } else {
+    keys_.emplace(file_id, key);
+  }
+}
+
+Result<crypto::Md> Keystore::get(std::uint64_t file_id) const {
+  const auto it = keys_.find(file_id);
+  if (it == keys_.end()) {
+    return Error(Errc::kNotFound, "keystore: no key for file");
+  }
+  return it->second;
+}
+
+Status Keystore::remove(std::uint64_t file_id) {
+  const auto it = keys_.find(file_id);
+  if (it == keys_.end()) {
+    return Status(Errc::kNotFound, "keystore: no key for file");
+  }
+  it->second.cleanse();
+  keys_.erase(it);
+  return Status::ok();
+}
+
+std::vector<std::uint64_t> Keystore::file_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(keys_.size());
+  for (const auto& [id, key] : keys_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Bytes Keystore::seal(const std::string& passphrase,
+                     crypto::RandomSource& rnd) const {
+  // Plaintext payload.
+  proto::Writer payload;
+  payload.u64(counter_);
+  payload.u64(keys_.size());
+  for (const auto& [id, key] : keys_) {
+    payload.u64(id);
+    payload.md(key);
+  }
+
+  Bytes salt(kSaltSize);
+  rnd.fill(salt);
+  const crypto::Md kek = derive_key(passphrase, salt);
+
+  core::ItemCodec codec(crypto::HashAlg::kSha256);
+  proto::Writer out;
+  out.u32(kMagic);
+  out.raw(salt);
+  out.bytes(codec.seal(kek, payload.data(), /*r=*/0, rnd));
+
+  // Wipe the temporary plaintext.
+  crypto::SecureBuffer scrub(std::move(payload).take());
+  return std::move(out).take();
+}
+
+Result<Keystore> Keystore::unseal(BytesView sealed,
+                                  const std::string& passphrase) {
+  proto::Reader r(sealed);
+  if (r.u32() != kMagic) {
+    return Error(Errc::kDecodeError, "keystore: bad magic");
+  }
+  const Bytes salt = r.raw(kSaltSize);
+  const Bytes box = r.bytes();
+  if (!r.at_end()) {
+    return Error(Errc::kDecodeError, "keystore: malformed container");
+  }
+  const crypto::Md kek = derive_key(passphrase, salt);
+  core::ItemCodec codec(crypto::HashAlg::kSha256);
+  auto opened = codec.open(kek, box);
+  if (!opened) {
+    return Error(Errc::kIntegrityMismatch,
+                 "keystore: wrong passphrase or corrupted file");
+  }
+  proto::Reader pr(opened.value().plaintext);
+  Keystore ks;
+  ks.counter_ = pr.u64();
+  const std::uint64_t n = pr.u64();
+  if (!pr.ok() || n > (1ull << 32)) {
+    return Error(Errc::kDecodeError, "keystore: bad entry count");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t id = pr.u64();
+    const crypto::Md key = pr.md();
+    if (!pr.ok()) {
+      return Error(Errc::kDecodeError, "keystore: truncated entries");
+    }
+    ks.keys_.emplace(id, key);
+  }
+  if (auto st = pr.finish(); !st) {
+    return Error(st.error());
+  }
+  crypto::SecureBuffer scrub(std::move(opened.value().plaintext));
+  return ks;
+}
+
+Status Keystore::save_to_file(const std::string& path,
+                              const std::string& passphrase,
+                              crypto::RandomSource& rnd) const {
+  const Bytes sealed = seal(passphrase, rnd);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(Errc::kIoError, "keystore: cannot open " + tmp);
+  }
+  const bool ok =
+      std::fwrite(sealed.data(), 1, sealed.size(), f) == sealed.size() &&
+      std::fclose(f) == 0;
+  if (!ok) {
+    return Status(Errc::kIoError, "keystore: short write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status(Errc::kIoError, "keystore: rename failed");
+  }
+  return Status::ok();
+}
+
+Result<Keystore> Keystore::load_from_file(const std::string& path,
+                                          const std::string& passphrase) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error(Errc::kIoError, "keystore: cannot open " + path);
+  }
+  Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  auto ks = unseal(data, passphrase);
+  crypto::SecureBuffer scrub(std::move(data));
+  return ks;
+}
+
+}  // namespace fgad::client

@@ -1,0 +1,76 @@
+// Client keystore: the client's persistent secret state, at rest.
+//
+// The scheme's whole point is that this state is tiny — one master key per
+// file (or one control key per file system) plus the global counter r. The
+// keystore serializes that state and protects it at rest with a passphrase:
+// PBKDF2-HMAC-SHA256 -> AES-128-CBC with an embedded integrity hash (the
+// same sealed-record format the items use), so a wrong passphrase or a
+// tampered file is rejected rather than yielding garbage keys.
+//
+// Note the threat-model boundary: the paper's deletion guarantee holds
+// against an attacker who seizes the device (and thus this file, and even
+// the passphrase) AFTER deletion time T — deleted keys are not in here.
+// The passphrase only adds protection for the keys that still exist.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "crypto/digest.h"
+#include "crypto/random.h"
+#include "crypto/secure_buffer.h"
+
+namespace fgad::client {
+
+class Keystore {
+ public:
+  Keystore() = default;
+  ~Keystore();
+
+  Keystore(const Keystore&) = delete;
+  Keystore& operator=(const Keystore&) = delete;
+  Keystore(Keystore&&) = default;
+  Keystore& operator=(Keystore&&) = default;
+
+  // ---- contents -------------------------------------------------------------
+
+  std::uint64_t counter() const { return counter_; }
+  void set_counter(std::uint64_t c) { counter_ = c; }
+
+  /// Stores (or replaces) the master key for a file; the old value is
+  /// cleansed.
+  void put(std::uint64_t file_id, const crypto::Md& key);
+
+  Result<crypto::Md> get(std::uint64_t file_id) const;
+  bool contains(std::uint64_t file_id) const {
+    return keys_.count(file_id) != 0;
+  }
+
+  /// Securely removes a key (e.g. after dropping a file).
+  Status remove(std::uint64_t file_id);
+
+  std::vector<std::uint64_t> file_ids() const;
+  std::size_t size() const { return keys_.size(); }
+
+  // ---- persistence -----------------------------------------------------------
+
+  /// Serializes, seals under the passphrase, and writes atomically-ish.
+  Status save_to_file(const std::string& path, const std::string& passphrase,
+                      crypto::RandomSource& rnd) const;
+
+  /// Loads and unseals; fails closed on a wrong passphrase or tampering.
+  static Result<Keystore> load_from_file(const std::string& path,
+                                         const std::string& passphrase);
+
+  /// In-memory variants (used by tests and by the CLI's stdin mode).
+  Bytes seal(const std::string& passphrase, crypto::RandomSource& rnd) const;
+  static Result<Keystore> unseal(BytesView sealed,
+                                 const std::string& passphrase);
+
+ private:
+  std::uint64_t counter_ = 0;
+  std::map<std::uint64_t, crypto::Md> keys_;
+};
+
+}  // namespace fgad::client

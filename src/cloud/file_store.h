@@ -1,0 +1,87 @@
+// One outsourced file on the cloud server: modulation tree + item store.
+//
+// FileStore glues the two server-side structures together and keeps their
+// cross-references consistent: the tree's leaves point at item slots, item
+// records point back at their leaves, and every tree mutation's LeafMove
+// notifications are applied to the store. It also implements the three item
+// addressing modes of the paper (record id, ordinal, plaintext byte offset)
+// and whole-file persistence.
+#pragma once
+
+#include <utility>
+
+#include <optional>
+
+#include "cloud/item_store.h"
+#include "core/tree.h"
+#include "integrity/merkle.h"
+#include "proto/messages.h"
+
+namespace fgad::cloud {
+
+class FileStore {
+ public:
+  FileStore(crypto::HashAlg alg, bool track_duplicates,
+            bool enable_integrity = true)
+      : tree_(core::ModulationTree::Config{alg, track_duplicates}) {
+    if (enable_integrity) {
+      integrity_.emplace(alg);
+    }
+  }
+
+  const core::ModulationTree& tree() const { return tree_; }
+  const ItemStore& items() const { return items_; }
+  std::size_t item_count() const { return items_.size(); }
+
+  struct IngestItem {
+    std::uint64_t item_id;
+    Bytes ciphertext;
+    std::uint64_t plain_size;
+  };
+
+  /// Installs a freshly outsourced file. The tree's leaf item_slot values
+  /// must be item indices 0..n-1 (as produced by core::Outsourcer); the
+  /// store must be empty.
+  Status ingest(core::ModulationTree tree, std::vector<IngestItem> items);
+
+  /// Resolves an item reference (id / ordinal / byte offset).
+  Result<std::uint32_t> resolve(const proto::ItemRef& ref) const;
+
+  Result<core::AccessInfo> access(std::uint32_t slot) const;
+
+  Status modify(std::uint64_t item_id, Bytes ciphertext,
+                std::uint64_t plain_size);
+
+  Result<core::DeleteInfo> delete_begin(std::uint32_t slot) const;
+  Status delete_commit(const core::DeleteCommit& commit);
+
+  core::InsertInfo insert_begin() const { return tree_.insert_info(); }
+  Status insert_commit(const core::InsertCommit& commit);
+
+  Bytes serialized_tree() const;
+  std::uint64_t tree_bytes() const { return tree_.serialized_size(); }
+
+  /// Whole-file persistence: tree + items (in file order).
+  void serialize(proto::Writer& w) const;
+  static Result<FileStore> deserialize(proto::Reader& r, bool track_duplicates,
+                                       bool enable_integrity = true);
+
+  // ---- integrity (PDP/PoR substrate) ---------------------------------------
+
+  bool integrity_enabled() const { return integrity_.has_value(); }
+  /// Current hash-tree root (zero digest when integrity is off/empty).
+  crypto::Md integrity_root() const;
+  /// Builds one audit response entry for the item in `slot`.
+  Result<proto::AuditResp::Entry> audit_entry(std::uint32_t slot,
+                                              bool include_ciphertext) const;
+
+ private:
+  void integrity_rebuild();
+  void integrity_refresh_leaf(std::uint32_t slot);
+
+  core::ModulationTree tree_;
+  ItemStore items_;
+  std::optional<integrity::HashTree> integrity_;
+};
+
+}  // namespace fgad::cloud

@@ -1,0 +1,144 @@
+#include "cloud/item_store.h"
+
+namespace fgad::cloud {
+
+std::uint32_t ItemStore::alloc(std::uint64_t item_id, Bytes ciphertext,
+                               core::NodeId leaf, std::uint64_t plain_size) {
+  ct_bytes_ += ciphertext.size();
+  plain_bytes_ += plain_size;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  Record& rec = slots_[slot];
+  rec.item_id = item_id;
+  rec.ciphertext = std::move(ciphertext);
+  rec.leaf = leaf;
+  rec.plain_size = plain_size;
+  rec.prev = kNoSlot;
+  rec.next = kNoSlot;
+  rec.live = true;
+  by_id_.emplace(item_id, slot);
+  ++size_;
+  return slot;
+}
+
+Result<std::uint32_t> ItemStore::insert_back(std::uint64_t item_id,
+                                             Bytes ciphertext,
+                                             core::NodeId leaf,
+                                             std::uint64_t plain_size) {
+  if (by_id_.count(item_id) != 0) {
+    return Error(Errc::kInvalidArgument, "item store: duplicate item id");
+  }
+  const std::uint32_t slot =
+      alloc(item_id, std::move(ciphertext), leaf, plain_size);
+  Record& rec = slots_[slot];
+  rec.prev = tail_;
+  if (tail_ != kNoSlot) {
+    slots_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+  return slot;
+}
+
+Result<std::uint32_t> ItemStore::insert_after(std::uint64_t after_id,
+                                              std::uint64_t item_id,
+                                              Bytes ciphertext,
+                                              core::NodeId leaf,
+                                              std::uint64_t plain_size) {
+  const auto it = by_id_.find(after_id);
+  if (it == by_id_.end()) {
+    return Error(Errc::kNotFound, "item store: unknown predecessor id");
+  }
+  if (by_id_.count(item_id) != 0) {
+    return Error(Errc::kInvalidArgument, "item store: duplicate item id");
+  }
+  const std::uint32_t prev = it->second;
+  const std::uint32_t slot =
+      alloc(item_id, std::move(ciphertext), leaf, plain_size);
+  Record& rec = slots_[slot];
+  rec.prev = prev;
+  rec.next = slots_[prev].next;
+  slots_[prev].next = slot;
+  if (rec.next != kNoSlot) {
+    slots_[rec.next].prev = slot;
+  } else {
+    tail_ = slot;
+  }
+  return slot;
+}
+
+Status ItemStore::erase(std::uint32_t slot) {
+  if (!valid(slot)) {
+    return Status(Errc::kNotFound, "item store: bad slot");
+  }
+  Record& rec = slots_[slot];
+  if (rec.prev != kNoSlot) {
+    slots_[rec.prev].next = rec.next;
+  } else {
+    head_ = rec.next;
+  }
+  if (rec.next != kNoSlot) {
+    slots_[rec.next].prev = rec.prev;
+  } else {
+    tail_ = rec.prev;
+  }
+  by_id_.erase(rec.item_id);
+  ct_bytes_ -= rec.ciphertext.size();
+  plain_bytes_ -= rec.plain_size;
+  rec = Record{};
+  free_.push_back(slot);
+  --size_;
+  return Status::ok();
+}
+
+std::optional<std::uint32_t> ItemStore::find(std::uint64_t item_id) const {
+  const auto it = by_id_.find(item_id);
+  if (it == by_id_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<std::uint32_t> ItemStore::slot_at(std::uint64_t ordinal) const {
+  if (ordinal >= size_) {
+    return std::nullopt;
+  }
+  std::uint32_t slot = head_;
+  for (std::uint64_t i = 0; i < ordinal; ++i) {
+    slot = slots_[slot].next;
+  }
+  return slot;
+}
+
+std::optional<std::uint32_t> ItemStore::slot_at_offset(
+    std::uint64_t offset) const {
+  if (offset >= plain_bytes_) {
+    return std::nullopt;
+  }
+  std::uint64_t acc = 0;
+  for (std::uint32_t slot = head_; slot != kNoSlot; slot = slots_[slot].next) {
+    acc += slots_[slot].plain_size;
+    if (offset < acc) {
+      return slot;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> ItemStore::ids_in_order() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(size_);
+  for (std::uint32_t slot = head_; slot != kNoSlot; slot = slots_[slot].next) {
+    ids.push_back(slots_[slot].item_id);
+  }
+  return ids;
+}
+
+}  // namespace fgad::cloud

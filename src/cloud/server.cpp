@@ -1,0 +1,537 @@
+#include "cloud/server.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fgad::cloud {
+
+namespace proto = fgad::proto;
+using proto::MsgType;
+
+Status CloudServer::outsource(std::uint64_t file_id, core::ModulationTree tree,
+                              std::vector<FileStore::IngestItem> items) {
+  if (files_.count(file_id) != 0) {
+    return Status(Errc::kInvalidArgument, "server: file id already exists");
+  }
+  auto store = std::make_unique<FileStore>(tree.alg(), opts_.track_duplicates,
+                                           opts_.enable_integrity);
+  if (auto st = store->ingest(std::move(tree), std::move(items)); !st) {
+    return st;
+  }
+  files_.emplace(file_id, std::move(store));
+  return Status::ok();
+}
+
+Result<const FileStore*> CloudServer::get_file(std::uint64_t file_id) const {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return Error(Errc::kNotFound, "server: no such file");
+  }
+  return static_cast<const FileStore*>(it->second.get());
+}
+
+Result<FileStore*> CloudServer::get_file(std::uint64_t file_id) {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return Error(Errc::kNotFound, "server: no such file");
+  }
+  return it->second.get();
+}
+
+const FileStore* CloudServer::file(std::uint64_t file_id) const {
+  const auto it = files_.find(file_id);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+FileStore* CloudServer::mutable_file(std::uint64_t file_id) {
+  const auto it = files_.find(file_id);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+Result<core::AccessInfo> CloudServer::access(std::uint64_t file_id,
+                                             const proto::ItemRef& ref) const {
+  auto file = get_file(file_id);
+  if (!file) return file.error();
+  auto slot = file.value()->resolve(ref);
+  if (!slot) return slot.error();
+  auto info = file.value()->access(slot.value());
+  if (info && tamper_access_info) {
+    tamper_access_info(info.value());
+  }
+  return info;
+}
+
+Status CloudServer::modify(std::uint64_t file_id, std::uint64_t item_id,
+                           Bytes ct, std::uint64_t plain_size) {
+  auto file = get_file(file_id);
+  if (!file) return file.status();
+  return file.value()->modify(item_id, std::move(ct), plain_size);
+}
+
+Result<core::DeleteInfo> CloudServer::delete_begin(
+    std::uint64_t file_id, const proto::ItemRef& ref) const {
+  auto file = get_file(file_id);
+  if (!file) return file.error();
+  auto slot = file.value()->resolve(ref);
+  if (!slot) return slot.error();
+  auto info = file.value()->delete_begin(slot.value());
+  if (info && tamper_delete_info) {
+    tamper_delete_info(info.value());
+  }
+  return info;
+}
+
+Status CloudServer::delete_commit(std::uint64_t file_id,
+                                  const core::DeleteCommit& c) {
+  auto file = get_file(file_id);
+  if (!file) return file.status();
+  return file.value()->delete_commit(c);
+}
+
+Result<core::InsertInfo> CloudServer::insert_begin(
+    std::uint64_t file_id) const {
+  auto file = get_file(file_id);
+  if (!file) return file.error();
+  core::InsertInfo info = file.value()->insert_begin();
+  if (tamper_insert_info) {
+    tamper_insert_info(info);
+  }
+  return info;
+}
+
+Status CloudServer::insert_commit(std::uint64_t file_id,
+                                  const core::InsertCommit& c) {
+  auto file = get_file(file_id);
+  if (!file) return file.status();
+  return file.value()->insert_commit(c);
+}
+
+Result<Bytes> CloudServer::fetch_tree(std::uint64_t file_id) const {
+  auto file = get_file(file_id);
+  if (!file) return file.error();
+  return file.value()->serialized_tree();
+}
+
+Result<proto::AuditResp> CloudServer::audit(std::uint64_t file_id,
+                                            const proto::AuditReq& req) const {
+  auto file = get_file(file_id);
+  if (!file) return file.error();
+  const FileStore& store = *file.value();
+  if (!store.integrity_enabled()) {
+    return Error(Errc::kUnsupported, "server: integrity disabled");
+  }
+  proto::AuditResp resp;
+  resp.root = store.integrity_root();
+  resp.entries.reserve(req.targets.size());
+  for (std::uint64_t target : req.targets) {
+    Result<std::uint32_t> slot =
+        req.by_leaf
+            ? (store.tree().is_leaf(target)
+                   ? Result<std::uint32_t>(static_cast<std::uint32_t>(
+                         store.tree().item_slot(target)))
+                   : Result<std::uint32_t>(
+                         Error(Errc::kNotFound, "server: not a leaf")))
+            : store.resolve(proto::ItemRef::id(target));
+    if (!slot) {
+      return slot.error();
+    }
+    auto entry = store.audit_entry(slot.value(), req.include_ciphertext);
+    if (!entry) {
+      return entry.error();
+    }
+    resp.entries.push_back(std::move(entry).value());
+  }
+  return resp;
+}
+
+Status CloudServer::drop_file(std::uint64_t file_id) {
+  if (files_.erase(file_id) == 0) {
+    return Status(Errc::kNotFound, "server: no such file");
+  }
+  return Status::ok();
+}
+
+void CloudServer::kv_put(std::uint64_t table, std::uint64_t key, Bytes value) {
+  tables_[table][key] = std::move(value);
+}
+
+Result<Bytes> CloudServer::kv_get(std::uint64_t table,
+                                  std::uint64_t key) const {
+  const auto t = tables_.find(table);
+  if (t == tables_.end()) {
+    return Error(Errc::kNotFound, "server: no such table");
+  }
+  const auto it = t->second.find(key);
+  if (it == t->second.end()) {
+    return Error(Errc::kNotFound, "server: no such key");
+  }
+  return it->second;
+}
+
+Status CloudServer::kv_delete(std::uint64_t table, std::uint64_t key) {
+  const auto t = tables_.find(table);
+  if (t == tables_.end() || t->second.erase(key) == 0) {
+    return Status(Errc::kNotFound, "server: no such key");
+  }
+  return Status::ok();
+}
+
+std::size_t CloudServer::kv_size(std::uint64_t table) const {
+  const auto t = tables_.find(table);
+  return t == tables_.end() ? 0 : t->second.size();
+}
+
+// ---- persistence --------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kImageMagic = 0x46474144;  // "FGAD"
+constexpr std::uint16_t kImageVersion = 1;
+}  // namespace
+
+void CloudServer::save(proto::Writer& w) const {
+  w.u32(kImageMagic);
+  w.u16(kImageVersion);
+  // Files, ordered by id so images are deterministic.
+  std::vector<std::uint64_t> file_ids;
+  file_ids.reserve(files_.size());
+  for (const auto& [id, store] : files_) {
+    file_ids.push_back(id);
+  }
+  std::sort(file_ids.begin(), file_ids.end());
+  w.u64(file_ids.size());
+  for (std::uint64_t id : file_ids) {
+    w.u64(id);
+    files_.at(id)->serialize(w);
+  }
+  // Blob tables.
+  std::vector<std::uint64_t> table_ids;
+  table_ids.reserve(tables_.size());
+  for (const auto& [id, table] : tables_) {
+    table_ids.push_back(id);
+  }
+  std::sort(table_ids.begin(), table_ids.end());
+  w.u64(table_ids.size());
+  for (std::uint64_t id : table_ids) {
+    const auto& table = tables_.at(id);
+    w.u64(id);
+    w.u64(table.size());
+    for (const auto& [key, value] : table) {
+      w.u64(key);
+      w.bytes(value);
+    }
+  }
+}
+
+Result<std::unique_ptr<CloudServer>> CloudServer::load(proto::Reader& r,
+                                                       Options opts) {
+  if (r.u32() != kImageMagic || r.u16() != kImageVersion) {
+    return Error(Errc::kDecodeError, "server image: bad magic/version");
+  }
+  auto server_ptr = std::make_unique<CloudServer>(opts);
+  CloudServer& server = *server_ptr;
+  const std::uint64_t n_files = r.u64();
+  if (!r.ok() || n_files > (1ull << 32)) {
+    return Error(Errc::kDecodeError, "server image: bad file count");
+  }
+  for (std::uint64_t i = 0; i < n_files; ++i) {
+    const std::uint64_t id = r.u64();
+    auto store =
+        FileStore::deserialize(r, opts.track_duplicates, opts.enable_integrity);
+    if (!store) {
+      return store.error();
+    }
+    server.files_.emplace(
+        id, std::make_unique<FileStore>(std::move(store).value()));
+  }
+  const std::uint64_t n_tables = r.u64();
+  if (!r.ok() || n_tables > (1ull << 32)) {
+    return Error(Errc::kDecodeError, "server image: bad table count");
+  }
+  for (std::uint64_t t = 0; t < n_tables; ++t) {
+    const std::uint64_t table_id = r.u64();
+    const std::uint64_t n_keys = r.u64();
+    if (!r.ok() || n_keys > (1ull << 32)) {
+      return Error(Errc::kDecodeError, "server image: bad key count");
+    }
+    auto& table = server.tables_[table_id];
+    for (std::uint64_t k = 0; k < n_keys; ++k) {
+      const std::uint64_t key = r.u64();
+      Bytes value = r.bytes();
+      if (!r.ok()) {
+        return Error(Errc::kDecodeError, "server image: truncated table");
+      }
+      table.emplace(key, std::move(value));
+    }
+  }
+  return server_ptr;
+}
+
+Status CloudServer::save_to_file(const std::string& path) const {
+  proto::Writer w;
+  save(w);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(Errc::kIoError, "server image: cannot open " + path);
+  }
+  const std::size_t written = std::fwrite(w.data().data(), 1, w.size(), f);
+  const bool ok = written == w.size() && std::fclose(f) == 0;
+  if (!ok) {
+    return Status(Errc::kIoError, "server image: short write to " + path);
+  }
+  return Status::ok();
+}
+
+Result<std::unique_ptr<CloudServer>> CloudServer::load_from_file(
+    const std::string& path, Options opts) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error(Errc::kIoError, "server image: cannot open " + path);
+  }
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  proto::Reader r(data);
+  auto server = load(r, opts);
+  if (server && !r.finish()) {
+    return Error(Errc::kDecodeError, "server image: trailing bytes");
+  }
+  return server;
+}
+
+// ---- wire dispatcher --------------------------------------------------------
+
+namespace {
+Bytes error_frame(const Error& e) {
+  proto::ErrorMsg msg;
+  msg.code = e.code;
+  msg.message = e.message;
+  return msg.to_frame();
+}
+
+Bytes error_frame(Errc code, const char* what) {
+  return error_frame(Error(code, what));
+}
+
+Bytes status_frame(const Status& st, MsgType ok_type) {
+  return st ? proto::empty_frame(ok_type) : error_frame(st.error());
+}
+}  // namespace
+
+Bytes CloudServer::handle(BytesView request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handle_locked(request);
+}
+
+Bytes CloudServer::handle_locked(BytesView request) {
+  auto env = proto::open_message(request);
+  if (!env) {
+    return error_frame(env.error());
+  }
+  proto::Reader r(env.value().payload);
+
+  switch (env.value().type) {
+    case MsgType::kOutsourceReq: {
+      auto req = proto::OutsourceReq::from(r);
+      if (!req) return error_frame(req.error());
+      proto::Reader tr(req.value().tree_blob);
+      auto tree = core::ModulationTree::deserialize(
+          tr, core::ModulationTree::Config{crypto::HashAlg::kSha1,
+                                           opts_.track_duplicates});
+      if (!tree) return error_frame(tree.error());
+      if (auto st = tr.finish(); !st) return error_frame(st.error());
+      std::vector<FileStore::IngestItem> items;
+      items.reserve(req.value().items.size());
+      for (auto& it : req.value().items) {
+        items.push_back(FileStore::IngestItem{
+            it.item_id, std::move(it.ciphertext), it.plain_size});
+      }
+      return status_frame(outsource(req.value().file_id,
+                                    std::move(tree).value(), std::move(items)),
+                          MsgType::kOutsourceResp);
+    }
+
+    case MsgType::kAccessReq: {
+      auto req = proto::AccessReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto info = access(req.value().file_id, req.value().ref);
+      if (!info) return error_frame(info.error());
+      proto::AccessResp resp{std::move(info).value()};
+      return resp.to_frame();
+    }
+
+    case MsgType::kModifyReq: {
+      auto req = proto::ModifyReq::from(r);
+      if (!req) return error_frame(req.error());
+      return status_frame(modify(req.value().file_id, req.value().item_id,
+                                 std::move(req.value().ciphertext),
+                                 req.value().plain_size),
+                          MsgType::kModifyResp);
+    }
+
+    case MsgType::kDeleteBeginReq: {
+      auto req = proto::DeleteBeginReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto info = delete_begin(req.value().file_id, req.value().ref);
+      if (!info) return error_frame(info.error());
+      proto::DeleteBeginResp resp{std::move(info).value()};
+      return resp.to_frame();
+    }
+
+    case MsgType::kDeleteCommitReq: {
+      auto req = proto::DeleteCommitReq::from(r);
+      if (!req) return error_frame(req.error());
+      return status_frame(
+          delete_commit(req.value().file_id, req.value().commit),
+          MsgType::kDeleteCommitResp);
+    }
+
+    case MsgType::kInsertBeginReq: {
+      auto req = proto::InsertBeginReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto info = insert_begin(req.value().file_id);
+      if (!info) return error_frame(info.error());
+      proto::InsertBeginResp resp{std::move(info).value()};
+      return resp.to_frame();
+    }
+
+    case MsgType::kInsertCommitReq: {
+      auto req = proto::InsertCommitReq::from(r);
+      if (!req) return error_frame(req.error());
+      return status_frame(
+          insert_commit(req.value().file_id, req.value().commit),
+          MsgType::kInsertCommitResp);
+    }
+
+    case MsgType::kFetchTreeReq: {
+      auto req = proto::FetchTreeReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto blob = fetch_tree(req.value().file_id);
+      if (!blob) return error_frame(blob.error());
+      proto::FetchTreeResp resp{std::move(blob).value()};
+      return resp.to_frame();
+    }
+
+    case MsgType::kFetchItemsReq: {
+      auto req = proto::FetchItemsReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto file = get_file(req.value().file_id);
+      if (!file) return error_frame(file.error());
+      const ItemStore& items = file.value()->items();
+      proto::FetchItemsResp resp;
+      auto slot = items.slot_at(req.value().start_ordinal);
+      std::uint32_t cur = slot ? *slot : ItemStore::kNoSlot;
+      const std::uint32_t limit = req.value().max_count == 0
+                                      ? ~std::uint32_t{0}
+                                      : req.value().max_count;
+      while (cur != ItemStore::kNoSlot && resp.items.size() < limit) {
+        const ItemStore::Record& rec = items.at(cur);
+        resp.items.push_back(
+            proto::FetchItemsResp::Entry{rec.item_id, rec.leaf, rec.ciphertext});
+        cur = items.next_of(cur);
+      }
+      resp.more = cur != ItemStore::kNoSlot;
+      return resp.to_frame();
+    }
+
+    case MsgType::kListItemsReq: {
+      auto req = proto::ListItemsReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto file = get_file(req.value().file_id);
+      if (!file) return error_frame(file.error());
+      proto::ListItemsResp resp;
+      resp.ids = file.value()->items().ids_in_order();
+      return resp.to_frame();
+    }
+
+    case MsgType::kDropFileReq: {
+      auto req = proto::DropFileReq::from(r);
+      if (!req) return error_frame(req.error());
+      return status_frame(drop_file(req.value().file_id),
+                          MsgType::kDropFileResp);
+    }
+
+    case MsgType::kStatReq: {
+      auto req = proto::StatReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto file = get_file(req.value().file_id);
+      if (!file) return error_frame(file.error());
+      proto::StatResp resp;
+      resp.n_items = file.value()->item_count();
+      resp.node_count = file.value()->tree().node_count();
+      resp.tree_bytes = file.value()->tree_bytes();
+      return resp.to_frame();
+    }
+
+    case MsgType::kAuditReq: {
+      auto req = proto::AuditReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto resp = audit(req.value().file_id, req.value());
+      if (!resp) return error_frame(resp.error());
+      return resp.value().to_frame();
+    }
+
+    case MsgType::kKvPutReq: {
+      auto req = proto::KvPutReq::from(r);
+      if (!req) return error_frame(req.error());
+      kv_put(req.value().table, req.value().key, std::move(req.value().value));
+      return proto::empty_frame(MsgType::kKvPutResp);
+    }
+
+    case MsgType::kKvGetReq: {
+      auto req = proto::KvGetReq::from(r);
+      if (!req) return error_frame(req.error());
+      auto v = kv_get(req.value().table, req.value().key);
+      proto::KvGetResp resp;
+      resp.found = v.is_ok();
+      if (v) {
+        resp.value = std::move(v).value();
+      }
+      return resp.to_frame();
+    }
+
+    case MsgType::kKvDeleteReq: {
+      auto req = proto::KvDeleteReq::from(r);
+      if (!req) return error_frame(req.error());
+      return status_frame(kv_delete(req.value().table, req.value().key),
+                          MsgType::kKvDeleteResp);
+    }
+
+    case MsgType::kKvGetRangeReq: {
+      auto req = proto::KvGetRangeReq::from(r);
+      if (!req) return error_frame(req.error());
+      proto::KvGetRangeResp resp;
+      const auto t = tables_.find(req.value().table);
+      if (t != tables_.end()) {
+        auto it = t->second.lower_bound(req.value().start_key);
+        const std::uint32_t limit = req.value().max_count == 0
+                                        ? ~std::uint32_t{0}
+                                        : req.value().max_count;
+        while (it != t->second.end() && resp.entries.size() < limit) {
+          resp.entries.push_back(
+              proto::KvGetRangeResp::Entry{it->first, it->second});
+          ++it;
+        }
+        resp.more = it != t->second.end();
+      }
+      return resp.to_frame();
+    }
+
+    case MsgType::kKvPutBatchReq: {
+      auto req = proto::KvPutBatchReq::from(r);
+      if (!req) return error_frame(req.error());
+      for (auto& e : req.value().entries) {
+        kv_put(req.value().table, e.key, std::move(e.value));
+      }
+      return proto::empty_frame(MsgType::kKvPutBatchResp);
+    }
+
+    default:
+      return error_frame(Errc::kUnsupported, "server: unknown message type");
+  }
+}
+
+}  // namespace fgad::cloud

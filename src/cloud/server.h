@@ -1,0 +1,113 @@
+// The cloud server: multi-file storage plus the wire-protocol dispatcher.
+//
+// CloudServer is the second party of the paper's two-party system. It holds
+// modulation trees and ciphertexts (it never sees a key or a plaintext),
+// answers the protocol requests of proto/messages.h, and additionally
+// offers a plain blob table (kv_*) used by the Section III baseline
+// solutions, which have no tree.
+//
+// Adversarial testing: the threat model gives the attacker full server
+// control, so the server exposes tamper hooks that mutate outgoing
+// responses — tests use them to verify the client rejects wrong-leaf MT(k'),
+// cloned paths, and corrupted ciphertexts (Theorem 2, case ii).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cloud/file_store.h"
+#include "proto/messages.h"
+
+namespace fgad::cloud {
+
+class CloudServer {
+ public:
+  struct Options {
+    bool track_duplicates = true;
+    bool enable_integrity = true;  // maintain hash trees + serve audits
+  };
+
+  CloudServer() = default;
+  explicit CloudServer(Options opts) : opts_(opts) {}
+
+  // ---- native file API ---------------------------------------------------
+
+  /// Installs an outsourced file (tree + sealed items).
+  Status outsource(std::uint64_t file_id, core::ModulationTree tree,
+                   std::vector<FileStore::IngestItem> items);
+
+  Result<core::AccessInfo> access(std::uint64_t file_id,
+                                  const proto::ItemRef& ref) const;
+  Status modify(std::uint64_t file_id, std::uint64_t item_id, Bytes ct,
+                std::uint64_t plain_size);
+
+  Result<core::DeleteInfo> delete_begin(std::uint64_t file_id,
+                                        const proto::ItemRef& ref) const;
+  Status delete_commit(std::uint64_t file_id, const core::DeleteCommit& c);
+
+  Result<core::InsertInfo> insert_begin(std::uint64_t file_id) const;
+  Status insert_commit(std::uint64_t file_id, const core::InsertCommit& c);
+
+  Result<Bytes> fetch_tree(std::uint64_t file_id) const;
+  Status drop_file(std::uint64_t file_id);
+
+  /// Integrity audit: membership proofs for the requested items/leaves.
+  Result<proto::AuditResp> audit(std::uint64_t file_id,
+                                 const proto::AuditReq& req) const;
+
+  bool has_file(std::uint64_t file_id) const {
+    return files_.count(file_id) != 0;
+  }
+  const FileStore* file(std::uint64_t file_id) const;
+  FileStore* mutable_file(std::uint64_t file_id);
+
+  // ---- blob tables (baseline substrate) -----------------------------------
+
+  void kv_put(std::uint64_t table, std::uint64_t key, Bytes value);
+  Result<Bytes> kv_get(std::uint64_t table, std::uint64_t key) const;
+  Status kv_delete(std::uint64_t table, std::uint64_t key);
+  std::size_t kv_size(std::uint64_t table) const;
+
+  // ---- persistence -----------------------------------------------------------
+
+  /// Serializes every file and blob table (crash/restart durability).
+  void save(proto::Writer& w) const;
+  /// Restores a server image produced by save().
+  static Result<std::unique_ptr<CloudServer>> load(proto::Reader& r,
+                                                   Options opts);
+  Status save_to_file(const std::string& path) const;
+  static Result<std::unique_ptr<CloudServer>> load_from_file(
+      const std::string& path, Options opts);
+
+  // ---- wire dispatcher -----------------------------------------------------
+
+  /// Handles one framed request and produces the framed response.
+  /// Thread-safe: the TCP server runs one thread per connection, so the
+  /// dispatcher serializes request handling behind a coarse mutex (the
+  /// native API is not synchronized — in-process embedders own their
+  /// threading).
+  Bytes handle(BytesView request);
+
+  // ---- adversarial hooks ---------------------------------------------------
+
+  std::function<void(core::DeleteInfo&)> tamper_delete_info;
+  std::function<void(core::AccessInfo&)> tamper_access_info;
+  std::function<void(core::InsertInfo&)> tamper_insert_info;
+
+ private:
+  Result<const FileStore*> get_file(std::uint64_t file_id) const;
+  Result<FileStore*> get_file(std::uint64_t file_id);
+  Bytes handle_locked(BytesView request);
+
+  mutable std::mutex mu_;
+
+  Options opts_ = {};
+  std::unordered_map<std::uint64_t, std::unique_ptr<FileStore>> files_;
+  // Ordered by key so range fetches stream the file in order.
+  std::unordered_map<std::uint64_t, std::map<std::uint64_t, Bytes>> tables_;
+};
+
+}  // namespace fgad::cloud

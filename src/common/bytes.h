@@ -1,0 +1,35 @@
+// Byte-buffer utilities shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgad {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Hex-encodes `data` (lowercase, no separators).
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string produced by to_hex(). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// XORs `src` into `dst`. Both spans must have the same length.
+void xor_into(std::span<std::uint8_t> dst, BytesView src);
+
+/// Converts a string literal/body to Bytes (no terminating NUL).
+Bytes to_bytes(std::string_view s);
+
+/// Converts Bytes to std::string (byte-for-byte).
+std::string to_string(BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+}  // namespace fgad

@@ -1,0 +1,42 @@
+#include "common/result.h"
+
+namespace fgad {
+
+const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::kOk:
+      return "OK";
+    case Errc::kTamperDetected:
+      return "TAMPER_DETECTED";
+    case Errc::kDuplicateModulator:
+      return "DUPLICATE_MODULATOR";
+    case Errc::kIntegrityMismatch:
+      return "INTEGRITY_MISMATCH";
+    case Errc::kDecodeError:
+      return "DECODE_ERROR";
+    case Errc::kNotFound:
+      return "NOT_FOUND";
+    case Errc::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Errc::kIoError:
+      return "IO_ERROR";
+    case Errc::kUnsupported:
+      return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Error::to_string() const {
+  std::string s = errc_name(code);
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+std::string Status::to_string() const {
+  return is_ok() ? "OK" : err_->to_string();
+}
+
+}  // namespace fgad

@@ -1,0 +1,110 @@
+// Lightweight Result/Status types for recoverable protocol-level failures.
+//
+// The library throws exceptions for programming errors (violated
+// preconditions) but returns Result/Status values for conditions the paper's
+// protocol treats as "reject and refuse to proceed": tampered server
+// responses, duplicate modulators, failed integrity checks, malformed wire
+// data. Callers are expected to inspect these.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fgad {
+
+enum class Errc {
+  kOk = 0,
+  kTamperDetected,       // server response fails a security check
+  kDuplicateModulator,   // MT(k) modulators not pairwise distinct
+  kIntegrityMismatch,    // decrypted item hash does not match
+  kDecodeError,          // malformed wire message
+  kNotFound,             // unknown file / item
+  kInvalidArgument,      // caller misuse detected at a protocol boundary
+  kIoError,              // transport failure
+  kUnsupported,
+};
+
+/// Human-readable name of an error code.
+const char* errc_name(Errc c);
+
+struct Error {
+  Errc code = Errc::kOk;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  std::string to_string() const;
+};
+
+/// A status: success or an Error.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Errc c, std::string msg) : err_(Error(c, std::move(msg))) {}
+  explicit Status(Error e) : err_(std::move(e)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Error details. Precondition: !is_ok().
+  const Error& error() const {
+    assert(err_.has_value());
+    return *err_;
+  }
+  Errc code() const { return err_ ? err_->code : Errc::kOk; }
+
+  std::string to_string() const;
+
+ private:
+  std::optional<Error> err_;
+};
+
+/// Result<T>: holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error e) : v_(std::move(e)) {}      // NOLINT: implicit by design
+  Result(Errc c, std::string msg) : v_(Error(c, std::move(msg))) {}
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Precondition: is_ok().
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  /// Precondition: !is_ok().
+  const Error& error() const {
+    assert(!is_ok());
+    return std::get<Error>(v_);
+  }
+  Errc code() const {
+    return is_ok() ? Errc::kOk : error().code;
+  }
+
+  Status status() const {
+    return is_ok() ? Status::ok() : Status(error());
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace fgad

@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+namespace fgad {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection-free reduction is fine for non-crypto use, but we
+  // keep the simple unbiased rejection loop to make test distributions exact.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+void Xoshiro256::fill(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t v = next();
+    for (int b = 0; b < 8; ++b) {
+      out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t v = next();
+    for (std::size_t b = 0; i < out.size(); ++i, ++b) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+}
+
+}  // namespace fgad

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random generation for tests and benchmark setup.
+//
+// This is NOT a cryptographic RNG. Production key/modulator generation uses
+// crypto/random.h (OpenSSL RAND_bytes). Benchmarks and property tests use
+// this xoshiro256** generator so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace fgad {
+
+/// xoshiro256** seeded through splitmix64. Deterministic and fast.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Fills `out` with pseudo-random bytes.
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+  // UniformRandomBitGenerator interface so <random>/<algorithm> accept it.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fgad

@@ -1,0 +1,58 @@
+// Wall-clock stopwatch and cumulative timer used for the paper's
+// client-computation-overhead measurements (Figure 6, Tables II-III).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fgad {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across disjoint measured sections; the Client uses one
+/// to report pure client-side computation (excluding transport time).
+class CumulativeTimer {
+ public:
+  void add_seconds(double s) { total_s_ += s; }
+  void reset() { total_s_ = 0; }
+  double total_seconds() const { return total_s_; }
+  double total_ms() const { return total_s_ * 1e3; }
+
+  /// RAII section: adds the section's duration on destruction.
+  class Section {
+   public:
+    explicit Section(CumulativeTimer& t) : t_(t) {}
+    ~Section() { t_.add_seconds(sw_.elapsed_seconds()); }
+    Section(const Section&) = delete;
+    Section& operator=(const Section&) = delete;
+
+   private:
+    CumulativeTimer& t_;
+    Stopwatch sw_;
+  };
+
+ private:
+  double total_s_ = 0;
+};
+
+}  // namespace fgad

@@ -1,0 +1,24 @@
+#include "core/chain.h"
+
+namespace fgad::core {
+
+Md ModulatedHashChain::eval(const Md& master, std::span<const Md> mods) const {
+  Md cur = master;
+  for (const Md& x : mods) {
+    cur = step(cur, x);
+  }
+  return cur;
+}
+
+std::vector<Md> ModulatedHashChain::prefixes(const Md& master,
+                                             std::span<const Md> mods) const {
+  std::vector<Md> out;
+  out.reserve(mods.size() + 1);
+  out.push_back(master);
+  for (const Md& x : mods) {
+    out.push_back(step(out.back(), x));
+  }
+  return out;
+}
+
+}  // namespace fgad::core

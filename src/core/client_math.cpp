@@ -1,0 +1,352 @@
+#include "core/client_math.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fgad::core {
+
+namespace {
+
+// Key for per-node modulator consistency maps: a node may carry both a link
+// modulator (edge from its parent) and a leaf modulator; track them apart.
+enum class Kind : std::uint8_t { kLink, kLeaf };
+
+struct Slot {
+  NodeId node;
+  Kind kind;
+  bool operator==(const Slot&) const = default;
+};
+
+struct SlotHash {
+  std::size_t operator()(const Slot& s) const noexcept {
+    return std::hash<std::uint64_t>()(s.node * 2 +
+                                      (s.kind == Kind::kLeaf ? 1 : 0));
+  }
+};
+
+using ModMap = std::unordered_map<Slot, Md, SlotHash>;
+
+// Records `value` for `slot`; fails if the same slot was already seen with a
+// conflicting value (a self-inconsistent server response).
+Status put(ModMap& map, NodeId node, Kind kind, const Md& value) {
+  auto [it, inserted] = map.emplace(Slot{node, kind}, value);
+  if (!inserted && it->second != value) {
+    return Status(Errc::kTamperDetected,
+                  "delete info: node reported with conflicting modulators");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+ModList ClientMath::mods_of(const PathView& path, const Md& leaf_mod) {
+  ModList mods = path.links;
+  mods.push_back(leaf_mod);
+  return mods;
+}
+
+Md ClientMath::derive_key(const Md& master, const PathView& path,
+                          const Md& leaf_mod) const {
+  Md cur = master;
+  for (const Md& x : path.links) {
+    cur = chain_.step(cur, x);
+  }
+  return chain_.step(cur, leaf_mod);
+}
+
+Status ClientMath::verify_delete_info(const DeleteInfo& info) const {
+  const std::size_t w = width();
+  if (!info.path.well_formed()) {
+    return Status(Errc::kTamperDetected, "delete info: malformed path");
+  }
+  if (info.cut.size() != info.path.depth()) {
+    return Status(Errc::kTamperDetected, "delete info: cut size mismatch");
+  }
+  if (info.leaf_mod.size() != w) {
+    return Status(Errc::kTamperDetected, "delete info: bad leaf modulator");
+  }
+
+  ModMap map;
+  for (std::size_t i = 0; i + 1 < info.path.nodes.size(); ++i) {
+    if (info.path.links[i].size() != w) {
+      return Status(Errc::kTamperDetected, "delete info: bad link width");
+    }
+    if (auto st = put(map, info.path.nodes[i + 1], Kind::kLink,
+                      info.path.links[i]);
+        !st) {
+      return st;
+    }
+  }
+  if (auto st = put(map, info.path.target(), Kind::kLeaf, info.leaf_mod);
+      !st) {
+    return st;
+  }
+  for (std::size_t i = 0; i < info.cut.size(); ++i) {
+    const CutEntry& e = info.cut[i];
+    if (e.node != sibling_of(info.path.nodes[i + 1])) {
+      return Status(Errc::kTamperDetected, "delete info: cut geometry wrong");
+    }
+    if (e.link.size() != w || (e.is_leaf && e.leaf_mod.size() != w)) {
+      return Status(Errc::kTamperDetected, "delete info: bad cut modulator");
+    }
+    if (auto st = put(map, e.node, Kind::kLink, e.link); !st) {
+      return st;
+    }
+    if (e.is_leaf) {
+      if (auto st = put(map, e.node, Kind::kLeaf, e.leaf_mod); !st) {
+        return st;
+      }
+    }
+  }
+
+  if (info.has_balance) {
+    if (!info.t_path.well_formed() || info.t_path.depth() == 0) {
+      return Status(Errc::kTamperDetected,
+                    "delete info: malformed balancing path");
+    }
+    if (info.t_leaf_mod.size() != w || info.s_link.size() != w ||
+        info.s_leaf_mod.size() != w) {
+      return Status(Errc::kTamperDetected,
+                    "delete info: bad balancing modulators");
+    }
+    for (std::size_t i = 0; i + 1 < info.t_path.nodes.size(); ++i) {
+      if (info.t_path.links[i].size() != w) {
+        return Status(Errc::kTamperDetected, "delete info: bad link width");
+      }
+      if (auto st = put(map, info.t_path.nodes[i + 1], Kind::kLink,
+                        info.t_path.links[i]);
+          !st) {
+        return st;
+      }
+    }
+    const NodeId t = info.t_path.target();
+    const NodeId s = sibling_of(t);
+    if (auto st = put(map, t, Kind::kLeaf, info.t_leaf_mod); !st) {
+      return st;
+    }
+    if (auto st = put(map, s, Kind::kLink, info.s_link); !st) {
+      return st;
+    }
+    if (auto st = put(map, s, Kind::kLeaf, info.s_leaf_mod); !st) {
+      return st;
+    }
+  }
+
+  // The paper's client check: all modulators in MT(k) must be pairwise
+  // distinct; a server that clones a path to keep a deleted key derivable
+  // necessarily produces a duplicate (Theorem 2, case ii).
+  std::unordered_set<Md, Md::Hasher> seen;
+  seen.reserve(map.size());
+  for (const auto& [slot, value] : map) {
+    if (!seen.insert(value).second) {
+      return Status(Errc::kDuplicateModulator,
+                    "delete info: modulators are not pairwise distinct");
+    }
+  }
+  return Status::ok();
+}
+
+Result<ClientMath::DeletePlan> ClientMath::plan_delete(
+    const DeleteInfo& info, const Md& master_old, const Md& master_new,
+    crypto::RandomSource& rnd) const {
+  if (auto st = verify_delete_info(info); !st) {
+    return Error(st.error());
+  }
+  if (master_old.size() != width() || master_new.size() != width()) {
+    return Error(Errc::kInvalidArgument, "plan_delete: bad master key width");
+  }
+
+  const std::size_t l = info.path.depth();
+  const std::vector<Md> pre_old = chain_.prefixes(master_old, info.path.links);
+  const std::vector<Md> pre_new = chain_.prefixes(master_new, info.path.links);
+
+  DeletePlan plan;
+  plan.old_key = chain_.step(pre_old[l], info.leaf_mod);
+
+  // The paper's footnote to Theorem 2: if by (astronomically unlikely)
+  // coincidence F(K', M_k) == F(K, M_k), the client must pick another K'.
+  if (chain_.step(pre_new[l], info.leaf_mod) == plan.old_key) {
+    return Error(Errc::kInvalidArgument,
+                 "plan_delete: new master key collides; pick another");
+  }
+
+  DeleteCommit& commit = plan.commit;
+  commit.leaf = info.path.target();
+  commit.deltas.reserve(l);
+  std::unordered_map<NodeId, Md> delta_of;  // cut node -> delta(c)
+  delta_of.reserve(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    // M_c = <x_1 .. x_i-1, y_i>: the path prefix plus the cut link (Eq. 5).
+    const Md& y = info.cut[i].link;
+    Md delta = chain_.step(pre_old[i], y);
+    delta ^= chain_.step(pre_new[i], y);
+    commit.deltas.push_back(delta);
+    delta_of.emplace(info.cut[i].node, delta);
+  }
+
+  if (!info.has_balance) {
+    return plan;
+  }
+  commit.has_balance = true;
+
+  // Post-adjustment value of the link modulator on edge (parent, child):
+  // Eq. (6) XORs delta(parent) into both child links of every internal cut
+  // node, so the edge changed iff its upper endpoint is in the cut.
+  const auto post_link = [&](NodeId parent, const Md& link) {
+    auto it = delta_of.find(parent);
+    if (it == delta_of.end()) {
+      return link;
+    }
+    Md v = link;
+    v ^= it->second;
+    return v;
+  };
+  // Eq. (7): a leaf cut node's leaf modulator absorbs its own delta.
+  const auto post_leaf = [&](NodeId leaf, const Md& mod) {
+    auto it = delta_of.find(leaf);
+    if (it == delta_of.end()) {
+      return mod;
+    }
+    Md v = mod;
+    v ^= it->second;
+    return v;
+  };
+
+  // Walk P(t) in the post-adjustment state under K'. By the cancellation
+  // property (Lemma 1 applied along the unique cut crossing), these prefix
+  // values equal the pre-adjustment ones under K below the cut, which is
+  // exactly what Eqs. (8)-(9) rely on.
+  const PathView& tp = info.t_path;
+  const std::size_t j = tp.depth();
+  std::vector<Md> tpre(j + 1);
+  tpre[0] = master_new;
+  for (std::size_t i = 0; i < j; ++i) {
+    tpre[i + 1] =
+        chain_.step(tpre[i], post_link(tp.nodes[i], tp.links[i]));
+  }
+  const Md& prefix_p = tpre[j - 1];  // F(K', M_p), p = parent of t
+  const Md& prefix_t = tpre[j];      // F(K', M_p + <x_{p,t}>)
+
+  const NodeId k = info.path.target();
+  const NodeId t = tp.target();
+  const NodeId s = sibling_of(t);
+  const NodeId p = parent_of(t);
+
+  const Md t_leaf_post = post_leaf(t, info.t_leaf_mod);
+  const Md s_link_post = post_link(p, info.s_link);
+  const Md s_leaf_post = post_leaf(s, info.s_leaf_mod);
+
+  // Balancing Step 1 (Eq. 8): promote the surviving sibling of the last
+  // pair into the parent slot, folding the removed link into its leaf
+  // modulator so its data key is unchanged.
+  if (k == t) {
+    // The deleted leaf is t itself; s survives.
+    Md promoted = prefix_p;
+    promoted ^= chain_.step(prefix_p, s_link_post);
+    promoted ^= s_leaf_post;
+    commit.promoted_leaf_mod = promoted;
+    return plan;
+  }
+  if (k == s) {
+    // The deleted leaf is t's sibling; t survives and is promoted.
+    Md promoted = prefix_p;
+    promoted ^= prefix_t;
+    promoted ^= t_leaf_post;
+    commit.promoted_leaf_mod = promoted;
+    return plan;
+  }
+
+  // General case: s is promoted (Step 1) and t is re-homed into k's slot
+  // with a fresh link modulator (Step 2, Eq. 9).
+  {
+    Md promoted = prefix_p;
+    promoted ^= chain_.step(prefix_p, s_link_post);
+    promoted ^= s_leaf_post;
+    commit.promoted_leaf_mod = promoted;
+  }
+  commit.has_step2 = true;
+  // Fresh random link modulator for (parent(k), t), then Eq. 9: the new
+  // leaf modulator that preserves t's data key at its new position. The
+  // prefix to parent(k) under K' is pre_new[l-1]; P(k)'s own links are never
+  // delta-adjusted (cut nodes hang off the path), so no post-transform is
+  // needed there.
+  commit.t_new_link = rnd.random_md(width());
+  const Md b_prime = chain_.step(pre_new[l - 1], commit.t_new_link);
+  Md t_new_leaf = b_prime;
+  t_new_leaf ^= prefix_t;
+  t_new_leaf ^= t_leaf_post;
+  commit.t_new_leaf_mod = t_new_leaf;
+  return plan;
+}
+
+Result<ClientMath::InsertPlan> ClientMath::plan_insert(
+    const InsertInfo& info, const Md& master,
+    crypto::RandomSource& rnd) const {
+  const std::size_t w = width();
+  if (master.size() != w) {
+    return Error(Errc::kInvalidArgument, "plan_insert: bad master key width");
+  }
+  InsertPlan plan;
+  if (info.empty_tree) {
+    plan.commit.empty_tree = true;
+    plan.commit.root_leaf_mod = rnd.random_md(w);
+    plan.item_key = chain_.step(master, plan.commit.root_leaf_mod);
+    return plan;
+  }
+  if (!info.q_path.well_formed()) {
+    return Error(Errc::kTamperDetected, "insert info: malformed path");
+  }
+  if (info.q_leaf_mod.size() != w) {
+    return Error(Errc::kTamperDetected, "insert info: bad leaf modulator");
+  }
+  for (const Md& x : info.q_path.links) {
+    if (x.size() != w) {
+      return Error(Errc::kTamperDetected, "insert info: bad link width");
+    }
+  }
+
+  InsertCommit& c = plan.commit;
+  c.q = info.q_path.target();
+  c.left_link = rnd.random_md(w);
+  c.right_link = rnd.random_md(w);
+  c.new_leaf_mod = rnd.random_md(w);
+
+  // A = F(K, M_q minus the leaf modulator).
+  const Md a = chain_.eval(master, info.q_path.links);
+  // Keep q's data key unchanged after it moves under the new internal node:
+  // x_t'' = F(K, M^-) ^ F(K, M^- + <x_left>) ^ x_t  (Section IV-E).
+  Md moved = a;
+  moved ^= chain_.step(a, c.left_link);
+  moved ^= info.q_leaf_mod;
+  c.moved_leaf_mod = moved;
+
+  // Data key of the new leaf e.
+  plan.item_key = chain_.step(chain_.step(a, c.right_link), c.new_leaf_mod);
+  return plan;
+}
+
+std::vector<Md> ClientMath::derive_all_keys(const Md& master,
+                                            std::span<const Md> link_mods,
+                                            std::span<const Md> leaf_mods) const {
+  const std::size_t nodes = link_mods.size();
+  const std::size_t n = leaf_count_of(nodes);
+  std::vector<Md> keys;
+  if (nodes == 0) {
+    return keys;
+  }
+  // Heap order is topological: every parent index precedes its children, so
+  // one linear pass computes F(K, prefix) for all nodes, hashing each node
+  // exactly once (2n-1 hashes for n keys instead of n log n).
+  std::vector<Md> prefix(nodes);
+  prefix[0] = master;
+  for (NodeId v = 1; v < nodes; ++v) {
+    prefix[v] = chain_.step(prefix[parent_of(v)], link_mods[v]);
+  }
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(chain_.step(prefix[n - 1 + i], leaf_mods[i]));
+  }
+  return keys;
+}
+
+}  // namespace fgad::core

@@ -1,0 +1,81 @@
+// Client-side computations of the key-modulation scheme.
+//
+// Everything here runs on the client: it is the only party holding the
+// master key K. Given the server-supplied views (DeleteInfo / InsertInfo),
+// ClientMath
+//   * enforces the paper's security checks (MT(k) modulators pairwise
+//     distinct, per-node consistency across overlapping branches);
+//   * derives data keys k = F(K, M_k);
+//   * plans deletions: delta(c) = F(K,M_c) ^ F(K',M_c) for the cut (Eq. 5)
+//     plus the balancing modulators (Eqs. 8-9), all evaluated in the
+//     post-adjustment state under K' (see DESIGN.md Section 5);
+//   * plans insertions (Section IV-E).
+//
+// ClientMath is stateless apart from the reusable hash context; the caller
+// owns keys and randomness.
+#pragma once
+
+#include "common/result.h"
+#include "core/chain.h"
+#include "core/views.h"
+#include "crypto/random.h"
+
+namespace fgad::core {
+
+class ClientMath {
+ public:
+  explicit ClientMath(HashAlg alg) : chain_(alg) {}
+
+  const ModulatedHashChain& chain() const { return chain_; }
+  HashAlg alg() const { return chain_.alg(); }
+  std::size_t width() const { return chain_.width(); }
+
+  /// The full modulator list M_k of a leaf: path links then leaf modulator.
+  static ModList mods_of(const PathView& path, const Md& leaf_mod);
+
+  /// Data key for a leaf given its path view.
+  Md derive_key(const Md& master, const PathView& path,
+                const Md& leaf_mod) const;
+
+  /// Security check on a server-supplied DeleteInfo: structural sanity,
+  /// per-node consistency between P(k), C, and the balancing branch, and
+  /// pairwise distinctness of all modulators (Theorem 2's client check).
+  Status verify_delete_info(const DeleteInfo& info) const;
+
+  /// Computes the DeleteCommit for `info` given the old and new master
+  /// keys (`rnd` supplies the fresh link modulator for balancing Step 2).
+  /// Fails with kInvalidArgument if K' collides such that
+  /// F(K',M_k) == F(K,M_k) (the paper's "pick a different K'" case) and
+  /// with kTamperDetected / kDuplicateModulator if verification fails.
+  /// On success also returns the (now dead) data key of the deleted item,
+  /// which callers use for the pre-delete decrypt-verify step.
+  struct DeletePlan {
+    DeleteCommit commit;
+    Md old_key;  // F(K, M_k): used to verify the target ciphertext
+  };
+  Result<DeletePlan> plan_delete(const DeleteInfo& info, const Md& master_old,
+                                 const Md& master_new,
+                                 crypto::RandomSource& rnd) const;
+
+  /// Computes the InsertCommit scaffolding (fresh modulators + the moved
+  /// leaf's recomputed modulator) and the new item's data key. The caller
+  /// encrypts the item and fills in ciphertext / item id / position.
+  struct InsertPlan {
+    InsertCommit commit;  // ciphertext & item_id left empty
+    Md item_key;          // data key for the new item
+  };
+  Result<InsertPlan> plan_insert(const InsertInfo& info, const Md& master,
+                                 crypto::RandomSource& rnd) const;
+
+  /// Re-derives all n data keys from a serialized whole tree in one DFS,
+  /// sharing prefix computations (used for whole-file access, Table III).
+  /// Returns keys indexed by leaf node id - (n-1).
+  std::vector<Md> derive_all_keys(const Md& master,
+                                  std::span<const Md> link_mods,
+                                  std::span<const Md> leaf_mods) const;
+
+ private:
+  ModulatedHashChain chain_;
+};
+
+}  // namespace fgad::core

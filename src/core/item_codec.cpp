@@ -1,0 +1,64 @@
+#include "core/item_codec.h"
+
+#include <cstring>
+
+namespace fgad::core {
+
+using crypto::kAesBlockSize;
+
+Bytes ItemCodec::seal(const crypto::Md& key, BytesView m, std::uint64_t r,
+                      crypto::RandomSource& rnd) const {
+  Bytes record;
+  record.reserve(m.size() + 8 + hasher_.size());
+  record.insert(record.end(), m.begin(), m.end());
+  for (int i = 0; i < 8; ++i) {
+    record.push_back(static_cast<std::uint8_t>(r >> (8 * i)));
+  }
+  const crypto::Md h = hasher_.hash(record);  // H(m || r)
+  record.insert(record.end(), h.bytes().begin(), h.bytes().end());
+
+  Bytes out(kAesBlockSize);
+  rnd.fill(out);  // fresh IV
+  const Bytes ct = aes_.encrypt(crypto::aes_key_from(key),
+                                BytesView(out.data(), kAesBlockSize), record);
+  append(out, ct);
+  return out;
+}
+
+Result<ItemCodec::Opened> ItemCodec::open(const crypto::Md& key,
+                                          BytesView sealed) const {
+  if (sealed.size() < kAesBlockSize * 2) {
+    return Error(Errc::kDecodeError, "item: sealed record too short");
+  }
+  const BytesView iv = sealed.subspan(0, kAesBlockSize);
+  const BytesView ct = sealed.subspan(kAesBlockSize);
+  Result<Bytes> dec = aes_.decrypt(crypto::aes_key_from(key), iv, ct);
+  if (!dec) {
+    return Error(Errc::kIntegrityMismatch, "item: decryption failed");
+  }
+  Bytes record = std::move(dec).value();
+  const std::size_t hlen = hasher_.size();
+  if (record.size() < 8 + hlen) {
+    return Error(Errc::kIntegrityMismatch, "item: record too short");
+  }
+  const std::size_t body_len = record.size() - hlen;
+  const crypto::Md expect =
+      hasher_.hash(BytesView(record.data(), body_len));  // H(m || r)
+  const bool match =
+      std::equal(record.begin() + static_cast<std::ptrdiff_t>(body_len),
+                 record.end(), expect.bytes().begin(), expect.bytes().end());
+  if (!match) {
+    return Error(Errc::kIntegrityMismatch, "item: hash mismatch");
+  }
+  Opened out;
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<std::uint64_t>(record[body_len - 8 + i]) << (8 * i);
+  }
+  out.r = r;
+  out.plaintext.assign(record.begin(),
+                       record.begin() + static_cast<std::ptrdiff_t>(body_len - 8));
+  return out;
+}
+
+}  // namespace fgad::core

@@ -1,0 +1,52 @@
+// Data-item sealing: {m . r, H(m . r)}_k  (Section IV-B of the paper).
+//
+// Every plaintext item m gets the client's globally unique counter value r
+// appended (so no two sealed items are ever identical), then its hash, and
+// the whole record is encrypted with AES-128 under the item's data key.
+// open() reverses the process and verifies the embedded hash — the check the
+// client uses to detect a wrong or stale MT(k) during access and deletion.
+//
+// Wire layout of a sealed item:
+//   iv[16] || AES-CBC( m || r(8, LE) || H(m || r) )
+#pragma once
+
+#include "common/result.h"
+#include "crypto/aes.h"
+#include "crypto/digest.h"
+#include "crypto/hasher.h"
+#include "crypto/random.h"
+
+namespace fgad::core {
+
+class ItemCodec {
+ public:
+  explicit ItemCodec(crypto::HashAlg alg) : hasher_(alg) {}
+
+  crypto::HashAlg alg() const { return hasher_.alg(); }
+
+  /// Seals plaintext `m` with unique counter `r` under data key `key`
+  /// (a chain output; the AES key is its first 16 bytes).
+  Bytes seal(const crypto::Md& key, BytesView m, std::uint64_t r,
+             crypto::RandomSource& rnd) const;
+
+  struct Opened {
+    Bytes plaintext;
+    std::uint64_t r = 0;
+  };
+
+  /// Opens a sealed item; fails with kIntegrityMismatch when the key is
+  /// wrong or the ciphertext was tampered with.
+  Result<Opened> open(const crypto::Md& key, BytesView sealed) const;
+
+  /// Exact sealed size for a plaintext of `m_size` bytes.
+  std::size_t sealed_size(std::size_t m_size) const {
+    return crypto::kAesBlockSize +
+           crypto::AesCbc::ciphertext_size(m_size + 8 + hasher_.size());
+  }
+
+ private:
+  crypto::Hasher hasher_;
+  crypto::AesCbc aes_;
+};
+
+}  // namespace fgad::core

@@ -1,0 +1,51 @@
+#include "core/outsource.h"
+
+namespace fgad::core {
+
+OutsourcedFile Outsourcer::build(
+    const crypto::MasterKey& master, std::size_t n_items,
+    const std::function<Bytes(std::size_t)>& item_at, std::uint64_t& counter,
+    crypto::RandomSource& rnd) const {
+  const std::size_t w = math_.width();
+  OutsourcedFile out{
+      ModulationTree(ModulationTree::Config{math_.alg(), track_duplicates_}),
+      {}};
+  if (n_items == 0) {
+    return out;
+  }
+
+  const std::size_t nodes = node_count_for(n_items);
+  const std::size_t first_leaf = n_items - 1;
+
+  // Draw all modulators first (links for nodes 1..2n-2, one leaf modulator
+  // per leaf), then compute every chain prefix in one heap-order pass.
+  std::vector<crypto::Md> links(nodes);
+  for (NodeId v = 1; v < nodes; ++v) {
+    links[v] = rnd.random_md(w);
+  }
+  std::vector<crypto::Md> leaf_mods(n_items);
+  for (auto& m : leaf_mods) {
+    m = rnd.random_md(w);
+  }
+
+  const std::vector<crypto::Md> keys =
+      math_.derive_all_keys(master.value(), links, leaf_mods);
+
+  out.items.reserve(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    const std::uint64_t r = counter++;
+    const Bytes m = item_at(i);
+    out.items.push_back(
+        OutsourcedFile::Item{r, codec_.seal(keys[i], m, r, rnd), m.size()});
+  }
+
+  out.tree.build(
+      n_items, [&](NodeId v) { return links[v]; },
+      [&](NodeId v) {
+        const std::size_t i = v - first_leaf;
+        return std::pair<crypto::Md, std::uint64_t>(leaf_mods[i], i);
+      });
+  return out;
+}
+
+}  // namespace fgad::core

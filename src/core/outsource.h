@@ -1,0 +1,52 @@
+// Bulk outsourcing: client-side construction of a fresh modulation tree and
+// the sealed items for an entire file (Section IV-B setup).
+//
+// The client picks the master key and every modulator, derives all data keys
+// in one linear pass (heap order makes parents precede children), seals each
+// item with its key and a unique counter value, and ships tree + ciphertexts
+// to the cloud. Item i of the input is assigned to leaf (n-1)+i.
+#pragma once
+
+#include <functional>
+
+#include "core/client_math.h"
+#include "core/item_codec.h"
+#include "core/tree.h"
+#include "crypto/random.h"
+#include "crypto/secure_buffer.h"
+
+namespace fgad::core {
+
+struct OutsourcedFile {
+  ModulationTree tree;  // tree.item_slot(leaf) indexes into `items`
+  struct Item {
+    std::uint64_t item_id;  // the unique counter value r
+    Bytes ciphertext;
+    std::uint64_t plain_size;  // stored server-side for offset addressing
+  };
+  std::vector<Item> items;  // in file order (item i at leaf n-1+i)
+};
+
+class Outsourcer {
+ public:
+  Outsourcer(crypto::HashAlg alg, bool track_duplicates)
+      : math_(alg), codec_(alg), track_duplicates_(track_duplicates) {}
+
+  /// Builds the server-side state for `items` under `master`. `counter` is
+  /// the client's global unique counter; it is advanced by items.size().
+  /// `item_at(i)` supplies plaintext item i (a callback so benchmark setups
+  /// can generate items without materializing the whole file).
+  OutsourcedFile build(const crypto::MasterKey& master, std::size_t n_items,
+                       const std::function<Bytes(std::size_t)>& item_at,
+                       std::uint64_t& counter, crypto::RandomSource& rnd) const;
+
+  const ClientMath& math() const { return math_; }
+  const ItemCodec& codec() const { return codec_; }
+
+ private:
+  ClientMath math_;
+  ItemCodec codec_;
+  bool track_duplicates_;
+};
+
+}  // namespace fgad::core

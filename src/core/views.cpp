@@ -1,0 +1,20 @@
+#include "core/views.h"
+
+namespace fgad::core {
+
+bool PathView::well_formed() const {
+  if (nodes.empty() || nodes.front() != root_id()) {
+    return false;
+  }
+  if (links.size() + 1 != nodes.size()) {
+    return false;
+  }
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i] == 0 || parent_of(nodes[i]) != nodes[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fgad::core

@@ -1,0 +1,111 @@
+// Plain-data views exchanged between the cloud server and the client.
+//
+// These structs carry exactly the information the paper's protocol sends
+// over the wire for each operation:
+//   * AccessInfo  — P(k) modulators + ciphertext (Section IV-E, access);
+//   * DeleteInfo  — MT(k) = P(k) + the sibling cut C, the target
+//                   ciphertext, and the balancing branch P(t) (IV-C, IV-D);
+//   * DeleteCommit — {delta(c) | c in C} plus the balancing modulators;
+//   * InsertInfo / InsertCommit — the split-leaf insertion exchange (IV-E).
+//
+// They are protocol-layer agnostic: proto/messages.cpp serializes them, the
+// native CloudServer API passes them by value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/node_id.h"
+#include "crypto/digest.h"
+
+namespace fgad::core {
+
+using crypto::Md;
+
+/// A root-to-target path. nodes[0] is the root; links[i-1] is the link
+/// modulator on edge (nodes[i-1], nodes[i]), so links.size()+1 == nodes.size().
+struct PathView {
+  std::vector<NodeId> nodes;
+  std::vector<Md> links;
+
+  std::size_t depth() const { return links.size(); }
+  NodeId target() const { return nodes.back(); }
+
+  /// Structural sanity: non-empty, rooted, consecutive parent/child pairs.
+  bool well_formed() const;
+};
+
+/// One node of the (n-1)-cut C: the sibling of a path node, carrying its own
+/// link modulator and, when it is a leaf, its leaf modulator.
+struct CutEntry {
+  NodeId node = kNoNode;
+  Md link;      // modulator on (parent(node), node)
+  bool is_leaf = false;
+  Md leaf_mod;  // meaningful iff is_leaf
+};
+
+struct AccessInfo {
+  PathView path;  // P(k)
+  Md leaf_mod;    // leaf modulator of k
+  std::uint64_t item_id = 0;
+  Bytes ciphertext;
+};
+
+struct DeleteInfo {
+  PathView path;               // P(k)
+  Md leaf_mod;                 // leaf modulator of k
+  std::vector<CutEntry> cut;   // C, ordered by path depth (cut[i] is the
+                               // sibling of path.nodes[i+1])
+  std::uint64_t item_id = 0;
+  Bytes ciphertext;            // target item, for the client's verify step
+
+  // Balancing branch (absent when the tree has a single leaf).
+  bool has_balance = false;
+  PathView t_path;  // P(t), t = last leaf (largest node id)
+  Md t_leaf_mod;
+  Md s_link;        // link modulator on (parent(t), sibling(t))
+  Md s_leaf_mod;    // leaf modulator of sibling(t)
+};
+
+struct DeleteCommit {
+  NodeId leaf = kNoNode;       // k
+  std::vector<Md> deltas;      // delta(c), aligned with the canonical cut
+                               // order (sibling of path node at depth i+1)
+
+  bool has_balance = false;
+  Md promoted_leaf_mod;  // new leaf modulator for the surviving sibling
+                         // promoted into p's slot (Eq. 8)
+  bool has_step2 = false;
+  Md t_new_link;         // fresh random link modulator for (parent(k), t)
+  Md t_new_leaf_mod;     // computed leaf modulator for t at k's slot (Eq. 9)
+};
+
+struct InsertInfo {
+  bool empty_tree = false;
+  PathView q_path;  // path to q, the leaf to split (empty when empty_tree)
+  Md q_leaf_mod;
+};
+
+struct InsertCommit {
+  bool empty_tree = false;
+  Md root_leaf_mod;  // when creating the very first leaf
+
+  NodeId q = kNoNode;  // the split leaf (echoed for validation)
+  Md left_link;        // x_{p,t'}: link to the re-homed old leaf
+  Md right_link;       // x_{p,e}: link to the new leaf e
+  Md moved_leaf_mod;   // recomputed leaf modulator keeping q's key unchanged
+  Md new_leaf_mod;     // x_e
+
+  std::uint64_t item_id = 0;  // the globally unique counter value r
+  Bytes ciphertext;           // {m . r, H(m . r)} under the new data key
+  std::uint64_t plain_size = 0;  // stored with the ciphertext for
+                                 // byte-offset addressing
+
+  /// File-order placement: insert after this item id, or kAppend for the
+  /// end of the file.
+  static constexpr std::uint64_t kAppend = ~std::uint64_t{0};
+  std::uint64_t after_item_id = kAppend;
+};
+
+}  // namespace fgad::core

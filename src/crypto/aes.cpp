@@ -1,0 +1,92 @@
+#include "crypto/aes.h"
+
+#include <openssl/evp.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fgad::crypto {
+
+std::array<std::uint8_t, kAesKeySize> aes_key_from(const Md& chain_output) {
+  if (chain_output.size() < kAesKeySize) {
+    throw std::invalid_argument("aes_key_from: chain output too short");
+  }
+  std::array<std::uint8_t, kAesKeySize> key;
+  std::memcpy(key.data(), chain_output.data(), kAesKeySize);
+  return key;
+}
+
+struct AesCbc::Impl {
+  EVP_CIPHER_CTX* ctx = nullptr;
+
+  ~Impl() {
+    if (ctx != nullptr) {
+      EVP_CIPHER_CTX_free(ctx);
+    }
+  }
+};
+
+AesCbc::AesCbc() : impl_(std::make_unique<Impl>()) {
+  impl_->ctx = EVP_CIPHER_CTX_new();
+  if (impl_->ctx == nullptr) {
+    throw std::runtime_error("AesCbc: EVP_CIPHER_CTX_new failed");
+  }
+}
+
+AesCbc::~AesCbc() = default;
+AesCbc::AesCbc(AesCbc&&) noexcept = default;
+AesCbc& AesCbc::operator=(AesCbc&&) noexcept = default;
+
+Bytes AesCbc::encrypt(std::span<const std::uint8_t, kAesKeySize> key,
+                      BytesView iv, BytesView plaintext) const {
+  if (iv.size() != kAesBlockSize) {
+    throw std::invalid_argument("AesCbc::encrypt: bad IV size");
+  }
+  EVP_CIPHER_CTX* ctx = impl_->ctx;
+  if (EVP_EncryptInit_ex(ctx, EVP_aes_128_cbc(), nullptr, key.data(),
+                         iv.data()) != 1) {
+    throw std::runtime_error("AesCbc: EncryptInit failed");
+  }
+  Bytes out(ciphertext_size(plaintext.size()));
+  int len1 = 0;
+  if (EVP_EncryptUpdate(ctx, out.data(), &len1, plaintext.data(),
+                        static_cast<int>(plaintext.size())) != 1) {
+    throw std::runtime_error("AesCbc: EncryptUpdate failed");
+  }
+  int len2 = 0;
+  if (EVP_EncryptFinal_ex(ctx, out.data() + len1, &len2) != 1) {
+    throw std::runtime_error("AesCbc: EncryptFinal failed");
+  }
+  out.resize(static_cast<std::size_t>(len1 + len2));
+  return out;
+}
+
+Result<Bytes> AesCbc::decrypt(std::span<const std::uint8_t, kAesKeySize> key,
+                              BytesView iv, BytesView ciphertext) const {
+  if (iv.size() != kAesBlockSize) {
+    return Error(Errc::kInvalidArgument, "AesCbc::decrypt: bad IV size");
+  }
+  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0) {
+    return Error(Errc::kDecodeError, "AesCbc::decrypt: bad ciphertext size");
+  }
+  EVP_CIPHER_CTX* ctx = impl_->ctx;
+  if (EVP_DecryptInit_ex(ctx, EVP_aes_128_cbc(), nullptr, key.data(),
+                         iv.data()) != 1) {
+    return Error(Errc::kIoError, "AesCbc: DecryptInit failed");
+  }
+  Bytes out(ciphertext.size());
+  int len1 = 0;
+  if (EVP_DecryptUpdate(ctx, out.data(), &len1, ciphertext.data(),
+                        static_cast<int>(ciphertext.size())) != 1) {
+    return Error(Errc::kDecodeError, "AesCbc: DecryptUpdate failed");
+  }
+  int len2 = 0;
+  if (EVP_DecryptFinal_ex(ctx, out.data() + len1, &len2) != 1) {
+    // Wrong key or corrupted ciphertext: invalid padding.
+    return Error(Errc::kIntegrityMismatch, "AesCbc: bad padding");
+  }
+  out.resize(static_cast<std::size_t>(len1 + len2));
+  return out;
+}
+
+}  // namespace fgad::crypto

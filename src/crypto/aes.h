@@ -1,0 +1,53 @@
+// AES-128-CBC block cipher wrapper (OpenSSL EVP) used for item encryption.
+//
+// The paper encrypts each data item with AES under a 128-bit key taken from
+// the output of the key modulation function. Contexts are reused so
+// per-item overhead stays small in the large benchmarks.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/digest.h"
+
+namespace fgad::crypto {
+
+inline constexpr std::size_t kAesKeySize = 16;
+inline constexpr std::size_t kAesBlockSize = 16;
+
+/// Derives the AES-128 key from a chain output (first 16 bytes), as the
+/// paper does ("128-bit keys, taken from the output of the key modulation
+/// function").
+std::array<std::uint8_t, kAesKeySize> aes_key_from(const Md& chain_output);
+
+class AesCbc {
+ public:
+  AesCbc();
+  ~AesCbc();
+
+  AesCbc(const AesCbc&) = delete;
+  AesCbc& operator=(const AesCbc&) = delete;
+  AesCbc(AesCbc&&) noexcept;
+  AesCbc& operator=(AesCbc&&) noexcept;
+
+  /// Encrypts with PKCS#7 padding. `iv` must be kAesBlockSize long.
+  Bytes encrypt(std::span<const std::uint8_t, kAesKeySize> key, BytesView iv,
+                BytesView plaintext) const;
+
+  /// Decrypts; fails (without throwing) on bad padding.
+  Result<Bytes> decrypt(std::span<const std::uint8_t, kAesKeySize> key,
+                        BytesView iv, BytesView ciphertext) const;
+
+  /// Ciphertext size for a plaintext of n bytes (PKCS#7: next multiple of
+  /// the block size, always at least one block of padding).
+  static std::size_t ciphertext_size(std::size_t n) {
+    return (n / kAesBlockSize + 1) * kAesBlockSize;
+  }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fgad::crypto

@@ -1,0 +1,72 @@
+#include "crypto/digest.h"
+
+#include <openssl/crypto.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fgad::crypto {
+
+std::size_t digest_size(HashAlg alg) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return 20;
+    case HashAlg::kSha256:
+      return 32;
+  }
+  throw std::invalid_argument("digest_size: unknown hash algorithm");
+}
+
+const char* hash_alg_name(HashAlg alg) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return "SHA-1";
+    case HashAlg::kSha256:
+      return "SHA-256";
+  }
+  return "?";
+}
+
+Md::Md(BytesView bytes) : b_{}, size_(0) {
+  if (bytes.size() > kCapacity) {
+    throw std::invalid_argument("Md: value wider than capacity");
+  }
+  std::memcpy(b_.data(), bytes.data(), bytes.size());
+  size_ = static_cast<std::uint8_t>(bytes.size());
+}
+
+Md Md::zero(std::size_t n) {
+  if (n > kCapacity) {
+    throw std::invalid_argument("Md::zero: width exceeds capacity");
+  }
+  Md m;
+  m.size_ = static_cast<std::uint8_t>(n);
+  return m;
+}
+
+Md& Md::operator^=(const Md& other) {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("Md::operator^=: size mismatch");
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    b_[i] ^= other.b_[i];
+  }
+  return *this;
+}
+
+void Md::cleanse() noexcept {
+  OPENSSL_cleanse(b_.data(), b_.size());
+}
+
+std::size_t Md::Hasher::operator()(const Md& m) const noexcept {
+  // FNV-1a over the whole (zero-padded) buffer plus the size byte. The
+  // buffer past size_ is guaranteed zero, so equal values hash equal.
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint8_t b : m.b_) {
+    h = (h ^ b) * 1099511628211ull;
+  }
+  h = (h ^ m.size_) * 1099511628211ull;
+  return h;
+}
+
+}  // namespace fgad::crypto

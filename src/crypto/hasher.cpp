@@ -1,0 +1,98 @@
+#include "crypto/hasher.h"
+
+// The modulated hash chain performs tens of millions of hashes over <64-byte
+// inputs; the EVP layer costs ~400 ns per call in provider lookups alone.
+// We use the one-shot low-level digests for the hot path (they are
+// deprecated in OpenSSL 3.0 but stable, and exactly what a 2014-era
+// implementation used).
+#define OPENSSL_SUPPRESS_DEPRECATED 1
+#include <openssl/evp.h>
+#include <openssl/sha.h>
+
+#include <stdexcept>
+
+namespace fgad::crypto {
+
+namespace {
+const EVP_MD* evp_md(HashAlg alg) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return EVP_sha1();
+    case HashAlg::kSha256:
+      return EVP_sha256();
+  }
+  throw std::invalid_argument("evp_md: unknown hash algorithm");
+}
+}  // namespace
+
+struct Hasher::Impl {
+  EVP_MD_CTX* ctx = nullptr;
+  const EVP_MD* md = nullptr;
+
+  ~Impl() {
+    if (ctx != nullptr) {
+      EVP_MD_CTX_free(ctx);
+    }
+  }
+};
+
+Hasher::Hasher(HashAlg alg)
+    : alg_(alg), size_(digest_size(alg)), impl_(std::make_unique<Impl>()) {
+  impl_->md = evp_md(alg);
+  impl_->ctx = EVP_MD_CTX_new();
+  if (impl_->ctx == nullptr) {
+    throw std::runtime_error("Hasher: EVP_MD_CTX_new failed");
+  }
+}
+
+Hasher::~Hasher() = default;
+Hasher::Hasher(Hasher&&) noexcept = default;
+Hasher& Hasher::operator=(Hasher&&) noexcept = default;
+
+Md Hasher::hash(BytesView data) const {
+  return hash2(data, BytesView());
+}
+
+Md Hasher::hash2(BytesView a, BytesView b) const {
+  // Fast path: low-level contexts, no allocation, no provider lookup.
+  if (alg_ == HashAlg::kSha1) {
+    SHA_CTX c;
+    SHA1_Init(&c);
+    if (!a.empty()) SHA1_Update(&c, a.data(), a.size());
+    if (!b.empty()) SHA1_Update(&c, b.data(), b.size());
+    Md out = Md::zero(size_);
+    SHA1_Final(out.data(), &c);
+    return out;
+  }
+  if (alg_ == HashAlg::kSha256) {
+    SHA256_CTX c;
+    SHA256_Init(&c);
+    if (!a.empty()) SHA256_Update(&c, a.data(), a.size());
+    if (!b.empty()) SHA256_Update(&c, b.data(), b.size());
+    Md out = Md::zero(size_);
+    SHA256_Final(out.data(), &c);
+    return out;
+  }
+  EVP_MD_CTX* ctx = impl_->ctx;
+  if (EVP_DigestInit_ex(ctx, impl_->md, nullptr) != 1) {
+    throw std::runtime_error("Hasher: DigestInit failed");
+  }
+  if (!a.empty() && EVP_DigestUpdate(ctx, a.data(), a.size()) != 1) {
+    throw std::runtime_error("Hasher: DigestUpdate failed");
+  }
+  if (!b.empty() && EVP_DigestUpdate(ctx, b.data(), b.size()) != 1) {
+    throw std::runtime_error("Hasher: DigestUpdate failed");
+  }
+  Md out = Md::zero(size_);
+  unsigned int len = 0;
+  if (EVP_DigestFinal_ex(ctx, out.data(), &len) != 1 || len != size_) {
+    throw std::runtime_error("Hasher: DigestFinal failed");
+  }
+  return out;
+}
+
+Md hash_oneshot(HashAlg alg, BytesView data) {
+  return Hasher(alg).hash(data);
+}
+
+}  // namespace fgad::crypto

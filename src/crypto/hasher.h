@@ -1,0 +1,44 @@
+// One-way hash wrapper (OpenSSL EVP) with context reuse.
+//
+// The modulated hash chain calls H millions of times during benchmarks, so
+// Hasher keeps one EVP_MD_CTX alive and re-initializes it per message
+// instead of allocating a context per call.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace fgad::crypto {
+
+class Hasher {
+ public:
+  explicit Hasher(HashAlg alg);
+  ~Hasher();
+
+  Hasher(const Hasher&) = delete;
+  Hasher& operator=(const Hasher&) = delete;
+  Hasher(Hasher&&) noexcept;
+  Hasher& operator=(Hasher&&) noexcept;
+
+  HashAlg alg() const noexcept { return alg_; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// H(data) as an Md of the digest width.
+  Md hash(BytesView data) const;
+
+  /// H(a || b) without concatenating the inputs.
+  Md hash2(BytesView a, BytesView b) const;
+
+ private:
+  struct Impl;
+  HashAlg alg_;
+  std::size_t size_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience one-shot hash.
+Md hash_oneshot(HashAlg alg, BytesView data);
+
+}  // namespace fgad::crypto

@@ -1,0 +1,54 @@
+#include "crypto/prf.h"
+
+#include <openssl/evp.h>
+#include <openssl/hmac.h>
+
+#include <stdexcept>
+
+namespace fgad::crypto {
+
+struct Prf::Impl {
+  HashAlg alg;
+  std::size_t out_size;
+  Bytes key;
+  const EVP_MD* md = nullptr;
+};
+
+Prf::Prf(HashAlg alg, BytesView key) : impl_(std::make_unique<Impl>()) {
+  impl_->alg = alg;
+  impl_->out_size = digest_size(alg);
+  impl_->key.assign(key.begin(), key.end());
+  impl_->md = (alg == HashAlg::kSha1) ? EVP_sha1() : EVP_sha256();
+}
+
+Prf::~Prf() {
+  if (impl_ && !impl_->key.empty()) {
+    OPENSSL_cleanse(impl_->key.data(), impl_->key.size());
+  }
+}
+
+Prf::Prf(Prf&&) noexcept = default;
+Prf& Prf::operator=(Prf&&) noexcept = default;
+
+Md Prf::derive(std::uint64_t index) const {
+  std::uint8_t label[8];
+  for (int i = 0; i < 8; ++i) {
+    label[i] = static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  return derive_bytes(label);
+}
+
+Md Prf::derive_bytes(BytesView label) const {
+  unsigned char out[EVP_MAX_MD_SIZE];
+  unsigned int len = 0;
+  if (HMAC(impl_->md, impl_->key.data(), static_cast<int>(impl_->key.size()),
+           label.data(), label.size(), out, &len) == nullptr) {
+    throw std::runtime_error("Prf: HMAC failed");
+  }
+  if (len < impl_->out_size) {
+    throw std::runtime_error("Prf: unexpected HMAC size");
+  }
+  return Md(BytesView(out, impl_->out_size));
+}
+
+}  // namespace fgad::crypto

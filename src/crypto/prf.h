@@ -1,0 +1,36 @@
+// Pseudo-random function PRF(K, i) used by the master-key baseline
+// (Section III-A of the paper): each data item's key is derived from the
+// single master key and the item's index. Implemented as HMAC over the
+// little-endian index.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace fgad::crypto {
+
+class Prf {
+ public:
+  /// `key` is the master key; outputs have the digest width of `alg`.
+  Prf(HashAlg alg, BytesView key);
+  ~Prf();
+
+  Prf(const Prf&) = delete;
+  Prf& operator=(const Prf&) = delete;
+  Prf(Prf&&) noexcept;
+  Prf& operator=(Prf&&) noexcept;
+
+  /// PRF(K, index).
+  Md derive(std::uint64_t index) const;
+
+  /// PRF(K, label) for arbitrary byte labels.
+  Md derive_bytes(BytesView label) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fgad::crypto

@@ -1,0 +1,34 @@
+#include "crypto/random.h"
+
+#include <openssl/rand.h>
+
+#include <stdexcept>
+
+namespace fgad::crypto {
+
+Md RandomSource::random_md(std::size_t n) {
+  Md m = Md::zero(n);
+  fill(m.mutable_bytes());
+  return m;
+}
+
+std::uint64_t RandomSource::random_u64() {
+  std::uint8_t buf[8];
+  fill(buf);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  return v;
+}
+
+void SystemRandom::fill(std::span<std::uint8_t> out) {
+  if (out.empty()) {
+    return;
+  }
+  if (RAND_bytes(out.data(), static_cast<int>(out.size())) != 1) {
+    throw std::runtime_error("SystemRandom: RAND_bytes failed");
+  }
+}
+
+}  // namespace fgad::crypto

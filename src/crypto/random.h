@@ -1,0 +1,48 @@
+// Random sources for key / modulator generation.
+//
+// RandomSource is the seam between "real" cryptographic randomness
+// (SystemRandom, backed by OpenSSL RAND_bytes) and deterministic randomness
+// for reproducible tests and large benchmark setups (DeterministicRandom,
+// backed by xoshiro256**). The scheme's security argument requires fresh
+// uniform modulators; the algorithms themselves only require distinctness,
+// which both sources deliver with overwhelming probability at 160 bits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/digest.h"
+
+namespace fgad::crypto {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Fresh random value of width n bytes.
+  Md random_md(std::size_t n);
+
+  /// Fresh random 64-bit value.
+  std::uint64_t random_u64();
+};
+
+/// OpenSSL-backed CSPRNG.
+class SystemRandom final : public RandomSource {
+ public:
+  void fill(std::span<std::uint8_t> out) override;
+};
+
+/// Deterministic source for tests/benches; NOT cryptographically secure.
+class DeterministicRandom final : public RandomSource {
+ public:
+  explicit DeterministicRandom(std::uint64_t seed) : rng_(seed) {}
+  void fill(std::span<std::uint8_t> out) override { rng_.fill(out); }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace fgad::crypto

@@ -1,0 +1,24 @@
+#include "crypto/secure_buffer.h"
+
+#include <openssl/crypto.h>
+
+namespace fgad::crypto {
+
+SecureBuffer& SecureBuffer::operator=(SecureBuffer&& other) noexcept {
+  if (this != &other) {
+    wipe();
+    data_ = std::move(other.data_);
+    other.data_.clear();
+  }
+  return *this;
+}
+
+void SecureBuffer::wipe() noexcept {
+  if (!data_.empty()) {
+    OPENSSL_cleanse(data_.data(), data_.size());
+  }
+  data_.clear();
+  data_.shrink_to_fit();
+}
+
+}  // namespace fgad::crypto

@@ -1,0 +1,91 @@
+// Zeroizing secret containers.
+//
+// Assured deletion hinges on the client *permanently* destroying retired
+// master keys: the threat model lets the attacker image the client device
+// after deletion time T, so stale key bytes in memory would break Theorem 2.
+// MasterKey wraps a chain-width secret and guarantees OPENSSL_cleanse on
+// destruction, move-out, and rotation.
+#pragma once
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+#include "crypto/random.h"
+
+namespace fgad::crypto {
+
+/// Byte buffer that wipes its contents on destruction.
+class SecureBuffer {
+ public:
+  SecureBuffer() = default;
+  explicit SecureBuffer(Bytes data) : data_(std::move(data)) {}
+  explicit SecureBuffer(std::size_t n) : data_(n, 0) {}
+  ~SecureBuffer() { wipe(); }
+
+  SecureBuffer(const SecureBuffer&) = delete;
+  SecureBuffer& operator=(const SecureBuffer&) = delete;
+  SecureBuffer(SecureBuffer&& other) noexcept { *this = std::move(other); }
+  SecureBuffer& operator=(SecureBuffer&& other) noexcept;
+
+  BytesView view() const noexcept { return data_; }
+  std::span<std::uint8_t> mutable_view() noexcept { return data_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Securely erases the contents (buffer becomes empty).
+  void wipe() noexcept;
+
+ private:
+  Bytes data_;
+};
+
+/// The client's master key K (or higher-level control key). Move-only and
+/// self-wiping; `rotate` securely destroys the old value in place.
+class MasterKey {
+ public:
+  MasterKey() = default;  // empty/"deleted" key
+  explicit MasterKey(Md value) : v_(value) {}
+
+  ~MasterKey() { v_.cleanse(); }
+
+  MasterKey(const MasterKey&) = delete;
+  MasterKey& operator=(const MasterKey&) = delete;
+  MasterKey(MasterKey&& other) noexcept : v_(other.v_) { other.erase(); }
+  MasterKey& operator=(MasterKey&& other) noexcept {
+    if (this != &other) {
+      v_.cleanse();
+      v_ = other.v_;
+      other.erase();
+    }
+    return *this;
+  }
+
+  /// Generates a fresh key of width n from `rnd`.
+  static MasterKey generate(RandomSource& rnd, std::size_t n) {
+    return MasterKey(rnd.random_md(n));
+  }
+
+  bool empty() const noexcept { return v_.empty(); }
+  const Md& value() const noexcept { return v_; }
+
+  /// Duplicates the secret (explicit, so copies are visible in code review).
+  MasterKey clone() const { return MasterKey(v_); }
+
+  /// Securely destroys the current value and installs a fresh one.
+  void rotate(Md fresh) {
+    v_.cleanse();
+    v_ = fresh;
+  }
+
+  /// Securely destroys the key ("permanent deletion" in the paper).
+  void erase() noexcept {
+    v_.cleanse();
+    v_ = Md();
+  }
+
+ private:
+  Md v_;
+};
+
+}  // namespace fgad::crypto

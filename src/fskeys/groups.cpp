@@ -1,0 +1,98 @@
+#include "fskeys/groups.h"
+
+namespace fgad::fskeys {
+
+Status GroupedFileSystem::create_group(std::uint64_t group_id,
+                                       std::uint64_t meta_file_id) {
+  if (groups_.count(group_id) != 0) {
+    return Status(Errc::kInvalidArgument, "groups: group already exists");
+  }
+  auto fs = std::make_unique<FileSystemClient>(client_, meta_file_id);
+  if (auto st = fs->init(); !st) {
+    return st;
+  }
+  groups_.emplace(group_id, std::move(fs));
+  return Status::ok();
+}
+
+Result<FileSystemClient*> GroupedFileSystem::group(std::uint64_t group_id) {
+  const auto it = groups_.find(group_id);
+  if (it == groups_.end()) {
+    return Error(Errc::kNotFound, "groups: no such group");
+  }
+  return it->second.get();
+}
+
+Result<std::uint64_t> GroupedFileSystem::group_of(
+    std::uint64_t file_id) const {
+  const auto it = group_of_file_.find(file_id);
+  if (it == group_of_file_.end()) {
+    return Error(Errc::kNotFound, "groups: unknown file");
+  }
+  return it->second;
+}
+
+Result<FileSystemClient*> GroupedFileSystem::fs_of(std::uint64_t file_id) {
+  auto gid = group_of(file_id);
+  if (!gid) {
+    return gid.error();
+  }
+  return group(gid.value());
+}
+
+Status GroupedFileSystem::create_file(
+    std::uint64_t group_id, std::uint64_t file_id, std::size_t n_items,
+    const std::function<Bytes(std::size_t)>& item_at) {
+  if (group_of_file_.count(file_id) != 0) {
+    return Status(Errc::kInvalidArgument, "groups: file already exists");
+  }
+  auto fs = group(group_id);
+  if (!fs) {
+    return fs.status();
+  }
+  if (auto st = fs.value()->create_file(file_id, n_items, item_at); !st) {
+    return st;
+  }
+  group_of_file_.emplace(file_id, group_id);
+  return Status::ok();
+}
+
+Result<Bytes> GroupedFileSystem::access(std::uint64_t file_id,
+                                        proto::ItemRef ref) {
+  auto fs = fs_of(file_id);
+  if (!fs) return fs.error();
+  return fs.value()->access(file_id, ref);
+}
+
+Result<std::uint64_t> GroupedFileSystem::insert(std::uint64_t file_id,
+                                                BytesView content) {
+  auto fs = fs_of(file_id);
+  if (!fs) return fs.error();
+  return fs.value()->insert(file_id, content);
+}
+
+Status GroupedFileSystem::erase_item(std::uint64_t file_id,
+                                     proto::ItemRef ref) {
+  auto fs = fs_of(file_id);
+  if (!fs) return fs.status();
+  return fs.value()->erase_item(file_id, ref);
+}
+
+Status GroupedFileSystem::modify(std::uint64_t file_id, std::uint64_t item_id,
+                                 BytesView new_content) {
+  auto fs = fs_of(file_id);
+  if (!fs) return fs.status();
+  return fs.value()->modify(file_id, item_id, new_content);
+}
+
+Status GroupedFileSystem::delete_file(std::uint64_t file_id) {
+  auto fs = fs_of(file_id);
+  if (!fs) return fs.status();
+  if (auto st = fs.value()->delete_file(file_id); !st) {
+    return st;
+  }
+  group_of_file_.erase(file_id);
+  return Status::ok();
+}
+
+}  // namespace fgad::fskeys

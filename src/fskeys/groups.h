@@ -1,0 +1,59 @@
+// Section V, grouped control keys: "the client may also divide the master
+// keys of all files into groups based on the directory structure or file
+// types, and use a separate control key and a corresponding meta modulation
+// tree for each group."
+//
+// GroupedFileSystem manages one FileSystemClient (control key + meta tree)
+// per group and routes file operations by file id. Deleting data in one
+// group never touches another group's control key, which bounds the blast
+// radius of a key rotation and lets groups live on different devices.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "fskeys/meta.h"
+
+namespace fgad::fskeys {
+
+class GroupedFileSystem {
+ public:
+  explicit GroupedFileSystem(client::Client& client) : client_(client) {}
+
+  /// Creates a group backed by meta file `meta_file_id` (a fresh control
+  /// key and meta modulation tree).
+  Status create_group(std::uint64_t group_id, std::uint64_t meta_file_id);
+
+  std::size_t group_count() const { return groups_.size(); }
+  bool has_group(std::uint64_t group_id) const {
+    return groups_.count(group_id) != 0;
+  }
+
+  /// Direct access to a group's FileSystemClient (e.g. for rebuild_index).
+  Result<FileSystemClient*> group(std::uint64_t group_id);
+
+  // ---- file operations, routed by file id ---------------------------------
+
+  Status create_file(std::uint64_t group_id, std::uint64_t file_id,
+                     std::size_t n_items,
+                     const std::function<Bytes(std::size_t)>& item_at);
+
+  Result<Bytes> access(std::uint64_t file_id, proto::ItemRef ref);
+  Result<std::uint64_t> insert(std::uint64_t file_id, BytesView content);
+  Status erase_item(std::uint64_t file_id, proto::ItemRef ref);
+  Status modify(std::uint64_t file_id, std::uint64_t item_id,
+                BytesView new_content);
+  Status delete_file(std::uint64_t file_id);
+
+  /// The group a file belongs to.
+  Result<std::uint64_t> group_of(std::uint64_t file_id) const;
+
+ private:
+  Result<FileSystemClient*> fs_of(std::uint64_t file_id);
+
+  client::Client& client_;
+  std::map<std::uint64_t, std::unique_ptr<FileSystemClient>> groups_;
+  std::map<std::uint64_t, std::uint64_t> group_of_file_;
+};
+
+}  // namespace fgad::fskeys

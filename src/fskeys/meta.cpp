@@ -1,0 +1,195 @@
+#include "fskeys/meta.h"
+
+namespace fgad::fskeys {
+
+using client::Client;
+using crypto::MasterKey;
+using crypto::Md;
+
+FileSystemClient::FileSystemClient(Client& client, std::uint64_t meta_file_id)
+    : client_(client) {
+  meta_.id = meta_file_id;
+}
+
+Status FileSystemClient::init() {
+  auto fh = client_.outsource(meta_.id, 0,
+                              [](std::size_t) { return Bytes{}; });
+  if (!fh) {
+    return fh.status();
+  }
+  meta_ = std::move(fh).value();
+  return Status::ok();
+}
+
+Bytes FileSystemClient::encode_entry(std::uint64_t file_id, const Md& key) {
+  proto::Writer w;
+  w.u64(file_id);
+  w.md(key);
+  return std::move(w).take();
+}
+
+Result<std::pair<std::uint64_t, Md>> FileSystemClient::decode_entry(
+    BytesView plaintext) {
+  proto::Reader r(plaintext);
+  const std::uint64_t file_id = r.u64();
+  const Md key = r.md();
+  if (auto st = r.finish(); !st) {
+    return Error(Errc::kDecodeError, "meta entry: malformed");
+  }
+  return std::pair<std::uint64_t, Md>(file_id, key);
+}
+
+Status FileSystemClient::create_file(std::uint64_t file_id,
+                                     std::span<const Bytes> items) {
+  return create_file(file_id, items.size(),
+                     [&](std::size_t i) { return items[i]; });
+}
+
+Status FileSystemClient::create_file(
+    std::uint64_t file_id, std::size_t n_items,
+    const std::function<Bytes(std::size_t)>& item_at) {
+  if (meta_item_of_.count(file_id) != 0) {
+    return Status(Errc::kInvalidArgument, "fs: file already exists");
+  }
+  auto fh = client_.outsource(file_id, n_items, item_at);
+  if (!fh) {
+    return fh.status();
+  }
+  auto meta_id =
+      client_.insert(meta_, encode_entry(file_id, fh.value().key.value()));
+  if (!meta_id) {
+    return meta_id.status();
+  }
+  meta_item_of_.emplace(file_id, meta_id.value());
+  // fh goes out of scope here; its MasterKey destructor wipes the local
+  // copy — from now on the key lives only in the meta tree.
+  return Status::ok();
+}
+
+Result<Client::FileHandle> FileSystemClient::open_file(std::uint64_t file_id) {
+  const auto it = meta_item_of_.find(file_id);
+  if (it == meta_item_of_.end()) {
+    return Error(Errc::kNotFound, "fs: unknown file");
+  }
+  auto plaintext = client_.access(meta_, proto::ItemRef::id(it->second));
+  if (!plaintext) {
+    return plaintext.error();
+  }
+  auto entry = decode_entry(plaintext.value());
+  // Wipe the plaintext buffer holding the key material.
+  if (!plaintext.value().empty()) {
+    crypto::SecureBuffer scrub(std::move(plaintext.value()));
+  }
+  if (!entry) {
+    return entry.error();
+  }
+  if (entry.value().first != file_id) {
+    return Error(Errc::kTamperDetected, "fs: meta entry binds another file");
+  }
+  Client::FileHandle fh;
+  fh.id = file_id;
+  fh.key = MasterKey(entry.value().second);
+  entry.value().second.cleanse();
+  return fh;
+}
+
+Result<Bytes> FileSystemClient::access(std::uint64_t file_id,
+                                       proto::ItemRef ref) {
+  auto fh = open_file(file_id);
+  if (!fh) {
+    return fh.error();
+  }
+  return client_.access(fh.value(), ref);
+}
+
+Status FileSystemClient::modify(std::uint64_t file_id, std::uint64_t item_id,
+                                BytesView new_content) {
+  auto fh = open_file(file_id);
+  if (!fh) {
+    return fh.status();
+  }
+  return client_.modify(fh.value(), item_id, new_content);
+}
+
+Result<std::uint64_t> FileSystemClient::insert(std::uint64_t file_id,
+                                               BytesView content,
+                                               std::uint64_t after_item_id) {
+  auto fh = open_file(file_id);
+  if (!fh) {
+    return fh.error();
+  }
+  return client_.insert(fh.value(), content, after_item_id);
+}
+
+Status FileSystemClient::rotate_meta_entry(std::uint64_t file_id,
+                                           const Md& key) {
+  const auto it = meta_item_of_.find(file_id);
+  if (it == meta_item_of_.end()) {
+    return Status(Errc::kNotFound, "fs: unknown file");
+  }
+  // Assured deletion of the old entry: rotates the control key and makes
+  // the old meta data key (hence the old master key) unrecoverable.
+  if (auto st = client_.erase_item(meta_, proto::ItemRef::id(it->second));
+      !st) {
+    return st;
+  }
+  auto meta_id = client_.insert(meta_, encode_entry(file_id, key));
+  if (!meta_id) {
+    return meta_id.status();
+  }
+  it->second = meta_id.value();
+  return Status::ok();
+}
+
+Status FileSystemClient::erase_item(std::uint64_t file_id,
+                                    proto::ItemRef ref) {
+  auto fh = open_file(file_id);
+  if (!fh) {
+    return fh.status();
+  }
+  // Step 1: fine-grained deletion in the file's own modulation tree; the
+  // file's master key rotates to K_f'.
+  if (auto st = client_.erase_item(fh.value(), ref); !st) {
+    return st;
+  }
+  // Step 2: make the old K_f unrecoverable in the meta tree and bind K_f'.
+  return rotate_meta_entry(file_id, fh.value().key.value());
+}
+
+Status FileSystemClient::delete_file(std::uint64_t file_id) {
+  const auto it = meta_item_of_.find(file_id);
+  if (it == meta_item_of_.end()) {
+    return Status(Errc::kNotFound, "fs: unknown file");
+  }
+  // Assuredly delete the master key from the meta tree: the entire file
+  // becomes unrecoverable even if the server keeps its ciphertexts.
+  if (auto st = client_.erase_item(meta_, proto::ItemRef::id(it->second));
+      !st) {
+    return st;
+  }
+  meta_item_of_.erase(it);
+  // Storage reclamation (best effort; not security relevant).
+  Client::FileHandle fh;
+  fh.id = file_id;
+  return client_.drop_file(fh);
+}
+
+Status FileSystemClient::rebuild_index() {
+  auto fetched = client_.fetch_all(meta_);
+  if (!fetched) {
+    return fetched.status();
+  }
+  meta_item_of_.clear();
+  for (auto& [meta_id, plaintext] : fetched.value().items) {
+    auto entry = decode_entry(plaintext);
+    if (!entry) {
+      return entry.status();
+    }
+    meta_item_of_[entry.value().first] = meta_id;
+    entry.value().second.cleanse();
+    crypto::SecureBuffer scrub(std::move(plaintext));
+  }
+  return Status::ok();
+}
+
+}  // namespace fgad::fskeys

@@ -1,0 +1,83 @@
+// Section V: managing master keys for large file systems.
+//
+// Master keys of all files are themselves outsourced as the data items of a
+// *meta modulation tree*, protected by a single higher-level control key.
+// The client's persistent secret state is exactly one MasterKey (the
+// control key) no matter how many files exist; per-file master keys are
+// fetched on demand, used, and wiped.
+//
+// Deleting a data item of a file takes two steps (paper, Section V):
+// first the fine-grained deletion in the file's own tree (which rotates the
+// file's master key K_f -> K_f'), then making the *old* K_f unrecoverable
+// in the meta tree. We implement the second step as an assured deletion of
+// the old meta entry followed by insertion of a fresh entry holding K_f' —
+// a literal re-encrypt-in-place "modify" would leave a pre-deletion server
+// snapshot decryptable once the control key leaks (see DESIGN.md Section 6;
+// fskeys tests demonstrate the distinction).
+#pragma once
+
+#include <unordered_map>
+
+#include "client/client.h"
+
+namespace fgad::fskeys {
+
+class FileSystemClient {
+ public:
+  /// `meta_file_id` is the server-side id reserved for the meta tree.
+  FileSystemClient(client::Client& client, std::uint64_t meta_file_id);
+
+  /// Outsources the (initially empty) meta tree; call once.
+  Status init();
+
+  /// Outsources a new file: fresh master key, item tree, and a meta entry
+  /// binding file_id -> master key. The local copy of the master key is
+  /// wiped before returning.
+  Status create_file(std::uint64_t file_id, std::span<const Bytes> items);
+  Status create_file(std::uint64_t file_id, std::size_t n_items,
+                     const std::function<Bytes(std::size_t)>& item_at);
+
+  Result<Bytes> access(std::uint64_t file_id, proto::ItemRef ref);
+  Status modify(std::uint64_t file_id, std::uint64_t item_id,
+                BytesView new_content);
+  Result<std::uint64_t> insert(
+      std::uint64_t file_id, BytesView content,
+      std::uint64_t after_item_id = core::InsertCommit::kAppend);
+
+  /// Fine-grained assured deletion with the two-level key update.
+  Status erase_item(std::uint64_t file_id, proto::ItemRef ref);
+
+  /// Deletes an entire file: its meta entry is assuredly deleted (making
+  /// the master key — and hence every item — unrecoverable), then the
+  /// server is asked to reclaim the storage.
+  Status delete_file(std::uint64_t file_id);
+
+  /// Number of files tracked.
+  std::size_t file_count() const { return meta_item_of_.size(); }
+
+  /// Rebuilds the (non-secret) file_id -> meta-entry index from the meta
+  /// tree, e.g. on a fresh device that only holds the control key.
+  Status rebuild_index();
+
+  /// The client's only persistent secret (exposed for tests/examples that
+  /// simulate device compromise).
+  const crypto::MasterKey& control_key() const { return meta_.key; }
+
+ private:
+  /// Fetches and opens the master key of `file_id` from the meta tree.
+  Result<client::Client::FileHandle> open_file(std::uint64_t file_id);
+
+  /// Replaces the meta entry of `file_id` with `key` via assured deletion
+  /// of the old entry + insertion of a new one.
+  Status rotate_meta_entry(std::uint64_t file_id, const crypto::Md& key);
+
+  static Bytes encode_entry(std::uint64_t file_id, const crypto::Md& key);
+  static Result<std::pair<std::uint64_t, crypto::Md>> decode_entry(
+      BytesView plaintext);
+
+  client::Client& client_;
+  client::Client::FileHandle meta_;
+  std::unordered_map<std::uint64_t, std::uint64_t> meta_item_of_;
+};
+
+}  // namespace fgad::fskeys

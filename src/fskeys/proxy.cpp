@@ -1,0 +1,234 @@
+#include "fskeys/proxy.h"
+
+namespace fgad::fskeys {
+
+namespace proto = fgad::proto;
+using proto::MsgType;
+
+namespace {
+
+Bytes error_frame(const Error& e) {
+  proto::ErrorMsg msg;
+  msg.code = e.code;
+  msg.message = e.message;
+  return msg.to_frame();
+}
+
+Bytes status_frame(const Status& st, MsgType ok_type) {
+  return st ? proto::empty_frame(ok_type) : error_frame(st.error());
+}
+
+}  // namespace
+
+Bytes KeyProxy::handle(BytesView request) {
+  auto env = proto::open_message(request);
+  if (!env) {
+    return error_frame(env.error());
+  }
+  proto::Reader r(env.value().payload);
+
+  switch (env.value().type) {
+    case MsgType::kPxCreateFileReq: {
+      const std::uint64_t file_id = r.u64();
+      const std::uint64_t n = r.u64();
+      if (!r.ok() || n > (1ull << 32)) {
+        return error_frame(Error(Errc::kDecodeError, "proxy: bad item count"));
+      }
+      std::vector<Bytes> items;
+      items.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        items.push_back(r.bytes());
+        if (!r.ok()) {
+          return error_frame(Error(Errc::kDecodeError, "proxy: truncated"));
+        }
+      }
+      return status_frame(fs_.create_file(file_id, items),
+                          MsgType::kPxCreateFileResp);
+    }
+
+    case MsgType::kPxAccessReq: {
+      const std::uint64_t file_id = r.u64();
+      auto ref = proto::decode_item_ref(r);
+      if (!ref || !r.finish()) {
+        return error_frame(Error(Errc::kDecodeError, "proxy: bad access req"));
+      }
+      auto got = fs_.access(file_id, ref.value());
+      if (!got) {
+        return error_frame(got.error());
+      }
+      proto::Writer w;
+      w.bytes(got.value());
+      return proto::seal_message(MsgType::kPxAccessResp, w.data());
+    }
+
+    case MsgType::kPxInsertReq: {
+      const std::uint64_t file_id = r.u64();
+      const Bytes content = r.bytes();
+      if (!r.finish()) {
+        return error_frame(Error(Errc::kDecodeError, "proxy: bad insert req"));
+      }
+      auto id = fs_.insert(file_id, content);
+      if (!id) {
+        return error_frame(id.error());
+      }
+      proto::Writer w;
+      w.u64(id.value());
+      return proto::seal_message(MsgType::kPxInsertResp, w.data());
+    }
+
+    case MsgType::kPxEraseReq: {
+      const std::uint64_t file_id = r.u64();
+      auto ref = proto::decode_item_ref(r);
+      if (!ref || !r.finish()) {
+        return error_frame(Error(Errc::kDecodeError, "proxy: bad erase req"));
+      }
+      return status_frame(fs_.erase_item(file_id, ref.value()),
+                          MsgType::kPxEraseResp);
+    }
+
+    case MsgType::kPxModifyReq: {
+      const std::uint64_t file_id = r.u64();
+      const std::uint64_t item_id = r.u64();
+      const Bytes content = r.bytes();
+      if (!r.finish()) {
+        return error_frame(Error(Errc::kDecodeError, "proxy: bad modify req"));
+      }
+      return status_frame(fs_.modify(file_id, item_id, content),
+                          MsgType::kPxModifyResp);
+    }
+
+    case MsgType::kPxDeleteFileReq: {
+      const std::uint64_t file_id = r.u64();
+      if (!r.finish()) {
+        return error_frame(Error(Errc::kDecodeError, "proxy: bad delete req"));
+      }
+      return status_frame(fs_.delete_file(file_id),
+                          MsgType::kPxDeleteFileResp);
+    }
+
+    case MsgType::kPxListFilesReq: {
+      proto::Writer w;
+      w.u64(fs_.file_count());
+      return proto::seal_message(MsgType::kPxListFilesResp, w.data());
+    }
+
+    default:
+      return error_frame(
+          Error(Errc::kUnsupported, "proxy: unknown message type"));
+  }
+}
+
+Result<Bytes> ProxyUser::call(BytesView frame, MsgType expect) {
+  auto resp = channel_.roundtrip(frame);
+  if (!resp) {
+    return resp;
+  }
+  auto env = proto::open_message(resp.value());
+  if (!env) {
+    return env.error();
+  }
+  if (env.value().type == MsgType::kError) {
+    proto::Reader r(env.value().payload);
+    auto err = proto::ErrorMsg::from(r);
+    if (!err) {
+      return Error(Errc::kDecodeError, "proxy user: malformed error");
+    }
+    return Error(err.value().code, err.value().message);
+  }
+  if (env.value().type != expect) {
+    return Error(Errc::kDecodeError, "proxy user: unexpected response");
+  }
+  return std::move(env.value().payload);
+}
+
+Status ProxyUser::create_file(std::uint64_t file_id,
+                              std::span<const Bytes> items) {
+  proto::Writer w;
+  w.u64(file_id);
+  w.u64(items.size());
+  for (const Bytes& b : items) {
+    w.bytes(b);
+  }
+  return call(proto::seal_message(MsgType::kPxCreateFileReq, w.data()),
+              MsgType::kPxCreateFileResp)
+      .status();
+}
+
+Result<Bytes> ProxyUser::access(std::uint64_t file_id, proto::ItemRef ref) {
+  proto::Writer w;
+  w.u64(file_id);
+  proto::encode_item_ref(w, ref);
+  auto payload = call(proto::seal_message(MsgType::kPxAccessReq, w.data()),
+                      MsgType::kPxAccessResp);
+  if (!payload) {
+    return payload.error();
+  }
+  proto::Reader r(payload.value());
+  Bytes content = r.bytes();
+  if (!r.finish()) {
+    return Error(Errc::kDecodeError, "proxy user: bad access payload");
+  }
+  return content;
+}
+
+Result<std::uint64_t> ProxyUser::insert(std::uint64_t file_id,
+                                        BytesView content) {
+  proto::Writer w;
+  w.u64(file_id);
+  w.bytes(content);
+  auto payload = call(proto::seal_message(MsgType::kPxInsertReq, w.data()),
+                      MsgType::kPxInsertResp);
+  if (!payload) {
+    return payload.error();
+  }
+  proto::Reader r(payload.value());
+  const std::uint64_t id = r.u64();
+  if (!r.finish()) {
+    return Error(Errc::kDecodeError, "proxy user: bad insert payload");
+  }
+  return id;
+}
+
+Status ProxyUser::erase_item(std::uint64_t file_id, proto::ItemRef ref) {
+  proto::Writer w;
+  w.u64(file_id);
+  proto::encode_item_ref(w, ref);
+  return call(proto::seal_message(MsgType::kPxEraseReq, w.data()),
+              MsgType::kPxEraseResp)
+      .status();
+}
+
+Status ProxyUser::modify(std::uint64_t file_id, std::uint64_t item_id,
+                         BytesView new_content) {
+  proto::Writer w;
+  w.u64(file_id);
+  w.u64(item_id);
+  w.bytes(new_content);
+  return call(proto::seal_message(MsgType::kPxModifyReq, w.data()),
+              MsgType::kPxModifyResp)
+      .status();
+}
+
+Status ProxyUser::delete_file(std::uint64_t file_id) {
+  proto::Writer w;
+  w.u64(file_id);
+  return call(proto::seal_message(MsgType::kPxDeleteFileReq, w.data()),
+              MsgType::kPxDeleteFileResp)
+      .status();
+}
+
+Result<std::size_t> ProxyUser::file_count() {
+  auto payload = call(proto::empty_frame(MsgType::kPxListFilesReq),
+                      MsgType::kPxListFilesResp);
+  if (!payload) {
+    return payload.error();
+  }
+  proto::Reader r(payload.value());
+  const std::uint64_t n = r.u64();
+  if (!r.finish()) {
+    return Error(Errc::kDecodeError, "proxy user: bad list payload");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace fgad::fskeys

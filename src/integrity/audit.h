@@ -1,0 +1,81 @@
+// Client-side integrity verification: possession audits, authenticated
+// fetches, and trustless root tracking across the client's own mutations.
+//
+// The Auditor is initialized from the client's OWN ciphertexts at outsource
+// time (no trust in the server), after which it mirrors the hash tree's
+// *shape* (a single node count) plus the 20/32-byte root. Before each
+// mutation the application calls the matching before_* method: the Auditor
+// fetches the O(log n) membership proofs it needs, verifies them against
+// the current root, and rolls the root forward to the post-mutation value.
+// A server that drops, rolls back, or substitutes any ciphertext can no
+// longer produce valid proofs — audits and verified fetches fail closed.
+//
+// This implements the "correct return of requested item" guarantee the
+// paper outsources to the PDP/PoR literature (its refs [1], [2], [4]),
+// specialized to our tree geometry so deletion balancing and insertion
+// splits are verifiable with nothing but sibling hashes.
+#pragma once
+
+#include "crypto/random.h"
+#include "integrity/merkle.h"
+#include "net/transport.h"
+#include "proto/messages.h"
+
+namespace fgad::integrity {
+
+class Auditor {
+ public:
+  Auditor(net::RpcChannel& channel, crypto::HashAlg alg,
+          std::uint64_t file_id);
+
+  /// Trustless initialization from the client's own sealed items, in file
+  /// order (item i sits at leaf n-1+i after outsourcing).
+  void init_from_items(
+      std::span<const std::pair<std::uint64_t, BytesView>> items);
+  void init_from_leaf_hashes(std::span<const Md> leaf_hashes);
+
+  const Md& expected_root() const { return root_; }
+  std::size_t leaf_count() const { return core::leaf_count_of(nodes_); }
+
+  /// Spot-check possession of the given items (fetching and re-hashing the
+  /// ciphertexts). Fails closed on any missing/forged proof.
+  Status audit_items(std::span<const std::uint64_t> ids);
+
+  /// Random spot check of `k` live leaves.
+  Status audit_random(std::size_t k, crypto::RandomSource& rnd);
+
+  /// Fetches one ciphertext with a verified membership proof.
+  Result<Bytes> fetch_verified(std::uint64_t item_id);
+
+  // ---- root tracking: call BEFORE performing the mutation ----------------
+
+  /// The item will be re-encrypted to `new_ciphertext` (same id, same leaf).
+  Status before_modify(std::uint64_t item_id, BytesView new_ciphertext);
+
+  /// A new item will be inserted (leaf split at the canonical position).
+  Status before_insert(std::uint64_t new_item_id, BytesView new_ciphertext);
+
+  /// The item will be assuredly deleted (balancing move mirrored).
+  Status before_delete(std::uint64_t item_id);
+
+ private:
+  struct VerifiedEntry {
+    std::uint64_t item_id;
+    NodeId leaf;
+    Md leaf_hash;
+    std::vector<Md> siblings;
+  };
+
+  Result<std::vector<VerifiedEntry>> query(bool by_leaf,
+                                           std::span<const std::uint64_t> targets,
+                                           bool include_ct,
+                                           std::vector<Bytes>* cts_out);
+
+  net::RpcChannel& channel_;
+  crypto::Hasher hasher_;
+  std::uint64_t file_id_;
+  Md root_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace fgad::integrity

@@ -1,0 +1,144 @@
+#include "integrity/merkle.h"
+
+#include <stdexcept>
+
+namespace fgad::integrity {
+
+using core::is_root;
+using core::left_child;
+using core::parent_of;
+using core::sibling_of;
+
+Md leaf_hash(const crypto::Hasher& hasher, std::uint64_t item_id,
+             BytesView ciphertext) {
+  Bytes prefix(9);
+  prefix[0] = 0x00;
+  for (int i = 0; i < 8; ++i) {
+    prefix[1 + i] = static_cast<std::uint8_t>(item_id >> (8 * i));
+  }
+  return hasher.hash2(prefix, ciphertext);
+}
+
+Md internal_hash(const crypto::Hasher& hasher, const Md& left,
+                 const Md& right) {
+  Bytes buf;
+  buf.reserve(1 + left.size() + right.size());
+  buf.push_back(0x01);
+  append(buf, left.bytes());
+  append(buf, right.bytes());
+  return hasher.hash(buf);
+}
+
+Md fold_proof(const crypto::Hasher& hasher, NodeId leaf, const Md& leaf_h,
+              std::span<const Md> siblings) {
+  Md cur = leaf_h;
+  NodeId node = leaf;
+  for (const Md& sib : siblings) {
+    // Odd ids are left children in the heap layout.
+    cur = (node % 2 == 1) ? internal_hash(hasher, cur, sib)
+                          : internal_hash(hasher, sib, cur);
+    node = parent_of(node);
+  }
+  return cur;
+}
+
+bool verify_proof(const crypto::Hasher& hasher, const Md& root,
+                  const Md& leaf_h, const MerkleProof& proof) {
+  if (proof.leaf == core::kNoNode ||
+      proof.siblings.size() != core::depth_of(proof.leaf)) {
+    return false;
+  }
+  return fold_proof(hasher, proof.leaf, leaf_h, proof.siblings) == root;
+}
+
+HashTree::HashTree(crypto::HashAlg alg)
+    : hasher_(alg), width_(crypto::digest_size(alg)) {}
+
+Md HashTree::root() const {
+  return hash_.empty() ? Md::zero(width_) : hash_[0];
+}
+
+void HashTree::build(std::span<const Md> leaf_hashes) {
+  const std::size_t n = leaf_hashes.size();
+  hash_.assign(core::node_count_for(n), Md());
+  if (n == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    hash_[n - 1 + i] = leaf_hashes[i];
+  }
+  for (NodeId v = n - 1; v-- > 0;) {
+    hash_[v] =
+        internal_hash(hasher_, hash_[left_child(v)], hash_[left_child(v) + 1]);
+  }
+}
+
+MerkleProof HashTree::prove(NodeId leaf) const {
+  if (!is_leaf(leaf)) {
+    throw std::out_of_range("HashTree::prove: not a leaf");
+  }
+  MerkleProof proof;
+  proof.leaf = leaf;
+  for (NodeId v = leaf; !is_root(v); v = parent_of(v)) {
+    proof.siblings.push_back(hash_[sibling_of(v)]);
+  }
+  return proof;
+}
+
+void HashTree::bubble_up(NodeId v) {
+  while (!is_root(v)) {
+    v = parent_of(v);
+    hash_[v] =
+        internal_hash(hasher_, hash_[left_child(v)], hash_[left_child(v) + 1]);
+  }
+}
+
+void HashTree::set_leaf(NodeId leaf, const Md& h) {
+  if (!is_leaf(leaf)) {
+    throw std::out_of_range("HashTree::set_leaf: not a leaf");
+  }
+  hash_[leaf] = h;
+  bubble_up(leaf);
+}
+
+void HashTree::append_pair(const Md& new_h) {
+  if (hash_.empty()) {
+    hash_.push_back(new_h);
+    return;
+  }
+  const NodeId q = static_cast<NodeId>((hash_.size() - 1) / 2);
+  const Md moved = hash_[q];
+  hash_.push_back(moved);
+  hash_.push_back(new_h);
+  hash_[q] = internal_hash(hasher_, moved, new_h);
+  bubble_up(q);
+}
+
+void HashTree::delete_leaf(NodeId d) {
+  if (!is_leaf(d)) {
+    throw std::out_of_range("HashTree::delete_leaf: not a leaf");
+  }
+  const std::size_t nodes = hash_.size();
+  if (nodes == 1) {
+    hash_.clear();
+    return;
+  }
+  const NodeId last = static_cast<NodeId>(nodes - 1);
+  const NodeId p_slot = parent_of(last);
+  if (d == last || d == last - 1) {
+    const Md survivor = hash_[d == last ? last - 1 : last];
+    hash_.resize(nodes - 2);
+    hash_[p_slot] = survivor;
+    bubble_up(p_slot);
+  } else {
+    const Md s_hash = hash_[last - 1];
+    const Md t_hash = hash_[last];
+    hash_.resize(nodes - 2);
+    hash_[p_slot] = s_hash;
+    hash_[d] = t_hash;
+    bubble_up(d);
+    bubble_up(p_slot);
+  }
+}
+
+}  // namespace fgad::integrity

@@ -1,0 +1,72 @@
+#include "net/inmemory.h"
+
+namespace fgad::net {
+
+bool ByteQueue::push(Bytes b) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return false;
+    }
+    q_.push_back(std::move(b));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Bytes> ByteQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) {
+    return std::nullopt;
+  }
+  Bytes b = std::move(q_.front());
+  q_.pop_front();
+  return b;
+}
+
+void ByteQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ByteQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+Result<Bytes> PipeChannel::roundtrip(BytesView request) {
+  if (!pipe_.to_server.push(Bytes(request.begin(), request.end()))) {
+    return Error(Errc::kIoError, "pipe: server side closed");
+  }
+  std::optional<Bytes> resp = pipe_.to_client.pop();
+  if (!resp) {
+    return Error(Errc::kIoError, "pipe: connection closed mid-request");
+  }
+  return std::move(*resp);
+}
+
+ServerPump::ServerPump(Pipe& pipe, Handler handler) : pipe_(pipe) {
+  thread_ = std::thread([this, handler = std::move(handler)] {
+    while (auto req = pipe_.to_server.pop()) {
+      pipe_.to_client.push(handler(*req));
+    }
+    pipe_.to_client.close();
+  });
+}
+
+ServerPump::~ServerPump() {
+  stop();
+}
+
+void ServerPump::stop() {
+  pipe_.to_server.close();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+}  // namespace fgad::net

@@ -1,0 +1,82 @@
+// In-memory cross-thread transport: a pair of blocking byte-string queues.
+//
+// PipeChannel lets tests and examples run the CloudServer on a separate
+// thread without sockets, exercising the same serialize-send-receive shape
+// as TCP. ServerPump drains the request queue, invokes the handler, and
+// pushes responses until closed.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "net/transport.h"
+
+namespace fgad::net {
+
+/// Thread-safe blocking queue of byte strings with shutdown support.
+class ByteQueue {
+ public:
+  /// Enqueues; returns false if the queue was closed.
+  bool push(Bytes b);
+
+  /// Blocks for the next element; nullopt once closed and drained.
+  std::optional<Bytes> pop();
+
+  /// Wakes all waiters; subsequent push() calls fail.
+  void close();
+
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Bytes> q_;
+  bool closed_ = false;
+};
+
+/// A bidirectional in-memory pipe between one client and one server.
+struct Pipe {
+  ByteQueue to_server;
+  ByteQueue to_client;
+
+  void close() {
+    to_server.close();
+    to_client.close();
+  }
+};
+
+/// Client end of a Pipe.
+class PipeChannel final : public RpcChannel {
+ public:
+  explicit PipeChannel(Pipe& pipe) : pipe_(pipe) {}
+
+  Result<Bytes> roundtrip(BytesView request) override;
+
+ private:
+  Pipe& pipe_;
+};
+
+/// Server end: runs `handler` for each request on a dedicated thread until
+/// the pipe closes. Joins on destruction.
+class ServerPump {
+ public:
+  using Handler = std::function<Bytes(BytesView)>;
+
+  ServerPump(Pipe& pipe, Handler handler);
+  ~ServerPump();
+
+  ServerPump(const ServerPump&) = delete;
+  ServerPump& operator=(const ServerPump&) = delete;
+
+  /// Closes the pipe and joins the server thread.
+  void stop();
+
+ private:
+  Pipe& pipe_;
+  std::thread thread_;
+};
+
+}  // namespace fgad::net

@@ -1,0 +1,200 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fgad::net {
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) {
+      return false;  // peer closed
+    }
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, BytesView payload) {
+  std::uint8_t hdr[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    hdr[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  if (!write_all(fd, hdr, sizeof(hdr))) {
+    return false;
+  }
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+Result<Bytes> read_frame(int fd) {
+  std::uint8_t hdr[4];
+  if (!read_all(fd, hdr, sizeof(hdr))) {
+    return Error(Errc::kIoError, "tcp: connection closed");
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+  }
+  if (len > kMaxFrameSize) {
+    return Error(Errc::kDecodeError, "tcp: frame too large");
+  }
+  Bytes payload(len);
+  if (len > 0 && !read_all(fd, payload.data(), len)) {
+    return Error(Errc::kIoError, "tcp: truncated frame");
+  }
+  return payload;
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::connect(const std::string& host,
+                                                        std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error(Errc::kIoError, "tcp: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error(Errc::kInvalidArgument, "tcp: bad host address");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Error(Errc::kIoError, std::string("tcp: connect failed: ") +
+                                     std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<Bytes> TcpChannel::roundtrip(BytesView request) {
+  if (!write_frame(fd_, request)) {
+    return Error(Errc::kIoError, "tcp: send failed");
+  }
+  return read_frame(fd_);
+}
+
+TcpServer::TcpServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() {
+  stop();
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !stopping_.load()) continue;
+      break;  // listener closed or shutting down
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    worker_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] {
+      for (;;) {
+        Result<Bytes> req = read_frame(fd);
+        if (!req) {
+          break;
+        }
+        if (!write_frame(fd, handler_(req.value()))) {
+          break;
+        }
+      }
+      ::close(fd);
+    });
+  }
+}
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+    // Unblock workers parked in read_frame on live connections.
+    for (int fd : worker_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    worker_fds_.clear();
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  listen_fd_ = -1;
+}
+
+}  // namespace fgad::net

@@ -1,0 +1,78 @@
+// TCP transport (POSIX sockets) with u32 length-prefixed framing.
+//
+// The paper ran the client in a lab against EC2 instances; our TcpChannel /
+// TcpServer reproduce the same client/server split over real sockets (the
+// benchmarks use the loopback interface — see DESIGN.md's substitution
+// table). One server thread per connection; messages are framed as
+// u32-LE length followed by the payload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace fgad::net {
+
+inline constexpr std::uint32_t kMaxFrameSize = 1u << 30;  // 1 GiB sanity cap
+
+/// Writes one framed message to `fd`. Returns false on error.
+bool write_frame(int fd, BytesView payload);
+
+/// Reads one framed message from `fd`; nullopt-style via Result.
+Result<Bytes> read_frame(int fd);
+
+/// Client-side TCP connection.
+class TcpChannel final : public RpcChannel {
+ public:
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static Result<std::unique_ptr<TcpChannel>> connect(const std::string& host,
+                                                     std::uint16_t port);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  Result<Bytes> roundtrip(BytesView request) override;
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+/// Accept-loop server: spawns one handler thread per connection.
+class TcpServer {
+ public:
+  using Handler = std::function<Bytes(BytesView)>;
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral). Check `ok()` then `port()`.
+  TcpServer(std::uint16_t port, Handler handler);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener, and joins all threads.
+  void stop();
+
+ private:
+  void accept_loop();
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  std::vector<int> worker_fds_;
+};
+
+}  // namespace fgad::net

@@ -1,0 +1,10 @@
+#include "net/transport.h"
+
+// Header-only interfaces; this translation unit exists so the library owns
+// the vtable anchors.
+
+namespace fgad::net {
+
+// (intentionally empty)
+
+}  // namespace fgad::net

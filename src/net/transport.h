@@ -1,0 +1,85 @@
+// Client-to-cloud transport abstraction.
+//
+// The scheme is a request/response protocol, so the client-side seam is a
+// synchronous RpcChannel. Three implementations:
+//   * DirectChannel   — invokes a server handler in-process (zero copy of
+//                       the network stack; used by tests and the large
+//                       benchmark sweeps);
+//   * PipeChannel     — thread-safe in-memory queue pair (net/inmemory.h),
+//                       runs the server on its own thread;
+//   * TcpChannel      — real loopback/remote sockets (net/tcp.h).
+// CountingChannel decorates any of them and records the exact bytes a real
+// deployment would move, which is the paper's communication-overhead metric
+// (Table II, Figure 5): payload bytes plus one frame header per message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace fgad::net {
+
+/// Wire frame header size (u32 length prefix), charged per message by
+/// CountingChannel so DirectChannel measurements match TCP framing.
+inline constexpr std::size_t kFrameHeaderSize = 4;
+
+class RpcChannel {
+ public:
+  virtual ~RpcChannel() = default;
+
+  /// Sends a request and waits for the response.
+  virtual Result<Bytes> roundtrip(BytesView request) = 0;
+};
+
+/// In-process loopback: hands the request straight to a server handler.
+class DirectChannel final : public RpcChannel {
+ public:
+  using Handler = std::function<Bytes(BytesView)>;
+  explicit DirectChannel(Handler handler) : handler_(std::move(handler)) {}
+
+  Result<Bytes> roundtrip(BytesView request) override {
+    return handler_(request);
+  }
+
+ private:
+  Handler handler_;
+};
+
+/// Byte-counting decorator implementing the paper's communication-overhead
+/// accounting: "all information that the client receives and sends for an
+/// operation".
+class CountingChannel final : public RpcChannel {
+ public:
+  explicit CountingChannel(RpcChannel& inner) : inner_(inner) {}
+
+  Result<Bytes> roundtrip(BytesView request) override {
+    sent_ += request.size() + kFrameHeaderSize;
+    ++rpcs_;
+    Result<Bytes> resp = inner_.roundtrip(request);
+    if (resp) {
+      received_ += resp.value().size() + kFrameHeaderSize;
+    }
+    return resp;
+  }
+
+  std::uint64_t bytes_sent() const { return sent_; }
+  std::uint64_t bytes_received() const { return received_; }
+  std::uint64_t total_bytes() const { return sent_ + received_; }
+  std::uint64_t rpc_count() const { return rpcs_; }
+
+  void reset() {
+    sent_ = 0;
+    received_ = 0;
+    rpcs_ = 0;
+  }
+
+ private:
+  RpcChannel& inner_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t rpcs_ = 0;
+};
+
+}  // namespace fgad::net

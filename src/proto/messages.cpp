@@ -1,0 +1,843 @@
+#include "proto/messages.h"
+
+namespace fgad::proto {
+
+using core::AccessInfo;
+using core::CutEntry;
+using core::DeleteCommit;
+using core::DeleteInfo;
+using core::InsertCommit;
+using core::InsertInfo;
+using core::PathView;
+
+namespace {
+Bytes frame(MsgType t, Writer&& w) {
+  return seal_message(t, std::move(w).take());
+}
+
+Error decode_error(const char* what) {
+  return Error(Errc::kDecodeError, what);
+}
+}  // namespace
+
+Bytes seal_message(MsgType type, BytesView payload) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(type));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Result<Envelope> open_message(BytesView framed) {
+  Reader r(framed);
+  const std::uint16_t t = r.u16();
+  if (!r.ok()) {
+    return decode_error("message too short");
+  }
+  Envelope env;
+  env.type = static_cast<MsgType>(t);
+  env.payload = r.raw(r.remaining());
+  return env;
+}
+
+void encode_path(Writer& w, const PathView& p) {
+  w.u32(static_cast<std::uint32_t>(p.nodes.size()));
+  for (core::NodeId v : p.nodes) {
+    w.u64(v);
+  }
+  for (const auto& m : p.links) {
+    w.md(m);
+  }
+}
+
+Result<PathView> decode_path(Reader& r) {
+  const std::uint32_t n = r.u32();
+  // Each node encodes to >= 8 bytes; bound the claim by what is present so
+  // hostile counts cannot trigger huge allocations.
+  if (!r.ok() || n == 0 || n > (1u << 26) || n > r.remaining() / 8 + 1) {
+    return decode_error("path: bad node count");
+  }
+  PathView p;
+  p.nodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    p.nodes.push_back(r.u64());
+  }
+  p.links.reserve(n - 1);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    p.links.push_back(r.md());
+  }
+  if (!r.ok()) {
+    return decode_error("path: truncated");
+  }
+  return p;
+}
+
+void encode_delete_info(Writer& w, const DeleteInfo& info) {
+  encode_path(w, info.path);
+  w.md(info.leaf_mod);
+  w.u32(static_cast<std::uint32_t>(info.cut.size()));
+  for (const CutEntry& e : info.cut) {
+    w.u64(e.node);
+    w.md(e.link);
+    w.u8(e.is_leaf ? 1 : 0);
+    if (e.is_leaf) {
+      w.md(e.leaf_mod);
+    }
+  }
+  w.u64(info.item_id);
+  w.bytes(info.ciphertext);
+  w.u8(info.has_balance ? 1 : 0);
+  if (info.has_balance) {
+    encode_path(w, info.t_path);
+    w.md(info.t_leaf_mod);
+    w.md(info.s_link);
+    w.md(info.s_leaf_mod);
+  }
+}
+
+Result<DeleteInfo> decode_delete_info(Reader& r) {
+  DeleteInfo info;
+  auto path = decode_path(r);
+  if (!path) return path.error();
+  info.path = std::move(path).value();
+  info.leaf_mod = r.md();
+  const std::uint32_t nc = r.u32();
+  if (!r.ok() || nc > (1u << 26) || nc > r.remaining() / 9 + 1) {
+    return decode_error("delete info: bad cut count");
+  }
+  info.cut.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    CutEntry e;
+    e.node = r.u64();
+    e.link = r.md();
+    e.is_leaf = r.u8() != 0;
+    if (e.is_leaf) {
+      e.leaf_mod = r.md();
+    }
+    info.cut.push_back(std::move(e));
+  }
+  info.item_id = r.u64();
+  info.ciphertext = r.bytes();
+  info.has_balance = r.u8() != 0;
+  if (info.has_balance) {
+    auto tp = decode_path(r);
+    if (!tp) return tp.error();
+    info.t_path = std::move(tp).value();
+    info.t_leaf_mod = r.md();
+    info.s_link = r.md();
+    info.s_leaf_mod = r.md();
+  }
+  if (!r.ok()) {
+    return decode_error("delete info: truncated");
+  }
+  return info;
+}
+
+void encode_delete_commit(Writer& w, const DeleteCommit& c) {
+  w.u64(c.leaf);
+  w.u32(static_cast<std::uint32_t>(c.deltas.size()));
+  for (const auto& d : c.deltas) {
+    w.md(d);
+  }
+  w.u8(c.has_balance ? 1 : 0);
+  if (c.has_balance) {
+    w.md(c.promoted_leaf_mod);
+    w.u8(c.has_step2 ? 1 : 0);
+    if (c.has_step2) {
+      w.md(c.t_new_link);
+      w.md(c.t_new_leaf_mod);
+    }
+  }
+}
+
+Result<DeleteCommit> decode_delete_commit(Reader& r) {
+  DeleteCommit c;
+  c.leaf = r.u64();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > (1u << 26) || n > r.remaining()) {
+    return decode_error("delete commit: bad delta count");
+  }
+  c.deltas.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    c.deltas.push_back(r.md());
+  }
+  c.has_balance = r.u8() != 0;
+  if (c.has_balance) {
+    c.promoted_leaf_mod = r.md();
+    c.has_step2 = r.u8() != 0;
+    if (c.has_step2) {
+      c.t_new_link = r.md();
+      c.t_new_leaf_mod = r.md();
+    }
+  }
+  if (!r.ok()) {
+    return decode_error("delete commit: truncated");
+  }
+  return c;
+}
+
+void encode_insert_info(Writer& w, const InsertInfo& info) {
+  w.u8(info.empty_tree ? 1 : 0);
+  if (!info.empty_tree) {
+    encode_path(w, info.q_path);
+    w.md(info.q_leaf_mod);
+  }
+}
+
+Result<InsertInfo> decode_insert_info(Reader& r) {
+  InsertInfo info;
+  info.empty_tree = r.u8() != 0;
+  if (!info.empty_tree) {
+    auto p = decode_path(r);
+    if (!p) return p.error();
+    info.q_path = std::move(p).value();
+    info.q_leaf_mod = r.md();
+  }
+  if (!r.ok()) {
+    return decode_error("insert info: truncated");
+  }
+  return info;
+}
+
+void encode_insert_commit(Writer& w, const InsertCommit& c) {
+  w.u8(c.empty_tree ? 1 : 0);
+  if (c.empty_tree) {
+    w.md(c.root_leaf_mod);
+  } else {
+    w.u64(c.q);
+    w.md(c.left_link);
+    w.md(c.right_link);
+    w.md(c.moved_leaf_mod);
+    w.md(c.new_leaf_mod);
+  }
+  w.u64(c.item_id);
+  w.bytes(c.ciphertext);
+  w.u64(c.plain_size);
+  w.u64(c.after_item_id);
+}
+
+Result<InsertCommit> decode_insert_commit(Reader& r) {
+  InsertCommit c;
+  c.empty_tree = r.u8() != 0;
+  if (c.empty_tree) {
+    c.root_leaf_mod = r.md();
+  } else {
+    c.q = r.u64();
+    c.left_link = r.md();
+    c.right_link = r.md();
+    c.moved_leaf_mod = r.md();
+    c.new_leaf_mod = r.md();
+  }
+  c.item_id = r.u64();
+  c.ciphertext = r.bytes();
+  c.plain_size = r.u64();
+  c.after_item_id = r.u64();
+  if (!r.ok()) {
+    return decode_error("insert commit: truncated");
+  }
+  return c;
+}
+
+void encode_access_info(Writer& w, const AccessInfo& info) {
+  encode_path(w, info.path);
+  w.md(info.leaf_mod);
+  w.u64(info.item_id);
+  w.bytes(info.ciphertext);
+}
+
+Result<AccessInfo> decode_access_info(Reader& r) {
+  AccessInfo info;
+  auto p = decode_path(r);
+  if (!p) return p.error();
+  info.path = std::move(p).value();
+  info.leaf_mod = r.md();
+  info.item_id = r.u64();
+  info.ciphertext = r.bytes();
+  if (!r.ok()) {
+    return decode_error("access info: truncated");
+  }
+  return info;
+}
+
+// ---- per-message frames -----------------------------------------------------
+
+Bytes ErrorMsg::to_frame() const {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(code));
+  w.str(message);
+  return frame(MsgType::kError, std::move(w));
+}
+
+Result<ErrorMsg> ErrorMsg::from(Reader& r) {
+  ErrorMsg m;
+  m.code = static_cast<Errc>(r.u16());
+  m.message = r.str();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+void encode_item_ref(Writer& w, const ItemRef& ref) {
+  w.u8(static_cast<std::uint8_t>(ref.kind));
+  w.u64(ref.value);
+}
+
+Result<ItemRef> decode_item_ref(Reader& r) {
+  ItemRef ref;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(RefKind::kByteOffset)) {
+    return decode_error("item ref: unknown kind");
+  }
+  ref.kind = static_cast<RefKind>(kind);
+  ref.value = r.u64();
+  if (!r.ok()) return decode_error("item ref: truncated");
+  return ref;
+}
+
+Bytes OutsourceReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  w.bytes(tree_blob);
+  w.u64(items.size());
+  for (const Item& it : items) {
+    w.u64(it.item_id);
+    w.bytes(it.ciphertext);
+    w.u64(it.plain_size);
+  }
+  return frame(MsgType::kOutsourceReq, std::move(w));
+}
+
+Result<OutsourceReq> OutsourceReq::from(Reader& r) {
+  OutsourceReq m;
+  m.file_id = r.u64();
+  m.tree_blob = r.bytes();
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ull << 32) || n > r.remaining() / 12 + 1) {
+    return decode_error("outsource: bad item count");
+  }
+  m.items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Item it;
+    it.item_id = r.u64();
+    it.ciphertext = r.bytes();
+    it.plain_size = r.u64();
+    if (!r.ok()) return decode_error("outsource: truncated items");
+    m.items.push_back(std::move(it));
+  }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes AccessReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  encode_item_ref(w, ref);
+  return frame(MsgType::kAccessReq, std::move(w));
+}
+
+Result<AccessReq> AccessReq::from(Reader& r) {
+  AccessReq m;
+  m.file_id = r.u64();
+  auto ref = decode_item_ref(r);
+  if (!ref) return ref.error();
+  m.ref = ref.value();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes AccessResp::to_frame() const {
+  Writer w;
+  encode_access_info(w, info);
+  return frame(MsgType::kAccessResp, std::move(w));
+}
+
+Result<AccessResp> AccessResp::from(Reader& r) {
+  auto info = decode_access_info(r);
+  if (!info) return info.error();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return AccessResp{std::move(info).value()};
+}
+
+Bytes ModifyReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  w.u64(item_id);
+  w.bytes(ciphertext);
+  w.u64(plain_size);
+  return frame(MsgType::kModifyReq, std::move(w));
+}
+
+Result<ModifyReq> ModifyReq::from(Reader& r) {
+  ModifyReq m;
+  m.file_id = r.u64();
+  m.item_id = r.u64();
+  m.ciphertext = r.bytes();
+  m.plain_size = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes InsertBeginReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  return frame(MsgType::kInsertBeginReq, std::move(w));
+}
+
+Result<InsertBeginReq> InsertBeginReq::from(Reader& r) {
+  InsertBeginReq m;
+  m.file_id = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes InsertBeginResp::to_frame() const {
+  Writer w;
+  encode_insert_info(w, info);
+  return frame(MsgType::kInsertBeginResp, std::move(w));
+}
+
+Result<InsertBeginResp> InsertBeginResp::from(Reader& r) {
+  auto info = decode_insert_info(r);
+  if (!info) return info.error();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return InsertBeginResp{std::move(info).value()};
+}
+
+Bytes InsertCommitReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  encode_insert_commit(w, commit);
+  return frame(MsgType::kInsertCommitReq, std::move(w));
+}
+
+Result<InsertCommitReq> InsertCommitReq::from(Reader& r) {
+  InsertCommitReq m;
+  m.file_id = r.u64();
+  auto c = decode_insert_commit(r);
+  if (!c) return c.error();
+  m.commit = std::move(c).value();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes DeleteBeginReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  encode_item_ref(w, ref);
+  return frame(MsgType::kDeleteBeginReq, std::move(w));
+}
+
+Result<DeleteBeginReq> DeleteBeginReq::from(Reader& r) {
+  DeleteBeginReq m;
+  m.file_id = r.u64();
+  auto ref = decode_item_ref(r);
+  if (!ref) return ref.error();
+  m.ref = ref.value();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes DeleteBeginResp::to_frame() const {
+  Writer w;
+  encode_delete_info(w, info);
+  return frame(MsgType::kDeleteBeginResp, std::move(w));
+}
+
+Result<DeleteBeginResp> DeleteBeginResp::from(Reader& r) {
+  auto info = decode_delete_info(r);
+  if (!info) return info.error();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return DeleteBeginResp{std::move(info).value()};
+}
+
+Bytes DeleteCommitReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  encode_delete_commit(w, commit);
+  return frame(MsgType::kDeleteCommitReq, std::move(w));
+}
+
+Result<DeleteCommitReq> DeleteCommitReq::from(Reader& r) {
+  DeleteCommitReq m;
+  m.file_id = r.u64();
+  auto c = decode_delete_commit(r);
+  if (!c) return c.error();
+  m.commit = std::move(c).value();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes FetchTreeReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  return frame(MsgType::kFetchTreeReq, std::move(w));
+}
+
+Result<FetchTreeReq> FetchTreeReq::from(Reader& r) {
+  FetchTreeReq m;
+  m.file_id = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes FetchTreeResp::to_frame() const {
+  Writer w;
+  w.bytes(tree_blob);
+  return frame(MsgType::kFetchTreeResp, std::move(w));
+}
+
+Result<FetchTreeResp> FetchTreeResp::from(Reader& r) {
+  FetchTreeResp m;
+  m.tree_blob = r.bytes();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes FetchItemsReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  w.u64(start_ordinal);
+  w.u32(max_count);
+  return frame(MsgType::kFetchItemsReq, std::move(w));
+}
+
+Result<FetchItemsReq> FetchItemsReq::from(Reader& r) {
+  FetchItemsReq m;
+  m.file_id = r.u64();
+  m.start_ordinal = r.u64();
+  m.max_count = r.u32();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes FetchItemsResp::to_frame() const {
+  Writer w;
+  w.u64(items.size());
+  for (const Entry& e : items) {
+    w.u64(e.item_id);
+    w.u64(e.leaf);
+    w.bytes(e.ciphertext);
+  }
+  w.u8(more ? 1 : 0);
+  return frame(MsgType::kFetchItemsResp, std::move(w));
+}
+
+Result<FetchItemsResp> FetchItemsResp::from(Reader& r) {
+  FetchItemsResp m;
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ull << 32) || n > r.remaining() / 20 + 1) {
+    return decode_error("fetch items: bad count");
+  }
+  m.items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.item_id = r.u64();
+    e.leaf = r.u64();
+    e.ciphertext = r.bytes();
+    if (!r.ok()) return decode_error("fetch items: truncated");
+    m.items.push_back(std::move(e));
+  }
+  m.more = r.u8() != 0;
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes ListItemsReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  return frame(MsgType::kListItemsReq, std::move(w));
+}
+
+Result<ListItemsReq> ListItemsReq::from(Reader& r) {
+  ListItemsReq m;
+  m.file_id = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes ListItemsResp::to_frame() const {
+  Writer w;
+  w.u64(ids.size());
+  for (std::uint64_t id : ids) {
+    w.u64(id);
+  }
+  return frame(MsgType::kListItemsResp, std::move(w));
+}
+
+Result<ListItemsResp> ListItemsResp::from(Reader& r) {
+  ListItemsResp m;
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ull << 32) || n > r.remaining() / 8 + 1) {
+    return decode_error("list items: bad count");
+  }
+  m.ids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.ids.push_back(r.u64());
+  }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes DropFileReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  return frame(MsgType::kDropFileReq, std::move(w));
+}
+
+Result<DropFileReq> DropFileReq::from(Reader& r) {
+  DropFileReq m;
+  m.file_id = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes StatReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  return frame(MsgType::kStatReq, std::move(w));
+}
+
+Result<StatReq> StatReq::from(Reader& r) {
+  StatReq m;
+  m.file_id = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes StatResp::to_frame() const {
+  Writer w;
+  w.u64(n_items);
+  w.u64(node_count);
+  w.u64(tree_bytes);
+  return frame(MsgType::kStatResp, std::move(w));
+}
+
+Result<StatResp> StatResp::from(Reader& r) {
+  StatResp m;
+  m.n_items = r.u64();
+  m.node_count = r.u64();
+  m.tree_bytes = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes AuditReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  w.u8(by_leaf ? 1 : 0);
+  w.u8(include_ciphertext ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(targets.size()));
+  for (std::uint64_t t : targets) {
+    w.u64(t);
+  }
+  return frame(MsgType::kAuditReq, std::move(w));
+}
+
+Result<AuditReq> AuditReq::from(Reader& r) {
+  AuditReq m;
+  m.file_id = r.u64();
+  m.by_leaf = r.u8() != 0;
+  m.include_ciphertext = r.u8() != 0;
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > (1u << 22) || n > r.remaining() / 8 + 1) {
+    return decode_error("audit: bad target count");
+  }
+  m.targets.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.targets.push_back(r.u64());
+  }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes AuditResp::to_frame() const {
+  Writer w;
+  w.md(root);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    w.u64(e.item_id);
+    w.u64(e.leaf);
+    w.u8(e.has_ciphertext ? 1 : 0);
+    if (e.has_ciphertext) {
+      w.bytes(e.ciphertext);
+    }
+    w.md(e.leaf_hash);
+    w.u8(static_cast<std::uint8_t>(e.siblings.size()));
+    for (const auto& s : e.siblings) {
+      w.md(s);
+    }
+  }
+  return frame(MsgType::kAuditResp, std::move(w));
+}
+
+Result<AuditResp> AuditResp::from(Reader& r) {
+  AuditResp m;
+  m.root = r.md();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > (1u << 22) || n > r.remaining() / 20 + 1) {
+    return decode_error("audit: bad entry count");
+  }
+  m.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Entry e;
+    e.item_id = r.u64();
+    e.leaf = r.u64();
+    e.has_ciphertext = r.u8() != 0;
+    if (e.has_ciphertext) {
+      e.ciphertext = r.bytes();
+    }
+    e.leaf_hash = r.md();
+    const std::uint8_t ns = r.u8();
+    e.siblings.reserve(ns);
+    for (std::uint8_t s = 0; s < ns; ++s) {
+      e.siblings.push_back(r.md());
+    }
+    if (!r.ok()) return decode_error("audit: truncated entries");
+    m.entries.push_back(std::move(e));
+  }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes KvPutReq::to_frame() const {
+  Writer w;
+  w.u64(table);
+  w.u64(key);
+  w.bytes(value);
+  return frame(MsgType::kKvPutReq, std::move(w));
+}
+
+Result<KvPutReq> KvPutReq::from(Reader& r) {
+  KvPutReq m;
+  m.table = r.u64();
+  m.key = r.u64();
+  m.value = r.bytes();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes KvGetReq::to_frame() const {
+  Writer w;
+  w.u64(table);
+  w.u64(key);
+  return frame(MsgType::kKvGetReq, std::move(w));
+}
+
+Result<KvGetReq> KvGetReq::from(Reader& r) {
+  KvGetReq m;
+  m.table = r.u64();
+  m.key = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes KvGetResp::to_frame() const {
+  Writer w;
+  w.u8(found ? 1 : 0);
+  w.bytes(value);
+  return frame(MsgType::kKvGetResp, std::move(w));
+}
+
+Result<KvGetResp> KvGetResp::from(Reader& r) {
+  KvGetResp m;
+  m.found = r.u8() != 0;
+  m.value = r.bytes();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes KvDeleteReq::to_frame() const {
+  Writer w;
+  w.u64(table);
+  w.u64(key);
+  return frame(MsgType::kKvDeleteReq, std::move(w));
+}
+
+Result<KvDeleteReq> KvDeleteReq::from(Reader& r) {
+  KvDeleteReq m;
+  m.table = r.u64();
+  m.key = r.u64();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes KvGetRangeReq::to_frame() const {
+  Writer w;
+  w.u64(table);
+  w.u64(start_key);
+  w.u32(max_count);
+  return frame(MsgType::kKvGetRangeReq, std::move(w));
+}
+
+Result<KvGetRangeReq> KvGetRangeReq::from(Reader& r) {
+  KvGetRangeReq m;
+  m.table = r.u64();
+  m.start_key = r.u64();
+  m.max_count = r.u32();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes KvGetRangeResp::to_frame() const {
+  Writer w;
+  w.u64(entries.size());
+  for (const Entry& e : entries) {
+    w.u64(e.key);
+    w.bytes(e.value);
+  }
+  w.u8(more ? 1 : 0);
+  return frame(MsgType::kKvGetRangeResp, std::move(w));
+}
+
+Result<KvGetRangeResp> KvGetRangeResp::from(Reader& r) {
+  KvGetRangeResp m;
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ull << 32) || n > r.remaining() / 12 + 1) {
+    return decode_error("kv range: bad count");
+  }
+  m.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.key = r.u64();
+    e.value = r.bytes();
+    if (!r.ok()) return decode_error("kv range: truncated");
+    m.entries.push_back(std::move(e));
+  }
+  m.more = r.u8() != 0;
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes KvPutBatchReq::to_frame() const {
+  Writer w;
+  w.u64(table);
+  w.u64(entries.size());
+  for (const auto& e : entries) {
+    w.u64(e.key);
+    w.bytes(e.value);
+  }
+  return frame(MsgType::kKvPutBatchReq, std::move(w));
+}
+
+Result<KvPutBatchReq> KvPutBatchReq::from(Reader& r) {
+  KvPutBatchReq m;
+  m.table = r.u64();
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ull << 32) || n > r.remaining() / 12 + 1) {
+    return decode_error("kv batch: bad count");
+  }
+  m.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    KvGetRangeResp::Entry e;
+    e.key = r.u64();
+    e.value = r.bytes();
+    if (!r.ok()) return decode_error("kv batch: truncated");
+    m.entries.push_back(std::move(e));
+  }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes empty_frame(MsgType type) {
+  return seal_message(type, BytesView());
+}
+
+}  // namespace fgad::proto

@@ -1,0 +1,369 @@
+// Protocol messages between the client and the cloud server.
+//
+// Transport-agnostic: a message is (type, payload) sealed into one framed
+// byte string. Multi-round operations follow the paper's exchanges:
+//
+//   delete:  DeleteBeginReq -> DeleteBeginResp{MT(k) + balancing branch}
+//            DeleteCommitReq{deltas + balancing mods} -> DeleteCommitResp
+//   insert:  InsertBeginReq -> InsertBeginResp{P(q)}
+//            InsertCommitReq{new mods + ciphertext} -> InsertCommitResp
+//   access:  AccessReq -> AccessResp{P(k) + ciphertext}
+//   modify:  ModifyReq{re-encrypted ciphertext} -> ModifyResp
+//
+// The Kv* family is a plain blob table used by the baseline solutions of
+// Section III (they have no modulation tree; the server is just storage).
+#pragma once
+
+#include <optional>
+
+#include "common/result.h"
+#include "core/views.h"
+#include "proto/wire.h"
+
+namespace fgad::proto {
+
+enum class MsgType : std::uint16_t {
+  kError = 0,
+  kOutsourceReq = 1,
+  kOutsourceResp = 2,
+  kAccessReq = 3,
+  kAccessResp = 4,
+  kModifyReq = 5,
+  kModifyResp = 6,
+  kInsertBeginReq = 7,
+  kInsertBeginResp = 8,
+  kInsertCommitReq = 9,
+  kInsertCommitResp = 10,
+  kDeleteBeginReq = 11,
+  kDeleteBeginResp = 12,
+  kDeleteCommitReq = 13,
+  kDeleteCommitResp = 14,
+  kFetchTreeReq = 15,
+  kFetchTreeResp = 16,
+  kFetchItemsReq = 17,
+  kFetchItemsResp = 18,
+  kListItemsReq = 19,
+  kListItemsResp = 20,
+  kDropFileReq = 21,
+  kDropFileResp = 22,
+  kStatReq = 23,
+  kStatResp = 24,
+  kKvPutReq = 30,
+  kKvPutResp = 31,
+  kKvGetReq = 32,
+  kKvGetResp = 33,
+  kKvDeleteReq = 34,
+  kKvDeleteResp = 35,
+  kKvGetRangeReq = 36,
+  kKvGetRangeResp = 37,
+  kKvPutBatchReq = 38,
+  kKvPutBatchResp = 39,
+  // Local key-proxy protocol (Section V: a proxy holds the control key and
+  // acts on users' behalf). Message structs live in fskeys/proxy.h.
+  kPxCreateFileReq = 60,
+  kPxCreateFileResp = 61,
+  kPxAccessReq = 62,
+  kPxAccessResp = 63,
+  kPxInsertReq = 64,
+  kPxInsertResp = 65,
+  kPxEraseReq = 66,
+  kPxEraseResp = 67,
+  kPxModifyReq = 68,
+  kPxModifyResp = 69,
+  kPxDeleteFileReq = 70,
+  kPxDeleteFileResp = 71,
+  kPxListFilesReq = 72,
+  kPxListFilesResp = 73,
+  // Integrity (PDP/PoR substrate): membership-proof queries.
+  kAuditReq = 80,
+  kAuditResp = 81,
+};
+
+/// Frames a payload with its message type (u16 prefix).
+Bytes seal_message(MsgType type, BytesView payload);
+
+struct Envelope {
+  MsgType type;
+  Bytes payload;
+};
+Result<Envelope> open_message(BytesView framed);
+
+// ---- shared sub-encoders -------------------------------------------------
+
+void encode_path(Writer& w, const core::PathView& p);
+Result<core::PathView> decode_path(Reader& r);
+
+void encode_delete_info(Writer& w, const core::DeleteInfo& info);
+Result<core::DeleteInfo> decode_delete_info(Reader& r);
+
+void encode_delete_commit(Writer& w, const core::DeleteCommit& c);
+Result<core::DeleteCommit> decode_delete_commit(Reader& r);
+
+void encode_insert_info(Writer& w, const core::InsertInfo& info);
+Result<core::InsertInfo> decode_insert_info(Reader& r);
+
+void encode_insert_commit(Writer& w, const core::InsertCommit& c);
+Result<core::InsertCommit> decode_insert_commit(Reader& r);
+
+void encode_access_info(Writer& w, const core::AccessInfo& info);
+Result<core::AccessInfo> decode_access_info(Reader& r);
+
+// ---- messages --------------------------------------------------------------
+
+struct ErrorMsg {
+  Errc code = Errc::kIoError;
+  std::string message;
+  Bytes to_frame() const;
+  static Result<ErrorMsg> from(Reader& r);
+};
+
+/// Item addressing (paper Section IV-C): by unique record id r, by ordinal
+/// position in file order, or by byte offset into the plaintext file (the
+/// server scans the items, accumulating their stored plaintext sizes, until
+/// the offset falls inside one — footnote 2 of the paper).
+enum class RefKind : std::uint8_t {
+  kId = 0,
+  kOrdinal = 1,
+  kByteOffset = 2,
+};
+
+struct ItemRef {
+  RefKind kind = RefKind::kId;
+  std::uint64_t value = 0;
+
+  static ItemRef id(std::uint64_t v) { return ItemRef{RefKind::kId, v}; }
+  static ItemRef ordinal(std::uint64_t v) {
+    return ItemRef{RefKind::kOrdinal, v};
+  }
+  static ItemRef byte_offset(std::uint64_t v) {
+    return ItemRef{RefKind::kByteOffset, v};
+  }
+};
+void encode_item_ref(Writer& w, const ItemRef& ref);
+Result<ItemRef> decode_item_ref(Reader& r);
+
+struct OutsourceReq {
+  std::uint64_t file_id = 0;
+  Bytes tree_blob;  // serialized ModulationTree (leaf item_slot = item index)
+  struct Item {
+    std::uint64_t item_id;
+    Bytes ciphertext;
+    std::uint64_t plain_size;
+  };
+  std::vector<Item> items;
+  Bytes to_frame() const;
+  static Result<OutsourceReq> from(Reader& r);
+};
+
+struct AccessReq {
+  std::uint64_t file_id = 0;
+  ItemRef ref;
+  Bytes to_frame() const;
+  static Result<AccessReq> from(Reader& r);
+};
+
+struct AccessResp {
+  core::AccessInfo info;
+  Bytes to_frame() const;
+  static Result<AccessResp> from(Reader& r);
+};
+
+struct ModifyReq {
+  std::uint64_t file_id = 0;
+  std::uint64_t item_id = 0;
+  Bytes ciphertext;
+  std::uint64_t plain_size = 0;
+  Bytes to_frame() const;
+  static Result<ModifyReq> from(Reader& r);
+};
+
+struct InsertBeginReq {
+  std::uint64_t file_id = 0;
+  Bytes to_frame() const;
+  static Result<InsertBeginReq> from(Reader& r);
+};
+
+struct InsertBeginResp {
+  core::InsertInfo info;
+  Bytes to_frame() const;
+  static Result<InsertBeginResp> from(Reader& r);
+};
+
+struct InsertCommitReq {
+  std::uint64_t file_id = 0;
+  core::InsertCommit commit;
+  Bytes to_frame() const;
+  static Result<InsertCommitReq> from(Reader& r);
+};
+
+struct DeleteBeginReq {
+  std::uint64_t file_id = 0;
+  ItemRef ref;
+  Bytes to_frame() const;
+  static Result<DeleteBeginReq> from(Reader& r);
+};
+
+struct DeleteBeginResp {
+  core::DeleteInfo info;
+  Bytes to_frame() const;
+  static Result<DeleteBeginResp> from(Reader& r);
+};
+
+struct DeleteCommitReq {
+  std::uint64_t file_id = 0;
+  core::DeleteCommit commit;
+  Bytes to_frame() const;
+  static Result<DeleteCommitReq> from(Reader& r);
+};
+
+struct FetchTreeReq {
+  std::uint64_t file_id = 0;
+  Bytes to_frame() const;
+  static Result<FetchTreeReq> from(Reader& r);
+};
+
+struct FetchTreeResp {
+  Bytes tree_blob;
+  Bytes to_frame() const;
+  static Result<FetchTreeResp> from(Reader& r);
+};
+
+struct FetchItemsReq {
+  std::uint64_t file_id = 0;
+  std::uint64_t start_ordinal = 0;
+  std::uint32_t max_count = 0;  // 0 = all
+  Bytes to_frame() const;
+  static Result<FetchItemsReq> from(Reader& r);
+};
+
+struct FetchItemsResp {
+  struct Entry {
+    std::uint64_t item_id;
+    core::NodeId leaf;
+    Bytes ciphertext;
+  };
+  std::vector<Entry> items;
+  bool more = false;
+  Bytes to_frame() const;
+  static Result<FetchItemsResp> from(Reader& r);
+};
+
+struct ListItemsReq {
+  std::uint64_t file_id = 0;
+  Bytes to_frame() const;
+  static Result<ListItemsReq> from(Reader& r);
+};
+
+struct ListItemsResp {
+  std::vector<std::uint64_t> ids;  // file order
+  Bytes to_frame() const;
+  static Result<ListItemsResp> from(Reader& r);
+};
+
+struct DropFileReq {
+  std::uint64_t file_id = 0;
+  Bytes to_frame() const;
+  static Result<DropFileReq> from(Reader& r);
+};
+
+struct StatReq {
+  std::uint64_t file_id = 0;
+  Bytes to_frame() const;
+  static Result<StatReq> from(Reader& r);
+};
+
+struct StatResp {
+  std::uint64_t n_items = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t tree_bytes = 0;
+  Bytes to_frame() const;
+  static Result<StatResp> from(Reader& r);
+};
+
+// ---- integrity audits --------------------------------------------------------
+
+struct AuditReq {
+  std::uint64_t file_id = 0;
+  bool by_leaf = false;  // targets are leaf node ids instead of item ids
+  bool include_ciphertext = false;
+  std::vector<std::uint64_t> targets;
+  Bytes to_frame() const;
+  static Result<AuditReq> from(Reader& r);
+};
+
+struct AuditResp {
+  crypto::Md root;  // the server's claimed root (informational)
+  struct Entry {
+    std::uint64_t item_id = 0;
+    std::uint64_t leaf = 0;
+    bool has_ciphertext = false;
+    Bytes ciphertext;
+    crypto::Md leaf_hash;
+    std::vector<crypto::Md> siblings;  // bottom-up membership proof
+  };
+  std::vector<Entry> entries;
+  Bytes to_frame() const;
+  static Result<AuditResp> from(Reader& r);
+};
+
+// ---- Kv blob table (baseline substrate) -----------------------------------
+
+struct KvPutReq {
+  std::uint64_t table = 0;
+  std::uint64_t key = 0;
+  Bytes value;
+  Bytes to_frame() const;
+  static Result<KvPutReq> from(Reader& r);
+};
+
+struct KvGetReq {
+  std::uint64_t table = 0;
+  std::uint64_t key = 0;
+  Bytes to_frame() const;
+  static Result<KvGetReq> from(Reader& r);
+};
+
+struct KvGetResp {
+  bool found = false;
+  Bytes value;
+  Bytes to_frame() const;
+  static Result<KvGetResp> from(Reader& r);
+};
+
+struct KvDeleteReq {
+  std::uint64_t table = 0;
+  std::uint64_t key = 0;
+  Bytes to_frame() const;
+  static Result<KvDeleteReq> from(Reader& r);
+};
+
+struct KvGetRangeReq {
+  std::uint64_t table = 0;
+  std::uint64_t start_key = 0;
+  std::uint32_t max_count = 0;
+  Bytes to_frame() const;
+  static Result<KvGetRangeReq> from(Reader& r);
+};
+
+struct KvGetRangeResp {
+  struct Entry {
+    std::uint64_t key;
+    Bytes value;
+  };
+  std::vector<Entry> entries;
+  bool more = false;
+  Bytes to_frame() const;
+  static Result<KvGetRangeResp> from(Reader& r);
+};
+
+struct KvPutBatchReq {
+  std::uint64_t table = 0;
+  std::vector<KvGetRangeResp::Entry> entries;
+  Bytes to_frame() const;
+  static Result<KvPutBatchReq> from(Reader& r);
+};
+
+/// Empty-payload response frame for the given type.
+Bytes empty_frame(MsgType type);
+
+}  // namespace fgad::proto

@@ -1,0 +1,164 @@
+// Section III baselines: correctness and the complexity trade-offs that
+// motivate key modulation (Table I / Table II shapes).
+#include <gtest/gtest.h>
+
+#include "baselines/individual_key.h"
+#include "baselines/master_key.h"
+#include "client/client.h"
+#include "cloud/server.h"
+#include "support/harness.h"
+
+namespace fgad::baselines {
+namespace {
+
+using cloud::CloudServer;
+using crypto::HashAlg;
+using crypto::SystemRandom;
+using test::payload_for;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest()
+      : direct_([this](BytesView req) { return server_.handle(req); }),
+        counting_(direct_) {}
+
+  CloudServer server_;
+  net::DirectChannel direct_;
+  net::CountingChannel counting_;
+  SystemRandom rnd_;
+};
+
+TEST_F(BaselineTest, MasterKeyRoundtrip) {
+  MasterKeySolution sol(counting_, rnd_, HashAlg::kSha1, 1);
+  ASSERT_TRUE(sol.outsource(20, [](std::size_t i) { return payload_for(i); }));
+  EXPECT_EQ(sol.item_count(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    auto got = sol.access(i);
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), payload_for(i));
+  }
+  EXPECT_EQ(sol.client_storage_bytes(), 16u);
+}
+
+TEST_F(BaselineTest, MasterKeyDeleteReindexes) {
+  MasterKeySolution sol(counting_, rnd_, HashAlg::kSha1, 1);
+  ASSERT_TRUE(sol.outsource(10, [](std::size_t i) { return payload_for(i); }));
+  ASSERT_TRUE(sol.erase_item(4));
+  EXPECT_EQ(sol.item_count(), 9u);
+  // Items after the victim shift down by one.
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    auto got = sol.access(i);
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), payload_for(i < 4 ? i : i + 1));
+  }
+  EXPECT_EQ(server_.kv_size(1), 9u);
+}
+
+TEST_F(BaselineTest, MasterKeyDeleteFirstAndLast) {
+  MasterKeySolution sol(counting_, rnd_, HashAlg::kSha1, 1);
+  ASSERT_TRUE(sol.outsource(5, [](std::size_t i) { return payload_for(i); }));
+  ASSERT_TRUE(sol.erase_item(0));
+  ASSERT_TRUE(sol.erase_item(3));  // was item 4
+  EXPECT_EQ(sol.item_count(), 3u);
+  EXPECT_EQ(sol.access(0).value(), payload_for(1));
+  EXPECT_EQ(sol.access(2).value(), payload_for(3));
+}
+
+// The defining property: master-key deletion moves O(n) bytes.
+TEST_F(BaselineTest, MasterKeyDeleteCommIsLinear) {
+  MasterKeySolution sol(counting_, rnd_, HashAlg::kSha1, 1);
+  const std::size_t n = 200;
+  ASSERT_TRUE(sol.outsource(n, [](std::size_t i) { return payload_for(i); }));
+  counting_.reset();
+  ASSERT_TRUE(sol.erase_item(n / 2));
+  // Roughly 2 * (n-1) * sealed_size(24) bytes; at least n * item size.
+  EXPECT_GT(counting_.total_bytes(), n * 24u);
+}
+
+TEST_F(BaselineTest, IndividualKeyRoundtrip) {
+  IndividualKeySolution sol(counting_, rnd_, HashAlg::kSha1, 2);
+  ASSERT_TRUE(sol.outsource(20, [](std::size_t i) { return payload_for(i); }));
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    auto got = sol.access(i);
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), payload_for(i));
+  }
+  // O(n) client storage: 20 keys of 16 bytes.
+  EXPECT_EQ(sol.client_storage_bytes(), 320u);
+}
+
+TEST_F(BaselineTest, IndividualKeyDeleteIsO1AndFinal) {
+  IndividualKeySolution sol(counting_, rnd_, HashAlg::kSha1, 2);
+  ASSERT_TRUE(sol.outsource(50, [](std::size_t i) { return payload_for(i); }));
+  counting_.reset();
+  ASSERT_TRUE(sol.erase_item(7));
+  // O(1): one tiny request/response pair.
+  EXPECT_LT(counting_.total_bytes(), 100u);
+  EXPECT_FALSE(sol.key_alive(7));
+  EXPECT_EQ(sol.access(7).code(), Errc::kNotFound);
+  EXPECT_EQ(sol.erase_item(7).code(), Errc::kNotFound);
+  // Others unaffected.
+  EXPECT_TRUE(sol.access(6).is_ok());
+  EXPECT_TRUE(sol.access(8).is_ok());
+  EXPECT_EQ(sol.item_count(), 49u);
+}
+
+// Key deletion alone kills the data even if the server keeps the blob.
+TEST_F(BaselineTest, IndividualKeyDeadWithoutServerCooperation) {
+  IndividualKeySolution sol(counting_, rnd_, HashAlg::kSha1, 2);
+  ASSERT_TRUE(sol.outsource(5, [](std::size_t i) { return payload_for(i); }));
+  // Malicious server: re-insert the ciphertext after the delete request.
+  const Bytes kept = server_.kv_get(2, 3).value();
+  ASSERT_TRUE(sol.erase_item(3));
+  server_.kv_put(2, 3, kept);  // server "undeletes" the blob
+  // The key is gone client-side; access refuses.
+  EXPECT_EQ(sol.access(3).code(), Errc::kNotFound);
+}
+
+// Head-to-head shape of Table II on a small instance: our scheme's deletion
+// moves O(log n) bytes, master-key moves O(n), individual-key moves O(1)
+// but stores O(n) keys.
+TEST_F(BaselineTest, TableTwoShapeHolds) {
+  const std::size_t n = 256;
+  // Master-key baseline.
+  std::uint64_t mk_bytes;
+  {
+    MasterKeySolution sol(counting_, rnd_, HashAlg::kSha1, 10);
+    ASSERT_TRUE(
+        sol.outsource(n, [](std::size_t i) { return payload_for(i); }));
+    counting_.reset();
+    ASSERT_TRUE(sol.erase_item(n / 2));
+    mk_bytes = counting_.total_bytes();
+    EXPECT_EQ(sol.client_storage_bytes(), 16u);
+  }
+  // Individual-key baseline.
+  std::uint64_t ik_bytes;
+  std::size_t ik_storage;
+  {
+    IndividualKeySolution sol(counting_, rnd_, HashAlg::kSha1, 11);
+    ASSERT_TRUE(
+        sol.outsource(n, [](std::size_t i) { return payload_for(i); }));
+    counting_.reset();
+    ASSERT_TRUE(sol.erase_item(n / 2));
+    ik_bytes = counting_.total_bytes();
+    ik_storage = sol.client_storage_bytes();
+  }
+  // Our scheme.
+  std::uint64_t ours_bytes;
+  {
+    SystemRandom rnd;
+    fgad::client::Client c(counting_, rnd);
+    auto fh = c.outsource(99, n, [](std::size_t i) { return payload_for(i); });
+    ASSERT_TRUE(fh.is_ok());
+    counting_.reset();
+    ASSERT_TRUE(c.erase_item(fh.value(), proto::ItemRef::ordinal(n / 2)));
+    ours_bytes = counting_.total_bytes();
+  }
+  // Orderings from Table I/II.
+  EXPECT_LT(ik_bytes, ours_bytes);
+  EXPECT_LT(ours_bytes, mk_bytes / 4);
+  EXPECT_EQ(ik_storage, n * 16u);
+}
+
+}  // namespace
+}  // namespace fgad::baselines

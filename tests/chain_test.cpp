@@ -1,0 +1,130 @@
+// Modulated hash chain: definition equivalences and Lemma 1.
+#include <gtest/gtest.h>
+
+#include "core/chain.h"
+#include "crypto/random.h"
+
+namespace fgad::core {
+namespace {
+
+using crypto::DeterministicRandom;
+using crypto::Md;
+
+ModList random_mods(DeterministicRandom& rnd, std::size_t l, std::size_t w) {
+  ModList mods(l);
+  for (auto& m : mods) {
+    m = rnd.random_md(w);
+  }
+  return mods;
+}
+
+TEST(Chain, EmptyListIsIdentity) {
+  ModulatedHashChain chain(HashAlg::kSha1);
+  DeterministicRandom rnd(1);
+  const Md k = rnd.random_md(20);
+  EXPECT_EQ(chain.eval(k, {}), k);  // F(K, <>) = K
+}
+
+TEST(Chain, SingleStepMatchesDefinition) {
+  ModulatedHashChain chain(HashAlg::kSha1);
+  DeterministicRandom rnd(2);
+  const Md k = rnd.random_md(20);
+  const Md x = rnd.random_md(20);
+  // F(K, <x>) = H(K ^ x)
+  Md input = k;
+  input ^= x;
+  EXPECT_EQ(chain.eval(k, std::vector<Md>{x}),
+            crypto::hash_oneshot(HashAlg::kSha1, input.bytes()));
+}
+
+TEST(Chain, RecursiveAndIterativeAgree) {
+  ModulatedHashChain chain(HashAlg::kSha1);
+  DeterministicRandom rnd(3);
+  const Md k = rnd.random_md(20);
+  const ModList mods = random_mods(rnd, 9, 20);
+  // Recursive: F(K, M^(i)) = H(F(K, M^(i-1)) ^ x_i)
+  Md cur = k;
+  for (const Md& x : mods) {
+    cur = chain.step(cur, x);
+  }
+  EXPECT_EQ(chain.eval(k, mods), cur);
+}
+
+TEST(Chain, PrefixesMatchEval) {
+  ModulatedHashChain chain(HashAlg::kSha256);
+  DeterministicRandom rnd(4);
+  const Md k = rnd.random_md(32);
+  const ModList mods = random_mods(rnd, 7, 32);
+  const auto prefixes = chain.prefixes(k, mods);
+  ASSERT_EQ(prefixes.size(), mods.size() + 1);
+  for (std::size_t i = 0; i <= mods.size(); ++i) {
+    EXPECT_EQ(prefixes[i],
+              chain.eval(k, std::span<const Md>(mods.data(), i)))
+        << "prefix " << i;
+  }
+}
+
+// Lemma 1: for every position i, substituting
+// x_i' = x_i ^ F(K,M^(i-1)) ^ F(K',M^(i-1)) keeps the output unchanged
+// under the new master key.
+TEST(Chain, Lemma1HoldsAtEveryPosition) {
+  for (const HashAlg alg : {HashAlg::kSha1, HashAlg::kSha256}) {
+    ModulatedHashChain chain(alg);
+    const std::size_t w = chain.width();
+    DeterministicRandom rnd(5);
+    const Md k_old = rnd.random_md(w);
+    const Md k_new = rnd.random_md(w);
+    const ModList mods = random_mods(rnd, 8, w);
+    const Md target = chain.eval(k_old, mods);
+    const auto pre_old = chain.prefixes(k_old, mods);
+    const auto pre_new = chain.prefixes(k_new, mods);
+    for (std::size_t i = 0; i < mods.size(); ++i) {
+      ModList adjusted = mods;
+      adjusted[i] = ModulatedHashChain::adjusted_modulator(
+          mods[i], pre_old[i], pre_new[i]);
+      EXPECT_EQ(chain.eval(k_new, adjusted), target)
+          << hash_alg_name(alg) << " position " << i;
+      // And the unadjusted list under the new key differs (the dead chain).
+      EXPECT_NE(chain.eval(k_new, mods), target);
+    }
+  }
+}
+
+// Changing any single modulator without compensation changes the output.
+TEST(Chain, SensitiveToEveryModulator) {
+  ModulatedHashChain chain(HashAlg::kSha1);
+  DeterministicRandom rnd(6);
+  const Md k = rnd.random_md(20);
+  const ModList mods = random_mods(rnd, 6, 20);
+  const Md base = chain.eval(k, mods);
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    ModList tweaked = mods;
+    tweaked[i].mutable_bytes()[0] ^= 1;
+    EXPECT_NE(chain.eval(k, tweaked), base) << "position " << i;
+  }
+}
+
+// Chain outputs have the digest width and differ across keys.
+TEST(Chain, OutputWidthAndKeySeparation) {
+  ModulatedHashChain chain(HashAlg::kSha1);
+  DeterministicRandom rnd(7);
+  const ModList mods = random_mods(rnd, 4, 20);
+  const Md k1 = rnd.random_md(20);
+  const Md k2 = rnd.random_md(20);
+  EXPECT_EQ(chain.eval(k1, mods).size(), 20u);
+  EXPECT_NE(chain.eval(k1, mods), chain.eval(k2, mods));
+}
+
+// Order of modulators matters (it is a chain, not a set).
+TEST(Chain, OrderSensitive) {
+  ModulatedHashChain chain(HashAlg::kSha1);
+  DeterministicRandom rnd(8);
+  const Md k = rnd.random_md(20);
+  ModList mods = random_mods(rnd, 5, 20);
+  const Md base = chain.eval(k, mods);
+  std::swap(mods[1], mods[3]);
+  EXPECT_NE(chain.eval(k, mods), base);
+}
+
+}  // namespace
+}  // namespace fgad::core

@@ -1,0 +1,255 @@
+// End-to-end client/server integration over all three transports.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "net/inmemory.h"
+#include "net/tcp.h"
+#include "support/harness.h"
+
+namespace fgad {
+namespace {
+
+using client::Client;
+using cloud::CloudServer;
+using crypto::SystemRandom;
+using test::payload_for;
+
+// Assembles server + chosen transport + client and runs the same scenario.
+class Stack {
+ public:
+  enum class Transport { kDirect, kPipe, kTcp };
+
+  explicit Stack(Transport t) : transport_(t) {
+    switch (t) {
+      case Transport::kDirect:
+        channel_ = std::make_unique<net::DirectChannel>(
+            [this](BytesView req) { return server_.handle(req); });
+        break;
+      case Transport::kPipe:
+        pump_ = std::make_unique<net::ServerPump>(
+            pipe_, [this](BytesView req) { return server_.handle(req); });
+        channel_ = std::make_unique<net::PipeChannel>(pipe_);
+        break;
+      case Transport::kTcp:
+        tcp_server_ = std::make_unique<net::TcpServer>(
+            0, [this](BytesView req) { return server_.handle(req); });
+        EXPECT_TRUE(tcp_server_->ok());
+        auto ch = net::TcpChannel::connect("127.0.0.1", tcp_server_->port());
+        EXPECT_TRUE(ch.is_ok());
+        channel_ = std::move(ch).value();
+        break;
+    }
+    client_ = std::make_unique<Client>(*channel_, rnd_);
+  }
+
+  ~Stack() {
+    client_.reset();
+    channel_.reset();
+    if (pump_) pump_->stop();
+    if (tcp_server_) tcp_server_->stop();
+  }
+
+  Client& client() { return *client_; }
+  CloudServer& server() { return server_; }
+
+ private:
+  Transport transport_;
+  CloudServer server_;
+  SystemRandom rnd_;
+  net::Pipe pipe_;
+  std::unique_ptr<net::ServerPump> pump_;
+  std::unique_ptr<net::TcpServer> tcp_server_;
+  std::unique_ptr<net::RpcChannel> channel_;
+  std::unique_ptr<Client> client_;
+};
+
+class Transports
+    : public ::testing::TestWithParam<Stack::Transport> {};
+
+TEST_P(Transports, FullLifecycle) {
+  Stack stack(GetParam());
+  Client& c = stack.client();
+
+  // Outsource 12 items.
+  std::vector<Bytes> items;
+  for (int i = 0; i < 12; ++i) items.push_back(payload_for(i));
+  auto fh = c.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+
+  // Access every item.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    auto got = c.access(fh.value(), proto::ItemRef::id(i));
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), items[i]);
+  }
+
+  // Modify one.
+  ASSERT_TRUE(c.modify(fh.value(), 4, to_bytes("modified content")));
+  EXPECT_EQ(to_string(c.access(fh.value(), proto::ItemRef::id(4)).value()),
+            "modified content");
+
+  // Insert two.
+  auto id_a = c.insert(fh.value(), to_bytes("inserted A"));
+  ASSERT_TRUE(id_a.is_ok());
+  auto id_b = c.insert(fh.value(), to_bytes("inserted B"), /*after=*/3);
+  ASSERT_TRUE(id_b.is_ok());
+  EXPECT_EQ(to_string(c.access(fh.value(), proto::ItemRef::id(id_a.value()))
+                          .value()),
+            "inserted A");
+
+  // Order check: B sits right after item 3.
+  auto ids = c.list_items(fh.value());
+  ASSERT_TRUE(ids.is_ok());
+  const auto pos3 = std::find(ids.value().begin(), ids.value().end(), 3u);
+  ASSERT_NE(pos3, ids.value().end());
+  EXPECT_EQ(*(pos3 + 1), id_b.value());
+
+  // Assured deletion of items 0 and 7.
+  ASSERT_TRUE(c.erase_item(fh.value(), proto::ItemRef::id(0)));
+  ASSERT_TRUE(c.erase_item(fh.value(), proto::ItemRef::id(7)));
+  EXPECT_EQ(c.access(fh.value(), proto::ItemRef::id(0)).code(),
+            Errc::kNotFound);
+
+  // Everything else is intact.
+  for (std::uint64_t i : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 9u, 10u, 11u}) {
+    auto got = c.access(fh.value(), proto::ItemRef::id(i));
+    ASSERT_TRUE(got.is_ok()) << i;
+  }
+
+  // Whole-file fetch matches.
+  auto fetched = c.fetch_all(fh.value());
+  ASSERT_TRUE(fetched.is_ok());
+  EXPECT_EQ(fetched.value().items.size(), 12u);  // 12 + 2 - 2
+
+  // Drop the file.
+  ASSERT_TRUE(c.drop_file(fh.value()));
+  EXPECT_TRUE(fh.value().key.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Transports,
+                         ::testing::Values(Stack::Transport::kDirect,
+                                           Stack::Transport::kPipe,
+                                           Stack::Transport::kTcp));
+
+TEST(ClientIntegration, AccessByOrdinal) {
+  Stack stack(Stack::Transport::kDirect);
+  Client& c = stack.client();
+  std::vector<Bytes> items = {to_bytes("first"), to_bytes("second"),
+                              to_bytes("third")};
+  auto fh = c.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  EXPECT_EQ(to_string(c.access(fh.value(), proto::ItemRef::ordinal(1)).value()),
+            "second");
+}
+
+TEST(ClientIntegration, EmptyFileGrows) {
+  Stack stack(Stack::Transport::kDirect);
+  Client& c = stack.client();
+  auto fh = c.outsource(1, std::span<const Bytes>{});
+  ASSERT_TRUE(fh.is_ok());
+  auto id = c.insert(fh.value(), to_bytes("lonely"));
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_EQ(to_string(c.access(fh.value(), proto::ItemRef::id(id.value()))
+                          .value()),
+            "lonely");
+  ASSERT_TRUE(c.erase_item(fh.value(), proto::ItemRef::id(id.value())));
+  EXPECT_EQ(c.access(fh.value(), proto::ItemRef::id(id.value())).code(),
+            Errc::kNotFound);
+}
+
+TEST(ClientIntegration, MasterKeyRotatesOnDelete) {
+  Stack stack(Stack::Transport::kDirect);
+  Client& c = stack.client();
+  std::vector<Bytes> items = {to_bytes("a"), to_bytes("b"), to_bytes("c")};
+  auto fh = c.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  const crypto::Md before = fh.value().key.value();
+  ASSERT_TRUE(c.erase_item(fh.value(), proto::ItemRef::id(1)));
+  EXPECT_NE(fh.value().key.value(), before);
+}
+
+TEST(ClientIntegration, CounterIsGloballyUnique) {
+  Stack stack(Stack::Transport::kDirect);
+  Client& c = stack.client();
+  std::vector<Bytes> items = {to_bytes("a"), to_bytes("b")};
+  auto f1 = c.outsource(1, items);
+  auto f2 = c.outsource(2, items);
+  ASSERT_TRUE(f1.is_ok());
+  ASSERT_TRUE(f2.is_ok());
+  // File 2's ids continue after file 1's.
+  auto ids2 = c.list_items(f2.value());
+  ASSERT_TRUE(ids2.is_ok());
+  EXPECT_EQ(ids2.value(), (std::vector<std::uint64_t>{2, 3}));
+  auto id = c.insert(f1.value(), to_bytes("x"));
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_EQ(id.value(), 4u);
+}
+
+TEST(ClientIntegration, ManyOperationsStayConsistent) {
+  Stack stack(Stack::Transport::kDirect);
+  Client& c = stack.client();
+  std::vector<Bytes> items;
+  for (int i = 0; i < 40; ++i) items.push_back(payload_for(i));
+  auto fh = c.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  Xoshiro256 rng(2024);
+  std::vector<std::uint64_t> live;
+  for (std::uint64_t i = 0; i < 40; ++i) live.push_back(i);
+  for (int round = 0; round < 60; ++round) {
+    if (!live.empty() && rng.next_below(2) == 0) {
+      const std::size_t idx = rng.next_below(live.size());
+      ASSERT_TRUE(c.erase_item(fh.value(), proto::ItemRef::id(live[idx])));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      auto id = c.insert(fh.value(), payload_for(500 + round));
+      ASSERT_TRUE(id.is_ok());
+      live.push_back(id.value());
+    }
+  }
+  for (std::uint64_t id : live) {
+    ASSERT_TRUE(c.access(fh.value(), proto::ItemRef::id(id)).is_ok()) << id;
+  }
+  auto ids = c.list_items(fh.value());
+  ASSERT_TRUE(ids.is_ok());
+  EXPECT_EQ(ids.value().size(), live.size());
+}
+
+TEST(ClientIntegration, ComputeTimerAdvances) {
+  Stack stack(Stack::Transport::kDirect);
+  Client& c = stack.client();
+  std::vector<Bytes> items(8, to_bytes("payload"));
+  auto fh = c.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  const double after_outsource = c.compute_timer().total_seconds();
+  EXPECT_GT(after_outsource, 0.0);
+  ASSERT_TRUE(c.erase_item(fh.value(), proto::ItemRef::ordinal(0)));
+  EXPECT_GT(c.compute_timer().total_seconds(), after_outsource);
+}
+
+TEST(ClientIntegration, CommOverheadIsLogarithmic) {
+  // Counting channel around a direct stack: deletion bytes at n=64 vs
+  // n=4096 should grow like log n (factor ~2), not like n (factor 64).
+  auto run = [](std::size_t n) -> std::uint64_t {
+    CloudServer server;
+    net::DirectChannel direct(
+        [&server](BytesView req) { return server.handle(req); });
+    net::CountingChannel counting(direct);
+    SystemRandom rnd;
+    Client c(counting, rnd);
+    auto fh = c.outsource(1, n, [](std::size_t i) { return payload_for(i); });
+    EXPECT_TRUE(fh.is_ok());
+    counting.reset();
+    EXPECT_TRUE(c.erase_item(fh.value(), proto::ItemRef::ordinal(n / 2)));
+    return counting.total_bytes();
+  };
+  const std::uint64_t small = run(64);
+  const std::uint64_t big = run(4096);
+  EXPECT_GT(big, small);
+  EXPECT_LT(big, small * 4);  // logarithmic, not linear
+}
+
+}  // namespace
+}  // namespace fgad

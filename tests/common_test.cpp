@@ -1,0 +1,160 @@
+// Common substrate: byte utilities, deterministic RNG, Result/Status.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace fgad {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(b), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), b);
+  EXPECT_EQ(from_hex("0001ABFF7F"), b);  // upper-case accepted
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0xff, 0x00, 0x55};
+  const Bytes b = {0x0f, 0xf0, 0x55};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(Bytes, XorIntoLengthMismatchThrows) {
+  Bytes a = {1, 2};
+  const Bytes b = {1, 2, 3};
+  EXPECT_THROW(xor_into(a, b), std::invalid_argument);
+}
+
+TEST(Bytes, StringConversion) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, Append) {
+  Bytes a = to_bytes("ab");
+  append(a, to_bytes("cd"));
+  EXPECT_EQ(to_string(a), "abcd");
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next() == b.next());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, FillCoversAllLengths) {
+  Xoshiro256 rng(9);
+  for (std::size_t n = 0; n <= 24; ++n) {
+    Bytes buf(n, 0);
+    rng.fill(buf);
+    if (n >= 8) {
+      // Overwhelmingly unlikely to remain all-zero.
+      bool nonzero = false;
+      for (auto b : buf) nonzero |= (b != 0);
+      EXPECT_TRUE(nonzero) << "n=" << n;
+    }
+  }
+}
+
+TEST(Result, StatusOk) {
+  const Status st = Status::ok();
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_TRUE(static_cast<bool>(st));
+  EXPECT_EQ(st.code(), Errc::kOk);
+  EXPECT_EQ(st.to_string(), "OK");
+}
+
+TEST(Result, StatusError) {
+  const Status st(Errc::kNotFound, "missing");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::kNotFound);
+  EXPECT_EQ(st.error().message, "missing");
+  EXPECT_EQ(st.to_string(), "NOT_FOUND: missing");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.code(), Errc::kOk);
+
+  Result<int> bad = Error(Errc::kDecodeError, "nope");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), Errc::kDecodeError);
+  EXPECT_EQ(bad.status().to_string(), "DECODE_ERROR: nope");
+}
+
+TEST(Result, MoveValueOut) {
+  Result<Bytes> r = to_bytes("payload");
+  Bytes b = std::move(r).value();
+  EXPECT_EQ(to_string(b), "payload");
+}
+
+TEST(Result, ErrcNamesAreStable) {
+  EXPECT_STREQ(errc_name(Errc::kTamperDetected), "TAMPER_DETECTED");
+  EXPECT_STREQ(errc_name(Errc::kDuplicateModulator), "DUPLICATE_MODULATOR");
+  EXPECT_STREQ(errc_name(Errc::kIntegrityMismatch), "INTEGRITY_MISMATCH");
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  // Just sanity: time is monotone and non-negative.
+  const double t1 = sw.elapsed_seconds();
+  const double t2 = sw.elapsed_seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(CumulativeTimer, AccumulatesSections) {
+  CumulativeTimer t;
+  EXPECT_EQ(t.total_seconds(), 0.0);
+  {
+    CumulativeTimer::Section s(t);
+  }
+  {
+    CumulativeTimer::Section s(t);
+  }
+  EXPECT_GT(t.total_seconds(), 0.0);
+  t.reset();
+  EXPECT_EQ(t.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fgad

@@ -1,0 +1,84 @@
+// Model-based fuzzing: long random operation sequences (delete / insert /
+// access / full verification) against the harness's reference model, across
+// seeds, hash algorithms, and starting sizes.
+#include <gtest/gtest.h>
+
+#include "support/harness.h"
+
+namespace fgad::test {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::size_t start_n;
+  int ops;
+  HashAlg alg;
+};
+
+class FuzzModel : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzModel, RandomOpsMatchModel) {
+  const FuzzCase c = GetParam();
+  Harness h(c.alg, c.seed);
+  h.outsource(c.start_n);
+  Xoshiro256 rng(c.seed * 7919 + 13);
+  int next_payload = 100000;
+  for (int op = 0; op < c.ops; ++op) {
+    const auto ids = h.live_ids();
+    const std::uint64_t dice = rng.next_below(10);
+    if (dice < 4 && !ids.empty()) {
+      // delete a random live item
+      ASSERT_TRUE(h.erase(ids[rng.next_below(ids.size())])) << "op " << op;
+    } else if (dice < 7) {
+      ASSERT_TRUE(h.insert(payload_for(next_payload++)).is_ok())
+          << "op " << op;
+    } else if (!ids.empty()) {
+      // access a random live item and check its content
+      const std::uint64_t id = ids[rng.next_below(ids.size())];
+      auto got = h.access(id);
+      ASSERT_TRUE(got.is_ok()) << "op " << op;
+      EXPECT_EQ(got.value(), h.expected_payload(id)) << "op " << op;
+    }
+    // Full-state verification every few ops keeps runtime reasonable while
+    // still catching corruption close to its source.
+    if (op % 5 == 4) {
+      h.verify_all();
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+  h.verify_all();
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    cases.push_back(FuzzCase{seed, 1 + seed * 7 % 30, 120, HashAlg::kSha1});
+  }
+  cases.push_back(FuzzCase{11, 0, 120, HashAlg::kSha1});
+  cases.push_back(FuzzCase{12, 200, 80, HashAlg::kSha1});
+  cases.push_back(FuzzCase{13, 16, 100, HashAlg::kSha256});
+  cases.push_back(FuzzCase{14, 1, 100, HashAlg::kSha256});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzModel, ::testing::ValuesIn(fuzz_cases()));
+
+// Duplicate tracking disabled must behave identically for honest parties.
+TEST(FuzzModel, NoDuplicateTrackingSameBehaviour) {
+  Harness h(HashAlg::kSha1, 55, /*track_duplicates=*/false);
+  h.outsource(25);
+  Xoshiro256 rng(55);
+  int next_payload = 5000;
+  for (int op = 0; op < 60; ++op) {
+    const auto ids = h.live_ids();
+    if (!ids.empty() && rng.next_below(2) == 0) {
+      ASSERT_TRUE(h.erase(ids[rng.next_below(ids.size())]));
+    } else {
+      ASSERT_TRUE(h.insert(payload_for(next_payload++)).is_ok());
+    }
+  }
+  h.verify_all();
+}
+
+}  // namespace
+}  // namespace fgad::test

@@ -1,0 +1,104 @@
+// Heap-array tree geometry (node_id.h).
+#include <gtest/gtest.h>
+
+#include "core/node_id.h"
+
+namespace fgad::core {
+namespace {
+
+TEST(Geometry, RootAndChildren) {
+  EXPECT_EQ(root_id(), 0u);
+  EXPECT_TRUE(is_root(0));
+  EXPECT_FALSE(is_root(1));
+  EXPECT_EQ(left_child(0), 1u);
+  EXPECT_EQ(right_child(0), 2u);
+  EXPECT_EQ(left_child(3), 7u);
+  EXPECT_EQ(right_child(3), 8u);
+}
+
+TEST(Geometry, ParentInvertsChildren) {
+  for (NodeId v = 0; v < 1000; ++v) {
+    EXPECT_EQ(parent_of(left_child(v)), v);
+    EXPECT_EQ(parent_of(right_child(v)), v);
+  }
+}
+
+TEST(Geometry, Siblings) {
+  EXPECT_EQ(sibling_of(1), 2u);
+  EXPECT_EQ(sibling_of(2), 1u);
+  EXPECT_EQ(sibling_of(7), 8u);
+  EXPECT_EQ(sibling_of(8), 7u);
+  for (NodeId v = 1; v < 1000; ++v) {
+    EXPECT_EQ(sibling_of(sibling_of(v)), v);
+    EXPECT_EQ(parent_of(sibling_of(v)), parent_of(v));
+  }
+}
+
+TEST(Geometry, LeafPredicate) {
+  // 7 nodes: internal 0,1,2; leaves 3..6.
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_FALSE(is_leaf_in(v, 7)) << v;
+  }
+  for (NodeId v = 3; v < 7; ++v) {
+    EXPECT_TRUE(is_leaf_in(v, 7)) << v;
+  }
+  // Single node tree: root is a leaf.
+  EXPECT_TRUE(is_leaf_in(0, 1));
+}
+
+TEST(Geometry, LeafAndNodeCounts) {
+  EXPECT_EQ(node_count_for(0), 0u);
+  EXPECT_EQ(node_count_for(1), 1u);
+  EXPECT_EQ(node_count_for(4), 7u);
+  EXPECT_EQ(node_count_for(5), 9u);
+  for (std::size_t n = 0; n < 500; ++n) {
+    EXPECT_EQ(leaf_count_of(node_count_for(n)), n);
+  }
+}
+
+TEST(Geometry, LeavesAreExactlyTheTail) {
+  // In a heap of 2n-1 nodes the leaves are exactly ids >= n-1.
+  for (std::size_t n = 1; n < 200; ++n) {
+    const std::size_t nodes = node_count_for(n);
+    for (NodeId v = 0; v < nodes; ++v) {
+      EXPECT_EQ(is_leaf_in(v, nodes), v >= n - 1) << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(Geometry, Depth) {
+  EXPECT_EQ(depth_of(0), 0u);
+  EXPECT_EQ(depth_of(1), 1u);
+  EXPECT_EQ(depth_of(2), 1u);
+  EXPECT_EQ(depth_of(3), 2u);
+  EXPECT_EQ(depth_of(6), 2u);
+  EXPECT_EQ(depth_of(7), 3u);
+  // Depth grows logarithmically.
+  EXPECT_EQ(depth_of((1u << 20) - 1), 20u);
+}
+
+TEST(Geometry, AncestorPredicate) {
+  EXPECT_TRUE(is_ancestor_or_self(0, 0));
+  EXPECT_TRUE(is_ancestor_or_self(0, 12345));
+  EXPECT_TRUE(is_ancestor_or_self(1, 3));
+  EXPECT_TRUE(is_ancestor_or_self(1, 4));
+  EXPECT_FALSE(is_ancestor_or_self(1, 5));
+  EXPECT_FALSE(is_ancestor_or_self(2, 3));
+  EXPECT_FALSE(is_ancestor_or_self(3, 1));
+}
+
+TEST(Geometry, EveryInternalNodeHasTwoChildrenInOddHeaps) {
+  // With an odd node count, no node has exactly one child — the paper's
+  // "each internal node having two children" invariant.
+  for (std::size_t n = 1; n < 100; ++n) {
+    const std::size_t nodes = node_count_for(n);
+    for (NodeId v = 0; v < nodes; ++v) {
+      if (!is_leaf_in(v, nodes)) {
+        EXPECT_LT(right_child(v), nodes) << "n=" << n << " v=" << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgad::core

@@ -1,0 +1,150 @@
+// Insertion (Section IV-E): splitting the first leaf of the deepest
+// incomplete level keeps every existing key unchanged.
+#include <gtest/gtest.h>
+
+#include "support/harness.h"
+
+namespace fgad::test {
+namespace {
+
+class InsertGrow : public ::testing::TestWithParam<std::size_t> {};
+
+// Growing a tree from n to n + 8 items one insert at a time preserves all
+// existing keys and contents at every step.
+TEST_P(InsertGrow, PreservesExistingKeys) {
+  const std::size_t n = GetParam();
+  Harness h(HashAlg::kSha1, 100 + n);
+  h.outsource(n);
+  for (int i = 0; i < 8; ++i) {
+    auto id = h.insert(payload_for(1000 + i));
+    ASSERT_TRUE(id.is_ok());
+    h.verify_all();
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_EQ(h.store().tree().leaf_count(), n + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InsertGrow,
+                         ::testing::Values(0, 1, 2, 3, 4, 7, 8, 15, 33));
+
+// Insertion into the empty tree creates a single root leaf.
+TEST(InsertShape, EmptyTreeMakesRootLeaf) {
+  Harness h;
+  h.outsource(0);
+  ASSERT_TRUE(h.insert(payload_for(0)).is_ok());
+  EXPECT_EQ(h.store().tree().node_count(), 1u);
+  EXPECT_TRUE(h.store().tree().is_leaf(0));
+  h.verify_all();
+}
+
+// Each insertion adds exactly two nodes and one leaf.
+TEST(InsertShape, NodeCountGrowsByTwo) {
+  Harness h(HashAlg::kSha1, 4);
+  h.outsource(5);
+  const std::size_t nodes = h.store().tree().node_count();
+  ASSERT_TRUE(h.insert(payload_for(50)).is_ok());
+  EXPECT_EQ(h.store().tree().node_count(), nodes + 2);
+  EXPECT_EQ(h.store().tree().leaf_count(), 6u);
+}
+
+// The split point is the paper's: first leaf of the deepest incomplete
+// level, i.e. heap slot (node_count-1)/2.
+TEST(InsertShape, SplitsFirstShallowLeaf) {
+  Harness h(HashAlg::kSha1, 4);
+  h.outsource(4);  // perfect tree of 7 nodes; leaves 3,4,5,6
+  EXPECT_EQ(h.store().tree().insert_parent(), 3u);
+  ASSERT_TRUE(h.insert(payload_for(9)).is_ok());
+  // Now 9 nodes; old leaf 3 became internal; next insert splits leaf 4.
+  EXPECT_FALSE(h.store().tree().is_leaf(3));
+  EXPECT_EQ(h.store().tree().insert_parent(), 4u);
+}
+
+// Interleaved inserts and deletes across many rounds.
+TEST(InsertDeleteMix, Interleaved) {
+  Harness h(HashAlg::kSha1, 17);
+  h.outsource(10);
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 40; ++round) {
+    const auto ids = h.live_ids();
+    if (!ids.empty() && rng.next_below(2) == 0) {
+      ASSERT_TRUE(h.erase(ids[rng.next_below(ids.size())]));
+    } else {
+      ASSERT_TRUE(h.insert(payload_for(2000 + round)).is_ok());
+    }
+    h.verify_all();
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// Shrink to empty then grow again.
+TEST(InsertDeleteMix, DrainAndRefill) {
+  Harness h(HashAlg::kSha1, 23);
+  h.outsource(3);
+  for (std::uint64_t id : h.live_ids()) {
+    ASSERT_TRUE(h.erase(id));
+  }
+  EXPECT_EQ(h.store().tree().node_count(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(h.insert(payload_for(3000 + i)).is_ok());
+  }
+  h.verify_all();
+  EXPECT_EQ(h.store().tree().leaf_count(), 5u);
+}
+
+// Stale insert point: commit against an outdated q is rejected.
+TEST(InsertValidation, StaleInsertPoint) {
+  Harness h(HashAlg::kSha1, 31);
+  h.outsource(4);
+  const core::InsertInfo info = h.store().insert_begin();
+  auto plan = h.math().plan_insert(info, h.master().value(), h.rnd());
+  ASSERT_TRUE(plan.is_ok());
+  // Another insert lands first.
+  ASSERT_TRUE(h.insert(payload_for(7)).is_ok());
+  plan.value().commit.item_id = 424242;
+  plan.value().commit.ciphertext = h.codec().seal(
+      plan.value().item_key, payload_for(8), 424242, h.rnd());
+  EXPECT_EQ(h.store().insert_commit(plan.value().commit).code(),
+            Errc::kInvalidArgument);
+  h.verify_all();
+}
+
+// Duplicate modulators in a commit are rejected when tracking is on.
+TEST(InsertValidation, DuplicateModulatorRejected) {
+  Harness h(HashAlg::kSha1, 37);
+  h.outsource(4);
+  const core::InsertInfo info = h.store().insert_begin();
+  auto plan = h.math().plan_insert(info, h.master().value(), h.rnd());
+  ASSERT_TRUE(plan.is_ok());
+  auto commit = plan.value().commit;
+  // Reuse an existing tree modulator as the new link.
+  commit.left_link = h.store().tree().link_mod(1);
+  commit.item_id = 5555;
+  commit.ciphertext =
+      h.codec().seal(plan.value().item_key, payload_for(1), 5555, h.rnd());
+  EXPECT_EQ(h.store().insert_commit(commit).code(),
+            Errc::kDuplicateModulator);
+  h.verify_all();
+}
+
+// Insert positions: after a given item id, order is respected.
+TEST(InsertOrder, InsertAfter) {
+  Harness h(HashAlg::kSha1, 41);
+  h.outsource(3);  // ids 0,1,2 in order
+  const core::InsertInfo info = h.store().insert_begin();
+  auto plan = h.math().plan_insert(info, h.master().value(), h.rnd());
+  ASSERT_TRUE(plan.is_ok());
+  plan.value().commit.item_id = 100;
+  plan.value().commit.after_item_id = 0;
+  plan.value().commit.ciphertext =
+      h.codec().seal(plan.value().item_key, payload_for(100), 100, h.rnd());
+  ASSERT_TRUE(h.store().insert_commit(plan.value().commit));
+  const auto ids = h.store().items().ids_in_order();
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 100u);
+  EXPECT_EQ(ids[2], 1u);
+  EXPECT_EQ(ids[3], 2u);
+}
+
+}  // namespace
+}  // namespace fgad::test

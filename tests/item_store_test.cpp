@@ -1,0 +1,151 @@
+// Server-side ciphertext store: ordering, addressing, slot reuse.
+#include <gtest/gtest.h>
+
+#include "cloud/item_store.h"
+
+namespace fgad::cloud {
+namespace {
+
+TEST(ItemStore, InsertBackKeepsOrder) {
+  ItemStore s;
+  EXPECT_TRUE(s.empty());
+  ASSERT_TRUE(s.insert_back(10, to_bytes("a"), 3).is_ok());
+  ASSERT_TRUE(s.insert_back(11, to_bytes("b"), 4).is_ok());
+  ASSERT_TRUE(s.insert_back(12, to_bytes("c"), 5).is_ok());
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids_in_order(), (std::vector<std::uint64_t>{10, 11, 12}));
+}
+
+TEST(ItemStore, DuplicateIdRejected) {
+  ItemStore s;
+  ASSERT_TRUE(s.insert_back(1, {}, 0).is_ok());
+  EXPECT_EQ(s.insert_back(1, {}, 0).code(), Errc::kInvalidArgument);
+}
+
+TEST(ItemStore, FindAndOrdinal) {
+  ItemStore s;
+  for (std::uint64_t id : {5u, 6u, 7u, 8u}) {
+    ASSERT_TRUE(s.insert_back(id, to_bytes("x"), id).is_ok());
+  }
+  EXPECT_TRUE(s.find(7).has_value());
+  EXPECT_FALSE(s.find(99).has_value());
+  EXPECT_EQ(s.at(*s.slot_at(0)).item_id, 5u);
+  EXPECT_EQ(s.at(*s.slot_at(3)).item_id, 8u);
+  EXPECT_FALSE(s.slot_at(4).has_value());
+}
+
+TEST(ItemStore, InsertAfter) {
+  ItemStore s;
+  ASSERT_TRUE(s.insert_back(1, {}, 0).is_ok());
+  ASSERT_TRUE(s.insert_back(3, {}, 0).is_ok());
+  ASSERT_TRUE(s.insert_after(1, 2, {}, 0).is_ok());
+  EXPECT_EQ(s.ids_in_order(), (std::vector<std::uint64_t>{1, 2, 3}));
+  // After the tail.
+  ASSERT_TRUE(s.insert_after(3, 4, {}, 0).is_ok());
+  EXPECT_EQ(s.ids_in_order(), (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(s.insert_after(42, 5, {}, 0).code(), Errc::kNotFound);
+}
+
+TEST(ItemStore, EraseMiddleHeadTail) {
+  ItemStore s;
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(s.insert_back(id, to_bytes("v"), id).is_ok());
+  }
+  ASSERT_TRUE(s.erase(*s.find(2)));
+  EXPECT_EQ(s.ids_in_order(), (std::vector<std::uint64_t>{0, 1, 3, 4}));
+  ASSERT_TRUE(s.erase(*s.find(0)));
+  EXPECT_EQ(s.ids_in_order(), (std::vector<std::uint64_t>{1, 3, 4}));
+  ASSERT_TRUE(s.erase(*s.find(4)));
+  EXPECT_EQ(s.ids_in_order(), (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(ItemStore, EraseInvalidSlot) {
+  ItemStore s;
+  EXPECT_EQ(s.erase(0).code(), Errc::kNotFound);
+  ASSERT_TRUE(s.insert_back(1, {}, 0).is_ok());
+  const auto slot = *s.find(1);
+  ASSERT_TRUE(s.erase(slot));
+  EXPECT_EQ(s.erase(slot).code(), Errc::kNotFound);  // already freed
+}
+
+TEST(ItemStore, SlotReuse) {
+  ItemStore s;
+  ASSERT_TRUE(s.insert_back(1, {}, 0).is_ok());
+  ASSERT_TRUE(s.insert_back(2, {}, 0).is_ok());
+  const auto slot1 = *s.find(1);
+  ASSERT_TRUE(s.erase(slot1));
+  auto slot3 = s.insert_back(3, {}, 0);
+  ASSERT_TRUE(slot3.is_ok());
+  EXPECT_EQ(slot3.value(), slot1);  // freed slot reused
+  EXPECT_EQ(s.ids_in_order(), (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(ItemStore, LeafBackpointer) {
+  ItemStore s;
+  auto slot = s.insert_back(1, to_bytes("v"), 9);
+  ASSERT_TRUE(slot.is_ok());
+  EXPECT_EQ(s.at(slot.value()).leaf, 9u);
+  s.set_leaf(slot.value(), 17);
+  EXPECT_EQ(s.at(slot.value()).leaf, 17u);
+}
+
+TEST(ItemStore, CiphertextAccounting) {
+  ItemStore s;
+  ASSERT_TRUE(s.insert_back(1, Bytes(100, 0), 0).is_ok());
+  ASSERT_TRUE(s.insert_back(2, Bytes(50, 0), 0).is_ok());
+  EXPECT_EQ(s.ciphertext_bytes(), 150u);
+  ASSERT_TRUE(s.erase(*s.find(1)));
+  EXPECT_EQ(s.ciphertext_bytes(), 50u);
+  s.set_ciphertext(*s.find(2), Bytes(10, 0), /*plain_size=*/10);
+  EXPECT_EQ(s.at(*s.find(2)).ciphertext.size(), 10u);
+  EXPECT_EQ(s.ciphertext_bytes(), 10u);
+}
+
+TEST(ItemStore, ByteOffsetLookup) {
+  ItemStore s;
+  // Variable plaintext sizes: 100, 50, 200 bytes.
+  ASSERT_TRUE(s.insert_back(1, Bytes(110, 0), 0, 100).is_ok());
+  ASSERT_TRUE(s.insert_back(2, Bytes(60, 0), 0, 50).is_ok());
+  ASSERT_TRUE(s.insert_back(3, Bytes(210, 0), 0, 200).is_ok());
+  EXPECT_EQ(s.plaintext_bytes(), 350u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(0)).item_id, 1u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(99)).item_id, 1u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(100)).item_id, 2u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(149)).item_id, 2u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(150)).item_id, 3u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(349)).item_id, 3u);
+  EXPECT_FALSE(s.slot_at_offset(350).has_value());
+}
+
+TEST(ItemStore, ByteOffsetAfterDeleteAndModify) {
+  ItemStore s;
+  ASSERT_TRUE(s.insert_back(1, Bytes(10, 0), 0, 10).is_ok());
+  ASSERT_TRUE(s.insert_back(2, Bytes(10, 0), 0, 10).is_ok());
+  ASSERT_TRUE(s.insert_back(3, Bytes(10, 0), 0, 10).is_ok());
+  ASSERT_TRUE(s.erase(*s.find(2)));
+  // Offsets re-pack: [0,10) -> item 1, [10,20) -> item 3.
+  EXPECT_EQ(s.at(*s.slot_at_offset(15)).item_id, 3u);
+  EXPECT_EQ(s.plaintext_bytes(), 20u);
+  // A modify that grows an item shifts everything after it.
+  s.set_ciphertext(*s.find(1), Bytes(40, 0), 35);
+  EXPECT_EQ(s.plaintext_bytes(), 45u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(34)).item_id, 1u);
+  EXPECT_EQ(s.at(*s.slot_at_offset(35)).item_id, 3u);
+}
+
+TEST(ItemStore, WalkInOrder) {
+  ItemStore s;
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(s.insert_back(id, {}, 0).is_ok());
+  }
+  std::vector<std::uint64_t> seen;
+  for (auto slot = s.first(); slot != ItemStore::kNoSlot;
+       slot = s.next_of(slot)) {
+    seen.push_back(s.at(slot).item_id);
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fgad::cloud

@@ -1,0 +1,119 @@
+// Client keystore: sealed persistence of the client's secret state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "client/keystore.h"
+
+namespace fgad::client {
+namespace {
+
+using crypto::DeterministicRandom;
+using crypto::Md;
+
+Md key_of(std::uint64_t seed) {
+  DeterministicRandom rnd(seed);
+  return rnd.random_md(20);
+}
+
+TEST(Keystore, PutGetRemove) {
+  Keystore ks;
+  EXPECT_EQ(ks.size(), 0u);
+  ks.put(1, key_of(1));
+  ks.put(2, key_of(2));
+  EXPECT_TRUE(ks.contains(1));
+  EXPECT_EQ(ks.get(1).value(), key_of(1));
+  EXPECT_EQ(ks.get(3).code(), Errc::kNotFound);
+  // Replacement.
+  ks.put(1, key_of(10));
+  EXPECT_EQ(ks.get(1).value(), key_of(10));
+  EXPECT_EQ(ks.size(), 2u);
+  ASSERT_TRUE(ks.remove(1));
+  EXPECT_FALSE(ks.contains(1));
+  EXPECT_EQ(ks.remove(1).code(), Errc::kNotFound);
+  EXPECT_EQ(ks.file_ids(), (std::vector<std::uint64_t>{2}));
+}
+
+TEST(Keystore, SealUnsealRoundtrip) {
+  DeterministicRandom rnd(5);
+  Keystore ks;
+  ks.set_counter(12345);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ks.put(i, key_of(i));
+  }
+  const Bytes sealed = ks.seal("correct horse battery staple", rnd);
+  auto back = Keystore::unseal(sealed, "correct horse battery staple");
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().counter(), 12345u);
+  EXPECT_EQ(back.value().size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(back.value().get(i).value(), key_of(i));
+  }
+}
+
+TEST(Keystore, WrongPassphraseRejected) {
+  DeterministicRandom rnd(6);
+  Keystore ks;
+  ks.put(1, key_of(1));
+  const Bytes sealed = ks.seal("right", rnd);
+  auto back = Keystore::unseal(sealed, "wrong");
+  EXPECT_FALSE(back.is_ok());
+  EXPECT_EQ(back.code(), Errc::kIntegrityMismatch);
+}
+
+TEST(Keystore, TamperRejected) {
+  DeterministicRandom rnd(7);
+  Keystore ks;
+  ks.put(1, key_of(1));
+  ks.put(2, key_of(2));
+  const Bytes sealed = ks.seal("pw", rnd);
+  for (std::size_t i = 0; i < sealed.size(); i += 11) {
+    Bytes bad = sealed;
+    bad[i] ^= 0x04;
+    EXPECT_FALSE(Keystore::unseal(bad, "pw").is_ok()) << "flip at " << i;
+  }
+  // Truncation.
+  Bytes cut(sealed.begin(), sealed.begin() + 10);
+  EXPECT_FALSE(Keystore::unseal(cut, "pw").is_ok());
+}
+
+TEST(Keystore, EmptyKeystoreRoundtrip) {
+  DeterministicRandom rnd(8);
+  Keystore ks;
+  const Bytes sealed = ks.seal("pw", rnd);
+  auto back = Keystore::unseal(sealed, "pw");
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().size(), 0u);
+  EXPECT_EQ(back.value().counter(), 0u);
+}
+
+TEST(Keystore, FileRoundtrip) {
+  DeterministicRandom rnd(9);
+  Keystore ks;
+  ks.set_counter(777);
+  ks.put(42, key_of(42));
+  const std::string path = ::testing::TempDir() + "/fgad_keystore_test.bin";
+  ASSERT_TRUE(ks.save_to_file(path, "pw", rnd));
+  auto back = Keystore::load_from_file(path, "pw");
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().counter(), 777u);
+  EXPECT_EQ(back.value().get(42).value(), key_of(42));
+  EXPECT_FALSE(Keystore::load_from_file(path, "other").is_ok());
+  EXPECT_FALSE(
+      Keystore::load_from_file(path + ".nope", "pw").is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(Keystore, SaltMakesSealsDistinct) {
+  DeterministicRandom rnd(10);
+  Keystore ks;
+  ks.put(1, key_of(1));
+  const Bytes a = ks.seal("pw", rnd);
+  const Bytes b = ks.seal("pw", rnd);
+  EXPECT_NE(a, b);  // fresh salt + IV every time
+  EXPECT_TRUE(Keystore::unseal(a, "pw").is_ok());
+  EXPECT_TRUE(Keystore::unseal(b, "pw").is_ok());
+}
+
+}  // namespace
+}  // namespace fgad::client

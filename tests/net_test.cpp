@@ -1,0 +1,134 @@
+// Transports: direct, counting, in-memory pipe, TCP loopback.
+#include <gtest/gtest.h>
+
+#include "net/inmemory.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace fgad::net {
+namespace {
+
+Bytes echo_upper(BytesView req) {
+  Bytes out(req.begin(), req.end());
+  for (auto& b : out) {
+    if (b >= 'a' && b <= 'z') b -= 32;
+  }
+  return out;
+}
+
+TEST(DirectChannel, InvokesHandler) {
+  DirectChannel ch(echo_upper);
+  auto resp = ch.roundtrip(to_bytes("hello"));
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(to_string(resp.value()), "HELLO");
+}
+
+TEST(CountingChannel, CountsBothDirections) {
+  DirectChannel inner(echo_upper);
+  CountingChannel ch(inner);
+  ASSERT_TRUE(ch.roundtrip(to_bytes("abcd")).is_ok());
+  EXPECT_EQ(ch.bytes_sent(), 4u + kFrameHeaderSize);
+  EXPECT_EQ(ch.bytes_received(), 4u + kFrameHeaderSize);
+  EXPECT_EQ(ch.total_bytes(), 2 * (4u + kFrameHeaderSize));
+  EXPECT_EQ(ch.rpc_count(), 1u);
+  ch.reset();
+  EXPECT_EQ(ch.total_bytes(), 0u);
+}
+
+TEST(ByteQueue, PushPopOrder) {
+  ByteQueue q;
+  EXPECT_TRUE(q.push(to_bytes("a")));
+  EXPECT_TRUE(q.push(to_bytes("b")));
+  EXPECT_EQ(to_string(*q.pop()), "a");
+  EXPECT_EQ(to_string(*q.pop()), "b");
+}
+
+TEST(ByteQueue, CloseWakesAndDrains) {
+  ByteQueue q;
+  q.push(to_bytes("x"));
+  q.close();
+  EXPECT_FALSE(q.push(to_bytes("y")));
+  EXPECT_EQ(to_string(*q.pop()), "x");  // drained after close
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(PipeChannel, RoundtripThroughServerThread) {
+  Pipe pipe;
+  ServerPump pump(pipe, echo_upper);
+  PipeChannel ch(pipe);
+  for (int i = 0; i < 10; ++i) {
+    auto resp = ch.roundtrip(to_bytes("ping"));
+    ASSERT_TRUE(resp.is_ok());
+    EXPECT_EQ(to_string(resp.value()), "PING");
+  }
+  pump.stop();
+  EXPECT_FALSE(ch.roundtrip(to_bytes("late")).is_ok());
+}
+
+TEST(Tcp, RoundtripOverLoopback) {
+  TcpServer server(0, echo_upper);
+  ASSERT_TRUE(server.ok());
+  ASSERT_NE(server.port(), 0);
+  auto ch = TcpChannel::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(ch.is_ok());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = ch.value()->roundtrip(to_bytes("tcp message"));
+    ASSERT_TRUE(resp.is_ok());
+    EXPECT_EQ(to_string(resp.value()), "TCP MESSAGE");
+  }
+}
+
+TEST(Tcp, LargeFrames) {
+  TcpServer server(0, [](BytesView req) {
+    return Bytes(req.begin(), req.end());  // echo
+  });
+  ASSERT_TRUE(server.ok());
+  auto ch = TcpChannel::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(ch.is_ok());
+  Bytes big(1 << 20, 0xab);
+  auto resp = ch.value()->roundtrip(big);
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp.value(), big);
+}
+
+TEST(Tcp, EmptyFrame) {
+  TcpServer server(0, [](BytesView) { return Bytes{}; });
+  ASSERT_TRUE(server.ok());
+  auto ch = TcpChannel::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(ch.is_ok());
+  auto resp = ch.value()->roundtrip({});
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_TRUE(resp.value().empty());
+}
+
+TEST(Tcp, MultipleConcurrentClients) {
+  TcpServer server(0, echo_upper);
+  ASSERT_TRUE(server.ok());
+  auto a = TcpChannel::connect("127.0.0.1", server.port());
+  auto b = TcpChannel::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(to_string(a.value()->roundtrip(to_bytes("one")).value()), "ONE");
+  EXPECT_EQ(to_string(b.value()->roundtrip(to_bytes("two")).value()), "TWO");
+  EXPECT_EQ(to_string(a.value()->roundtrip(to_bytes("three")).value()),
+            "THREE");
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, close the server, then try to connect.
+  std::uint16_t port;
+  {
+    TcpServer server(0, echo_upper);
+    ASSERT_TRUE(server.ok());
+    port = server.port();
+  }
+  auto ch = TcpChannel::connect("127.0.0.1", port);
+  EXPECT_FALSE(ch.is_ok());
+}
+
+TEST(Tcp, BadHostRejected) {
+  EXPECT_FALSE(TcpChannel::connect("not-an-ip", 1).is_ok());
+}
+
+}  // namespace
+}  // namespace fgad::net

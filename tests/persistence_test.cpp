@@ -1,0 +1,143 @@
+// Server persistence: save/load the full cloud image (files + blob tables)
+// and continue operating across the "restart".
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "support/harness.h"
+
+namespace fgad::cloud {
+namespace {
+
+using client::Client;
+using crypto::SystemRandom;
+using test::payload_for;
+
+TEST(Persistence, FileStoreRoundtrip) {
+  test::Harness h(crypto::HashAlg::kSha1, 5);
+  h.outsource(17);
+  ASSERT_TRUE(h.erase(4));
+  ASSERT_TRUE(h.insert(payload_for(99)).is_ok());
+
+  proto::Writer w;
+  h.store().serialize(w);
+  proto::Reader r(w.data());
+  auto restored = FileStore::deserialize(r, /*track_duplicates=*/true);
+  ASSERT_TRUE(restored.is_ok());
+  ASSERT_TRUE(r.finish());
+
+  const FileStore& a = h.store();
+  const FileStore& b = restored.value();
+  ASSERT_EQ(b.item_count(), a.item_count());
+  ASSERT_EQ(b.tree().node_count(), a.tree().node_count());
+  EXPECT_EQ(b.items().ids_in_order(), a.items().ids_in_order());
+  // Every leaf's modulators and item linkage survive.
+  for (core::NodeId v = 0; v < a.tree().node_count(); ++v) {
+    if (v != 0) {
+      EXPECT_EQ(b.tree().link_mod(v), a.tree().link_mod(v));
+    }
+    if (a.tree().is_leaf(v)) {
+      EXPECT_EQ(b.tree().leaf_mod(v), a.tree().leaf_mod(v));
+      const auto slot_b = static_cast<std::uint32_t>(b.tree().item_slot(v));
+      EXPECT_EQ(b.items().at(slot_b).leaf, v);
+    }
+  }
+}
+
+TEST(Persistence, ServerImageRoundtripAndContinue) {
+  CloudServer server;
+  SystemRandom rnd;
+  net::DirectChannel ch([&server](BytesView req) { return server.handle(req); });
+  Client client(ch, rnd);
+
+  std::vector<Bytes> items;
+  for (int i = 0; i < 20; ++i) items.push_back(payload_for(i));
+  auto fh = client.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  ASSERT_TRUE(client.erase_item(fh.value(), proto::ItemRef::id(3)));
+  server.kv_put(7, 1, to_bytes("blob"));
+
+  // "Crash": serialize, drop, reload.
+  proto::Writer w;
+  server.save(w);
+  proto::Reader image_reader(w.data());
+  auto reloaded = CloudServer::load(image_reader, CloudServer::Options{true});
+  ASSERT_TRUE(reloaded.is_ok());
+  CloudServer& server2 = *reloaded.value();
+
+  // The client's master key is its own state; it continues seamlessly
+  // against the restarted server.
+  net::DirectChannel ch2(
+      [&server2](BytesView req) { return server2.handle(req); });
+  Client client2(ch2, rnd);
+  client2.set_counter(client.counter());
+  Client::FileHandle fh2;
+  fh2.id = 1;
+  fh2.key = fh.value().key.clone();
+
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    if (i == 3) continue;
+    auto got = client2.access(fh2, proto::ItemRef::id(i));
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), items[i]);
+  }
+  EXPECT_EQ(to_string(server2.kv_get(7, 1).value()), "blob");
+
+  // Mutations continue to work after the restart.
+  ASSERT_TRUE(client2.erase_item(fh2, proto::ItemRef::id(10)));
+  auto id = client2.insert(fh2, payload_for(500));
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_TRUE(client2.access(fh2, proto::ItemRef::id(id.value())).is_ok());
+}
+
+TEST(Persistence, FileRoundtripOnDisk) {
+  CloudServer server;
+  SystemRandom rnd;
+  net::DirectChannel ch([&server](BytesView req) { return server.handle(req); });
+  Client client(ch, rnd);
+  auto fh = client.outsource(1, 8, [](std::size_t i) { return payload_for(i); });
+  ASSERT_TRUE(fh.is_ok());
+
+  const std::string path = ::testing::TempDir() + "/fgad_server_image.bin";
+  ASSERT_TRUE(server.save_to_file(path));
+  auto reloaded = CloudServer::load_from_file(path, CloudServer::Options{true});
+  ASSERT_TRUE(reloaded.is_ok());
+  EXPECT_TRUE(reloaded.value()->has_file(1));
+  EXPECT_EQ(reloaded.value()->file(1)->item_count(), 8u);
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, CorruptImageRejected) {
+  CloudServer server;
+  proto::Writer w;
+  server.save(w);
+  Bytes img = w.data();
+
+  // Bad magic.
+  Bytes bad = img;
+  bad[0] ^= 0xff;
+  {
+    proto::Reader r(bad);
+    EXPECT_FALSE(CloudServer::load(r, {}).is_ok());
+  }
+  // Truncation at every 7th byte must fail, not crash.
+  for (std::size_t keep = 0; keep < img.size(); keep += 7) {
+    proto::Reader r(BytesView(img.data(), keep));
+    EXPECT_FALSE(CloudServer::load(r, {}).is_ok()) << keep;
+  }
+}
+
+TEST(Persistence, EmptyServerImage) {
+  CloudServer server;
+  proto::Writer w;
+  server.save(w);
+  proto::Reader r(w.data());
+  auto reloaded = CloudServer::load(r, {});
+  ASSERT_TRUE(reloaded.is_ok());
+  EXPECT_TRUE(r.finish());
+}
+
+}  // namespace
+}  // namespace fgad::cloud

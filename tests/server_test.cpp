@@ -1,0 +1,223 @@
+// CloudServer: native API, wire dispatcher, file lifecycle, kv tables.
+#include <gtest/gtest.h>
+
+#include "cloud/server.h"
+#include "core/outsource.h"
+#include "crypto/secure_buffer.h"
+#include "support/harness.h"
+
+namespace fgad::cloud {
+namespace {
+
+using core::Outsourcer;
+using crypto::DeterministicRandom;
+using crypto::HashAlg;
+using crypto::MasterKey;
+
+struct Outsourced {
+  MasterKey key;
+  std::uint64_t counter = 0;
+};
+
+Outsourced outsource_native(CloudServer& server, std::uint64_t file_id,
+                            std::size_t n, std::uint64_t seed = 1) {
+  DeterministicRandom rnd(seed);
+  Outsourced out;
+  out.key = MasterKey::generate(rnd, 20);
+  Outsourcer builder(HashAlg::kSha1, true);
+  auto built = builder.build(
+      out.key, n, [](std::size_t i) { return test::payload_for(i); },
+      out.counter, rnd);
+  std::vector<FileStore::IngestItem> items;
+  for (auto& it : built.items) {
+    items.push_back(FileStore::IngestItem{it.item_id,
+                                          std::move(it.ciphertext),
+                                          it.plain_size});
+  }
+  EXPECT_TRUE(server.outsource(file_id, std::move(built.tree),
+                               std::move(items)));
+  return out;
+}
+
+TEST(Server, OutsourceAndStat) {
+  CloudServer server;
+  outsource_native(server, 1, 10);
+  EXPECT_TRUE(server.has_file(1));
+  EXPECT_FALSE(server.has_file(2));
+  const FileStore* f = server.file(1);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->item_count(), 10u);
+  EXPECT_EQ(f->tree().node_count(), 19u);
+}
+
+TEST(Server, DuplicateFileIdRejected) {
+  CloudServer server;
+  outsource_native(server, 1, 4);
+  DeterministicRandom rnd(2);
+  core::ModulationTree tree;
+  EXPECT_EQ(server.outsource(1, std::move(tree), {}).code(),
+            Errc::kInvalidArgument);
+}
+
+TEST(Server, AccessByIdOrdinalAndOffset) {
+  CloudServer server;
+  outsource_native(server, 1, 6);
+  auto by_id = server.access(1, proto::ItemRef::id(3));
+  ASSERT_TRUE(by_id.is_ok());
+  EXPECT_EQ(by_id.value().item_id, 3u);
+  auto by_ord = server.access(1, proto::ItemRef::ordinal(3));
+  ASSERT_TRUE(by_ord.is_ok());
+  EXPECT_EQ(by_ord.value().item_id, 3u);  // ids assigned in order
+  // Byte offsets: items are 24-byte payloads, so offset 3*24+5 is item 3.
+  auto by_off = server.access(1, proto::ItemRef::byte_offset(3 * 24 + 5));
+  ASSERT_TRUE(by_off.is_ok());
+  EXPECT_EQ(by_off.value().item_id, 3u);
+  EXPECT_EQ(server.access(1, proto::ItemRef::id(77)).code(), Errc::kNotFound);
+  EXPECT_EQ(server.access(1, proto::ItemRef::byte_offset(6 * 24)).code(),
+            Errc::kNotFound);
+  EXPECT_EQ(server.access(9, proto::ItemRef::id(0)).code(), Errc::kNotFound);
+}
+
+TEST(Server, DropFile) {
+  CloudServer server;
+  outsource_native(server, 5, 3);
+  EXPECT_TRUE(server.drop_file(5));
+  EXPECT_FALSE(server.has_file(5));
+  EXPECT_EQ(server.drop_file(5).code(), Errc::kNotFound);
+}
+
+TEST(Server, FetchTreeMatchesSerializedSize) {
+  CloudServer server;
+  outsource_native(server, 2, 16);
+  auto blob = server.fetch_tree(2);
+  ASSERT_TRUE(blob.is_ok());
+  EXPECT_EQ(blob.value().size(), server.file(2)->tree_bytes());
+}
+
+TEST(Server, KvTable) {
+  CloudServer server;
+  server.kv_put(1, 10, to_bytes("ten"));
+  server.kv_put(1, 20, to_bytes("twenty"));
+  server.kv_put(2, 10, to_bytes("other-table"));
+  EXPECT_EQ(to_string(server.kv_get(1, 10).value()), "ten");
+  EXPECT_EQ(to_string(server.kv_get(2, 10).value()), "other-table");
+  EXPECT_EQ(server.kv_get(1, 30).code(), Errc::kNotFound);
+  EXPECT_EQ(server.kv_size(1), 2u);
+  EXPECT_TRUE(server.kv_delete(1, 10));
+  EXPECT_EQ(server.kv_size(1), 1u);
+  EXPECT_EQ(server.kv_delete(1, 10).code(), Errc::kNotFound);
+}
+
+// Wire dispatcher: a full access through framed messages.
+TEST(ServerWire, AccessRoundtrip) {
+  CloudServer server;
+  outsource_native(server, 1, 5);
+  proto::AccessReq req;
+  req.file_id = 1;
+  req.ref = proto::ItemRef::id(2);
+  const Bytes resp = server.handle(req.to_frame());
+  auto env = proto::open_message(resp);
+  ASSERT_TRUE(env.is_ok());
+  ASSERT_EQ(env.value().type, proto::MsgType::kAccessResp);
+  proto::Reader r(env.value().payload);
+  auto access = proto::AccessResp::from(r);
+  ASSERT_TRUE(access.is_ok());
+  EXPECT_EQ(access.value().info.item_id, 2u);
+  EXPECT_TRUE(access.value().info.path.well_formed());
+}
+
+TEST(ServerWire, ErrorsAreFramed) {
+  CloudServer server;
+  proto::AccessReq req;
+  req.file_id = 42;  // no such file
+  req.ref = proto::ItemRef::id(0);
+  const Bytes resp = server.handle(req.to_frame());
+  auto env = proto::open_message(resp);
+  ASSERT_TRUE(env.is_ok());
+  ASSERT_EQ(env.value().type, proto::MsgType::kError);
+  proto::Reader r(env.value().payload);
+  auto err = proto::ErrorMsg::from(r);
+  ASSERT_TRUE(err.is_ok());
+  EXPECT_EQ(err.value().code, Errc::kNotFound);
+}
+
+TEST(ServerWire, GarbageRequestRejected) {
+  CloudServer server;
+  auto env = proto::open_message(server.handle(Bytes{0x01}));
+  ASSERT_TRUE(env.is_ok());
+  EXPECT_EQ(env.value().type, proto::MsgType::kError);
+}
+
+TEST(ServerWire, UnknownTypeRejected) {
+  CloudServer server;
+  const Bytes frame = proto::seal_message(static_cast<proto::MsgType>(999),
+                                          to_bytes("x"));
+  auto env = proto::open_message(server.handle(frame));
+  ASSERT_TRUE(env.is_ok());
+  EXPECT_EQ(env.value().type, proto::MsgType::kError);
+}
+
+TEST(ServerWire, TruncatedPayloadRejected) {
+  CloudServer server;
+  outsource_native(server, 1, 4);
+  proto::AccessReq req;
+  req.file_id = 1;
+  req.ref = proto::ItemRef::id(1);
+  Bytes frame = req.to_frame();
+  frame.resize(frame.size() - 3);
+  auto env = proto::open_message(server.handle(frame));
+  ASSERT_TRUE(env.is_ok());
+  EXPECT_EQ(env.value().type, proto::MsgType::kError);
+}
+
+TEST(ServerWire, KvThroughDispatcher) {
+  CloudServer server;
+  proto::KvPutReq put;
+  put.table = 7;
+  put.key = 1;
+  put.value = to_bytes("v");
+  auto env = proto::open_message(server.handle(put.to_frame()));
+  ASSERT_EQ(env.value().type, proto::MsgType::kKvPutResp);
+
+  proto::KvGetReq get;
+  get.table = 7;
+  get.key = 1;
+  env = proto::open_message(server.handle(get.to_frame()));
+  ASSERT_EQ(env.value().type, proto::MsgType::kKvGetResp);
+  proto::Reader r(env.value().payload);
+  auto resp = proto::KvGetResp::from(r);
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_TRUE(resp.value().found);
+  EXPECT_EQ(to_string(resp.value().value), "v");
+}
+
+TEST(ServerWire, ListItems) {
+  CloudServer server;
+  outsource_native(server, 1, 4);
+  proto::ListItemsReq req;
+  req.file_id = 1;
+  auto env = proto::open_message(server.handle(req.to_frame()));
+  ASSERT_EQ(env.value().type, proto::MsgType::kListItemsResp);
+  proto::Reader r(env.value().payload);
+  auto resp = proto::ListItemsResp::from(r);
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp.value().ids, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(ServerWire, StatThroughDispatcher) {
+  CloudServer server;
+  outsource_native(server, 3, 8);
+  proto::StatReq req;
+  req.file_id = 3;
+  auto env = proto::open_message(server.handle(req.to_frame()));
+  ASSERT_EQ(env.value().type, proto::MsgType::kStatResp);
+  proto::Reader r(env.value().payload);
+  auto resp = proto::StatResp::from(r);
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp.value().n_items, 8u);
+  EXPECT_EQ(resp.value().node_count, 15u);
+  EXPECT_GT(resp.value().tree_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace fgad::cloud

@@ -1,0 +1,194 @@
+// Randomized tamper fuzzing of the deletion exchange.
+//
+// Theorem 2's guarantee, as a fuzzable invariant: whatever a malicious
+// server does to the DeleteInfo response, either (a) the client rejects and
+// the file is untouched, or (b) the deletion commits — and then the deleted
+// item is unrecoverable from the post-deletion server state plus the
+// post-deletion master key. Corrupting *other* items' availability is
+// explicitly allowed by the threat model (a hostile server can always erase
+// data); leaking the deleted item is not.
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "cloud/server.h"
+#include "support/harness.h"
+
+namespace fgad {
+namespace {
+
+using client::Client;
+using cloud::CloudServer;
+using crypto::Md;
+using crypto::SystemRandom;
+using test::payload_for;
+
+// Applies one random single-point mutation to a DeleteInfo.
+void mutate(core::DeleteInfo& info, Xoshiro256& rng) {
+  const auto flip_md = [&](Md& m) {
+    if (m.size() == 0) return;
+    m.mutable_bytes()[rng.next_below(m.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+  };
+  switch (rng.next_below(12)) {
+    case 0:
+      if (!info.path.links.empty()) {
+        flip_md(info.path.links[rng.next_below(info.path.links.size())]);
+      }
+      break;
+    case 1:
+      flip_md(info.leaf_mod);
+      break;
+    case 2:
+      if (!info.cut.empty()) {
+        flip_md(info.cut[rng.next_below(info.cut.size())].link);
+      }
+      break;
+    case 3:
+      if (!info.cut.empty()) {
+        auto& e = info.cut[rng.next_below(info.cut.size())];
+        if (e.is_leaf) flip_md(e.leaf_mod);
+      }
+      break;
+    case 4:
+      if (info.has_balance && !info.t_path.links.empty()) {
+        flip_md(info.t_path.links[rng.next_below(info.t_path.links.size())]);
+      }
+      break;
+    case 5:
+      if (info.has_balance) flip_md(info.t_leaf_mod);
+      break;
+    case 6:
+      if (info.has_balance) flip_md(info.s_link);
+      break;
+    case 7:
+      if (info.has_balance) flip_md(info.s_leaf_mod);
+      break;
+    case 8:
+      if (!info.ciphertext.empty()) {
+        info.ciphertext[rng.next_below(info.ciphertext.size())] ^= 0x20;
+      }
+      break;
+    case 9:
+      info.item_id ^= 1 + rng.next_below(1000);
+      break;
+    case 10:
+      if (info.path.nodes.size() > 1) {
+        info.path.nodes[rng.next_below(info.path.nodes.size())] += 1;
+      }
+      break;
+    case 11:
+      if (!info.cut.empty()) {
+        info.cut[rng.next_below(info.cut.size())].node += 1;
+      }
+      break;
+  }
+}
+
+// Tries to recover `victim_ct` with every key derivable from the CURRENT
+// server tree under `master` (the strongest post-compromise adversary).
+bool recoverable(const CloudServer& server, const core::ClientMath& math,
+                 const core::ItemCodec& codec, const Md& master,
+                 const Bytes& victim_ct) {
+  const auto* file = server.file(1);
+  if (file == nullptr) return false;
+  const auto& tree = file->tree();
+  for (core::NodeId v = 0; v < tree.node_count(); ++v) {
+    if (!tree.is_leaf(v)) continue;
+    const Md key = math.derive_key(master, tree.path_to(v), tree.leaf_mod(v));
+    if (codec.open(key, victim_ct).is_ok()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class TamperFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TamperFuzz, DeletedItemNeverRecoverable) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+
+  for (int round = 0; round < 40; ++round) {
+    CloudServer server{
+        cloud::CloudServer::Options{/*track_duplicates=*/false,
+                                    /*enable_integrity=*/false}};
+    net::DirectChannel channel(
+        [&server](BytesView req) { return server.handle(req); });
+    SystemRandom rnd;
+    Client client(channel, rnd);
+
+    const std::size_t n = 2 + rng.next_below(20);
+    auto fh = client.outsource(
+        1, n, [](std::size_t i) { return payload_for(i); });
+    ASSERT_TRUE(fh.is_ok());
+
+    const std::uint64_t victim = rng.next_below(n);
+    Bytes victim_ct;
+    {
+      const auto* file = server.file(1);
+      victim_ct = file->items().at(*file->items().find(victim)).ciphertext;
+    }
+
+    bool tampered = false;
+    server.tamper_delete_info = [&](core::DeleteInfo& info) {
+      tampered = true;
+      mutate(info, rng);
+    };
+    const Status st = client.erase_item(fh.value(), proto::ItemRef::id(victim));
+    server.tamper_delete_info = nullptr;
+    ASSERT_TRUE(tampered);
+
+    if (st.is_ok()) {
+      // (b) The deletion committed despite the tampering (e.g. the mutation
+      // hit an unused field): the deleted item must be dead.
+      EXPECT_FALSE(recoverable(server, client.math(), client.codec(),
+                               fh.value().key.value(), victim_ct))
+          << "seed " << seed << " round " << round;
+    } else {
+      // (a) Rejected: nothing changed; every item is still readable.
+      for (std::uint64_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(client.access(fh.value(), proto::ItemRef::id(i)).is_ok())
+            << "seed " << seed << " round " << round << " item " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TamperFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Byte-offset addressing end to end: delete the record covering a given
+// plaintext offset (the paper's "byte offset in the file" indexing).
+TEST(ByteOffsetIntegration, DeleteByOffset) {
+  CloudServer server;
+  net::DirectChannel channel(
+      [&server](BytesView req) { return server.handle(req); });
+  SystemRandom rnd;
+  Client client(channel, rnd);
+
+  // Variable-size records: 10, 20, 30, 40 bytes.
+  std::vector<Bytes> items;
+  for (std::size_t i = 1; i <= 4; ++i) {
+    items.push_back(Bytes(i * 10, static_cast<std::uint8_t>(i)));
+  }
+  auto fh = client.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+
+  // Offset 35 lands inside record 2 (bytes [30, 60)).
+  auto got = client.access(fh.value(), proto::ItemRef::byte_offset(35));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().size(), 30u);
+
+  ASSERT_TRUE(
+      client.erase_item(fh.value(), proto::ItemRef::byte_offset(35)));
+  // Offsets re-pack: [30, 70) is now record 3 (40 bytes).
+  got = client.access(fh.value(), proto::ItemRef::byte_offset(35));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().size(), 40u);
+  // Total addressable range shrank by 30.
+  EXPECT_FALSE(
+      client.access(fh.value(), proto::ItemRef::byte_offset(70)).is_ok());
+}
+
+}  // namespace
+}  // namespace fgad

@@ -1,0 +1,217 @@
+// ModulationTree: construction, path/cut extraction, serialization,
+// duplicate tracking.
+#include <gtest/gtest.h>
+
+#include "core/tree.h"
+#include "crypto/random.h"
+
+namespace fgad::core {
+namespace {
+
+using crypto::DeterministicRandom;
+using crypto::Md;
+
+ModulationTree make_tree(std::size_t n, DeterministicRandom& rnd,
+                         bool track = true) {
+  ModulationTree tree(ModulationTree::Config{HashAlg::kSha1, track});
+  tree.build(
+      n, [&](NodeId) { return rnd.random_md(20); },
+      [&](NodeId v) {
+        return std::pair<Md, std::uint64_t>(rnd.random_md(20), v * 10);
+      });
+  return tree;
+}
+
+TEST(Tree, EmptyTree) {
+  ModulationTree tree{ModulationTree::Config{HashAlg::kSha1, true}};
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.node_count(), 0u);
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  EXPECT_FALSE(tree.is_leaf(0));
+}
+
+TEST(Tree, BuildShape) {
+  DeterministicRandom rnd(1);
+  const auto tree = make_tree(6, rnd);
+  EXPECT_EQ(tree.node_count(), 11u);
+  EXPECT_EQ(tree.leaf_count(), 6u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_FALSE(tree.is_leaf(v)) << v;
+  }
+  for (NodeId v = 5; v < 11; ++v) {
+    EXPECT_TRUE(tree.is_leaf(v)) << v;
+    EXPECT_EQ(tree.item_slot(v), v * 10);
+  }
+}
+
+TEST(Tree, PathGeometry) {
+  DeterministicRandom rnd(2);
+  const auto tree = make_tree(8, rnd);  // 15 nodes, leaves 7..14
+  const PathView p = tree.path_to(12);
+  ASSERT_TRUE(p.well_formed());
+  EXPECT_EQ(p.nodes.front(), 0u);
+  EXPECT_EQ(p.target(), 12u);
+  EXPECT_EQ(p.depth(), 3u);
+  // Links match the tree's stored modulators.
+  for (std::size_t i = 1; i < p.nodes.size(); ++i) {
+    EXPECT_EQ(p.links[i - 1], tree.link_mod(p.nodes[i]));
+  }
+}
+
+TEST(Tree, SingleLeafPath) {
+  DeterministicRandom rnd(3);
+  const auto tree = make_tree(1, rnd);
+  const PathView p = tree.path_to(0);
+  EXPECT_TRUE(p.well_formed());
+  EXPECT_EQ(p.depth(), 0u);
+  EXPECT_TRUE(tree.is_leaf(0));
+}
+
+TEST(Tree, CutIsSiblingsTopDown) {
+  DeterministicRandom rnd(4);
+  const auto tree = make_tree(8, rnd);
+  const NodeId k = 11;
+  const auto cut = tree.cut_for(k);
+  const PathView p = tree.path_to(k);
+  ASSERT_EQ(cut.size(), p.depth());
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    EXPECT_EQ(cut[i].node, sibling_of(p.nodes[i + 1]));
+    EXPECT_EQ(cut[i].link, tree.link_mod(cut[i].node));
+    EXPECT_EQ(cut[i].is_leaf, tree.is_leaf(cut[i].node));
+  }
+}
+
+// The cut separates all other leaves from the root: every other leaf's path
+// passes through exactly one cut node.
+TEST(Tree, CutSeparatesAllOtherLeaves) {
+  DeterministicRandom rnd(5);
+  const auto tree = make_tree(13, rnd);
+  for (NodeId k = 12; k < 25; ++k) {
+    const auto cut = tree.cut_for(k);
+    for (NodeId leaf = 12; leaf < 25; ++leaf) {
+      if (leaf == k) continue;
+      int crossings = 0;
+      for (const auto& c : cut) {
+        if (is_ancestor_or_self(c.node, leaf)) {
+          ++crossings;
+        }
+      }
+      EXPECT_EQ(crossings, 1) << "k=" << k << " leaf=" << leaf;
+    }
+  }
+}
+
+TEST(Tree, DeleteInfoAssembly) {
+  DeterministicRandom rnd(6);
+  const auto tree = make_tree(9, rnd);
+  const DeleteInfo info = tree.delete_info_for(10);
+  EXPECT_EQ(info.path.target(), 10u);
+  EXPECT_EQ(info.cut.size(), info.path.depth());
+  EXPECT_TRUE(info.has_balance);
+  EXPECT_EQ(info.t_path.target(), tree.last_leaf());
+  EXPECT_EQ(info.s_link, tree.link_mod(sibling_of(tree.last_leaf())));
+}
+
+TEST(Tree, DeleteInfoSingleLeafNoBalance) {
+  DeterministicRandom rnd(7);
+  const auto tree = make_tree(1, rnd);
+  const DeleteInfo info = tree.delete_info_for(0);
+  EXPECT_FALSE(info.has_balance);
+  EXPECT_TRUE(info.cut.empty());
+}
+
+TEST(Tree, InsertInfo) {
+  DeterministicRandom rnd(8);
+  const auto tree = make_tree(5, rnd);  // 9 nodes; insert parent = 4
+  const InsertInfo info = tree.insert_info();
+  EXPECT_FALSE(info.empty_tree);
+  EXPECT_EQ(info.q_path.target(), 4u);
+  EXPECT_EQ(info.q_leaf_mod, tree.leaf_mod(4));
+
+  ModulationTree empty{ModulationTree::Config{HashAlg::kSha1, true}};
+  EXPECT_TRUE(empty.insert_info().empty_tree);
+}
+
+TEST(Tree, SerializeRoundtrip) {
+  DeterministicRandom rnd(9);
+  for (std::size_t n : {0u, 1u, 2u, 7u, 32u}) {
+    const auto tree = make_tree(n, rnd);
+    proto::Writer w;
+    tree.serialize(w);
+    EXPECT_EQ(w.size(), tree.serialized_size()) << "n=" << n;
+    proto::Reader r(w.data());
+    auto back = ModulationTree::deserialize(
+        r, ModulationTree::Config{HashAlg::kSha1, true});
+    ASSERT_TRUE(back.is_ok()) << "n=" << n;
+    ASSERT_TRUE(r.finish());
+    const ModulationTree& t2 = back.value();
+    ASSERT_EQ(t2.node_count(), tree.node_count());
+    for (NodeId v = 1; v < tree.node_count(); ++v) {
+      EXPECT_EQ(t2.link_mod(v), tree.link_mod(v));
+    }
+    for (NodeId v = (n ? n - 1 : 0); v < tree.node_count(); ++v) {
+      EXPECT_EQ(t2.leaf_mod(v), tree.leaf_mod(v));
+      EXPECT_EQ(t2.item_slot(v), tree.item_slot(v));
+    }
+  }
+}
+
+TEST(Tree, DeserializeRejectsGarbage) {
+  proto::Reader r1(Bytes{});
+  EXPECT_FALSE(ModulationTree::deserialize(r1, {}).is_ok());
+
+  proto::Writer w;
+  w.u8(99);  // unknown alg
+  w.u64(3);
+  proto::Reader r2(w.data());
+  EXPECT_FALSE(ModulationTree::deserialize(r2, {}).is_ok());
+
+  proto::Writer w2;
+  w2.u8(1);
+  w2.u64(4);  // even node count is impossible
+  proto::Reader r3(w2.data());
+  EXPECT_FALSE(ModulationTree::deserialize(r3, {}).is_ok());
+}
+
+// Regression: a huge claimed node count must be rejected before any
+// allocation happens (found by the decoder fuzzer as a bad_alloc DoS).
+TEST(Tree, DeserializeRejectsHugeClaimedCountWithoutAllocating) {
+  proto::Writer w;
+  w.u8(1);                        // SHA-1
+  w.u64((1ull << 38) + 1);        // plausible-looking but absurd, odd count
+  w.raw(Bytes(64, 0xab));         // far fewer bytes than the claim implies
+  proto::Reader r(w.data());
+  auto tree = ModulationTree::deserialize(r, {});
+  ASSERT_FALSE(tree.is_ok());
+  EXPECT_EQ(tree.code(), Errc::kDecodeError);
+}
+
+TEST(Tree, DuplicateTrackingObservesValues) {
+  DeterministicRandom rnd(10);
+  const auto tree = make_tree(8, rnd);
+  EXPECT_TRUE(tree.contains_value(tree.link_mod(3)));
+  EXPECT_TRUE(tree.contains_value(tree.leaf_mod(9)));
+  EXPECT_FALSE(tree.contains_value(rnd.random_md(20)));
+}
+
+TEST(Tree, AccessorsRejectBadNodes) {
+  DeterministicRandom rnd(11);
+  const auto tree = make_tree(4, rnd);
+  EXPECT_THROW(tree.link_mod(0), std::out_of_range);     // root has no link
+  EXPECT_THROW(tree.link_mod(100), std::out_of_range);
+  EXPECT_THROW(tree.leaf_mod(0), std::out_of_range);     // internal node
+  EXPECT_THROW(tree.path_to(100), std::out_of_range);
+  EXPECT_THROW(tree.cut_for(0), std::out_of_range);
+}
+
+TEST(Tree, SerializedSizeIsLinear) {
+  DeterministicRandom rnd(12);
+  const auto small = make_tree(10, rnd);
+  const auto big = make_tree(100, rnd);
+  // 2n-1 links (minus root) * 20 + n * 28 + header.
+  EXPECT_GT(big.serialized_size(), 9 * small.serialized_size() / 2);
+  EXPECT_LT(big.serialized_size(), 11 * small.serialized_size());
+}
+
+}  // namespace
+}  // namespace fgad::core

@@ -1,0 +1,306 @@
+// Wire codec and protocol message round-trips, including malformed-input
+// rejection.
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+#include "proto/messages.h"
+
+namespace fgad::proto {
+namespace {
+
+using core::CutEntry;
+using core::DeleteCommit;
+using core::DeleteInfo;
+using core::InsertCommit;
+using core::InsertInfo;
+using core::PathView;
+using crypto::DeterministicRandom;
+using crypto::Md;
+
+TEST(Wire, IntegerRoundtrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Wire, BytesAndStrings) {
+  Writer w;
+  w.bytes(to_bytes("payload"));
+  w.str("name");
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_EQ(to_string(r.bytes()), "payload");
+  EXPECT_EQ(r.str(), "name");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Wire, MdRoundtrip) {
+  DeterministicRandom rnd(1);
+  Writer w;
+  const Md a = rnd.random_md(20);
+  const Md b = rnd.random_md(32);
+  w.md(a);
+  w.md(b);
+  w.md(Md());
+  Reader r(w.data());
+  EXPECT_EQ(r.md(), a);
+  EXPECT_EQ(r.md(), b);
+  EXPECT_EQ(r.md(), Md());
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Wire, TruncationDetected) {
+  Writer w;
+  w.u64(7);
+  for (std::size_t keep = 0; keep < 8; ++keep) {
+    Reader r(BytesView(w.data().data(), keep));
+    r.u64();
+    EXPECT_FALSE(r.ok()) << keep;
+    EXPECT_FALSE(r.finish());
+  }
+}
+
+TEST(Wire, TrailingBytesDetected) {
+  Writer w;
+  w.u32(1);
+  w.u8(0);
+  Reader r(w.data());
+  r.u32();
+  EXPECT_FALSE(r.finish());  // one byte left over
+}
+
+TEST(Wire, OversizedMdRejected) {
+  Bytes raw = {200};  // declares a 200-byte digest
+  raw.resize(201, 0);
+  Reader r(raw);
+  r.md();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Messages, EnvelopeRoundtrip) {
+  const Bytes frame = seal_message(MsgType::kStatReq, to_bytes("body"));
+  auto env = open_message(frame);
+  ASSERT_TRUE(env.is_ok());
+  EXPECT_EQ(env.value().type, MsgType::kStatReq);
+  EXPECT_EQ(to_string(env.value().payload), "body");
+  EXPECT_FALSE(open_message(Bytes{0x01}).is_ok());  // too short
+}
+
+PathView sample_path(DeterministicRandom& rnd) {
+  PathView p;
+  p.nodes = {0, 2, 5, 12};
+  p.links = {rnd.random_md(20), rnd.random_md(20), rnd.random_md(20)};
+  return p;
+}
+
+TEST(Messages, PathRoundtrip) {
+  DeterministicRandom rnd(2);
+  const PathView p = sample_path(rnd);
+  Writer w;
+  encode_path(w, p);
+  Reader r(w.data());
+  auto back = decode_path(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().nodes, p.nodes);
+  EXPECT_EQ(back.value().links, p.links);
+}
+
+TEST(Messages, DeleteInfoRoundtrip) {
+  DeterministicRandom rnd(3);
+  DeleteInfo info;
+  info.path = sample_path(rnd);
+  info.leaf_mod = rnd.random_md(20);
+  for (int i = 0; i < 3; ++i) {
+    CutEntry e;
+    e.node = core::sibling_of(info.path.nodes[i + 1]);
+    e.link = rnd.random_md(20);
+    e.is_leaf = (i == 2);
+    if (e.is_leaf) e.leaf_mod = rnd.random_md(20);
+    info.cut.push_back(e);
+  }
+  info.item_id = 99;
+  info.ciphertext = to_bytes("ciphertext-bytes");
+  info.has_balance = true;
+  info.t_path = sample_path(rnd);
+  info.t_leaf_mod = rnd.random_md(20);
+  info.s_link = rnd.random_md(20);
+  info.s_leaf_mod = rnd.random_md(20);
+
+  Writer w;
+  encode_delete_info(w, info);
+  Reader r(w.data());
+  auto back = decode_delete_info(r);
+  ASSERT_TRUE(back.is_ok());
+  const DeleteInfo& d = back.value();
+  EXPECT_EQ(d.path.nodes, info.path.nodes);
+  EXPECT_EQ(d.leaf_mod, info.leaf_mod);
+  ASSERT_EQ(d.cut.size(), info.cut.size());
+  EXPECT_EQ(d.cut[2].leaf_mod, info.cut[2].leaf_mod);
+  EXPECT_EQ(d.item_id, 99u);
+  EXPECT_EQ(d.ciphertext, info.ciphertext);
+  EXPECT_TRUE(d.has_balance);
+  EXPECT_EQ(d.t_path.nodes, info.t_path.nodes);
+  EXPECT_EQ(d.s_leaf_mod, info.s_leaf_mod);
+}
+
+TEST(Messages, DeleteCommitRoundtrip) {
+  DeterministicRandom rnd(4);
+  DeleteCommit c;
+  c.leaf = 12;
+  c.deltas = {rnd.random_md(20), rnd.random_md(20)};
+  c.has_balance = true;
+  c.promoted_leaf_mod = rnd.random_md(20);
+  c.has_step2 = true;
+  c.t_new_link = rnd.random_md(20);
+  c.t_new_leaf_mod = rnd.random_md(20);
+
+  Writer w;
+  encode_delete_commit(w, c);
+  Reader r(w.data());
+  auto back = decode_delete_commit(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().leaf, 12u);
+  EXPECT_EQ(back.value().deltas, c.deltas);
+  EXPECT_EQ(back.value().t_new_leaf_mod, c.t_new_leaf_mod);
+}
+
+TEST(Messages, InsertRoundtrips) {
+  DeterministicRandom rnd(5);
+  InsertInfo info;
+  info.q_path = sample_path(rnd);
+  info.q_leaf_mod = rnd.random_md(20);
+  Writer w;
+  encode_insert_info(w, info);
+  Reader r(w.data());
+  auto back = decode_insert_info(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().q_leaf_mod, info.q_leaf_mod);
+
+  InsertCommit c;
+  c.q = 5;
+  c.left_link = rnd.random_md(20);
+  c.right_link = rnd.random_md(20);
+  c.moved_leaf_mod = rnd.random_md(20);
+  c.new_leaf_mod = rnd.random_md(20);
+  c.item_id = 1234;
+  c.ciphertext = to_bytes("ct");
+  c.after_item_id = 7;
+  Writer w2;
+  encode_insert_commit(w2, c);
+  Reader r2(w2.data());
+  auto back2 = decode_insert_commit(r2);
+  ASSERT_TRUE(back2.is_ok());
+  EXPECT_EQ(back2.value().q, 5u);
+  EXPECT_EQ(back2.value().after_item_id, 7u);
+  EXPECT_EQ(back2.value().new_leaf_mod, c.new_leaf_mod);
+}
+
+TEST(Messages, RequestFramesRoundtrip) {
+  {
+    OutsourceReq m;
+    m.file_id = 3;
+    m.tree_blob = to_bytes("tree");
+    m.items.push_back({11, to_bytes("aa"), 2});
+    m.items.push_back({12, to_bytes("bb"), 2});
+    auto env = open_message(m.to_frame());
+    ASSERT_TRUE(env.is_ok());
+    ASSERT_EQ(env.value().type, MsgType::kOutsourceReq);
+    Reader r(env.value().payload);
+    auto back = OutsourceReq::from(r);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().items.size(), 2u);
+    EXPECT_EQ(back.value().items[1].item_id, 12u);
+  }
+  {
+    AccessReq m;
+    m.file_id = 9;
+    m.ref = ItemRef::ordinal(4);
+    auto env = open_message(m.to_frame());
+    Reader r(env.value().payload);
+    auto back = AccessReq::from(r);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().ref.kind, RefKind::kOrdinal);
+    EXPECT_EQ(back.value().ref.value, 4u);
+  }
+  {
+    ErrorMsg m;
+    m.code = Errc::kTamperDetected;
+    m.message = "nope";
+    auto env = open_message(m.to_frame());
+    ASSERT_EQ(env.value().type, MsgType::kError);
+    Reader r(env.value().payload);
+    auto back = ErrorMsg::from(r);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().code, Errc::kTamperDetected);
+    EXPECT_EQ(back.value().message, "nope");
+  }
+}
+
+TEST(Messages, KvFramesRoundtrip) {
+  {
+    KvPutBatchReq m;
+    m.table = 1;
+    m.entries.push_back({5, to_bytes("v5")});
+    m.entries.push_back({6, to_bytes("v6")});
+    auto env = open_message(m.to_frame());
+    Reader r(env.value().payload);
+    auto back = KvPutBatchReq::from(r);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().entries[1].key, 6u);
+  }
+  {
+    KvGetRangeResp m;
+    m.entries.push_back({1, to_bytes("a")});
+    m.more = true;
+    auto env = open_message(m.to_frame());
+    Reader r(env.value().payload);
+    auto back = KvGetRangeResp::from(r);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_TRUE(back.value().more);
+  }
+}
+
+TEST(Messages, FetchItemsRoundtrip) {
+  FetchItemsResp m;
+  m.items.push_back({7, 15, to_bytes("ct7")});
+  m.more = false;
+  auto env = open_message(m.to_frame());
+  Reader r(env.value().payload);
+  auto back = FetchItemsResp::from(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().items[0].leaf, 15u);
+}
+
+TEST(Messages, MalformedPayloadRejected) {
+  // A DeleteCommit frame whose payload is cut short must fail to decode.
+  DeterministicRandom rnd(6);
+  DeleteCommit c;
+  c.leaf = 3;
+  c.deltas = {rnd.random_md(20)};
+  Writer w;
+  encode_delete_commit(w, c);
+  for (std::size_t keep = 0; keep + 1 < w.size(); keep += 5) {
+    Reader r(BytesView(w.data().data(), keep));
+    EXPECT_FALSE(decode_delete_commit(r).is_ok()) << keep;
+  }
+}
+
+TEST(Messages, HostileCountsRejected) {
+  // A path claiming 2^30 nodes must be rejected before allocation.
+  Writer w;
+  w.u32(1u << 30);
+  Reader r(w.data());
+  EXPECT_FALSE(decode_path(r).is_ok());
+}
+
+}  // namespace
+}  // namespace fgad::proto

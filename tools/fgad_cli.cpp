@@ -1,0 +1,299 @@
+// fgad — command-line client for the assured-deletion cloud store.
+//
+//   fgad --store KS --pass PW [--host H] [--port N] <command> [args...]
+//
+// The keystore file KS is the client's entire persistent secret state: the
+// global counter plus one master key per outsourced file, sealed under the
+// passphrase. Commands:
+//
+//   init                            create an empty keystore
+//   files                           list file ids held in the keystore
+//   outsource FILE_ID PATH...       outsource files (each path = one item)
+//   ls FILE_ID                      list item ids in file order
+//   cat FILE_ID ITEM_ID             decrypt one item to stdout
+//   put FILE_ID PATH                insert one item; prints its id
+//   edit FILE_ID ITEM_ID PATH       replace an item's content
+//   rm FILE_ID ITEM_ID              fine-grained ASSURED deletion
+//   drop FILE_ID                    drop the whole file (key destroyed)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "client/keystore.h"
+#include "net/tcp.h"
+
+namespace {
+
+using namespace fgad;
+
+Result<Bytes> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error(Errc::kIoError, "cannot open " + path);
+  }
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return data;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fgad --store KS --pass PW [--host H] [--port N] CMD [args]\n"
+      "commands: init | files | outsource FILE PATH... | ls FILE |\n"
+      "          cat FILE ITEM | put FILE PATH | edit FILE ITEM PATH |\n"
+      "          rm FILE ITEM | drop FILE\n");
+  return 2;
+}
+
+struct Session {
+  client::Keystore keystore;
+  std::unique_ptr<net::TcpChannel> channel;
+  std::unique_ptr<client::Client> client;
+
+  Result<client::Client::FileHandle> handle(std::uint64_t file_id) {
+    auto key = keystore.get(file_id);
+    if (!key) {
+      return key.error();
+    }
+    client::Client::FileHandle fh;
+    fh.id = file_id;
+    fh.key = crypto::MasterKey(key.value());
+    return fh;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_path;
+  std::string passphrase;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 4270;
+  std::vector<std::string> args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (arg == "--pass" && i + 1 < argc) {
+      passphrase = argv[++i];
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (store_path.empty() || passphrase.empty() || args.empty()) {
+    return usage();
+  }
+  const std::string cmd = args[0];
+  crypto::SystemRandom rnd;
+
+  // `init` needs no connection.
+  if (cmd == "init") {
+    client::Keystore ks;
+    if (auto st = ks.save_to_file(store_path, passphrase, rnd); !st) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("created keystore %s\n", store_path.c_str());
+    return 0;
+  }
+
+  Session s;
+  {
+    auto ks = client::Keystore::load_from_file(store_path, passphrase);
+    if (!ks) {
+      std::fprintf(stderr, "keystore: %s\n",
+                   ks.status().to_string().c_str());
+      return 1;
+    }
+    s.keystore = std::move(ks).value();
+  }
+
+  if (cmd == "files") {
+    for (std::uint64_t id : s.keystore.file_ids()) {
+      std::printf("%llu\n", static_cast<unsigned long long>(id));
+    }
+    return 0;
+  }
+
+  // Everything else talks to the server.
+  {
+    auto ch = net::TcpChannel::connect(host, port);
+    if (!ch) {
+      std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
+                   ch.status().to_string().c_str());
+      return 1;
+    }
+    s.channel = std::move(ch).value();
+    s.client = std::make_unique<client::Client>(*s.channel, rnd);
+    s.client->set_counter(s.keystore.counter());
+  }
+
+  const auto persist = [&]() -> int {
+    s.keystore.set_counter(s.client->counter());
+    if (auto st = s.keystore.save_to_file(store_path, passphrase, rnd); !st) {
+      std::fprintf(stderr, "keystore save failed: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    return 0;
+  };
+
+  if (cmd == "outsource" && args.size() >= 3) {
+    const std::uint64_t file_id = std::strtoull(args[1].c_str(), nullptr, 10);
+    if (s.keystore.contains(file_id)) {
+      std::fprintf(stderr, "file %llu already in keystore\n",
+                   static_cast<unsigned long long>(file_id));
+      return 1;
+    }
+    std::vector<Bytes> items;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      auto data = read_file(args[i]);
+      if (!data) {
+        std::fprintf(stderr, "%s\n", data.status().to_string().c_str());
+        return 1;
+      }
+      items.push_back(std::move(data).value());
+    }
+    auto fh = s.client->outsource(file_id, items);
+    if (!fh) {
+      std::fprintf(stderr, "outsource failed: %s\n",
+                   fh.status().to_string().c_str());
+      return 1;
+    }
+    s.keystore.put(file_id, fh.value().key.value());
+    std::printf("outsourced %zu items as file %llu\n", items.size(),
+                static_cast<unsigned long long>(file_id));
+    return persist();
+  }
+
+  if (cmd == "ls" && args.size() == 2) {
+    auto fh = s.handle(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!fh) {
+      std::fprintf(stderr, "%s\n", fh.status().to_string().c_str());
+      return 1;
+    }
+    auto ids = s.client->list_items(fh.value());
+    if (!ids) {
+      std::fprintf(stderr, "%s\n", ids.status().to_string().c_str());
+      return 1;
+    }
+    for (std::uint64_t id : ids.value()) {
+      std::printf("%llu\n", static_cast<unsigned long long>(id));
+    }
+    return 0;
+  }
+
+  if (cmd == "cat" && args.size() == 3) {
+    auto fh = s.handle(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!fh) {
+      std::fprintf(stderr, "%s\n", fh.status().to_string().c_str());
+      return 1;
+    }
+    auto item = s.client->access(
+        fh.value(),
+        proto::ItemRef::id(std::strtoull(args[2].c_str(), nullptr, 10)));
+    if (!item) {
+      std::fprintf(stderr, "%s\n", item.status().to_string().c_str());
+      return 1;
+    }
+    std::fwrite(item.value().data(), 1, item.value().size(), stdout);
+    return 0;
+  }
+
+  if (cmd == "put" && args.size() == 3) {
+    auto fh = s.handle(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!fh) {
+      std::fprintf(stderr, "%s\n", fh.status().to_string().c_str());
+      return 1;
+    }
+    auto data = read_file(args[2]);
+    if (!data) {
+      std::fprintf(stderr, "%s\n", data.status().to_string().c_str());
+      return 1;
+    }
+    auto id = s.client->insert(fh.value(), data.value());
+    if (!id) {
+      std::fprintf(stderr, "insert failed: %s\n",
+                   id.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%llu\n", static_cast<unsigned long long>(id.value()));
+    return persist();
+  }
+
+  if (cmd == "edit" && args.size() == 4) {
+    auto fh = s.handle(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!fh) {
+      std::fprintf(stderr, "%s\n", fh.status().to_string().c_str());
+      return 1;
+    }
+    auto data = read_file(args[3]);
+    if (!data) {
+      std::fprintf(stderr, "%s\n", data.status().to_string().c_str());
+      return 1;
+    }
+    auto st = s.client->modify(
+        fh.value(), std::strtoull(args[2].c_str(), nullptr, 10),
+        data.value());
+    if (!st) {
+      std::fprintf(stderr, "modify failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    return persist();
+  }
+
+  if (cmd == "rm" && args.size() == 3) {
+    auto fh = s.handle(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!fh) {
+      std::fprintf(stderr, "%s\n", fh.status().to_string().c_str());
+      return 1;
+    }
+    auto handle = std::move(fh).value();
+    auto st = s.client->erase_item(
+        handle, proto::ItemRef::id(std::strtoull(args[2].c_str(), nullptr,
+                                                 10)));
+    if (!st) {
+      std::fprintf(stderr, "assured delete failed: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    // The master key rotated: persist the new one, destroying the old.
+    s.keystore.put(handle.id, handle.key.value());
+    std::printf("item assuredly deleted; master key rotated\n");
+    return persist();
+  }
+
+  if (cmd == "drop" && args.size() == 2) {
+    auto fh = s.handle(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!fh) {
+      std::fprintf(stderr, "%s\n", fh.status().to_string().c_str());
+      return 1;
+    }
+    auto handle = std::move(fh).value();
+    if (auto st = s.client->drop_file(handle); !st) {
+      std::fprintf(stderr, "drop failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    (void)s.keystore.remove(handle.id);
+    std::printf("file dropped and key destroyed\n");
+    return persist();
+  }
+
+  return usage();
+}

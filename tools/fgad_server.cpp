@@ -1,0 +1,89 @@
+// fgad_server — run the cloud side as a standalone TCP daemon.
+//
+//   fgad_server [--port N] [--image PATH] [--no-integrity]
+//
+// Listens on 127.0.0.1:N (default 4270; 0 picks an ephemeral port, printed
+// on startup). With --image, server state is loaded from PATH at startup
+// (if it exists) and saved back on clean shutdown. The process runs until
+// stdin reaches EOF or the user presses Ctrl-D / sends SIGINT via the
+// terminal driver closing stdin.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cloud/server.h"
+#include "net/tcp.h"
+
+int main(int argc, char** argv) {
+  using namespace fgad;
+
+  std::uint16_t port = 4270;
+  std::string image;
+  cloud::CloudServer::Options opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--image" && i + 1 < argc) {
+      image = argv[++i];
+    } else if (arg == "--no-integrity") {
+      opts.enable_integrity = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: fgad_server [--port N] [--image PATH] "
+                  "[--no-integrity]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<cloud::CloudServer> server;
+  if (!image.empty()) {
+    auto loaded = cloud::CloudServer::load_from_file(image, opts);
+    if (loaded) {
+      server = std::move(loaded).value();
+      std::printf("loaded server image from %s\n", image.c_str());
+    } else if (loaded.code() == Errc::kIoError) {
+      std::printf("no image at %s yet; starting fresh\n", image.c_str());
+    } else {
+      std::fprintf(stderr, "refusing corrupt image %s: %s\n", image.c_str(),
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+  }
+  if (!server) {
+    server = std::make_unique<cloud::CloudServer>(opts);
+  }
+
+  net::TcpServer tcp(port, [&server](BytesView req) {
+    return server->handle(req);
+  });
+  if (!tcp.ok()) {
+    std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
+    return 1;
+  }
+  std::printf("fgad cloud server listening on 127.0.0.1:%u "
+              "(integrity %s); EOF on stdin stops it\n",
+              tcp.port(), opts.enable_integrity ? "on" : "off");
+  std::fflush(stdout);
+
+  // Park until stdin closes.
+  for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+  }
+
+  tcp.stop();
+  if (!image.empty()) {
+    if (auto st = server->save_to_file(image); st) {
+      std::printf("saved server image to %s\n", image.c_str());
+    } else {
+      std::fprintf(stderr, "image save failed: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}
