@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hash.dir/bench/ablation_hash.cpp.o"
+  "CMakeFiles/ablation_hash.dir/bench/ablation_hash.cpp.o.d"
+  "bench/ablation_hash"
+  "bench/ablation_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

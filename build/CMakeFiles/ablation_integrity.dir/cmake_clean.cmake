@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_integrity.dir/bench/ablation_integrity.cpp.o"
+  "CMakeFiles/ablation_integrity.dir/bench/ablation_integrity.cpp.o.d"
+  "bench/ablation_integrity"
+  "bench/ablation_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgad_cli.dir/tools/fgad_cli.cpp.o"
+  "CMakeFiles/fgad_cli.dir/tools/fgad_cli.cpp.o.d"
+  "tools/fgad"
+  "tools/fgad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

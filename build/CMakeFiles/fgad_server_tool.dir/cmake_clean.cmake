@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgad_server_tool.dir/tools/fgad_server.cpp.o"
+  "CMakeFiles/fgad_server_tool.dir/tools/fgad_server.cpp.o.d"
+  "tools/fgad_server"
+  "tools/fgad_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgad_server_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

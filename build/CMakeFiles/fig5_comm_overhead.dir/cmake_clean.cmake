@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_comm_overhead.dir/bench/fig5_comm_overhead.cpp.o"
+  "CMakeFiles/fig5_comm_overhead.dir/bench/fig5_comm_overhead.cpp.o.d"
+  "bench/fig5_comm_overhead"
+  "bench/fig5_comm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_comm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

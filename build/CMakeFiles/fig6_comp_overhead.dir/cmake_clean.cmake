@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_comp_overhead.dir/bench/fig6_comp_overhead.cpp.o"
+  "CMakeFiles/fig6_comp_overhead.dir/bench/fig6_comp_overhead.cpp.o.d"
+  "bench/fig6_comp_overhead"
+  "bench/fig6_comp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_comp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_wholefile.dir/bench/table3_wholefile.cpp.o"
+  "CMakeFiles/table3_wholefile.dir/bench/table3_wholefile.cpp.o.d"
+  "bench/table3_wholefile"
+  "bench/table3_wholefile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_wholefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audited_vault.dir/audited_vault.cpp.o"
+  "CMakeFiles/audited_vault.dir/audited_vault.cpp.o.d"
+  "audited_vault"
+  "audited_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audited_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

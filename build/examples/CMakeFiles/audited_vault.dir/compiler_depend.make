@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for audited_vault.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_roster.dir/employee_roster.cpp.o"
+  "CMakeFiles/employee_roster.dir/employee_roster.cpp.o.d"
+  "employee_roster"
+  "employee_roster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_roster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_archive.dir/mail_archive.cpp.o"
+  "CMakeFiles/mail_archive.dir/mail_archive.cpp.o.d"
+  "mail_archive"
+  "mail_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/individual_key.cpp" "src/CMakeFiles/fgad.dir/baselines/individual_key.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/baselines/individual_key.cpp.o.d"
+  "/root/repo/src/baselines/master_key.cpp" "src/CMakeFiles/fgad.dir/baselines/master_key.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/baselines/master_key.cpp.o.d"
+  "/root/repo/src/client/client.cpp" "src/CMakeFiles/fgad.dir/client/client.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/client/client.cpp.o.d"
+  "/root/repo/src/client/keystore.cpp" "src/CMakeFiles/fgad.dir/client/keystore.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/client/keystore.cpp.o.d"
+  "/root/repo/src/cloud/file_store.cpp" "src/CMakeFiles/fgad.dir/cloud/file_store.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/cloud/file_store.cpp.o.d"
+  "/root/repo/src/cloud/item_store.cpp" "src/CMakeFiles/fgad.dir/cloud/item_store.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/cloud/item_store.cpp.o.d"
+  "/root/repo/src/cloud/server.cpp" "src/CMakeFiles/fgad.dir/cloud/server.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/cloud/server.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/fgad.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/result.cpp" "src/CMakeFiles/fgad.dir/common/result.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/common/result.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/fgad.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/common/rng.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/CMakeFiles/fgad.dir/core/chain.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/core/chain.cpp.o.d"
+  "/root/repo/src/core/client_math.cpp" "src/CMakeFiles/fgad.dir/core/client_math.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/core/client_math.cpp.o.d"
+  "/root/repo/src/core/item_codec.cpp" "src/CMakeFiles/fgad.dir/core/item_codec.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/core/item_codec.cpp.o.d"
+  "/root/repo/src/core/outsource.cpp" "src/CMakeFiles/fgad.dir/core/outsource.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/core/outsource.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/CMakeFiles/fgad.dir/core/tree.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/core/tree.cpp.o.d"
+  "/root/repo/src/core/views.cpp" "src/CMakeFiles/fgad.dir/core/views.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/core/views.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/fgad.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/digest.cpp" "src/CMakeFiles/fgad.dir/crypto/digest.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/crypto/digest.cpp.o.d"
+  "/root/repo/src/crypto/hasher.cpp" "src/CMakeFiles/fgad.dir/crypto/hasher.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/crypto/hasher.cpp.o.d"
+  "/root/repo/src/crypto/prf.cpp" "src/CMakeFiles/fgad.dir/crypto/prf.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/crypto/prf.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/CMakeFiles/fgad.dir/crypto/random.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/crypto/random.cpp.o.d"
+  "/root/repo/src/crypto/secure_buffer.cpp" "src/CMakeFiles/fgad.dir/crypto/secure_buffer.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/crypto/secure_buffer.cpp.o.d"
+  "/root/repo/src/fskeys/groups.cpp" "src/CMakeFiles/fgad.dir/fskeys/groups.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/fskeys/groups.cpp.o.d"
+  "/root/repo/src/fskeys/meta.cpp" "src/CMakeFiles/fgad.dir/fskeys/meta.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/fskeys/meta.cpp.o.d"
+  "/root/repo/src/fskeys/proxy.cpp" "src/CMakeFiles/fgad.dir/fskeys/proxy.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/fskeys/proxy.cpp.o.d"
+  "/root/repo/src/integrity/audit.cpp" "src/CMakeFiles/fgad.dir/integrity/audit.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/integrity/audit.cpp.o.d"
+  "/root/repo/src/integrity/merkle.cpp" "src/CMakeFiles/fgad.dir/integrity/merkle.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/integrity/merkle.cpp.o.d"
+  "/root/repo/src/net/inmemory.cpp" "src/CMakeFiles/fgad.dir/net/inmemory.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/net/inmemory.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/fgad.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/CMakeFiles/fgad.dir/net/transport.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/net/transport.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/CMakeFiles/fgad.dir/proto/messages.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/proto/messages.cpp.o.d"
+  "/root/repo/src/proto/wire.cpp" "src/CMakeFiles/fgad.dir/proto/wire.cpp.o" "gcc" "src/CMakeFiles/fgad.dir/proto/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

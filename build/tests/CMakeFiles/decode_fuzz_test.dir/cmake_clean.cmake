@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_fuzz_test.dir/decode_fuzz_test.cpp.o"
+  "CMakeFiles/decode_fuzz_test.dir/decode_fuzz_test.cpp.o.d"
+  "decode_fuzz_test"
+  "decode_fuzz_test.pdb"
+  "decode_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fskeys_test.dir/fskeys_test.cpp.o"
+  "CMakeFiles/fskeys_test.dir/fskeys_test.cpp.o.d"
+  "fskeys_test"
+  "fskeys_test.pdb"
+  "fskeys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fskeys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

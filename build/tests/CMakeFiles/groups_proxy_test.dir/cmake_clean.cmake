@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groups_proxy_test.dir/groups_proxy_test.cpp.o"
+  "CMakeFiles/groups_proxy_test.dir/groups_proxy_test.cpp.o.d"
+  "groups_proxy_test"
+  "groups_proxy_test.pdb"
+  "groups_proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groups_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insert_test.dir/insert_test.cpp.o"
+  "CMakeFiles/insert_test.dir/insert_test.cpp.o.d"
+  "insert_test"
+  "insert_test.pdb"
+  "insert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_codec_test.dir/item_codec_test.cpp.o"
+  "CMakeFiles/item_codec_test.dir/item_codec_test.cpp.o.d"
+  "item_codec_test"
+  "item_codec_test.pdb"
+  "item_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_store_test.dir/item_store_test.cpp.o"
+  "CMakeFiles/item_store_test.dir/item_store_test.cpp.o.d"
+  "item_store_test"
+  "item_store_test.pdb"
+  "item_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

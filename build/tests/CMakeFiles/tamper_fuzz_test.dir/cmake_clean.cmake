@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamper_fuzz_test.dir/tamper_fuzz_test.cpp.o"
+  "CMakeFiles/tamper_fuzz_test.dir/tamper_fuzz_test.cpp.o.d"
+  "tamper_fuzz_test"
+  "tamper_fuzz_test.pdb"
+  "tamper_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamper_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
