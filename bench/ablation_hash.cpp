@@ -15,12 +15,20 @@ int main() {
   std::printf("=== Ablation A1: chain hash function (n = %zu) ===\n\n", n);
   std::printf("%-10s %14s %14s %14s %14s\n", "hash", "delete KB",
               "access KB", "delete ms", "access ms");
+  BenchJson json("ablation_hash");
+  json.meta().set("n", n);
   for (HashAlg alg : {HashAlg::kSha1, HashAlg::kSha256}) {
     const SweepPoint p = run_sweep_point(n, alg, samples);
     std::printf("%-10s %14.3f %14.3f %14.4f %14.4f\n",
                 fgad::crypto::hash_alg_name(alg), p.delete_bytes / 1024.0,
                 p.access_bytes / 1024.0, p.delete_comp * 1e3,
                 p.access_comp * 1e3);
+    json.row()
+        .set("hash", fgad::crypto::hash_alg_name(alg))
+        .set("delete_bytes", p.delete_bytes)
+        .set("access_bytes", p.access_bytes)
+        .set("delete_seconds", p.delete_comp)
+        .set("access_seconds", p.access_comp);
   }
   std::printf("\nexpected: SHA-256 costs ~1.6x the bytes (32- vs 20-byte "
               "modulators) at comparable ms; both stay O(log n).\n");

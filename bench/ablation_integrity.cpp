@@ -46,6 +46,11 @@ int main() {
   std::printf("  integrity off: %.4f ms/delete\n", off);
   std::printf("  integrity on:  %.4f ms/delete  (+%.1f%%)\n", on,
               100.0 * (on - off) / off);
+  BenchJson json("ablation_integrity");
+  json.meta()
+      .set("n", n)
+      .set("delete_ms_integrity_off", off)
+      .set("delete_ms_integrity_on", on);
 
   std::printf("\naudit proof size and verification vs n:\n");
   std::printf("%12s %16s %18s %20s\n", "n", "proof bytes", "verify us",
@@ -100,6 +105,11 @@ int main() {
     }
     std::printf("%12zu %16.0f %18.2f %20.4f\n", static_cast<std::size_t>(sweep_n),
                 proof_bytes, verify_us, dsw.elapsed_ms() / dreps);
+    json.row()
+        .set("n", static_cast<std::size_t>(sweep_n))
+        .set("proof_bytes", proof_bytes)
+        .set("verify_us", verify_us)
+        .set("tracked_delete_ms", dsw.elapsed_ms() / dreps);
   }
   std::printf("\nexpected: proof bytes and times grow logarithmically; the "
               "hash-tree maintenance adds only a small constant factor to "

@@ -64,6 +64,15 @@ int main() {
   std::printf("=== Ablation A2: transport stack (n = %zu) ===\n\n", n);
   std::printf("%-12s %16s %16s %14s\n", "transport", "delete wall ms",
               "access wall ms", "delete KB");
+  fgad::bench::BenchJson json("ablation_transport");
+  json.meta().set("n", n);
+  const auto record = [&json](const char* transport, const RunResult& r) {
+    json.row()
+        .set("transport", transport)
+        .set("delete_wall_ms", r.delete_wall_ms)
+        .set("access_wall_ms", r.access_wall_ms)
+        .set("delete_bytes", r.delete_kb * 1024.0);
+  };
 
   // In-process direct dispatch.
   {
@@ -73,6 +82,7 @@ int main() {
     const RunResult r = run(ch, n, 1);
     std::printf("%-12s %16.4f %16.4f %14.3f\n", "direct", r.delete_wall_ms,
                 r.access_wall_ms, r.delete_kb);
+    record("direct", r);
   }
   // Threaded in-memory pipe.
   {
@@ -84,6 +94,7 @@ int main() {
     const RunResult r = run(ch, n, 2);
     std::printf("%-12s %16.4f %16.4f %14.3f\n", "pipe", r.delete_wall_ms,
                 r.access_wall_ms, r.delete_kb);
+    record("pipe", r);
     pump.stop();
   }
   // Loopback TCP.
@@ -103,6 +114,7 @@ int main() {
     const RunResult r = run(*ch.value(), n, 3);
     std::printf("%-12s %16.4f %16.4f %14.3f\n", "tcp", r.delete_wall_ms,
                 r.access_wall_ms, r.delete_kb);
+    record("tcp", r);
     tcp.stop();
   }
 

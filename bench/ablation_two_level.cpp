@@ -21,6 +21,8 @@ int main() {
   std::printf("m = %zu files x n = %zu items each\n\n", m_files, n);
   std::printf("%-14s %16s %14s %14s %16s\n", "mode", "client keys",
               "delete KB", "delete ms", "delete wall ms");
+  BenchJson json("ablation_two_level");
+  json.meta().set("n", n).set("files", m_files).set("reps", reps);
 
   // --- single-level: client keeps one master key per file ------------------
   {
@@ -50,6 +52,14 @@ int main() {
                 static_cast<double>(stack.channel.total_bytes()) / reps /
                     1024.0,
                 stack.client.compute_timer().total_ms() / reps, wall);
+    json.row()
+        .set("mode", "single-level")
+        .set("client_keys", m_files)
+        .set("delete_bytes",
+             static_cast<double>(stack.channel.total_bytes()) / reps)
+        .set("delete_compute_ms",
+             stack.client.compute_timer().total_ms() / reps)
+        .set("delete_wall_ms", wall);
   }
 
   // --- two-level: one control key; master keys in the meta tree ------------
@@ -88,6 +98,14 @@ int main() {
                 static_cast<double>(stack.channel.total_bytes()) / reps /
                     1024.0,
                 stack.client.compute_timer().total_ms() / reps, wall);
+    json.row()
+        .set("mode", "two-level")
+        .set("client_keys", 1)
+        .set("delete_bytes",
+             static_cast<double>(stack.channel.total_bytes()) / reps)
+        .set("delete_compute_ms",
+             stack.client.compute_timer().total_ms() / reps)
+        .set("delete_wall_ms", wall);
   }
 
   std::printf("\nexpected: two-level stores 1 key instead of %zu, costing a "

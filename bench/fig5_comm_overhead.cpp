@@ -15,12 +15,19 @@ int main() {
               sample_count(), max_n());
   std::printf("%12s %14s %14s %14s\n", "n", "delete (KB)", "insert (KB)",
               "access (KB)");
+  BenchJson json("fig5_comm_overhead");
+  json.meta().set("item_bytes", 16);
   for (std::size_t n : sweep_sizes()) {
     const SweepPoint p =
         run_sweep_point(n, fgad::crypto::HashAlg::kSha1, sample_count());
     std::printf("%12zu %14.3f %14.3f %14.3f\n", p.n, p.delete_bytes / 1024.0,
                 p.insert_bytes / 1024.0, p.access_bytes / 1024.0);
     std::fflush(stdout);
+    json.row()
+        .set("n", p.n)
+        .set("delete_bytes", p.delete_bytes)
+        .set("insert_bytes", p.insert_bytes)
+        .set("access_bytes", p.access_bytes);
   }
   std::printf("\nexpected: logarithmic growth in n for all three curves "
               "(paper Fig. 5)\n");

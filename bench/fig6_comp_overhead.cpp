@@ -15,12 +15,19 @@ int main() {
               sample_count(), max_n());
   std::printf("%12s %14s %14s %14s\n", "n", "delete (ms)", "insert (ms)",
               "access (ms)");
+  BenchJson json("fig6_comp_overhead");
+  json.meta().set("item_bytes", 16);
   for (std::size_t n : sweep_sizes()) {
     const SweepPoint p =
         run_sweep_point(n, fgad::crypto::HashAlg::kSha1, sample_count());
     std::printf("%12zu %14.4f %14.4f %14.4f\n", p.n, p.delete_comp * 1e3,
                 p.insert_comp * 1e3, p.access_comp * 1e3);
     std::fflush(stdout);
+    json.row()
+        .set("n", p.n)
+        .set("delete_seconds", p.delete_comp)
+        .set("insert_seconds", p.insert_comp)
+        .set("access_seconds", p.access_comp);
   }
   std::printf("\nexpected: logarithmic growth in n for all three curves "
               "(paper Fig. 6)\n");

@@ -1,8 +1,15 @@
 // Ablation A4: google-benchmark micro suite for the core primitives —
 // chain steps, key derivation by depth, delete planning by tree size, item
 // sealing by payload size. These are the constants behind Figures 5/6.
+// Unless the caller passes its own --benchmark_out, results are also written
+// to BENCH_micro_core.json (google-benchmark's native JSON format).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/batch_derive.h"
 #include "core/client_math.h"
 #include "core/item_codec.h"
 #include "core/outsource.h"
@@ -13,6 +20,7 @@
 namespace {
 
 using namespace fgad;
+using core::BatchDeriver;
 using core::ClientMath;
 using core::ItemCodec;
 using core::ModulationTree;
@@ -118,6 +126,29 @@ void BM_DeriveAllKeys(benchmark::State& state) {
 }
 BENCHMARK(BM_DeriveAllKeys)->Arg(1 << 10)->Arg(1 << 14);
 
+// The parallel bulk engine against the scalar BM_DeriveAllKeys above:
+// same derivation, partitioned across a thread pool. Args are
+// (n, threads); threads = 1 is the inline seed-identical path.
+void BM_BatchDeriveAllKeys(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  DeterministicRandom rnd(3);
+  const Md k = rnd.random_md(20);
+  std::vector<Md> links(fgad::core::node_count_for(n));
+  for (std::size_t v = 1; v < links.size(); ++v) links[v] = rnd.random_md(20);
+  std::vector<Md> leaf_mods(n);
+  for (auto& m : leaf_mods) m = rnd.random_md(20);
+  BatchDeriver::Options opts;
+  opts.threads = threads;
+  const BatchDeriver deriver(HashAlg::kSha1, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deriver.derive_all_keys(k, links, leaf_mods));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchDeriveAllKeys)
+    ->ArgsProduct({{1 << 14, 1 << 18}, {1, 2, 4, 8}});
+
 void BM_SealByPayload(benchmark::State& state) {
   ItemCodec codec(HashAlg::kSha1);
   DeterministicRandom rnd(4);
@@ -167,4 +198,28 @@ BENCHMARK(BM_TreeDeleteInfo)->Arg(1 << 10)->Arg(1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus default JSON output (BENCH_micro_core.json) when the
+// caller did not request its own --benchmark_out destination.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_core.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

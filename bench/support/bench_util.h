@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "client/client.h"
@@ -129,6 +131,128 @@ inline std::string human_bytes(double b) {
   }
   return buf;
 }
+
+// ---- machine-readable results -------------------------------------------
+//
+// Every bench binary, in addition to its human-readable table, writes
+// BENCH_<name>.json (into $FGAD_BENCH_JSON_DIR, default the working
+// directory) so results can be diffed, plotted, and regression-checked
+// without scraping stdout. Format:
+//
+//   { "bench": "<name>", "schema": 1,
+//     "meta": { ...free-form run parameters... },
+//     "rows": [ { ...one object per table row... }, ... ] }
+//
+// Values are numbers or strings; rows need not share a column set.
+class BenchJson {
+ public:
+  /// One JSON object ({"k": v, ...}) built by chained set() calls.
+  class Obj {
+   public:
+    template <typename T>
+    Obj& set(const std::string& key, const T& value) {
+      fields_.emplace_back(key, encode(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+
+    static std::string encode(double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      return buf;
+    }
+    template <typename T>
+      requires std::is_integral_v<T>
+    static std::string encode(T v) {
+      char buf[32];
+      if constexpr (std::is_signed_v<T>) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+      }
+      return buf;
+    }
+    static std::string encode(const std::string& v) {
+      std::string out = "\"";
+      for (char c : v) {
+        if (c == '"' || c == '\\') {
+          out.push_back('\\');
+          out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+      }
+      out.push_back('"');
+      return out;
+    }
+    static std::string encode(const char* v) { return encode(std::string(v)); }
+
+    std::string to_json() const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += encode(fields_[i].first) + ": " + fields_[i].second;
+      }
+      out += "}";
+      return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    meta_.set("max_n", max_n()).set("samples", sample_count());
+  }
+  ~BenchJson() { write(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Run-level parameters recorded once per file.
+  Obj& meta() { return meta_; }
+  /// Appends and returns a fresh result row.
+  Obj& row() { return rows_.emplace_back(); }
+
+  /// Writes BENCH_<name>.json; called automatically on destruction.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    std::string dir = ".";
+    if (const char* d = std::getenv("FGAD_BENCH_JSON_DIR");
+        d != nullptr && *d != '\0') {
+      dir = d;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"schema\": 1,\n  \"meta\": %s,\n"
+                    "  \"rows\": [\n",
+                 Obj::encode(name_).c_str(), meta_.to_json().c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", rows_[i].to_json().c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  Obj meta_;
+  std::vector<Obj> rows_;
+  bool written_ = false;
+};
 
 inline std::string human_time(double seconds) {
   char buf[64];

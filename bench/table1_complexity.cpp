@@ -90,6 +90,8 @@ int main() {
        measure_individual_key(n2)},
       {"our work", measure_ours(n1), measure_ours(n2)},
   };
+  BenchJson json("table1_complexity");
+  json.meta().set("n1", n1).set("n2", n2);
   for (const Row& r : rows) {
     const double comm_factor = r.b.comm / r.a.comm;
     const double sto_factor = r.b.storage / r.a.storage;
@@ -99,6 +101,16 @@ int main() {
                 human_bytes(r.a.storage).c_str(),
                 human_bytes(r.b.storage).c_str(), sto_factor,
                 classify(sto_factor));
+    json.row()
+        .set("solution", r.name)
+        .set("comm_bytes_n1", r.a.comm)
+        .set("comm_bytes_n2", r.b.comm)
+        .set("comm_factor", comm_factor)
+        .set("comm_class", classify(comm_factor))
+        .set("storage_bytes_n1", r.a.storage)
+        .set("storage_bytes_n2", r.b.storage)
+        .set("storage_factor", sto_factor)
+        .set("storage_class", classify(sto_factor));
   }
   std::printf("\nexpected: the empirical classes match the analytic table "
               "above (paper Table I).\n");

@@ -24,6 +24,8 @@ int main() {
               n);
   std::printf("%-18s %16s %18s %18s\n", "solution", "client storage",
               "comm overhead", "computation");
+  BenchJson json("table2_deletion_overhead");
+  json.meta().set("n", n).set("item_bytes", 4096);
 
   // --- master-key solution (Section III-A) --------------------------------
   {
@@ -46,6 +48,11 @@ int main() {
                 human_bytes(static_cast<double>(stack.channel.total_bytes()))
                     .c_str(),
                 human_time(sol.compute_timer().total_seconds()).c_str());
+    json.row()
+        .set("solution", "master-key")
+        .set("storage_bytes", sol.client_storage_bytes())
+        .set("comm_bytes", stack.channel.total_bytes())
+        .set("compute_seconds", sol.compute_timer().total_seconds());
   }
 
   // --- individual-key solution (Section III-B) -----------------------------
@@ -69,6 +76,11 @@ int main() {
                 human_bytes(static_cast<double>(stack.channel.total_bytes()))
                     .c_str(),
                 human_time(sol.compute_timer().total_seconds()).c_str());
+    json.row()
+        .set("solution", "individual-key")
+        .set("storage_bytes", sol.client_storage_bytes())
+        .set("comm_bytes", stack.channel.total_bytes())
+        .set("compute_seconds", sol.compute_timer().total_seconds());
   }
 
   // --- our work: key modulation -------------------------------------------
@@ -92,6 +104,12 @@ int main() {
                 human_bytes(static_cast<double>(overhead_bytes)).c_str(),
                 human_time(stack.client.compute_timer().total_seconds())
                     .c_str());
+    json.row()
+        .set("solution", "key-modulation")
+        .set("storage_bytes", stack.client.math().width())
+        .set("comm_bytes", overhead_bytes)
+        .set("compute_seconds",
+             stack.client.compute_timer().total_seconds());
   }
 
   std::printf("\nexpected shape (paper Table II): master-key moves hundreds "

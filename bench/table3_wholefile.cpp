@@ -13,6 +13,14 @@
 // measure the identical computations in a streaming fashion: the tree and
 // keys are the real structures; ciphertexts are produced and decrypted one
 // at a time. The ratios are unaffected (documented in EXPERIMENTS.md).
+//
+// A second sweep exercises the parallel bulk engine (BatchDeriver +
+// ThreadPool): whole-file outsource (derive + seal) and whole-file fetch
+// (derive + open) at FGAD_SWEEP_N items across thread counts {1, 2, 4, 8},
+// reporting wall-clock seconds and speedup over the 1-thread run. Output is
+// byte-identical at every thread count (see DESIGN.md Section 10), so this
+// measures pure scheduling gain; on a single-core host expect ~1.0x.
+#include "core/batch_derive.h"
 #include "support/bench_util.h"
 
 namespace {
@@ -116,6 +124,59 @@ Row measure_streaming(std::size_t n) {
   return row;
 }
 
+struct ThreadRow {
+  std::size_t threads;
+  double outsource_seconds;  // derive + seal the whole file
+  double fetch_seconds;      // derive + open the whole file
+};
+
+// Whole-file outsource + fetch of n 16 B items through the parallel bulk
+// engine at a given thread count. Native structures (no wire) so the
+// measurement isolates the derive/seal/open computation the engine
+// parallelizes.
+ThreadRow measure_threads(std::size_t n, std::size_t threads) {
+  using fgad::core::BatchDeriver;
+  fgad::crypto::DeterministicRandom rnd(n);
+  fgad::core::ClientMath math(HashAlg::kSha1);
+  MasterKey master = MasterKey::generate(rnd, math.width());
+  Outsourcer out(HashAlg::kSha1, /*track_duplicates=*/false, threads);
+
+  std::uint64_t counter = 0;
+  fgad::Stopwatch sw;
+  auto built = out.build(master, n, small_item, counter, rnd);
+  ThreadRow row{};
+  row.threads = threads;
+  row.outsource_seconds = sw.elapsed_seconds();
+
+  const std::size_t nodes = built.tree.node_count();
+  std::vector<Md> links(nodes);
+  for (NodeId v = 1; v < nodes; ++v) {
+    links[v] = built.tree.link_mod(v);
+  }
+  std::vector<Md> leaf_mods(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaf_mods[i] = built.tree.leaf_mod(static_cast<NodeId>(n - 1 + i));
+  }
+  BatchDeriver deriver(HashAlg::kSha1, BatchDeriver::Options{threads});
+  std::vector<BatchDeriver::OpenTask> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks[i] = BatchDeriver::OpenTask{i, built.items[i].ciphertext,
+                                      built.items[i].item_id};
+  }
+
+  sw.reset();
+  const std::vector<Md> keys =
+      deriver.derive_all_keys(master.value(), links, leaf_mods);
+  auto opened = deriver.open_all(keys, tasks);
+  row.fetch_seconds = sw.elapsed_seconds();
+  if (!opened) {
+    std::fprintf(stderr, "thread-sweep fetch failed: %s\n",
+                 opened.status().to_string().c_str());
+    std::abort();
+  }
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -123,6 +184,7 @@ int main() {
   std::printf("%10s %12s %12s %14s %14s %12s\n", "n", "comm ratio",
               "comp ratio", "tree bytes", "file bytes", "mode");
 
+  BenchJson json("table3_wholefile");
   const std::size_t cap = std::min<std::size_t>(max_n(), 1'000'000);
   for (std::size_t n = 1'000; n <= cap; n *= 10) {
     const Row row = n <= 10'000 ? measure_protocol(n) : measure_streaming(n);
@@ -131,8 +193,55 @@ int main() {
                 human_bytes(row.tree_bytes).c_str(),
                 human_bytes(row.file_bytes).c_str(), row.mode);
     std::fflush(stdout);
+    json.row()
+        .set("kind", "overhead")
+        .set("n", row.n)
+        .set("comm_ratio", row.comm_ratio)
+        .set("comp_ratio", row.comp_ratio)
+        .set("tree_bytes", row.tree_bytes)
+        .set("file_bytes", row.file_bytes)
+        .set("mode", row.mode);
   }
   std::printf("\nexpected (paper Table III): comm ratio < 1%%, comp ratio < "
               "0.3%%, both roughly flat in n.\n");
+
+  // --- parallel bulk-engine thread sweep ---------------------------------
+  const std::size_t sweep_n = std::min<std::size_t>(
+      env_size("FGAD_SWEEP_N", std::size_t{1} << 18), max_n());
+  std::printf("\n=== Parallel bulk engine: whole-file outsource + fetch "
+              "(n = %zu, 16 B items) ===\n",
+              sweep_n);
+  std::printf("host hardware_concurrency = %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %16s %16s %12s %12s\n", "threads", "outsource (s)",
+              "fetch (s)", "outsrc spd", "fetch spd");
+  json.meta()
+      .set("sweep_n", sweep_n)
+      .set("hardware_concurrency", std::thread::hardware_concurrency());
+  double base_outsource = 0;
+  double base_fetch = 0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    const ThreadRow r = measure_threads(sweep_n, threads);
+    if (threads == 1) {
+      base_outsource = r.outsource_seconds;
+      base_fetch = r.fetch_seconds;
+    }
+    const double so = base_outsource / r.outsource_seconds;
+    const double sf = base_fetch / r.fetch_seconds;
+    std::printf("%8zu %16.3f %16.3f %11.2fx %11.2fx\n", r.threads,
+                r.outsource_seconds, r.fetch_seconds, so, sf);
+    std::fflush(stdout);
+    json.row()
+        .set("kind", "thread_sweep")
+        .set("threads", r.threads)
+        .set("n", sweep_n)
+        .set("outsource_seconds", r.outsource_seconds)
+        .set("fetch_seconds", r.fetch_seconds)
+        .set("outsource_speedup", so)
+        .set("fetch_speedup", sf);
+  }
+  std::printf("\nexpected: near-linear speedup up to the physical core "
+              "count; output is byte-identical at every thread count.\n");
   return 0;
 }

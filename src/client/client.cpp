@@ -14,7 +14,17 @@ Client::Client(net::RpcChannel& channel, crypto::RandomSource& rnd,
       opts_(opts),
       math_(opts.alg),
       codec_(opts.alg),
-      outsourcer_(opts.alg, /*track_duplicates=*/false) {}
+      outsourcer_(opts.alg, /*track_duplicates=*/false, opts.threads),
+      batch_(opts.alg, core::BatchDeriver::Options{opts.threads}) {}
+
+crypto::Md Client::derive_item_key(const FileHandle& fh,
+                                   const core::AccessInfo& info) {
+  if (opts_.use_prefix_cache) {
+    return fh.cache.derive_key(math_.chain(), fh.key.value(), info.path,
+                               info.leaf_mod);
+  }
+  return math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+}
 
 Result<Bytes> Client::call(BytesView frame, MsgType expect) {
   Result<Bytes> resp = channel_.roundtrip(frame);
@@ -94,9 +104,20 @@ Result<Bytes> Client::access(const FileHandle& fh, proto::ItemRef ref) {
   if (!info.path.well_formed()) {
     return Error(Errc::kTamperDetected, "access: malformed path");
   }
-  const crypto::Md key =
-      math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+  crypto::Md key = derive_item_key(fh, info);
   auto opened = codec_.open(key, info.ciphertext);
+  if (!opened && opts_.use_prefix_cache) {
+    // A cached prefix may be stale (poisoned by an earlier tampered
+    // response); drop the cache and re-derive from the master key before
+    // concluding the server misbehaved.
+    fh.cache.invalidate();
+    const crypto::Md fresh =
+        math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+    if (fresh != key) {
+      key = fresh;
+      opened = codec_.open(key, info.ciphertext);
+    }
+  }
   if (!opened) {
     return Error(Errc::kIntegrityMismatch,
                  "access: item failed integrity check (wrong path or "
@@ -132,9 +153,17 @@ Status Client::modify(const FileHandle& fh, std::uint64_t item_id,
     if (!info.path.well_formed()) {
       return Status(Errc::kTamperDetected, "modify: malformed path");
     }
-    const crypto::Md key =
-        math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+    crypto::Md key = derive_item_key(fh, info);
     auto opened = codec_.open(key, info.ciphertext);
+    if (!opened && opts_.use_prefix_cache) {
+      fh.cache.invalidate();
+      const crypto::Md fresh =
+          math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+      if (fresh != key) {
+        key = fresh;
+        opened = codec_.open(key, info.ciphertext);
+      }
+    }
     if (!opened) {
       return Status(Errc::kIntegrityMismatch, "modify: item failed check");
     }
@@ -186,6 +215,8 @@ Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
     }
     auto resp = call(creq.to_frame(), MsgType::kInsertCommitResp);
     if (resp) {
+      // The split relocated leaf q and rewrote modulators around it.
+      fh.cache.invalidate();
       return item_id;
     }
     if (resp.error().code != Errc::kDuplicateModulator) {
@@ -240,8 +271,10 @@ Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
     }
     auto resp = call(creq.to_frame(), MsgType::kDeleteCommitResp);
     if (resp) {
-      // Server committed: permanently destroy the old master key.
+      // Server committed: permanently destroy the old master key. Every
+      // cached prefix belonged to the dead key epoch.
       fh.key = std::move(fresh);
+      fh.cache.invalidate();
       return Status::ok();
     }
     if (resp.error().code != Errc::kDuplicateModulator) {
@@ -296,7 +329,7 @@ Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {
     for (std::size_t i = 0; i < n; ++i) {
       leaf_mods[i] = t.leaf_mod(first_leaf + i);
     }
-    keys = math_.derive_all_keys(fh.key.value(), links, leaf_mods);
+    keys = batch_.derive_all_keys(fh.key.value(), links, leaf_mods);
     out.key_derive_seconds = sw.elapsed_seconds();
   }
 
@@ -318,20 +351,28 @@ Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {
     }
     CumulativeTimer::Section sec(compute_timer_);
     Stopwatch sw;
-    for (auto& e : iresp.value().items) {
+    auto& batch_items = iresp.value().items;
+    std::vector<core::BatchDeriver::OpenTask> tasks;
+    tasks.reserve(batch_items.size());
+    for (auto& e : batch_items) {
       const std::size_t idx = e.leaf - first_leaf;
       if (e.leaf < first_leaf || idx >= keys.size()) {
         return Error(Errc::kTamperDetected, "fetch: leaf id out of range");
       }
       out.file_bytes += e.ciphertext.size();
-      auto opened = codec_.open(keys[idx], e.ciphertext);
-      if (!opened) {
-        return Error(Errc::kIntegrityMismatch, "fetch: item failed check");
-      }
-      if (opened.value().r != e.item_id) {
+      tasks.push_back(
+          core::BatchDeriver::OpenTask{idx, e.ciphertext, e.item_id});
+    }
+    auto opened = batch_.open_all(keys, tasks);
+    if (!opened) {
+      if (opened.error().code == Errc::kTamperDetected) {
         return Error(Errc::kTamperDetected, "fetch: counter value mismatch");
       }
-      out.items.emplace_back(e.item_id, std::move(opened.value().plaintext));
+      return Error(Errc::kIntegrityMismatch, "fetch: item failed check");
+    }
+    for (std::size_t i = 0; i < batch_items.size(); ++i) {
+      out.items.emplace_back(batch_items[i].item_id,
+                             std::move(opened.value()[i]));
     }
     out.decrypt_seconds += sw.elapsed_seconds();
     ordinal += iresp.value().items.size();

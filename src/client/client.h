@@ -22,9 +22,11 @@
 #include <functional>
 
 #include "common/stopwatch.h"
+#include "core/batch_derive.h"
 #include "core/client_math.h"
 #include "core/item_codec.h"
 #include "core/outsource.h"
+#include "core/prefix_cache.h"
 #include "crypto/secure_buffer.h"
 #include "net/transport.h"
 #include "proto/messages.h"
@@ -36,16 +38,27 @@ class Client {
   struct Options {
     crypto::HashAlg alg = crypto::HashAlg::kSha1;
     int max_retries = 8;  // duplicate-modulator re-run bound
+    // Worker threads for whole-file derivation / sealing / unsealing:
+    // 0 = hardware_concurrency, 1 = the seed's sequential pass. Results
+    // are byte-identical at every setting.
+    std::size_t threads = 0;
+    // Cache path-prefix chain values per file so repeated single-item
+    // access/modify costs O(1) hashes amortized instead of O(log n).
+    bool use_prefix_cache = true;
   };
 
   Client(net::RpcChannel& channel, crypto::RandomSource& rnd)
       : Client(channel, rnd, Options()) {}
   Client(net::RpcChannel& channel, crypto::RandomSource& rnd, Options opts);
 
-  /// Client-held state for one outsourced file: its id and master key.
+  /// Client-held state for one outsourced file: its id, master key, and
+  /// the path-prefix cache bound to the current key epoch. The cache is
+  /// mutable so read-style operations (access) can warm it; the client
+  /// invalidates it on re-key and on structural mutations.
   struct FileHandle {
     std::uint64_t id = 0;
     crypto::MasterKey key;
+    mutable core::PrefixCache cache;
   };
 
   // ---- operations ---------------------------------------------------------
@@ -101,9 +114,14 @@ class Client {
 
   const core::ClientMath& math() const { return math_; }
   const core::ItemCodec& codec() const { return codec_; }
+  const core::BatchDeriver& deriver() const { return batch_; }
 
  private:
   Result<Bytes> call(BytesView frame, proto::MsgType expect);
+
+  /// Data key of one item; goes through the per-file prefix cache when
+  /// Options::use_prefix_cache is set.
+  crypto::Md derive_item_key(const FileHandle& fh, const core::AccessInfo& info);
 
   net::RpcChannel& channel_;
   crypto::RandomSource& rnd_;
@@ -111,6 +129,7 @@ class Client {
   core::ClientMath math_;
   core::ItemCodec codec_;
   core::Outsourcer outsourcer_;
+  core::BatchDeriver batch_;
   std::uint64_t counter_ = 0;
   CumulativeTimer compute_timer_;
 };

@@ -43,13 +43,24 @@ void FileStore::integrity_rebuild() {
     return;
   }
   const std::size_t n = tree_.leaf_count();
-  crypto::Hasher hasher(tree_.alg());
   std::vector<crypto::Md> hashes(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const NodeId leaf = (n - 1) + i;
-    const auto& rec =
-        items_.at(static_cast<std::uint32_t>(tree_.item_slot(leaf)));
-    hashes[i] = integrity::leaf_hash(hasher, rec.item_id, rec.ciphertext);
+  const auto hash_range = [&](std::size_t begin, std::size_t end,
+                              std::size_t /*worker*/) {
+    crypto::Hasher hasher(tree_.alg());  // EVP ctx: one per worker
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId leaf = (n - 1) + i;
+      const auto& rec =
+          items_.at(static_cast<std::uint32_t>(tree_.item_slot(leaf)));
+      hashes[i] = integrity::leaf_hash(hasher, rec.item_id, rec.ciphertext);
+    }
+  };
+  // The leaf hashing dominates bulk ingest/reload; fan it out when the
+  // server has a pool. The internal-node build stays sequential (it is a
+  // single linear pass over already-computed digests).
+  if (pool_ != nullptr && n >= 1024) {
+    pool_->parallel_for(n, /*grain=*/128, hash_range);
+  } else {
+    hash_range(0, n, 0);
   }
   integrity_->build(hashes);
 }
@@ -217,14 +228,16 @@ void FileStore::serialize(proto::Writer& w) const {
 
 Result<FileStore> FileStore::deserialize(proto::Reader& r,
                                          bool track_duplicates,
-                                         bool enable_integrity) {
+                                         bool enable_integrity,
+                                         ThreadPool* pool) {
   auto tree = core::ModulationTree::deserialize(
       r, core::ModulationTree::Config{crypto::HashAlg::kSha1,
                                       track_duplicates});
   if (!tree) {
     return tree.error();
   }
-  FileStore store(tree.value().alg(), track_duplicates, enable_integrity);
+  FileStore store(tree.value().alg(), track_duplicates, enable_integrity,
+                  pool);
   store.tree_ = std::move(tree).value();
   const std::uint64_t n = r.u64();
   if (!r.ok() || n != store.tree_.leaf_count()) {

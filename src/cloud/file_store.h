@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "cloud/item_store.h"
+#include "common/thread_pool.h"
 #include "core/tree.h"
 #include "integrity/merkle.h"
 #include "proto/messages.h"
@@ -21,9 +22,13 @@ namespace fgad::cloud {
 
 class FileStore {
  public:
+  /// `pool` (optional, non-owning, typically the CloudServer's) parallelizes
+  /// the bulk integrity-tree leaf hashing on ingest/reload; each worker uses
+  /// its own Hasher. Results are identical with or without it.
   FileStore(crypto::HashAlg alg, bool track_duplicates,
-            bool enable_integrity = true)
-      : tree_(core::ModulationTree::Config{alg, track_duplicates}) {
+            bool enable_integrity = true, ThreadPool* pool = nullptr)
+      : tree_(core::ModulationTree::Config{alg, track_duplicates}),
+        pool_(pool) {
     if (enable_integrity) {
       integrity_.emplace(alg);
     }
@@ -64,7 +69,8 @@ class FileStore {
   /// Whole-file persistence: tree + items (in file order).
   void serialize(proto::Writer& w) const;
   static Result<FileStore> deserialize(proto::Reader& r, bool track_duplicates,
-                                       bool enable_integrity = true);
+                                       bool enable_integrity = true,
+                                       ThreadPool* pool = nullptr);
 
   // ---- integrity (PDP/PoR substrate) ---------------------------------------
 
@@ -82,6 +88,7 @@ class FileStore {
   core::ModulationTree tree_;
   ItemStore items_;
   std::optional<integrity::HashTree> integrity_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace fgad::cloud

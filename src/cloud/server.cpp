@@ -8,13 +8,20 @@ namespace fgad::cloud {
 namespace proto = fgad::proto;
 using proto::MsgType;
 
+CloudServer::CloudServer(Options opts) : opts_(opts) {
+  if (ThreadPool::resolve_threads(opts_.threads) > 1) {
+    pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  }
+}
+
 Status CloudServer::outsource(std::uint64_t file_id, core::ModulationTree tree,
                               std::vector<FileStore::IngestItem> items) {
   if (files_.count(file_id) != 0) {
     return Status(Errc::kInvalidArgument, "server: file id already exists");
   }
   auto store = std::make_unique<FileStore>(tree.alg(), opts_.track_duplicates,
-                                           opts_.enable_integrity);
+                                           opts_.enable_integrity,
+                                           pool_.get());
   if (auto st = store->ingest(std::move(tree), std::move(items)); !st) {
     return st;
   }
@@ -235,8 +242,9 @@ Result<std::unique_ptr<CloudServer>> CloudServer::load(proto::Reader& r,
   }
   for (std::uint64_t i = 0; i < n_files; ++i) {
     const std::uint64_t id = r.u64();
-    auto store =
-        FileStore::deserialize(r, opts.track_duplicates, opts.enable_integrity);
+    auto store = FileStore::deserialize(r, opts.track_duplicates,
+                                        opts.enable_integrity,
+                                        server.pool_.get());
     if (!store) {
       return store.error();
     }

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "cloud/file_store.h"
+#include "common/thread_pool.h"
 #include "proto/messages.h"
 
 namespace fgad::cloud {
@@ -28,10 +29,14 @@ class CloudServer {
   struct Options {
     bool track_duplicates = true;
     bool enable_integrity = true;  // maintain hash trees + serve audits
+    // Worker threads for bulk server-side work (integrity-tree hashing on
+    // ingest/reload): 0 = hardware_concurrency, 1 = fully sequential.
+    // Output state is identical at every setting.
+    std::size_t threads = 0;
   };
 
-  CloudServer() = default;
-  explicit CloudServer(Options opts) : opts_(opts) {}
+  CloudServer() : CloudServer(Options{}) {}
+  explicit CloudServer(Options opts);
 
   // ---- native file API ---------------------------------------------------
 
@@ -105,6 +110,7 @@ class CloudServer {
   mutable std::mutex mu_;
 
   Options opts_ = {};
+  std::unique_ptr<ThreadPool> pool_;  // null when opts_.threads resolves to 1
   std::unordered_map<std::uint64_t, std::unique_ptr<FileStore>> files_;
   // Ordered by key so range fetches stream the file in order.
   std::unordered_map<std::uint64_t, std::map<std::uint64_t, Bytes>> tables_;

@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace fgad {
+
+namespace {
+// Chunks per worker: enough slack that uneven chunks (left-complete trees
+// put deeper subtrees on the left) rebalance via the shared cursor, small
+// enough that chunk-claim traffic stays negligible.
+constexpr std::size_t kChunksPerWorker = 4;
+}  // namespace
+
+std::size_t ThreadPool::default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 1; i < total; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t worker_index) {
+  // Job fields are stable for the duration of a generation: the submitter
+  // only rewrites them once every participant has left this function (it
+  // waits for active_ == 0 under mu_), and readers enter only after
+  // synchronizing on the generation bump through mu_.
+  const std::size_t chunks = job_chunks_;
+  const std::size_t n = job_n_;
+  const ChunkFn* body = body_;
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunks) {
+      return;
+    }
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    if (begin < end) {
+      try {
+        (*body)(begin, end, worker_index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (!first_error_) {
+          first_error_ = std::current_exception();
+        }
+      }
+    }
+    done_chunks_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      ++active_;
+    }
+    run_chunks(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const ChunkFn& body) {
+  if (n == 0) {
+    return;
+  }
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t max_chunks = size() * kChunksPerWorker;
+  const std::size_t chunks =
+      std::clamp<std::size_t>((n + grain - 1) / grain, 1, max_chunks);
+
+  if (workers_.empty() || chunks == 1) {
+    body(0, n, 0);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  {
+    // A straggler from a prior generation may still be draining its (empty)
+    // cursor; wait it out before rewriting the job fields.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return active_ == 0; });
+    body_ = &body;
+    job_n_ = n;
+    job_chunks_ = chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    done_chunks_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  run_chunks(/*worker_index=*/0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] {
+      return active_ == 0 &&
+             done_chunks_.load(std::memory_order_acquire) == job_chunks_;
+    });
+  }
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace fgad

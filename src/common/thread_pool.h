@@ -1,0 +1,98 @@
+// Reusable worker pool with a chunked parallel_for over index ranges.
+//
+// The modulation-tree workloads (bulk key derivation, whole-file
+// sealing/unsealing, integrity-tree rebuilds) are embarrassingly parallel
+// over item or node indices, but the per-element work is a handful of
+// hash/AES calls — far too small to pay a task-queue round trip per
+// element. ThreadPool therefore exposes exactly one primitive:
+//
+//   pool.parallel_for(n, [](std::size_t begin, std::size_t end,
+//                           std::size_t worker) { ... });
+//
+// [0, n) is split into a bounded number of contiguous chunks; idle workers
+// grab chunks from a shared atomic cursor (so uneven chunks still balance),
+// and the calling thread participates as worker 0. `worker` is a stable
+// index in [0, size()), which callers use to pick thread-local resources —
+// OpenSSL EVP contexts (crypto::Hasher, core::ItemCodec) are NOT shareable
+// across threads, so each worker must construct or index its own.
+//
+// A pool of size 1 (or n below the serial cutoff) runs the body inline on
+// the caller with a single [0, n) chunk: no threads are spawned and
+// execution order is exactly the sequential loop, which is how
+// `threads = 1` configurations reproduce seed behavior precisely.
+//
+// parallel_for calls are serialized internally; the pool may be shared by
+// callers on different threads, but the body itself must not re-enter
+// parallel_for on the same pool (no nested parallelism).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgad {
+
+class ThreadPool {
+ public:
+  /// `threads` = total workers including the calling thread; 0 picks
+  /// hardware_concurrency(). A pool of size 1 spawns no threads.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count including the calling thread (>= 1).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// hardware_concurrency(), clamped to at least 1.
+  static std::size_t default_threads() noexcept;
+
+  /// Resolves a user-facing thread knob: 0 -> default_threads(), else n.
+  static std::size_t resolve_threads(std::size_t n) noexcept {
+    return n == 0 ? default_threads() : n;
+  }
+
+  using ChunkFn =
+      std::function<void(std::size_t begin, std::size_t end,
+                         std::size_t worker)>;
+
+  /// Runs `body` over [0, n) in contiguous chunks of at least `grain`
+  /// elements. Blocks until every chunk finished; rethrows the first
+  /// exception a chunk threw (remaining chunks still run to completion).
+  void parallel_for(std::size_t n, std::size_t grain, const ChunkFn& body);
+
+  void parallel_for(std::size_t n, const ChunkFn& body) {
+    parallel_for(n, /*grain=*/1, body);
+  }
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void run_chunks(std::size_t worker_index);
+
+  // Current job (valid while generation_ is odd-stepped by submit).
+  const ChunkFn* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<std::size_t> done_chunks_{0};
+  std::exception_ptr first_error_;
+  std::mutex error_mu_;
+
+  std::mutex mu_;                  // guards generation_/active_/stop_ + job fields
+  std::condition_variable wake_;   // workers wait here for a new generation
+  std::condition_variable done_;   // submitter waits here for completion
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;  // workers currently inside run_chunks
+  bool stop_ = false;
+
+  std::mutex submit_mu_;  // serializes whole parallel_for calls
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fgad

@@ -1,0 +1,182 @@
+#include "core/batch_derive.h"
+
+#include <algorithm>
+
+namespace fgad::core {
+
+namespace {
+// Target subtrees per worker. Left-complete trees make left subtrees up to
+// one level deeper than right ones, so hand out several per worker and let
+// the pool's chunk cursor balance the difference.
+constexpr std::size_t kSubtreesPerWorker = 4;
+}  // namespace
+
+BatchDeriver::BatchDeriver(HashAlg alg, Options opts)
+    : alg_(alg), opts_(opts) {
+  const std::size_t threads = ThreadPool::resolve_threads(opts.threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+void BatchDeriver::derive_subtree(const ModulatedHashChain& chain, NodeId s,
+                                  std::span<const Md> link_mods,
+                                  std::span<const Md> leaf_mods,
+                                  std::span<Md> prefix, std::span<Md> keys) {
+  const std::size_t nodes = link_mods.size();
+  const std::size_t first_leaf = leaf_mods.size() - 1;  // n - 1
+  // Descendants of s at relative depth k occupy the contiguous id range
+  // [ (s+1)*2^k - 1, (s+1)*2^k - 1 + 2^k ), clipped to the tree.
+  for (unsigned k = 1;; ++k) {
+    const NodeId lo = ((s + 1) << k) - 1;
+    if (lo >= nodes) {
+      return;
+    }
+    const NodeId hi = std::min<NodeId>(nodes, lo + (NodeId{1} << k));
+    for (NodeId v = lo; v < hi; ++v) {
+      prefix[v] = chain.step(prefix[parent_of(v)], link_mods[v]);
+      if (is_leaf_in(v, nodes)) {
+        keys[v - first_leaf] = chain.step(prefix[v], leaf_mods[v - first_leaf]);
+      }
+    }
+  }
+}
+
+std::vector<Md> BatchDeriver::derive_all_keys(
+    const Md& master, std::span<const Md> link_mods,
+    std::span<const Md> leaf_mods) const {
+  const std::size_t nodes = link_mods.size();
+  const std::size_t n = leaf_count_of(nodes);
+  std::vector<Md> keys;
+  if (nodes == 0) {
+    return keys;
+  }
+
+  ModulatedHashChain chain(alg_);
+  if (pool_ == nullptr || nodes < opts_.min_parallel_nodes) {
+    // Scalar pass, identical to ClientMath::derive_all_keys.
+    std::vector<Md> prefix(nodes);
+    prefix[0] = master;
+    for (NodeId v = 1; v < nodes; ++v) {
+      prefix[v] = chain.step(prefix[parent_of(v)], link_mods[v]);
+    }
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(chain.step(prefix[n - 1 + i], leaf_mods[i]));
+    }
+    return keys;
+  }
+
+  std::vector<Md> prefix(nodes);
+  keys.resize(n);
+  prefix[0] = master;
+  if (is_leaf_in(0, nodes)) {
+    keys[0] = chain.step(prefix[0], leaf_mods[0]);
+  }
+
+  // Pick the partition level L: enough level-L subtrees to keep every
+  // worker busy, as long as that level exists.
+  const std::size_t target = pool_->size() * kSubtreesPerWorker;
+  unsigned level = 0;
+  while ((std::size_t{1} << level) < target &&
+         (std::size_t{1} << (level + 1)) - 1 < nodes) {
+    ++level;
+  }
+  const NodeId first_root = (NodeId{1} << level) - 1;
+  const NodeId end_root =
+      std::min<NodeId>(nodes, (NodeId{1} << (level + 1)) - 1);
+
+  // Sequential top: every node above and including level L (O(threads)).
+  const std::size_t first_leaf = n - 1;
+  for (NodeId v = 1; v < end_root; ++v) {
+    prefix[v] = chain.step(prefix[parent_of(v)], link_mods[v]);
+    if (is_leaf_in(v, nodes)) {
+      keys[v - first_leaf] = chain.step(prefix[v], leaf_mods[v - first_leaf]);
+    }
+  }
+
+  // Independent subtrees: each worker walks its subtrees with its own
+  // chain (thread-local EVP context).
+  std::span<Md> prefix_span(prefix);
+  std::span<Md> keys_span(keys);
+  pool_->parallel_for(
+      end_root - first_root,
+      [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+        ModulatedHashChain local(alg_);
+        for (std::size_t i = begin; i < end; ++i) {
+          derive_subtree(local, first_root + i, link_mods, leaf_mods,
+                         prefix_span, keys_span);
+        }
+      });
+  return keys;
+}
+
+std::vector<Bytes> BatchDeriver::seal_all(
+    std::span<const Md> keys, const std::function<Bytes(std::size_t)>& item_at,
+    std::uint64_t first_r, std::span<const std::uint8_t> ivs,
+    std::span<std::uint64_t> plain_sizes) const {
+  const std::size_t n = keys.size();
+  std::vector<Bytes> out(n);
+  const auto work = [&](std::size_t begin, std::size_t end,
+                        std::size_t /*worker*/) {
+    ItemCodec codec(alg_);
+    for (std::size_t i = begin; i < end; ++i) {
+      const BytesView iv(ivs.data() + i * crypto::kAesBlockSize,
+                         crypto::kAesBlockSize);
+      const Bytes m = item_at(i);
+      if (!plain_sizes.empty()) {
+        plain_sizes[i] = m.size();
+      }
+      out[i] = codec.seal_with_iv(keys[i], m, first_r + i, iv);
+    }
+  };
+  if (pool_ == nullptr) {
+    work(0, n, 0);
+  } else {
+    pool_->parallel_for(n, opts_.seal_grain, work);
+  }
+  return out;
+}
+
+Result<std::vector<Bytes>> BatchDeriver::open_all(
+    std::span<const Md> keys, std::span<const OpenTask> tasks) const {
+  const std::size_t n = tasks.size();
+  std::vector<Bytes> out(n);
+  // 0 = ok, 1 = integrity failure, 2 = counter mismatch. A task failing
+  // does not stop the pass; the lowest-indexed failure wins afterwards so
+  // the reported error is deterministic under any scheduling.
+  std::vector<std::uint8_t> verdict(n, 0);
+  const auto work = [&](std::size_t begin, std::size_t end,
+                        std::size_t /*worker*/) {
+    ItemCodec codec(alg_);
+    for (std::size_t i = begin; i < end; ++i) {
+      auto opened = codec.open(keys[tasks[i].key_index], tasks[i].sealed);
+      if (!opened) {
+        verdict[i] = 1;
+        continue;
+      }
+      if (opened.value().r != tasks[i].expect_r) {
+        verdict[i] = 2;
+        continue;
+      }
+      out[i] = std::move(opened.value().plaintext);
+    }
+  };
+  if (pool_ == nullptr) {
+    work(0, n, 0);
+  } else {
+    pool_->parallel_for(n, opts_.seal_grain, work);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (verdict[i] == 1) {
+      return Error(Errc::kIntegrityMismatch,
+                   "batch open: item failed integrity check");
+    }
+    if (verdict[i] == 2) {
+      return Error(Errc::kTamperDetected, "batch open: counter value mismatch");
+    }
+  }
+  return out;
+}
+
+}  // namespace fgad::core

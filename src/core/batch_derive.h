@@ -1,0 +1,100 @@
+// Parallel bulk key-derivation & sealing engine (whole-file operations).
+//
+// The modulation tree's prefix values form a heap-ordered recurrence
+// (prefix[v] = H(prefix[parent(v)] ^ link[v])), which is embarrassingly
+// parallel below any fixed level: the subtrees rooted at level L are
+// independent once their roots' prefixes are known. BatchDeriver exploits
+// that:
+//
+//   1. the top of the tree (every node above and including level L) is
+//      derived sequentially on the calling thread — at most O(threads)
+//      nodes;
+//   2. each level-L subtree is handed to a ThreadPool worker, which walks
+//      its per-level contiguous node ranges with a worker-local
+//      ModulatedHashChain (OpenSSL EVP contexts are not shareable across
+//      threads — see DESIGN.md Section 10's thread-local-Hasher rule);
+//   3. sealing / unsealing of the items rides the same pool in a second
+//      parallel_for, with a worker-local ItemCodec per chunk.
+//
+// Hash outputs are deterministic, so the derived keys are byte-identical
+// to the scalar ClientMath::derive_all_keys at every thread count; sealing
+// is byte-identical too because IVs are pre-drawn in item order by the
+// caller instead of inside the loop. `threads = 1` runs everything inline
+// on the caller — exactly the seed code path.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/chain.h"
+#include "core/item_codec.h"
+#include "core/node_id.h"
+
+namespace fgad::core {
+
+class BatchDeriver {
+ public:
+  struct Options {
+    std::size_t threads = 0;  // 0 = hardware_concurrency; 1 = fully serial
+    // Below this many tree nodes the parallel path is not worth the
+    // fork/join; the scalar pass runs instead (output is identical).
+    std::size_t min_parallel_nodes = 1 << 12;
+    // Minimum items per seal/open chunk (AES work per item is larger than
+    // one hash, so chunks can be finer than derivation's).
+    std::size_t seal_grain = 64;
+  };
+
+  explicit BatchDeriver(HashAlg alg) : BatchDeriver(alg, Options{}) {}
+  BatchDeriver(HashAlg alg, Options opts);
+
+  HashAlg alg() const noexcept { return alg_; }
+  std::size_t threads() const noexcept { return pool_ ? pool_->size() : 1; }
+  const Options& options() const noexcept { return opts_; }
+
+  /// Derives all n data keys of a serialized whole tree, indexed by
+  /// leaf node id - (n-1). Byte-identical to ClientMath::derive_all_keys.
+  std::vector<Md> derive_all_keys(const Md& master,
+                                  std::span<const Md> link_mods,
+                                  std::span<const Md> leaf_mods) const;
+
+  /// Seals item i (supplied by `item_at`, which must be thread-safe when
+  /// threads > 1) under keys[i] with counter first_r + i and the pre-drawn
+  /// IV ivs[i] (kAesBlockSize bytes each, drawn in item order so output
+  /// matches a sequential ItemCodec::seal loop bit-for-bit). When
+  /// `plain_sizes` is non-empty (size n), it receives each plaintext's size.
+  std::vector<Bytes> seal_all(std::span<const Md> keys,
+                              const std::function<Bytes(std::size_t)>& item_at,
+                              std::uint64_t first_r,
+                              std::span<const std::uint8_t> ivs,
+                              std::span<std::uint64_t> plain_sizes = {}) const;
+
+  /// One unsealing work unit: `key_index` selects the data key, `expect_r`
+  /// is the counter value the record must carry (0-cost uniqueness check).
+  struct OpenTask {
+    std::size_t key_index = 0;
+    BytesView sealed;
+    std::uint64_t expect_r = 0;
+  };
+
+  /// Opens every task in parallel. On failure returns the error of the
+  /// lowest-indexed failing task (deterministic regardless of scheduling),
+  /// with the same codes/messages a sequential open loop produces.
+  Result<std::vector<Bytes>> open_all(std::span<const Md> keys,
+                                      std::span<const OpenTask> tasks) const;
+
+ private:
+  // Derives prefix values (and leaf keys) for the subtree rooted at `s`,
+  // walking its per-level contiguous node ranges.
+  static void derive_subtree(const ModulatedHashChain& chain, NodeId s,
+                             std::span<const Md> link_mods,
+                             std::span<const Md> leaf_mods,
+                             std::span<Md> prefix, std::span<Md> keys);
+
+  HashAlg alg_;
+  Options opts_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
+};
+
+}  // namespace fgad::core

@@ -1,5 +1,6 @@
 #include "core/item_codec.h"
 
+#include <array>
 #include <cstring>
 
 namespace fgad::core {
@@ -8,6 +9,13 @@ using crypto::kAesBlockSize;
 
 Bytes ItemCodec::seal(const crypto::Md& key, BytesView m, std::uint64_t r,
                       crypto::RandomSource& rnd) const {
+  std::array<std::uint8_t, kAesBlockSize> iv;
+  rnd.fill(iv);  // fresh IV
+  return seal_with_iv(key, m, r, BytesView(iv.data(), iv.size()));
+}
+
+Bytes ItemCodec::seal_with_iv(const crypto::Md& key, BytesView m,
+                              std::uint64_t r, BytesView iv) const {
   Bytes record;
   record.reserve(m.size() + 8 + hasher_.size());
   record.insert(record.end(), m.begin(), m.end());
@@ -17,10 +25,8 @@ Bytes ItemCodec::seal(const crypto::Md& key, BytesView m, std::uint64_t r,
   const crypto::Md h = hasher_.hash(record);  // H(m || r)
   record.insert(record.end(), h.bytes().begin(), h.bytes().end());
 
-  Bytes out(kAesBlockSize);
-  rnd.fill(out);  // fresh IV
-  const Bytes ct = aes_.encrypt(crypto::aes_key_from(key),
-                                BytesView(out.data(), kAesBlockSize), record);
+  Bytes out(iv.begin(), iv.end());
+  const Bytes ct = aes_.encrypt(crypto::aes_key_from(key), iv, record);
   append(out, ct);
   return out;
 }

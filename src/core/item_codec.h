@@ -29,6 +29,12 @@ class ItemCodec {
   Bytes seal(const crypto::Md& key, BytesView m, std::uint64_t r,
              crypto::RandomSource& rnd) const;
 
+  /// Like seal(), but with a caller-supplied IV (kAesBlockSize bytes).
+  /// The parallel bulk engine pre-draws IVs in item order so concurrent
+  /// sealing stays byte-identical to the sequential loop.
+  Bytes seal_with_iv(const crypto::Md& key, BytesView m, std::uint64_t r,
+                     BytesView iv) const;
+
   struct Opened {
     Bytes plaintext;
     std::uint64_t r = 0;

@@ -18,7 +18,9 @@ OutsourcedFile Outsourcer::build(
   const std::size_t first_leaf = n_items - 1;
 
   // Draw all modulators first (links for nodes 1..2n-2, one leaf modulator
-  // per leaf), then compute every chain prefix in one heap-order pass.
+  // per leaf), then every IV in item order — the exact stream a sequential
+  // seal loop would consume, so the build is reproducible at any thread
+  // count.
   std::vector<crypto::Md> links(nodes);
   for (NodeId v = 1; v < nodes; ++v) {
     links[v] = rnd.random_md(w);
@@ -29,14 +31,22 @@ OutsourcedFile Outsourcer::build(
   }
 
   const std::vector<crypto::Md> keys =
-      math_.derive_all_keys(master.value(), links, leaf_mods);
+      deriver_.derive_all_keys(master.value(), links, leaf_mods);
+
+  Bytes ivs(n_items * crypto::kAesBlockSize);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    rnd.fill(std::span<std::uint8_t>(ivs.data() + i * crypto::kAesBlockSize,
+                                     crypto::kAesBlockSize));
+  }
+
+  std::vector<std::uint64_t> plain_sizes(n_items);
+  std::vector<Bytes> sealed =
+      deriver_.seal_all(keys, item_at, counter, ivs, plain_sizes);
 
   out.items.reserve(n_items);
   for (std::size_t i = 0; i < n_items; ++i) {
-    const std::uint64_t r = counter++;
-    const Bytes m = item_at(i);
-    out.items.push_back(
-        OutsourcedFile::Item{r, codec_.seal(keys[i], m, r, rnd), m.size()});
+    out.items.push_back(OutsourcedFile::Item{counter++, std::move(sealed[i]),
+                                             plain_sizes[i]});
   }
 
   out.tree.build(

@@ -2,13 +2,17 @@
 // the sealed items for an entire file (Section IV-B setup).
 //
 // The client picks the master key and every modulator, derives all data keys
-// in one linear pass (heap order makes parents precede children), seals each
-// item with its key and a unique counter value, and ships tree + ciphertexts
-// to the cloud. Item i of the input is assigned to leaf (n-1)+i.
+// (one linear pass at 1 thread; independent level-L subtrees in parallel
+// otherwise — see core/batch_derive.h), seals each item with its key and a
+// unique counter value, and ships tree + ciphertexts to the cloud. Item i of
+// the input is assigned to leaf (n-1)+i. The built output is byte-identical
+// at every thread count: modulators and IVs are drawn from `rnd` in the
+// same order regardless, and derivation/sealing are deterministic.
 #pragma once
 
 #include <functional>
 
+#include "core/batch_derive.h"
 #include "core/client_math.h"
 #include "core/item_codec.h"
 #include "core/tree.h"
@@ -29,8 +33,15 @@ struct OutsourcedFile {
 
 class Outsourcer {
  public:
-  Outsourcer(crypto::HashAlg alg, bool track_duplicates)
-      : math_(alg), codec_(alg), track_duplicates_(track_duplicates) {}
+  /// `threads` = parallelism of derivation + sealing (0 picks
+  /// hardware_concurrency, 1 runs the seed's inline sequential pass).
+  /// `item_at` callbacks must be thread-safe when threads != 1.
+  Outsourcer(crypto::HashAlg alg, bool track_duplicates,
+             std::size_t threads = 0)
+      : math_(alg),
+        codec_(alg),
+        deriver_(alg, BatchDeriver::Options{threads}),
+        track_duplicates_(track_duplicates) {}
 
   /// Builds the server-side state for `items` under `master`. `counter` is
   /// the client's global unique counter; it is advanced by items.size().
@@ -42,10 +53,12 @@ class Outsourcer {
 
   const ClientMath& math() const { return math_; }
   const ItemCodec& codec() const { return codec_; }
+  const BatchDeriver& deriver() const { return deriver_; }
 
  private:
   ClientMath math_;
   ItemCodec codec_;
+  BatchDeriver deriver_;
   bool track_duplicates_;
 };
 

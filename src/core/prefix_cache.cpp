@@ -1,0 +1,37 @@
+#include "core/prefix_cache.h"
+
+namespace fgad::core {
+
+Md PrefixCache::derive_key(const ModulatedHashChain& chain, const Md& master,
+                           const PathView& path, const Md& leaf_mod) {
+  // Find the deepest path node whose prefix value is cached. nodes[0] is
+  // the root, whose prefix is the master key itself (never cached).
+  const std::size_t depth = path.depth();  // == links.size()
+  std::size_t start = depth;
+  auto it = map_.end();
+  while (start > 0) {
+    it = map_.find(path.nodes[start]);
+    if (it != map_.end()) {
+      break;
+    }
+    --start;
+  }
+
+  Md cur;
+  if (start == 0) {
+    cur = master;
+    ++misses_;
+  } else {
+    cur = it->second;
+    ++hits_;
+    steps_saved_ += start;
+  }
+  // Hash the missing suffix, caching each node's prefix along the way.
+  for (std::size_t i = start; i < depth; ++i) {
+    cur = chain.step(cur, path.links[i]);
+    map_.emplace(path.nodes[i + 1], cur);
+  }
+  return chain.step(cur, leaf_mod);
+}
+
+}  // namespace fgad::core

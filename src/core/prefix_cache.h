@@ -1,0 +1,60 @@
+// Path-prefix cache for single-item key derivation.
+//
+// A data key is k = F(K, M_k) = a root-to-leaf chain walk of O(log n)
+// hashes. Paths share prefixes — every access through the same subtree
+// recomputes the same upper-chain values — so the client keeps a per-file
+// map NodeId -> F(K, M^(i)) (the chain value *at* that path node, before
+// any leaf modulator). derive_key() walks the supplied path bottom-up to
+// the deepest cached ancestor, then hashes only the missing suffix,
+// caching every value it computes: repeated access/modify of an item costs
+// O(1) hashes amortized (just the leaf-modulator step after a full hit),
+// and even cold accesses get cheaper as the cache warms across the tree.
+//
+// Correctness rules (enforced by the owner, client::Client):
+//   * the cache is bound to one (file, master key) epoch — invalidate() on
+//     every deletion re-key;
+//   * any structural mutation (insert split, delete balancing move)
+//     relocates leaves and rewrites modulators, so invalidate() then too;
+//   * a stale entry can never silently corrupt data: a wrong derived key
+//     fails ItemCodec::open()'s embedded-hash check, so the failure mode
+//     is a detected integrity error, not wrong plaintext.
+//
+// Not thread-safe; each client session owns its own cache.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/chain.h"
+#include "core/views.h"
+
+namespace fgad::core {
+
+class PrefixCache {
+ public:
+  /// Data key for a leaf given its path view; equivalent to
+  /// ClientMath::derive_key(master, path, leaf_mod), byte for byte.
+  Md derive_key(const ModulatedHashChain& chain, const Md& master,
+                const PathView& path, const Md& leaf_mod);
+
+  /// Drops every cached prefix. Call on re-key (deletion) and on any
+  /// structural tree change (insert/delete/balance).
+  void invalidate() {
+    map_.clear();
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+  // Hit/miss counters (a "hit" is a derive that found at least one cached
+  // ancestor; a full hit costs exactly one hash).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hash_steps_saved() const { return steps_saved_; }
+
+ private:
+  std::unordered_map<NodeId, Md> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t steps_saved_ = 0;
+};
+
+}  // namespace fgad::core

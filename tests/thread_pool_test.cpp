@@ -1,0 +1,112 @@
+// ThreadPool: exact coverage of index ranges, worker-index validity, reuse
+// across many jobs, exception propagation, and degenerate sizes. The pool
+// underpins the parallel derivation/sealing engine, so these invariants are
+// what BatchDeriver's byte-identical guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fgad {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(pool.size(), threads);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{7}, std::size_t{64}, std::size_t{1000},
+                          std::size_t{4096}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(n, [&](std::size_t begin, std::size_t end,
+                               std::size_t worker) {
+        ASSERT_LT(worker, pool.size());
+        ASSERT_LE(begin, end);
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads, n = " << n;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrderedWithinWorker) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(10000, /*grain=*/100,
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      std::uint64_t local = 0;
+                      for (std::size_t i = begin; i < end; ++i) {
+                        local += i;
+                      }
+                      sum.fetch_add(local, std::memory_order_relaxed);
+                    });
+  EXPECT_EQ(sum.load(), 10000ull * 9999ull / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> count{0};
+    const std::size_t n = 17 + static_cast<std::size_t>(round % 5) * 97;
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+      count.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), n) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInlineWithSingleChunk) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end,
+                             std::size_t worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, 0u);
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 100}));
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::size_t begin, std::size_t end, std::size_t) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            if (i == 500) {
+                              throw std::runtime_error("boom");
+                            }
+                            completed.fetch_add(1, std::memory_order_relaxed);
+                          }
+                        }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(64, [&](std::size_t begin, std::size_t end, std::size_t) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), ThreadPool::default_threads());
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace fgad
