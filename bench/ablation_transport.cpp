@@ -100,12 +100,14 @@ int main() {
   // Loopback TCP.
   {
     fgad::cloud::CloudServer server;
-    fgad::net::TcpServer tcp(
+    auto tcp_result = fgad::net::TcpServer::create(
         0, [&server](fgad::BytesView req) { return server.handle(req); });
-    if (!tcp.ok()) {
-      std::fprintf(stderr, "tcp server failed to start\n");
+    if (!tcp_result) {
+      std::fprintf(stderr, "tcp server failed to start: %s\n",
+                   tcp_result.status().to_string().c_str());
       return 1;
     }
+    fgad::net::TcpServer& tcp = *tcp_result.value();
     auto ch = fgad::net::TcpChannel::connect("127.0.0.1", tcp.port());
     if (!ch) {
       std::fprintf(stderr, "tcp connect failed\n");

@@ -17,6 +17,7 @@ fgad_bench(fig6_comp_overhead)
 fgad_bench(table3_wholefile)
 fgad_bench(ablation_hash)
 fgad_bench(ablation_transport)
+fgad_bench(net_roundtrip)
 fgad_bench(ablation_two_level)
 
 fgad_bench(micro_core)

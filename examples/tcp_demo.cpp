@@ -14,12 +14,14 @@ int main() {
 
   // --- the cloud side: a TCP server wrapping CloudServer ---------------------
   cloud::CloudServer cloud;
-  net::TcpServer tcp(
+  auto tcp_result = net::TcpServer::create(
       /*port=*/0, [&cloud](BytesView req) { return cloud.handle(req); });
-  if (!tcp.ok()) {
-    std::printf("failed to start TCP server\n");
+  if (!tcp_result) {
+    std::printf("failed to start TCP server: %s\n",
+                tcp_result.status().to_string().c_str());
     return 1;
   }
+  net::TcpServer& tcp = *tcp_result.value();
   std::printf("cloud server listening on 127.0.0.1:%u\n", tcp.port());
 
   // --- the client side ---------------------------------------------------------

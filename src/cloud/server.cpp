@@ -327,6 +327,13 @@ Bytes error_frame(Errc code, const char* what) {
 Bytes status_frame(const Status& st, MsgType ok_type) {
   return st ? proto::empty_frame(ok_type) : error_frame(st.error());
 }
+
+// Streaming responses (FetchItems, KvGetRange) stop adding entries once
+// their payload reaches this soft budget and set `more` instead, keeping
+// every response frame far below net::kMaxFrameSize regardless of how
+// large the stored file is (DESIGN.md §11). Clients already page on `more`.
+constexpr std::size_t kSoftResponseBudget = 64u << 20;  // 64 MiB
+
 }  // namespace
 
 Bytes CloudServer::handle(BytesView request) {
@@ -435,8 +442,11 @@ Bytes CloudServer::handle_locked(BytesView request) {
       const std::uint32_t limit = req.value().max_count == 0
                                       ? ~std::uint32_t{0}
                                       : req.value().max_count;
-      while (cur != ItemStore::kNoSlot && resp.items.size() < limit) {
+      std::size_t resp_bytes = 0;
+      while (cur != ItemStore::kNoSlot && resp.items.size() < limit &&
+             resp_bytes < kSoftResponseBudget) {
         const ItemStore::Record& rec = items.at(cur);
+        resp_bytes += rec.ciphertext.size() + 32;
         resp.items.push_back(
             proto::FetchItemsResp::Entry{rec.item_id, rec.leaf, rec.ciphertext});
         cur = items.next_of(cur);
@@ -518,7 +528,10 @@ Bytes CloudServer::handle_locked(BytesView request) {
         const std::uint32_t limit = req.value().max_count == 0
                                         ? ~std::uint32_t{0}
                                         : req.value().max_count;
-        while (it != t->second.end() && resp.entries.size() < limit) {
+        std::size_t resp_bytes = 0;
+        while (it != t->second.end() && resp.entries.size() < limit &&
+               resp_bytes < kSoftResponseBudget) {
+          resp_bytes += it->second.size() + 16;
           resp.entries.push_back(
               proto::KvGetRangeResp::Entry{it->first, it->second});
           ++it;

@@ -22,6 +22,12 @@ const char* errc_name(Errc c) {
       return "IO_ERROR";
     case Errc::kUnsupported:
       return "UNSUPPORTED";
+    case Errc::kTimeout:
+      return "TIMEOUT";
+    case Errc::kConnReset:
+      return "CONN_RESET";
+    case Errc::kRetryExhausted:
+      return "RETRY_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,9 @@ enum class Errc {
   kInvalidArgument,      // caller misuse detected at a protocol boundary
   kIoError,              // transport failure
   kUnsupported,
+  kTimeout,              // per-operation deadline expired
+  kConnReset,            // peer closed or reset the connection
+  kRetryExhausted,       // bounded retry/backoff gave up
 };
 
 /// Human-readable name of an error code.

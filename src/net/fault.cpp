@@ -1,0 +1,104 @@
+#include "net/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace fgad::net {
+
+double FaultInjectingChannel::next_unit() {
+  // splitmix64; deterministic under Options::seed.
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) / 9007199254740992.0;
+}
+
+Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
+  int delay_ms = 0;
+  enum class Fault { kNone, kDropReq, kDisconnect, kDropResp, kTrunc, kFlip };
+  Fault fault = Fault::kNone;
+  std::uint64_t cut = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rpcs;
+    if (dead_) {
+      return Error(Errc::kConnReset, "fault: connection is down");
+    }
+    if (next_unit() < opts_.drop_request) {
+      fault = Fault::kDropReq;
+      ++counters_.dropped_requests;
+    } else if (next_unit() < opts_.disconnect) {
+      fault = Fault::kDisconnect;
+      dead_ = true;
+      ++counters_.disconnects;
+    } else if (next_unit() < opts_.drop_response) {
+      fault = Fault::kDropResp;
+      ++counters_.dropped_responses;
+    } else if (next_unit() < opts_.truncate_response) {
+      fault = Fault::kTrunc;
+      ++counters_.truncated;
+    } else if (next_unit() < opts_.bitflip_response) {
+      fault = Fault::kFlip;
+      ++counters_.bitflipped;
+    }
+    if (next_unit() < opts_.delay) {
+      delay_ms = opts_.delay_ms;
+      ++counters_.delayed;
+    }
+    cut = static_cast<std::uint64_t>(next_unit() * (1u << 30));
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  switch (fault) {
+    case Fault::kDropReq:
+      // The server never saw the request; a real socket would surface this
+      // as a read deadline expiring on the (never-arriving) response.
+      return Error(Errc::kTimeout, "fault: request dropped");
+    case Fault::kDisconnect:
+      return Error(Errc::kConnReset, "fault: connection reset mid-frame");
+    default:
+      break;
+  }
+  Result<Bytes> resp = inner_->roundtrip(request);
+  if (!resp) {
+    return resp;
+  }
+  Bytes payload = std::move(resp).value();
+  switch (fault) {
+    case Fault::kDropResp:
+      return Error(Errc::kTimeout, "fault: response dropped");
+    case Fault::kTrunc:
+      if (!payload.empty()) {
+        payload.resize(cut % payload.size());
+      }
+      return payload;
+    case Fault::kFlip:
+      if (!payload.empty()) {
+        payload[cut % payload.size()] ^=
+            static_cast<std::uint8_t>(1u << (cut % 8));
+      }
+      return payload;
+    default:
+      return payload;
+  }
+}
+
+bool FaultInjectingChannel::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+void FaultInjectingChannel::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_ = false;
+}
+
+FaultInjectingChannel::Counters FaultInjectingChannel::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace fgad::net

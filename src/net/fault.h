@@ -1,0 +1,84 @@
+// Fault-injecting RpcChannel decorator.
+//
+// Sits behind the same Transport seam as the real channels so the entire
+// client<->server protocol suite can run under injected network faults in
+// CI: dropped requests/responses (surface as kTimeout, like a stalled
+// peer), mid-frame disconnects (kConnReset; the channel then stays dead
+// until reset(), modelling a broken TCP connection that must be redialed),
+// truncated and bit-flipped response frames (exercise every decoder's
+// malformed-input path), and added latency. All randomness is a seeded
+// deterministic stream, so failures reproduce from the test seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.h"
+
+namespace fgad::net {
+
+class FaultInjectingChannel final : public RpcChannel {
+ public:
+  struct Options {
+    // Independent per-roundtrip fault probabilities in [0, 1]. At most one
+    // fault fires per roundtrip (drawn in the order listed).
+    double drop_request = 0;       // request never reaches the server
+    double disconnect = 0;         // connection dies mid-frame
+    double drop_response = 0;      // server executed, response lost
+    double truncate_response = 0;  // response frame cut short
+    double bitflip_response = 0;   // one bit of the response flipped
+    double delay = 0;              // response delayed by delay_ms
+    int delay_ms = 5;
+    std::uint64_t seed = 1;
+  };
+
+  struct Counters {
+    std::uint64_t rpcs = 0;
+    std::uint64_t dropped_requests = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t dropped_responses = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t bitflipped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t total_faults() const {
+      return dropped_requests + disconnects + dropped_responses + truncated +
+             bitflipped;
+    }
+  };
+
+  FaultInjectingChannel(RpcChannel& inner, Options opts)
+      : inner_(&inner), opts_(opts), rng_state_(opts.seed | 1) {}
+
+  /// Owning variant: takes the inner channel's lifetime along (so a Dialer
+  /// can wrap each freshly dialed connection in a fault layer).
+  FaultInjectingChannel(std::unique_ptr<RpcChannel> inner, Options opts)
+      : owned_(std::move(inner)),
+        inner_(owned_.get()),
+        opts_(opts),
+        rng_state_(opts.seed | 1) {}
+
+  Result<Bytes> roundtrip(BytesView request) override;
+
+  /// True once a disconnect fault has killed the "connection"; every
+  /// subsequent roundtrip fails with kConnReset until reset().
+  bool dead() const;
+
+  /// Revives the channel — the fault-model equivalent of redialing.
+  void reset();
+
+  Counters counters() const;
+
+ private:
+  double next_unit();  // uniform in [0, 1)
+
+  std::unique_ptr<RpcChannel> owned_;  // null when wrapping by reference
+  RpcChannel* inner_;
+  Options opts_;
+  mutable std::mutex mu_;
+  std::uint64_t rng_state_;
+  bool dead_ = false;
+  Counters counters_;
+};
+
+}  // namespace fgad::net

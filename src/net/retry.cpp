@@ -1,0 +1,101 @@
+#include "net/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace fgad::net {
+
+RetryChannel::RetryChannel(Dialer dialer, Options opts)
+    : dialer_(std::move(dialer)),
+      opts_(opts),
+      rng_state_(opts.seed | 1) {}
+
+int RetryChannel::backoff_ms(int attempt) {
+  long long ms = opts_.base_backoff_ms;
+  for (int i = 0; i < attempt && ms < opts_.max_backoff_ms; ++i) {
+    ms *= 2;
+  }
+  ms = std::min<long long>(ms, opts_.max_backoff_ms);
+  // splitmix64 step for the jitter draw; deterministic under opts_.seed.
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) / 9007199254740992.0;
+  const double factor = 1.0 + opts_.jitter * (2.0 * unit - 1.0);
+  return static_cast<int>(std::max(0.0, static_cast<double>(ms) * factor));
+}
+
+Result<Bytes> RetryChannel::roundtrip(BytesView request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool may_resend = opts_.retryable && opts_.retryable(request);
+  Error last(Errc::kIoError, "retry: no attempt made");
+  bool sent_once = false;
+  for (int attempt = 0; attempt < std::max(1, opts_.max_attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_ms(attempt - 1)));
+    }
+    if (!channel_) {
+      auto dialed = dialer_();
+      ++dials_;
+      if (!dialed) {
+        // Dialing sends nothing, so a failed dial is always retryable.
+        last = dialed.error();
+        continue;
+      }
+      channel_ = std::move(dialed).value();
+    }
+    if (sent_once) {
+      ++resends_;
+    }
+    sent_once = true;
+    Result<Bytes> resp = channel_->roundtrip(request);
+    if (resp) {
+      return resp;
+    }
+    if (!transport_error(resp.error().code)) {
+      return resp;  // protocol-level failure: the connection still works
+    }
+    last = resp.error();
+    channel_.reset();  // the connection is suspect; redial before reuse
+    if (!may_resend) {
+      return resp;
+    }
+  }
+  return Error(Errc::kRetryExhausted,
+               "retry: gave up after " +
+                   std::to_string(std::max(1, opts_.max_attempts)) +
+                   " attempts (last: " + last.to_string() + ")");
+}
+
+void RetryChannel::disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  channel_.reset();
+}
+
+std::uint64_t RetryChannel::dials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dials_;
+}
+
+std::uint64_t RetryChannel::resends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resends_;
+}
+
+RetryChannel::Dialer tcp_dialer(std::string host, std::uint16_t port,
+                                TcpChannel::Options opts) {
+  return [host = std::move(host), port,
+          opts]() -> Result<std::unique_ptr<RpcChannel>> {
+    auto ch = TcpChannel::connect(host, port, opts);
+    if (!ch) {
+      return ch.error();
+    }
+    return std::unique_ptr<RpcChannel>(std::move(ch).value());
+  };
+}
+
+}  // namespace fgad::net

@@ -1,0 +1,72 @@
+// Reconnecting retry decorator for RpcChannel.
+//
+// A production deployment talks to the cloud over links that stall and
+// reset. RetryChannel owns a Dialer (a factory that produces a fresh
+// connected channel) and, on a transport-level failure (kTimeout,
+// kConnReset, kIoError), drops the broken channel and redials with
+// exponential backoff plus jitter. The failed request is resent only when
+// the caller-supplied predicate says it is safe — by default nothing is
+// resent; pair with proto::retryable_request so read-only RPCs (access,
+// audit, fetches) retry transparently while mutating RPCs surface the
+// typed error to the caller (DESIGN.md §11 explains why deletion/insert
+// are never auto-retried). When the budget is exhausted the caller gets
+// kRetryExhausted carrying the last underlying error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace fgad::net {
+
+class RetryChannel final : public RpcChannel {
+ public:
+  /// Produces a fresh connected channel (e.g. wraps TcpChannel::connect).
+  using Dialer = std::function<Result<std::unique_ptr<RpcChannel>>()>;
+  /// Decides whether a failed request frame may be resent.
+  using RetryPredicate = std::function<bool(BytesView request)>;
+
+  struct Options {
+    int max_attempts = 4;      // total send attempts for a retryable request
+    int base_backoff_ms = 10;  // doubles per attempt ...
+    int max_backoff_ms = 2000;  // ... capped here
+    double jitter = 0.5;       // uniform multiplier in [1-jitter, 1+jitter]
+    std::uint64_t seed = 0x5eedf00dULL;  // jitter RNG (deterministic tests)
+    RetryPredicate retryable;  // null = never resend (reconnect-only)
+  };
+
+  RetryChannel(Dialer dialer, Options opts);
+
+  Result<Bytes> roundtrip(BytesView request) override;
+
+  /// Drops the current connection (next roundtrip redials).
+  void disconnect();
+
+  std::uint64_t dials() const;
+  std::uint64_t resends() const;
+
+ private:
+  bool transport_error(Errc c) const {
+    return c == Errc::kTimeout || c == Errc::kConnReset ||
+           c == Errc::kIoError;
+  }
+  /// Backoff for the given 0-based completed attempt count, with jitter.
+  int backoff_ms(int attempt);
+
+  Dialer dialer_;
+  Options opts_;
+  mutable std::mutex mu_;
+  std::unique_ptr<RpcChannel> channel_;
+  std::uint64_t rng_state_;
+  std::uint64_t dials_ = 0;
+  std::uint64_t resends_ = 0;
+};
+
+/// Convenience Dialer for TCP endpoints.
+RetryChannel::Dialer tcp_dialer(std::string host, std::uint16_t port,
+                                TcpChannel::Options opts = {});
+
+}  // namespace fgad::net

@@ -1,65 +1,170 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace fgad::net {
 
 namespace {
 
-bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+using Clock = std::chrono::steady_clock;
+
+/// A per-frame deadline. remaining() clamps to [0, start budget]; a value
+/// of kNoTimeout disables the deadline entirely (poll blocks forever).
+class Deadline {
+ public:
+  explicit Deadline(int timeout_ms) : timeout_ms_(timeout_ms) {
+    if (timeout_ms_ >= 0) {
+      expiry_ = Clock::now() + std::chrono::milliseconds(timeout_ms_);
+    }
+  }
+
+  bool unlimited() const { return timeout_ms_ < 0; }
+
+  /// Milliseconds left (poll() argument): -1 when unlimited, else >= 0.
+  int remaining_ms() const {
+    if (unlimited()) {
+      return -1;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          expiry_ - Clock::now())
+                          .count();
+    return static_cast<int>(std::max<long long>(0, left));
+  }
+
+  bool expired() const { return !unlimited() && remaining_ms() == 0; }
+
+ private:
+  int timeout_ms_;
+  Clock::time_point expiry_;
+};
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Waits for `events` on `fd` until the deadline. OK means the fd is ready.
+Status poll_ready(int fd, short events, const Deadline& dl) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, dl.remaining_ms());
+    if (rc > 0) {
+      return Status::ok();
+    }
+    if (rc == 0) {
+      return Status(Errc::kTimeout, "tcp: operation timed out");
+    }
+    if (errno == EINTR) {
+      if (dl.expired()) {
+        return Status(Errc::kTimeout, "tcp: operation timed out");
+      }
+      continue;
+    }
+    return Status(Errc::kIoError,
+                  std::string("tcp: poll failed: ") + std::strerror(errno));
+  }
+}
+
+Status map_io_errno(const char* what) {
+  if (errno == ECONNRESET || errno == EPIPE) {
+    return Status(Errc::kConnReset,
+                  std::string("tcp: ") + what + ": connection reset");
+  }
+  return Status(Errc::kIoError,
+                std::string("tcp: ") + what + ": " + std::strerror(errno));
+}
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t n,
+                 const Deadline& dl) {
   while (n > 0) {
     const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (auto st = poll_ready(fd, POLLOUT, dl); !st) {
+          return st;
+        }
+        continue;
+      }
+      return map_io_errno("send");
     }
     data += w;
     n -= static_cast<std::size_t>(w);
   }
-  return true;
+  return Status::ok();
 }
 
-bool read_all(int fd, std::uint8_t* data, std::size_t n) {
+Status read_all(int fd, std::uint8_t* data, std::size_t n, const Deadline& dl) {
   while (n > 0) {
     const ssize_t r = ::recv(fd, data, n, 0);
     if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (auto st = poll_ready(fd, POLLIN, dl); !st) {
+          return st;
+        }
+        continue;
+      }
+      return map_io_errno("recv");
     }
     if (r == 0) {
-      return false;  // peer closed
+      return Status(Errc::kConnReset, "tcp: peer closed the connection");
     }
     data += r;
     n -= static_cast<std::size_t>(r);
   }
-  return true;
+  return Status::ok();
 }
 
 }  // namespace
 
-bool write_frame(int fd, BytesView payload) {
+Status write_frame(int fd, BytesView payload, int timeout_ms) {
+  // Symmetric with the receive-side check below: refuse to put an
+  // unreadable frame on the wire. This also catches payloads over 4 GiB,
+  // which the u32 header would otherwise silently truncate.
+  if (payload.size() > kMaxFrameSize) {
+    return Status(Errc::kDecodeError, "tcp: frame too large");
+  }
+  const Deadline dl(timeout_ms);
   std::uint8_t hdr[4];
   const auto len = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) {
     hdr[i] = static_cast<std::uint8_t>(len >> (8 * i));
   }
-  if (!write_all(fd, hdr, sizeof(hdr))) {
-    return false;
+  if (auto st = write_all(fd, hdr, sizeof(hdr), dl); !st) {
+    return st;
   }
-  return payload.empty() || write_all(fd, payload.data(), payload.size());
+  if (payload.empty()) {
+    return Status::ok();
+  }
+  return write_all(fd, payload.data(), payload.size(), dl);
 }
 
-Result<Bytes> read_frame(int fd) {
+Result<Bytes> read_frame(int fd, int timeout_ms) {
+  const Deadline dl(timeout_ms);
   std::uint8_t hdr[4];
-  if (!read_all(fd, hdr, sizeof(hdr))) {
-    return Error(Errc::kIoError, "tcp: connection closed");
+  if (auto st = read_all(fd, hdr, sizeof(hdr), dl); !st) {
+    return st.error();
   }
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
@@ -69,14 +174,21 @@ Result<Bytes> read_frame(int fd) {
     return Error(Errc::kDecodeError, "tcp: frame too large");
   }
   Bytes payload(len);
-  if (len > 0 && !read_all(fd, payload.data(), len)) {
-    return Error(Errc::kIoError, "tcp: truncated frame");
+  if (len > 0) {
+    if (auto st = read_all(fd, payload.data(), len, dl); !st) {
+      return st.error();
+    }
   }
   return payload;
 }
 
-Result<std::unique_ptr<TcpChannel>> TcpChannel::connect(const std::string& host,
-                                                        std::uint16_t port) {
+Result<std::unique_ptr<TcpChannel>> TcpChannel::connect(
+    const std::string& host, std::uint16_t port) {
+  return connect(host, port, Options{});
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::connect(
+    const std::string& host, std::uint16_t port, Options opts) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Error(Errc::kIoError, "tcp: socket() failed");
@@ -88,14 +200,34 @@ Result<std::unique_ptr<TcpChannel>> TcpChannel::connect(const std::string& host,
     ::close(fd);
     return Error(Errc::kInvalidArgument, "tcp: bad host address");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (!set_nonblocking(fd)) {
     ::close(fd);
-    return Error(Errc::kIoError, std::string("tcp: connect failed: ") +
-                                     std::strerror(errno));
+    return Error(Errc::kIoError, "tcp: could not set O_NONBLOCK");
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+  const Deadline dl(opts.connect_timeout_ms);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return Error(Errc::kIoError, std::string("tcp: connect failed: ") +
+                                       std::strerror(errno));
+    }
+    if (auto st = poll_ready(fd, POLLOUT, dl); !st) {
+      ::close(fd);
+      if (st.error().code == Errc::kTimeout) {
+        return Error(Errc::kTimeout, "tcp: connect timed out");
+      }
+      return st.error();
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Error(Errc::kIoError, std::string("tcp: connect failed: ") +
+                                       std::strerror(err != 0 ? err : errno));
+    }
+  }
+  set_nodelay(fd);
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd, opts));
 }
 
 TcpChannel::~TcpChannel() {
@@ -105,16 +237,33 @@ TcpChannel::~TcpChannel() {
 }
 
 Result<Bytes> TcpChannel::roundtrip(BytesView request) {
-  if (!write_frame(fd_, request)) {
-    return Error(Errc::kIoError, "tcp: send failed");
+  if (auto st = write_frame(fd_, request, opts_.io_timeout_ms); !st) {
+    return st.error();
   }
-  return read_frame(fd_);
+  return read_frame(fd_, opts_.io_timeout_ms);
 }
 
 TcpServer::TcpServer(std::uint16_t port, Handler handler)
-    : handler_(std::move(handler)) {
+    : TcpServer(port, std::move(handler), Options{}, nullptr) {}
+
+TcpServer::TcpServer(std::uint16_t port, Handler handler, Options opts)
+    : TcpServer(port, std::move(handler), opts, nullptr) {}
+
+TcpServer::TcpServer(std::uint16_t port, Handler handler, Options opts,
+                     std::string* error_out)
+    : handler_(std::move(handler)), opts_(opts) {
+  auto fail = [&](const char* what) {
+    if (error_out != nullptr) {
+      *error_out = std::string(what) + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  };
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
+    fail("socket()");
     return;
   }
   const int one = 1;
@@ -124,10 +273,12 @@ TcpServer::TcpServer(std::uint16_t port, Handler handler)
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+      0) {
+    fail("bind()");
+    return;
+  }
+  if (::listen(listen_fd_, opts_.backlog) != 0) {
+    fail("listen()");
     return;
   }
   socklen_t len = sizeof(addr);
@@ -138,63 +289,152 @@ TcpServer::TcpServer(std::uint16_t port, Handler handler)
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+Result<std::unique_ptr<TcpServer>> TcpServer::create(std::uint16_t port,
+                                                     Handler handler) {
+  return create(port, std::move(handler), Options{});
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::create(std::uint16_t port,
+                                                     Handler handler,
+                                                     Options opts) {
+  std::string error;
+  std::unique_ptr<TcpServer> server(
+      new TcpServer(port, std::move(handler), opts, &error));
+  if (!server->ok()) {
+    return Error(Errc::kIoError, "tcp: server start failed: " + error);
+  }
+  return server;
+}
+
 TcpServer::~TcpServer() {
   stop();
 }
 
+std::size_t TcpServer::active_workers() const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return active_;
+}
+
+std::size_t TcpServer::peak_workers() const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return peak_;
+}
+
+void TcpServer::reap_finished_locked() {
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    if (it->done) {
+      // Safe to join under the lock: a done worker never touches the mutex
+      // again (setting `done` was its last locked action).
+      if (it->thread.joinable()) {
+        it->thread.join();
+      }
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void TcpServer::accept_loop() {
   for (;;) {
+    {
+      // Backpressure: at the worker bound, stop accepting — the kernel
+      // backlog queues (and eventually refuses) the overflow.
+      std::unique_lock<std::mutex> lock(workers_mu_);
+      reap_finished_locked();
+      workers_cv_.wait(lock, [this] {
+        return stopping_.load() || active_ < opts_.max_workers;
+      });
+      if (stopping_.load()) {
+        return;
+      }
+    }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR && !stopping_.load()) continue;
-      break;  // listener closed or shutting down
+      return;  // listener shut down
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    worker_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] {
-      for (;;) {
-        Result<Bytes> req = read_frame(fd);
-        if (!req) {
-          break;
-        }
-        if (!write_frame(fd, handler_(req.value()))) {
-          break;
-        }
-      }
+    set_nodelay(fd);
+    if (!set_nonblocking(fd)) {
       ::close(fd);
-    });
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    reap_finished_locked();
+    workers_.emplace_back();
+    Worker* w = &workers_.back();
+    w->fd = fd;
+    ++active_;
+    peak_ = std::max(peak_, active_);
+    w->thread = std::thread([this, fd, w] { serve_connection(fd, w); });
   }
+}
+
+void TcpServer::serve_connection(int fd, Worker* self) {
+  for (;;) {
+    Result<Bytes> req = read_frame(fd, opts_.idle_timeout_ms);
+    if (!req) {
+      break;  // peer closed, reset, idle-timed-out, or sent a bad frame
+    }
+    if (auto st = write_frame(fd, handler_(req.value()), opts_.io_timeout_ms);
+        !st) {
+      break;
+    }
+  }
+  // Deregister before (and in the same critical section as) closing, so
+  // stop() can never ::shutdown() a recycled fd number.
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  ::close(fd);
+  self->fd = -1;
+  --active_;
+  self->done = true;
+  workers_cv_.notify_all();
 }
 
 void TcpServer::stop() {
   if (stopping_.exchange(true)) {
     return;
   }
+  {
+    // Wake the accept loop if it is parked on the backpressure condition.
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers_cv_.notify_all();
+  }
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept(2)
   }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::vector<std::thread> workers;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(workers_mu_);
-    workers.swap(workers_);
-    // Unblock workers parked in read_frame on live connections.
-    for (int fd : worker_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
+    for (Worker& w : workers_) {
+      if (w.fd >= 0) {
+        // Unblock workers parked in read_frame on live connections. Only
+        // registered fds are touched; workers deregister-and-close under
+        // this same mutex, so the fd cannot have been recycled.
+        ::shutdown(w.fd, SHUT_RDWR);
+      }
+      if (w.thread.joinable()) {
+        to_join.push_back(std::move(w.thread));
+      }
     }
-    worker_fds_.clear();
   }
-  for (std::thread& t : workers) {
-    if (t.joinable()) {
-      t.join();
-    }
+  for (std::thread& t : to_join) {
+    t.join();
   }
-  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  workers_.clear();
+  active_ = 0;
 }
 
 }  // namespace fgad::net

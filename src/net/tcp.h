@@ -3,13 +3,25 @@
 // The paper ran the client in a lab against EC2 instances; our TcpChannel /
 // TcpServer reproduce the same client/server split over real sockets (the
 // benchmarks use the loopback interface — see DESIGN.md's substitution
-// table). One server thread per connection; messages are framed as
-// u32-LE length followed by the payload.
+// table). Messages are framed as u32-LE length followed by the payload.
+//
+// Robustness (DESIGN.md §11): every socket operation runs on a non-blocking
+// fd behind a poll()-based deadline, so a stalled or malicious peer can
+// only cost the caller its configured timeout, never a hang. Frame-size
+// limits are enforced symmetrically on send and receive. The server runs a
+// bounded worker pool: finished workers deregister their fd and are reaped,
+// and the accept loop applies backpressure (stops accepting) at the bound.
+// Failures surface through the structured taxonomy in common/result.h:
+// kTimeout (deadline expired), kConnReset (peer closed/reset), kIoError
+// (other socket failure), kDecodeError (frame-limit violations).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,18 +32,34 @@ namespace fgad::net {
 
 inline constexpr std::uint32_t kMaxFrameSize = 1u << 30;  // 1 GiB sanity cap
 
-/// Writes one framed message to `fd`. Returns false on error.
-bool write_frame(int fd, BytesView payload);
+/// Timeout convention used throughout this header: milliseconds, with
+/// `kNoTimeout` (-1) meaning "block indefinitely".
+inline constexpr int kNoTimeout = -1;
 
-/// Reads one framed message from `fd`; nullopt-style via Result.
-Result<Bytes> read_frame(int fd);
+/// Writes one framed message to `fd` within `timeout_ms`. Rejects payloads
+/// over kMaxFrameSize (which also covers >4 GiB payloads that would
+/// silently truncate through the u32 header) with the same kDecodeError
+/// the receive side produces for an oversized frame.
+Status write_frame(int fd, BytesView payload, int timeout_ms = kNoTimeout);
+
+/// Reads one framed message from `fd` within `timeout_ms`. kTimeout when
+/// the deadline expires, kConnReset when the peer closes/resets.
+Result<Bytes> read_frame(int fd, int timeout_ms = kNoTimeout);
 
 /// Client-side TCP connection.
 class TcpChannel final : public RpcChannel {
  public:
+  struct Options {
+    int connect_timeout_ms = 5000;  // deadline for the TCP handshake
+    int io_timeout_ms = 30000;      // per read/write-frame deadline
+  };
+
   /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
   static Result<std::unique_ptr<TcpChannel>> connect(const std::string& host,
                                                      std::uint16_t port);
+  static Result<std::unique_ptr<TcpChannel>> connect(const std::string& host,
+                                                     std::uint16_t port,
+                                                     Options opts);
   ~TcpChannel() override;
 
   TcpChannel(const TcpChannel&) = delete;
@@ -40,39 +68,79 @@ class TcpChannel final : public RpcChannel {
   Result<Bytes> roundtrip(BytesView request) override;
 
  private:
-  explicit TcpChannel(int fd) : fd_(fd) {}
+  TcpChannel(int fd, Options opts) : fd_(fd), opts_(opts) {}
   int fd_;
+  Options opts_;
 };
 
-/// Accept-loop server: spawns one handler thread per connection.
+/// Accept-loop server with a bounded, reaped worker pool (one worker per
+/// live connection; the accept loop blocks — backpressure via the listen
+/// backlog — once `max_workers` connections are in flight).
 class TcpServer {
  public:
   using Handler = std::function<Bytes(BytesView)>;
 
-  /// Binds to 127.0.0.1:`port` (0 = ephemeral). Check `ok()` then `port()`.
+  struct Options {
+    std::size_t max_workers = 64;   // concurrent-connection bound
+    int backlog = 16;               // listen(2) queue (holds the overflow)
+    int idle_timeout_ms = kNoTimeout;  // evict connections idle this long
+    int io_timeout_ms = 30000;      // per-frame write deadline to a client
+  };
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral). Prefer create(); this
+  /// legacy constructor reports bind/listen failure only via ok().
   TcpServer(std::uint16_t port, Handler handler);
+  TcpServer(std::uint16_t port, Handler handler, Options opts);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
+  /// Checked construction: surfaces the bind/listen errno as an Error
+  /// instead of a silent dead server.
+  static Result<std::unique_ptr<TcpServer>> create(std::uint16_t port,
+                                                   Handler handler);
+  static Result<std::unique_ptr<TcpServer>> create(std::uint16_t port,
+                                                   Handler handler,
+                                                   Options opts);
+
   bool ok() const { return listen_fd_ >= 0; }
   std::uint16_t port() const { return port_; }
 
-  /// Stops accepting, closes the listener, and joins all threads.
+  /// Live (not yet finished) connection workers.
+  std::size_t active_workers() const;
+  /// High-water mark of concurrent workers over the server's lifetime.
+  std::size_t peak_workers() const;
+
+  /// Stops accepting, closes the listener, unblocks and joins all workers.
   void stop();
 
  private:
+  struct Worker {
+    std::thread thread;
+    int fd = -1;       // -1 once the worker has deregistered + closed it
+    bool done = false;  // set by the worker as its last action
+  };
+
+  TcpServer(std::uint16_t port, Handler handler, Options opts,
+            std::string* error_out);
+
   void accept_loop();
+  void serve_connection(int fd, Worker* self);
+  /// Joins and erases finished workers. Requires workers_mu_ held.
+  void reap_finished_locked();
 
   Handler handler_;
+  Options opts_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
-  std::vector<int> worker_fds_;
+  mutable std::mutex workers_mu_;
+  std::condition_variable workers_cv_;
+  std::list<Worker> workers_;  // std::list: Worker* stays valid across ops
+  std::size_t active_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace fgad::net

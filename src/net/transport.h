@@ -11,6 +11,11 @@
 // CountingChannel decorates any of them and records the exact bytes a real
 // deployment would move, which is the paper's communication-overhead metric
 // (Table II, Figure 5): payload bytes plus one frame header per message.
+// Two more decorators harden and test the seam (DESIGN.md §11):
+//   * RetryChannel           — reconnect + backoff for idempotent RPCs
+//                              (net/retry.h);
+//   * FaultInjectingChannel  — drop/delay/truncate/bit-flip/disconnect
+//                              fault injection (net/fault.h).
 #pragma once
 
 #include <cstdint>

@@ -27,6 +27,33 @@ Bytes seal_message(MsgType type, BytesView payload) {
   return std::move(w).take();
 }
 
+bool is_idempotent(MsgType t) {
+  switch (t) {
+    case MsgType::kAccessReq:
+    case MsgType::kFetchTreeReq:
+    case MsgType::kFetchItemsReq:
+    case MsgType::kListItemsReq:
+    case MsgType::kStatReq:
+    case MsgType::kAuditReq:
+    case MsgType::kKvGetReq:
+    case MsgType::kKvGetRangeReq:
+    case MsgType::kPxAccessReq:
+    case MsgType::kPxListFilesReq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool retryable_request(BytesView framed) {
+  if (framed.size() < 2) {
+    return false;
+  }
+  const auto t = static_cast<std::uint16_t>(
+      framed[0] | static_cast<std::uint16_t>(framed[1]) << 8);
+  return is_idempotent(static_cast<MsgType>(t));
+}
+
 Result<Envelope> open_message(BytesView framed) {
   Reader r(framed);
   const std::uint16_t t = r.u16();

@@ -82,6 +82,17 @@ enum class MsgType : std::uint16_t {
 /// Frames a payload with its message type (u16 prefix).
 Bytes seal_message(MsgType type, BytesView payload);
 
+/// True for read-only request types that are safe to resend after a
+/// transport failure (access, audit, fetches, stats, kv reads). Mutating
+/// RPCs — outsource, modify, insert, delete, drop, kv writes — are never
+/// auto-retried: a lost response leaves the commit state ambiguous, and
+/// the protocol has no idempotency tokens (DESIGN.md §11).
+bool is_idempotent(MsgType t);
+
+/// Retry predicate over a sealed request frame (peeks the u16 type);
+/// false on malformed frames.
+bool retryable_request(BytesView framed);
+
 struct Envelope {
   MsgType type;
   Bytes payload;

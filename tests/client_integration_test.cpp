@@ -34,11 +34,12 @@ class Stack {
         channel_ = std::make_unique<net::PipeChannel>(pipe_);
         break;
       case Transport::kTcp:
-        tcp_server_ = std::make_unique<net::TcpServer>(
+        auto created = net::TcpServer::create(
             0, [this](BytesView req) { return server_.handle(req); });
-        EXPECT_TRUE(tcp_server_->ok());
+        EXPECT_TRUE(created.is_ok()) << created.status().to_string();
+        tcp_server_ = std::move(created).value();
         auto ch = net::TcpChannel::connect("127.0.0.1", tcp_server_->port());
-        EXPECT_TRUE(ch.is_ok());
+        EXPECT_TRUE(ch.is_ok()) << ch.status().to_string();
         channel_ = std::move(ch).value();
         break;
     }

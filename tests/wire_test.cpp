@@ -1,8 +1,12 @@
 // Wire codec and protocol message round-trips, including malformed-input
-// rejection.
+// rejection and the decode edge cases of DESIGN.md §11: for every message
+// type, a valid payload decodes, every strict prefix is rejected, a trailing
+// byte is rejected, and hostile length claims fail without huge allocations.
 #include <gtest/gtest.h>
 
+#include "cloud/server.h"
 #include "crypto/random.h"
+#include "net/tcp.h"
 #include "proto/messages.h"
 
 namespace fgad::proto {
@@ -300,6 +304,318 @@ TEST(Messages, HostileCountsRejected) {
   w.u32(1u << 30);
   Reader r(w.data());
   EXPECT_FALSE(decode_path(r).is_ok());
+}
+
+// ---- decode edge cases, every message type (DESIGN.md §11) -----------------
+
+/// Asserts the decode contract for one message: the genuine payload decodes
+/// and consumes everything; every strict prefix fails (truncation is never
+/// silently tolerated); one trailing byte fails (no frame smuggling).
+template <typename M>
+void check_decode_edges(const char* name, const M& m) {
+  auto env = open_message(m.to_frame());
+  ASSERT_TRUE(env.is_ok()) << name;
+  const Bytes& payload = env.value().payload;
+  const auto decodes = [](BytesView p) {
+    Reader r(p);
+    const auto back = M::from(r);
+    return back.is_ok() && static_cast<bool>(r.finish());
+  };
+  EXPECT_TRUE(decodes(payload)) << name;
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    EXPECT_FALSE(decodes(BytesView(payload.data(), keep)))
+        << name << ": prefix of " << keep << "/" << payload.size();
+  }
+  Bytes trailing = payload;
+  trailing.push_back(0);
+  EXPECT_FALSE(decodes(trailing)) << name << ": trailing byte";
+}
+
+TEST(MessagesEdge, EveryMessageRejectsTruncationAndTrailingBytes) {
+  DeterministicRandom rnd(8);
+
+  ErrorMsg err;
+  err.code = Errc::kNotFound;
+  err.message = "missing";
+  check_decode_edges("ErrorMsg", err);
+
+  OutsourceReq outsource;
+  outsource.file_id = 3;
+  outsource.tree_blob = to_bytes("tree-bytes");
+  outsource.items.push_back({11, to_bytes("ct-a"), 4});
+  outsource.items.push_back({12, to_bytes("ct-b"), 4});
+  check_decode_edges("OutsourceReq", outsource);
+
+  AccessReq access;
+  access.file_id = 9;
+  access.ref = ItemRef::byte_offset(100);
+  check_decode_edges("AccessReq", access);
+
+  AccessResp access_resp;
+  access_resp.info.path = sample_path(rnd);
+  access_resp.info.leaf_mod = rnd.random_md(20);
+  access_resp.info.item_id = 17;
+  access_resp.info.ciphertext = to_bytes("sealed-item");
+  check_decode_edges("AccessResp", access_resp);
+
+  ModifyReq modify;
+  modify.file_id = 1;
+  modify.item_id = 2;
+  modify.ciphertext = to_bytes("new-ct");
+  modify.plain_size = 6;
+  check_decode_edges("ModifyReq", modify);
+
+  InsertBeginReq ib;
+  ib.file_id = 4;
+  check_decode_edges("InsertBeginReq", ib);
+
+  InsertBeginResp ibr;
+  ibr.info.q_path = sample_path(rnd);
+  ibr.info.q_leaf_mod = rnd.random_md(20);
+  check_decode_edges("InsertBeginResp", ibr);
+
+  InsertCommitReq ic;
+  ic.file_id = 4;
+  ic.commit.q = 5;
+  ic.commit.left_link = rnd.random_md(20);
+  ic.commit.right_link = rnd.random_md(20);
+  ic.commit.moved_leaf_mod = rnd.random_md(20);
+  ic.commit.new_leaf_mod = rnd.random_md(20);
+  ic.commit.item_id = 77;
+  ic.commit.ciphertext = to_bytes("ct");
+  check_decode_edges("InsertCommitReq", ic);
+
+  DeleteBeginReq db;
+  db.file_id = 4;
+  db.ref = ItemRef::ordinal(2);
+  check_decode_edges("DeleteBeginReq", db);
+
+  DeleteBeginResp dbr;
+  dbr.info.path = sample_path(rnd);
+  dbr.info.leaf_mod = rnd.random_md(20);
+  {
+    CutEntry e;
+    e.node = core::sibling_of(dbr.info.path.nodes[1]);
+    e.link = rnd.random_md(20);
+    e.is_leaf = true;
+    e.leaf_mod = rnd.random_md(20);
+    dbr.info.cut.push_back(e);
+  }
+  dbr.info.item_id = 21;
+  dbr.info.ciphertext = to_bytes("target-ct");
+  dbr.info.has_balance = true;
+  dbr.info.t_path = sample_path(rnd);
+  dbr.info.t_leaf_mod = rnd.random_md(20);
+  dbr.info.s_link = rnd.random_md(20);
+  dbr.info.s_leaf_mod = rnd.random_md(20);
+  check_decode_edges("DeleteBeginResp", dbr);
+
+  DeleteCommitReq dc;
+  dc.file_id = 4;
+  dc.commit.leaf = 12;
+  dc.commit.deltas = {rnd.random_md(20), rnd.random_md(20)};
+  dc.commit.has_balance = true;
+  dc.commit.promoted_leaf_mod = rnd.random_md(20);
+  dc.commit.has_step2 = true;
+  dc.commit.t_new_link = rnd.random_md(20);
+  dc.commit.t_new_leaf_mod = rnd.random_md(20);
+  check_decode_edges("DeleteCommitReq", dc);
+
+  FetchTreeReq ft;
+  ft.file_id = 8;
+  check_decode_edges("FetchTreeReq", ft);
+
+  FetchTreeResp ftr;
+  ftr.tree_blob = to_bytes("serialized-tree");
+  check_decode_edges("FetchTreeResp", ftr);
+
+  FetchItemsReq fi;
+  fi.file_id = 8;
+  fi.start_ordinal = 3;
+  fi.max_count = 16;
+  check_decode_edges("FetchItemsReq", fi);
+
+  FetchItemsResp fir;
+  fir.items.push_back({7, 15, to_bytes("ct7")});
+  fir.items.push_back({8, 16, to_bytes("ct8")});
+  fir.more = true;
+  check_decode_edges("FetchItemsResp", fir);
+
+  ListItemsReq li;
+  li.file_id = 8;
+  check_decode_edges("ListItemsReq", li);
+
+  ListItemsResp lir;
+  lir.ids = {4, 8, 15, 16, 23, 42};
+  check_decode_edges("ListItemsResp", lir);
+
+  DropFileReq drop;
+  drop.file_id = 8;
+  check_decode_edges("DropFileReq", drop);
+
+  StatReq stat;
+  stat.file_id = 8;
+  check_decode_edges("StatReq", stat);
+
+  StatResp stat_resp;
+  stat_resp.n_items = 10;
+  stat_resp.node_count = 19;
+  stat_resp.tree_bytes = 1234;
+  check_decode_edges("StatResp", stat_resp);
+
+  AuditReq audit;
+  audit.file_id = 8;
+  audit.by_leaf = true;
+  audit.include_ciphertext = true;
+  audit.targets = {1, 2, 3};
+  check_decode_edges("AuditReq", audit);
+
+  AuditResp audit_resp;
+  audit_resp.root = rnd.random_md(20);
+  {
+    AuditResp::Entry e;
+    e.item_id = 5;
+    e.leaf = 9;
+    e.has_ciphertext = true;
+    e.ciphertext = to_bytes("ct5");
+    e.leaf_hash = rnd.random_md(20);
+    e.siblings = {rnd.random_md(20), rnd.random_md(20)};
+    audit_resp.entries.push_back(std::move(e));
+  }
+  check_decode_edges("AuditResp", audit_resp);
+
+  KvPutReq kv_put;
+  kv_put.table = 1;
+  kv_put.key = 2;
+  kv_put.value = to_bytes("v");
+  check_decode_edges("KvPutReq", kv_put);
+
+  KvGetReq kv_get;
+  kv_get.table = 1;
+  kv_get.key = 2;
+  check_decode_edges("KvGetReq", kv_get);
+
+  KvGetResp kv_get_resp;
+  kv_get_resp.found = true;
+  kv_get_resp.value = to_bytes("v");
+  check_decode_edges("KvGetResp", kv_get_resp);
+
+  KvDeleteReq kv_del;
+  kv_del.table = 1;
+  kv_del.key = 2;
+  check_decode_edges("KvDeleteReq", kv_del);
+
+  KvGetRangeReq kv_range;
+  kv_range.table = 1;
+  kv_range.start_key = 5;
+  kv_range.max_count = 10;
+  check_decode_edges("KvGetRangeReq", kv_range);
+
+  KvGetRangeResp kv_range_resp;
+  kv_range_resp.entries.push_back({5, to_bytes("v5")});
+  kv_range_resp.more = true;
+  check_decode_edges("KvGetRangeResp", kv_range_resp);
+
+  KvPutBatchReq kv_batch;
+  kv_batch.table = 1;
+  kv_batch.entries.push_back({5, to_bytes("v5")});
+  kv_batch.entries.push_back({6, to_bytes("v6")});
+  check_decode_edges("KvPutBatchReq", kv_batch);
+}
+
+TEST(MessagesEdge, HostileLengthClaimsFailWithoutAllocation) {
+  // A few-byte payload claiming a multi-GiB field must be rejected up
+  // front (count bounded by bytes actually present), not alloc-and-crash.
+  {
+    Writer w;
+    w.u32(0xFFFFFFF0u);  // FetchTreeResp::tree_blob length
+    Reader r(w.data());
+    EXPECT_FALSE(FetchTreeResp::from(r).is_ok());
+  }
+  {
+    Writer w;
+    w.u64(0xFFFFFFFFFFull);  // ListItemsResp id count
+    Reader r(w.data());
+    EXPECT_FALSE(ListItemsResp::from(r).is_ok());
+  }
+  {
+    Writer w;
+    w.u64(1);                // file_id
+    w.bytes(to_bytes("t"));  // tree_blob
+    w.u64(0xFFFFFFFFull);    // OutsourceReq item count
+    Reader r(w.data());
+    EXPECT_FALSE(OutsourceReq::from(r).is_ok());
+  }
+  {
+    Writer w;
+    w.u64(2);  // file_id
+    w.u8(0);   // by_leaf
+    w.u8(0);   // include_ciphertext
+    w.u32(0xFFFFFFF0u);  // AuditReq target count
+    Reader r(w.data());
+    EXPECT_FALSE(AuditReq::from(r).is_ok());
+  }
+  {
+    Writer w;
+    w.u64(0xFFFFFFFFull);  // KvGetRangeResp entry count
+    Reader r(w.data());
+    EXPECT_FALSE(KvGetRangeResp::from(r).is_ok());
+  }
+  {
+    Writer w;
+    w.u64(0xFFFFFFFFull);  // FetchItemsResp entry count
+    Reader r(w.data());
+    EXPECT_FALSE(FetchItemsResp::from(r).is_ok());
+  }
+}
+
+TEST(MessagesEdge, MalformedFramesOverRealTcpGetErrorReplies) {
+  // End-to-end: garbage frames through a real TCP server must produce a
+  // decodable error reply on the same connection — never a hang, crash, or
+  // corrupted stream. (Frames the transport itself rejects — oversized
+  // length headers — are covered in net_test.)
+  fgad::cloud::CloudServer server;
+  auto tcp = fgad::net::TcpServer::create(
+      0, [&server](BytesView req) { return server.handle(req); });
+  ASSERT_TRUE(tcp.is_ok());
+  auto ch = fgad::net::TcpChannel::connect("127.0.0.1", tcp.value()->port());
+  ASSERT_TRUE(ch.is_ok());
+
+  const auto expect_error_reply = [&](Bytes frame, const char* what) {
+    auto resp = ch.value()->roundtrip(frame);
+    ASSERT_TRUE(resp.is_ok()) << what << ": " << resp.status().to_string();
+    auto env = open_message(resp.value());
+    ASSERT_TRUE(env.is_ok()) << what;
+    ASSERT_EQ(env.value().type, MsgType::kError) << what;
+    Reader r(env.value().payload);
+    EXPECT_TRUE(ErrorMsg::from(r).is_ok()) << what;
+  };
+
+  // Unknown message type.
+  expect_error_reply(seal_message(static_cast<MsgType>(999), to_bytes("x")),
+                     "unknown type");
+  // Valid type, truncated payload.
+  AccessReq access;
+  access.file_id = 1;
+  access.ref = ItemRef::id(0);
+  Bytes truncated = access.to_frame();
+  truncated.resize(truncated.size() - 3);
+  expect_error_reply(std::move(truncated), "truncated payload");
+  // Valid type, trailing garbage.
+  Bytes trailing = access.to_frame();
+  trailing.push_back(0xee);
+  expect_error_reply(std::move(trailing), "trailing byte");
+  // Sub-u16 frame: too short to even carry a message type.
+  expect_error_reply(Bytes{0x07}, "one-byte frame");
+
+  // The same connection still serves well-formed requests afterwards.
+  StatReq stat;
+  stat.file_id = 42;
+  auto resp = ch.value()->roundtrip(stat.to_frame());
+  ASSERT_TRUE(resp.is_ok());
+  auto env = open_message(resp.value());
+  ASSERT_TRUE(env.is_ok());  // kError "no such file" — but framing is intact
+  tcp.value()->stop();
 }
 
 }  // namespace

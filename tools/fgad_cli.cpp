@@ -1,6 +1,7 @@
 // fgad — command-line client for the assured-deletion cloud store.
 //
-//   fgad --store KS --pass PW [--host H] [--port N] <command> [args...]
+//   fgad --store KS --pass PW [--host H] [--port N] [--timeout-ms N]
+//        [--retries N] <command> [args...]
 //
 // The keystore file KS is the client's entire persistent secret state: the
 // global counter plus one master key per outsourced file, sealed under the
@@ -22,7 +23,9 @@
 
 #include "client/client.h"
 #include "client/keystore.h"
+#include "net/retry.h"
 #include "net/tcp.h"
+#include "proto/messages.h"
 
 namespace {
 
@@ -46,7 +49,8 @@ Result<Bytes> read_file(const std::string& path) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: fgad --store KS --pass PW [--host H] [--port N] CMD [args]\n"
+      "usage: fgad --store KS --pass PW [--host H] [--port N]\n"
+      "            [--timeout-ms N] [--retries N] CMD [args]\n"
       "commands: init | files | outsource FILE PATH... | ls FILE |\n"
       "          cat FILE ITEM | put FILE PATH | edit FILE ITEM PATH |\n"
       "          rm FILE ITEM | drop FILE\n");
@@ -55,7 +59,7 @@ int usage() {
 
 struct Session {
   client::Keystore keystore;
-  std::unique_ptr<net::TcpChannel> channel;
+  std::unique_ptr<net::RpcChannel> channel;
   std::unique_ptr<client::Client> client;
 
   Result<client::Client::FileHandle> handle(std::uint64_t file_id) {
@@ -77,6 +81,8 @@ int main(int argc, char** argv) {
   std::string passphrase;
   std::string host = "127.0.0.1";
   std::uint16_t port = 4270;
+  int timeout_ms = 30000;
+  int retries = 4;
   std::vector<std::string> args;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +95,10 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -131,15 +141,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Everything else talks to the server.
+  // Everything else talks to the server — through a reconnecting retry
+  // channel, so transient stalls/resets only fail read-style commands
+  // after the bounded backoff budget, and mutating commands (put/rm/...)
+  // surface a typed error instead of being resent blind.
   {
-    auto ch = net::TcpChannel::connect(host, port);
-    if (!ch) {
+    net::TcpChannel::Options tcp_opts;
+    tcp_opts.connect_timeout_ms = timeout_ms;
+    tcp_opts.io_timeout_ms = timeout_ms;
+    net::RetryChannel::Options retry_opts;
+    retry_opts.max_attempts = retries;
+    retry_opts.retryable = [](BytesView frame) {
+      return proto::retryable_request(frame);
+    };
+    auto retry = std::make_unique<net::RetryChannel>(
+        net::tcp_dialer(host, port, tcp_opts), retry_opts);
+    // Dial eagerly so an unreachable server fails fast and obviously.
+    auto probe = net::TcpChannel::connect(host, port, tcp_opts);
+    if (!probe) {
       std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
-                   ch.status().to_string().c_str());
+                   probe.status().to_string().c_str());
       return 1;
     }
-    s.channel = std::move(ch).value();
+    s.channel = std::move(retry);
     s.client = std::make_unique<client::Client>(*s.channel, rnd);
     s.client->set_counter(s.keystore.counter());
   }

@@ -1,13 +1,18 @@
 // fgad_server — run the cloud side as a standalone TCP daemon.
 //
 //   fgad_server [--port N] [--image PATH] [--no-integrity]
+//               [--max-workers N] [--idle-timeout-ms N]
 //
 // Listens on 127.0.0.1:N (default 4270; 0 picks an ephemeral port, printed
 // on startup). With --image, server state is loaded from PATH at startup
 // (if it exists) and saved back on clean shutdown. The process runs until
 // stdin reaches EOF or the user presses Ctrl-D / sends SIGINT via the
 // terminal driver closing stdin.
+//
+// --max-workers bounds concurrent connections (overflow queues in the
+// listen backlog); --idle-timeout-ms evicts connections with no traffic.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -21,6 +26,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 4270;
   std::string image;
   cloud::CloudServer::Options opts;
+  net::TcpServer::Options net_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -30,9 +36,14 @@ int main(int argc, char** argv) {
       image = argv[++i];
     } else if (arg == "--no-integrity") {
       opts.enable_integrity = false;
+    } else if (arg == "--max-workers" && i + 1 < argc) {
+      net_opts.max_workers =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      net_opts.idle_timeout_ms = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: fgad_server [--port N] [--image PATH] "
-                  "[--no-integrity]\n");
+                  "[--no-integrity] [--max-workers N] [--idle-timeout-ms N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -58,16 +69,19 @@ int main(int argc, char** argv) {
     server = std::make_unique<cloud::CloudServer>(opts);
   }
 
-  net::TcpServer tcp(port, [&server](BytesView req) {
-    return server->handle(req);
-  });
-  if (!tcp.ok()) {
-    std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
+  auto tcp_result = net::TcpServer::create(
+      port, [&server](BytesView req) { return server->handle(req); },
+      net_opts);
+  if (!tcp_result) {
+    std::fprintf(stderr, "failed to bind 127.0.0.1:%u: %s\n", port,
+                 tcp_result.status().to_string().c_str());
     return 1;
   }
+  net::TcpServer& tcp = *tcp_result.value();
   std::printf("fgad cloud server listening on 127.0.0.1:%u "
-              "(integrity %s); EOF on stdin stops it\n",
-              tcp.port(), opts.enable_integrity ? "on" : "off");
+              "(integrity %s, max %zu workers); EOF on stdin stops it\n",
+              tcp.port(), opts.enable_integrity ? "on" : "off",
+              net_opts.max_workers);
   std::fflush(stdout);
 
   // Park until stdin closes.
