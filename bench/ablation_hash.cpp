@@ -23,12 +23,13 @@ int main() {
                 fgad::crypto::hash_alg_name(alg), p.delete_bytes / 1024.0,
                 p.access_bytes / 1024.0, p.delete_comp * 1e3,
                 p.access_comp * 1e3);
-    json.row()
-        .set("hash", fgad::crypto::hash_alg_name(alg))
+    auto& row = json.row();
+    row.set("hash", fgad::crypto::hash_alg_name(alg))
         .set("delete_bytes", p.delete_bytes)
         .set("access_bytes", p.access_bytes)
         .set("delete_seconds", p.delete_comp)
         .set("access_seconds", p.access_comp);
+    p.emit_latencies(row);
   }
   std::printf("\nexpected: SHA-256 costs ~1.6x the bytes (32- vs 20-byte "
               "modulators) at comparable ms; both stay O(log n).\n");

@@ -13,7 +13,7 @@ namespace {
 using namespace fgad::bench;
 using fgad::BytesView;
 
-double deletes_per_ms(bool integrity_on, std::size_t n) {
+double deletes_per_ms(bool integrity_on, std::size_t n, LatencyRecorder& lat) {
   fgad::cloud::CloudServer server{fgad::cloud::CloudServer::Options{
       /*track_duplicates=*/false, integrity_on}};
   fgad::net::DirectChannel ch(
@@ -25,6 +25,7 @@ double deletes_per_ms(bool integrity_on, std::size_t n) {
   const std::size_t reps = 300;
   fgad::Stopwatch sw;
   for (std::size_t i = 0; i < reps; ++i) {
+    LatencyRecorder::Timed t(lat);
     if (!client.erase_item(fh.value(), fgad::proto::ItemRef::id(i * 3))) {
       std::abort();
     }
@@ -41,16 +42,20 @@ int main() {
 
   std::printf("server-side hash-tree maintenance (end-to-end delete wall "
               "time):\n");
-  const double off = deletes_per_ms(false, n);
-  const double on = deletes_per_ms(true, n);
+  LatencyRecorder off_lat;
+  LatencyRecorder on_lat;
+  const double off = deletes_per_ms(false, n, off_lat);
+  const double on = deletes_per_ms(true, n, on_lat);
   std::printf("  integrity off: %.4f ms/delete\n", off);
   std::printf("  integrity on:  %.4f ms/delete  (+%.1f%%)\n", on,
               100.0 * (on - off) / off);
   BenchJson json("ablation_integrity");
-  json.meta()
-      .set("n", n)
+  auto& meta = json.meta();
+  meta.set("n", n)
       .set("delete_ms_integrity_off", off)
       .set("delete_ms_integrity_on", on);
+  off_lat.emit(meta, "delete_integrity_off");
+  on_lat.emit(meta, "delete_integrity_on");
 
   std::printf("\naudit proof size and verification vs n:\n");
   std::printf("%12s %16s %18s %20s\n", "n", "proof bytes", "verify us",
@@ -95,8 +100,10 @@ int main() {
 
     // Tracked (verified) deletion: auditor pre-verification + the deletion.
     fgad::Stopwatch dsw;
+    LatencyRecorder dlat;
     const std::size_t dreps = 50;
     for (std::size_t i = 0; i < dreps; ++i) {
+      LatencyRecorder::Timed t(dlat);
       const std::uint64_t id = i * 7 + 1;
       if (!auditor.before_delete(id)) return 1;
       if (!client.erase_item(fh.value(), fgad::proto::ItemRef::id(id))) {
@@ -105,11 +112,12 @@ int main() {
     }
     std::printf("%12zu %16.0f %18.2f %20.4f\n", static_cast<std::size_t>(sweep_n),
                 proof_bytes, verify_us, dsw.elapsed_ms() / dreps);
-    json.row()
-        .set("n", static_cast<std::size_t>(sweep_n))
+    auto& row = json.row();
+    row.set("n", static_cast<std::size_t>(sweep_n))
         .set("proof_bytes", proof_bytes)
         .set("verify_us", verify_us)
         .set("tracked_delete_ms", dsw.elapsed_ms() / dreps);
+    dlat.emit(row, "tracked_delete");
   }
   std::printf("\nexpected: proof bytes and times grow logarithmically; the "
               "hash-tree maintenance adds only a small constant factor to "

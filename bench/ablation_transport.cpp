@@ -19,6 +19,8 @@ struct RunResult {
   double delete_wall_ms;
   double access_wall_ms;
   double delete_kb;
+  LatencyRecorder delete_lat;
+  LatencyRecorder access_lat;
 };
 
 RunResult run(fgad::net::RpcChannel& ch, std::size_t n, std::uint64_t seed) {
@@ -38,6 +40,7 @@ RunResult run(fgad::net::RpcChannel& ch, std::size_t n, std::uint64_t seed) {
 
   fgad::Stopwatch sw;
   for (std::size_t i = 0; i < reps; ++i) {
+    LatencyRecorder::Timed t(out.access_lat);
     auto got = client.access(fh.value(),
                              fgad::proto::ItemRef::id((i * 37) % n));
     if (!got) std::abort();
@@ -47,6 +50,7 @@ RunResult run(fgad::net::RpcChannel& ch, std::size_t n, std::uint64_t seed) {
   counting.reset();
   sw.reset();
   for (std::size_t i = 0; i < reps; ++i) {
+    LatencyRecorder::Timed t(out.delete_lat);
     auto st = client.erase_item(fh.value(),
                                 fgad::proto::ItemRef::id((i * 41) % n));
     if (!st) std::abort();
@@ -67,11 +71,13 @@ int main() {
   fgad::bench::BenchJson json("ablation_transport");
   json.meta().set("n", n);
   const auto record = [&json](const char* transport, const RunResult& r) {
-    json.row()
-        .set("transport", transport)
+    auto& row = json.row();
+    row.set("transport", transport)
         .set("delete_wall_ms", r.delete_wall_ms)
         .set("access_wall_ms", r.access_wall_ms)
         .set("delete_bytes", r.delete_kb * 1024.0);
+    r.access_lat.emit(row, "access");
+    r.delete_lat.emit(row, "delete");
   };
 
   // In-process direct dispatch.

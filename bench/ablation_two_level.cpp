@@ -35,7 +35,9 @@ int main() {
     stack.channel.reset();
     stack.client.compute_timer().reset();
     fgad::Stopwatch sw;
+    LatencyRecorder lat;
     for (std::size_t i = 0; i < reps; ++i) {
+      LatencyRecorder::Timed t(lat);
       auto& fh = handles[i % m_files];
       // File f holds ids [f*n, (f+1)*n); walk each file front-to-back.
       const std::uint64_t id = (i % m_files) * n + (i / m_files);
@@ -52,14 +54,15 @@ int main() {
                 static_cast<double>(stack.channel.total_bytes()) / reps /
                     1024.0,
                 stack.client.compute_timer().total_ms() / reps, wall);
-    json.row()
-        .set("mode", "single-level")
+    auto& row = json.row();
+    row.set("mode", "single-level")
         .set("client_keys", m_files)
         .set("delete_bytes",
              static_cast<double>(stack.channel.total_bytes()) / reps)
         .set("delete_compute_ms",
              stack.client.compute_timer().total_ms() / reps)
         .set("delete_wall_ms", wall);
+    lat.emit(row, "delete");
   }
 
   // --- two-level: one control key; master keys in the meta tree ------------
@@ -83,7 +86,9 @@ int main() {
     stack.channel.reset();
     stack.client.compute_timer().reset();
     fgad::Stopwatch sw;
+    LatencyRecorder lat;
     for (std::size_t i = 0; i < reps; ++i) {
+      LatencyRecorder::Timed t(lat);
       const std::size_t f = i % m_files;
       auto st = fs.erase_item(
           f + 1, fgad::proto::ItemRef::id(first_ids[f] + i / m_files));
@@ -98,14 +103,15 @@ int main() {
                 static_cast<double>(stack.channel.total_bytes()) / reps /
                     1024.0,
                 stack.client.compute_timer().total_ms() / reps, wall);
-    json.row()
-        .set("mode", "two-level")
+    auto& row = json.row();
+    row.set("mode", "two-level")
         .set("client_keys", 1)
         .set("delete_bytes",
              static_cast<double>(stack.channel.total_bytes()) / reps)
         .set("delete_compute_ms",
              stack.client.compute_timer().total_ms() / reps)
         .set("delete_wall_ms", wall);
+    lat.emit(row, "delete");
   }
 
   std::printf("\nexpected: two-level stores 1 key instead of %zu, costing a "

@@ -23,3 +23,4 @@ fgad_bench(ablation_two_level)
 fgad_bench(micro_core)
 target_link_libraries(micro_core PRIVATE benchmark::benchmark)
 fgad_bench(ablation_integrity)
+fgad_bench(obs_overhead)

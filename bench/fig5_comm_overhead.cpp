@@ -23,11 +23,13 @@ int main() {
     std::printf("%12zu %14.3f %14.3f %14.3f\n", p.n, p.delete_bytes / 1024.0,
                 p.insert_bytes / 1024.0, p.access_bytes / 1024.0);
     std::fflush(stdout);
-    json.row()
+    auto& row = json.row();
+    row
         .set("n", p.n)
         .set("delete_bytes", p.delete_bytes)
         .set("insert_bytes", p.insert_bytes)
         .set("access_bytes", p.access_bytes);
+    p.emit_latencies(row);
   }
   std::printf("\nexpected: logarithmic growth in n for all three curves "
               "(paper Fig. 5)\n");

@@ -23,11 +23,13 @@ int main() {
     std::printf("%12zu %14.4f %14.4f %14.4f\n", p.n, p.delete_comp * 1e3,
                 p.insert_comp * 1e3, p.access_comp * 1e3);
     std::fflush(stdout);
-    json.row()
+    auto& row = json.row();
+    row
         .set("n", p.n)
         .set("delete_seconds", p.delete_comp)
         .set("insert_seconds", p.insert_comp)
         .set("access_seconds", p.access_comp);
+    p.emit_latencies(row);
   }
   std::printf("\nexpected: logarithmic growth in n for all three curves "
               "(paper Fig. 6)\n");

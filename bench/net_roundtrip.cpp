@@ -17,12 +17,14 @@ namespace {
 using namespace fgad::bench;
 
 double echo_roundtrip_us(fgad::net::RpcChannel& ch, std::size_t payload_size,
-                         std::size_t reps) {
+                         std::size_t reps, LatencyRecorder* lat = nullptr) {
   const fgad::Bytes payload(payload_size, 0x5a);
   fgad::Stopwatch sw;
   for (std::size_t i = 0; i < reps; ++i) {
+    fgad::Stopwatch op;
     auto resp = ch.roundtrip(payload);
     if (!resp || resp.value().size() != payload_size) std::abort();
+    if (lat != nullptr) lat->record_ns(op.elapsed_ns());
   }
   return sw.elapsed_seconds() * 1e6 / static_cast<double>(reps);
 }
@@ -52,16 +54,18 @@ int main() {
     auto ch = fgad::net::TcpChannel::connect("127.0.0.1", echo_port);
     if (!ch) return 1;
     echo_roundtrip_us(*ch.value(), size, 5);  // warm-up
-    const double us = echo_roundtrip_us(*ch.value(), size, reps);
+    LatencyRecorder lat;
+    const double us = echo_roundtrip_us(*ch.value(), size, reps, &lat);
     // Payload crosses the wire twice per round-trip.
     const double mbps = 2.0 * static_cast<double>(size) / us;
     std::printf("echo %-17s %14.2f %14.1f\n", human_bytes(
         static_cast<double>(size)).c_str(), us, mbps);
-    json.row()
-        .set("case", "echo")
+    auto& row = json.row();
+    row.set("case", "echo")
         .set("payload_bytes", size)
         .set("latency_us", us)
         .set("throughput_mbps", mbps);
+    lat.emit(row, "echo");
   }
 
   // Same echo path through RetryChannel: happy-path decoration overhead.
@@ -74,15 +78,17 @@ int main() {
     fgad::net::RetryChannel ch(
         fgad::net::tcp_dialer("127.0.0.1", echo_port), opts);
     echo_roundtrip_us(ch, size, 5);
-    const double us = echo_roundtrip_us(ch, size, reps);
+    LatencyRecorder lat;
+    const double us = echo_roundtrip_us(ch, size, reps, &lat);
     std::printf("echo+retry %-11s %14.2f %14.1f\n",
                 human_bytes(static_cast<double>(size)).c_str(), us,
                 2.0 * static_cast<double>(size) / us);
-    json.row()
-        .set("case", "echo_retry")
+    auto& row = json.row();
+    row.set("case", "echo_retry")
         .set("payload_bytes", size)
         .set("latency_us", us)
         .set("throughput_mbps", 2.0 * static_cast<double>(size) / us);
+    lat.emit(row, "echo");
   }
   echo.value()->stop();
 
@@ -99,15 +105,19 @@ int main() {
                                              tcp.value()->port());
     if (!ch) return 1;
     fgad::client::Client client(*ch.value(), stack.rnd);
+    LatencyRecorder lat;
     fgad::Stopwatch sw;
     for (std::size_t i = 0; i < reps; ++i) {
+      LatencyRecorder::Timed t(lat);
       auto got = client.access(stack.fh,
                                fgad::proto::ItemRef::id((i * 37) % n));
       if (!got) std::abort();
     }
     const double us = sw.elapsed_seconds() * 1e6 / static_cast<double>(reps);
     std::printf("access (n=%zu) %8s %14.2f %14s\n", n, "", us, "-");
-    json.row().set("case", "access").set("n", n).set("latency_us", us);
+    auto& row = json.row();
+    row.set("case", "access").set("n", n).set("latency_us", us);
+    lat.emit(row, "access");
     tcp.value()->stop();
   }
 

@@ -10,6 +10,7 @@
 //   FGAD_SAMPLES — operations averaged per data point (default 200)
 #pragma once
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -252,6 +253,60 @@ class BenchJson {
   Obj meta_;
   std::vector<Obj> rows_;
   bool written_ = false;
+};
+
+// ---- per-operation latency quantiles ------------------------------------
+//
+// The sweeps report averages (matching the paper's tables); the recorder
+// adds exact p50/p95/p99 per operation on top, timed with the same
+// common/stopwatch.h clock the averages use. Samples are kept raw and
+// sorted on demand — bench rep counts are small, exactness beats bucketing.
+class LatencyRecorder {
+ public:
+  void record_ns(std::uint64_t ns) { samples_.push_back(ns); }
+  void reset() { samples_.clear(); }
+  std::size_t count() const { return samples_.size(); }
+
+  /// Exact p-th quantile (nearest-rank) in microseconds; 0 when empty.
+  double quantile_us(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    const double ns = static_cast<double>(sorted[lo]) +
+                      frac * (static_cast<double>(sorted[hi]) -
+                              static_cast<double>(sorted[lo]));
+    return ns / 1e3;
+  }
+
+  /// Writes <prefix>_p50_us / _p95_us / _p99_us / _samples into a row.
+  void emit(BenchJson::Obj& row, const std::string& prefix) const {
+    row.set(prefix + "_p50_us", quantile_us(0.50))
+        .set(prefix + "_p95_us", quantile_us(0.95))
+        .set(prefix + "_p99_us", quantile_us(0.99))
+        .set(prefix + "_samples", count());
+  }
+
+  /// RAII: times one operation into the recorder.
+  class Timed {
+   public:
+    explicit Timed(LatencyRecorder& r) : r_(r) {}
+    ~Timed() { r_.record_ns(sw_.elapsed_ns()); }
+    Timed(const Timed&) = delete;
+    Timed& operator=(const Timed&) = delete;
+
+   private:
+    LatencyRecorder& r_;
+    Stopwatch sw_;
+  };
+
+ private:
+  std::vector<std::uint64_t> samples_;
 };
 
 inline std::string human_time(double seconds) {

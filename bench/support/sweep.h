@@ -20,6 +20,18 @@ struct SweepPoint {
   double delete_comp;
   double insert_comp;
   double access_comp;
+  // End-to-end wall-clock per operation (compute + transport), exact
+  // quantiles over the sampled reps.
+  LatencyRecorder delete_lat;
+  LatencyRecorder insert_lat;
+  LatencyRecorder access_lat;
+
+  /// Adds the per-op quantile columns to a BenchJson row.
+  void emit_latencies(BenchJson::Obj& row) const {
+    access_lat.emit(row, "access");
+    insert_lat.emit(row, "insert");
+    delete_lat.emit(row, "delete");
+  }
 };
 
 inline SweepPoint run_sweep_point(std::size_t n, crypto::HashAlg alg,
@@ -39,6 +51,7 @@ inline SweepPoint run_sweep_point(std::size_t n, crypto::HashAlg alg,
     stack.channel.reset();
     stack.client.compute_timer().reset();
     for (std::uint64_t id : ids) {
+      LatencyRecorder::Timed t(point.access_lat);
       auto got = stack.client.access(stack.fh, proto::ItemRef::id(id));
       if (!got) {
         std::fprintf(stderr, "access failed: %s\n",
@@ -58,6 +71,7 @@ inline SweepPoint run_sweep_point(std::size_t n, crypto::HashAlg alg,
     stack.channel.reset();
     stack.client.compute_timer().reset();
     for (std::size_t i = 0; i < reps; ++i) {
+      LatencyRecorder::Timed t(point.insert_lat);
       auto id = stack.client.insert(stack.fh, small_item(n + i));
       if (!id) {
         std::fprintf(stderr, "insert failed\n");
@@ -87,6 +101,7 @@ inline SweepPoint run_sweep_point(std::size_t n, crypto::HashAlg alg,
     stack.channel.reset();
     stack.client.compute_timer().reset();
     for (std::uint64_t id : victims) {
+      LatencyRecorder::Timed t(point.delete_lat);
       auto st = stack.client.erase_item(stack.fh, proto::ItemRef::id(id));
       if (!st) {
         std::fprintf(stderr, "delete failed: %s\n", st.to_string().c_str());

@@ -22,6 +22,7 @@ using fgad::crypto::HashAlg;
 struct Measured {
   double storage;  // bytes
   double comm;     // bytes for one deletion
+  LatencyRecorder lat;  // wall-clock of that deletion (single sample)
 };
 
 Measured measure_master_key(std::size_t n) {
@@ -30,9 +31,14 @@ Measured measure_master_key(std::size_t n) {
                                          HashAlg::kSha1, 1);
   sol.outsource(n, small_item);
   stack.channel.reset();
-  sol.erase_item(n / 2);
-  return Measured{static_cast<double>(sol.client_storage_bytes()),
-                  static_cast<double>(stack.channel.total_bytes())};
+  Measured m;
+  {
+    LatencyRecorder::Timed t(m.lat);
+    sol.erase_item(n / 2);
+  }
+  m.storage = static_cast<double>(sol.client_storage_bytes());
+  m.comm = static_cast<double>(stack.channel.total_bytes());
+  return m;
 }
 
 Measured measure_individual_key(std::size_t n) {
@@ -41,18 +47,28 @@ Measured measure_individual_key(std::size_t n) {
                                              HashAlg::kSha1, 2);
   sol.outsource(n, small_item);
   stack.channel.reset();
-  sol.erase_item(n / 2);
-  return Measured{static_cast<double>(sol.client_storage_bytes()),
-                  static_cast<double>(stack.channel.total_bytes())};
+  Measured m;
+  {
+    LatencyRecorder::Timed t(m.lat);
+    sol.erase_item(n / 2);
+  }
+  m.storage = static_cast<double>(sol.client_storage_bytes());
+  m.comm = static_cast<double>(stack.channel.total_bytes());
+  return m;
 }
 
 Measured measure_ours(std::size_t n) {
   Stack stack;
   stack.build_file(1, n, small_item);
   stack.channel.reset();
-  stack.client.erase_item(stack.fh, fgad::proto::ItemRef::id(n / 2));
-  return Measured{static_cast<double>(stack.client.math().width()),
-                  static_cast<double>(stack.channel.total_bytes())};
+  Measured m;
+  {
+    LatencyRecorder::Timed t(m.lat);
+    stack.client.erase_item(stack.fh, fgad::proto::ItemRef::id(n / 2));
+  }
+  m.storage = static_cast<double>(stack.client.math().width());
+  m.comm = static_cast<double>(stack.channel.total_bytes());
+  return m;
 }
 
 const char* classify(double factor) {
@@ -101,8 +117,8 @@ int main() {
                 human_bytes(r.a.storage).c_str(),
                 human_bytes(r.b.storage).c_str(), sto_factor,
                 classify(sto_factor));
-    json.row()
-        .set("solution", r.name)
+    auto& row = json.row();
+    row.set("solution", r.name)
         .set("comm_bytes_n1", r.a.comm)
         .set("comm_bytes_n2", r.b.comm)
         .set("comm_factor", comm_factor)
@@ -111,6 +127,8 @@ int main() {
         .set("storage_bytes_n2", r.b.storage)
         .set("storage_factor", sto_factor)
         .set("storage_class", classify(sto_factor));
+    r.a.lat.emit(row, "delete_n1");
+    r.b.lat.emit(row, "delete_n2");
   }
   std::printf("\nexpected: the empirical classes match the analytic table "
               "above (paper Table I).\n");

@@ -38,9 +38,13 @@ int main() {
     }
     stack.channel.reset();
     sol.compute_timer().reset();
-    if (!sol.erase_item(n / 2)) {
-      std::fprintf(stderr, "master-key delete failed\n");
-      return 1;
+    LatencyRecorder lat;
+    {
+      LatencyRecorder::Timed t(lat);
+      if (!sol.erase_item(n / 2)) {
+        std::fprintf(stderr, "master-key delete failed\n");
+        return 1;
+      }
     }
     std::printf("%-18s %16s %18s %18s\n", "master-key",
                 human_bytes(static_cast<double>(sol.client_storage_bytes()))
@@ -48,11 +52,12 @@ int main() {
                 human_bytes(static_cast<double>(stack.channel.total_bytes()))
                     .c_str(),
                 human_time(sol.compute_timer().total_seconds()).c_str());
-    json.row()
-        .set("solution", "master-key")
+    auto& row = json.row();
+    row.set("solution", "master-key")
         .set("storage_bytes", sol.client_storage_bytes())
         .set("comm_bytes", stack.channel.total_bytes())
         .set("compute_seconds", sol.compute_timer().total_seconds());
+    lat.emit(row, "delete");
   }
 
   // --- individual-key solution (Section III-B) -----------------------------
@@ -66,9 +71,13 @@ int main() {
     }
     stack.channel.reset();
     sol.compute_timer().reset();
-    if (!sol.erase_item(n / 2)) {
-      std::fprintf(stderr, "individual-key delete failed\n");
-      return 1;
+    LatencyRecorder lat;
+    {
+      LatencyRecorder::Timed t(lat);
+      if (!sol.erase_item(n / 2)) {
+        std::fprintf(stderr, "individual-key delete failed\n");
+        return 1;
+      }
     }
     std::printf("%-18s %16s %18s %18s\n", "individual-key",
                 human_bytes(static_cast<double>(sol.client_storage_bytes()))
@@ -76,11 +85,12 @@ int main() {
                 human_bytes(static_cast<double>(stack.channel.total_bytes()))
                     .c_str(),
                 human_time(sol.compute_timer().total_seconds()).c_str());
-    json.row()
-        .set("solution", "individual-key")
+    auto& row = json.row();
+    row.set("solution", "individual-key")
         .set("storage_bytes", sol.client_storage_bytes())
         .set("comm_bytes", stack.channel.total_bytes())
         .set("compute_seconds", sol.compute_timer().total_seconds());
+    lat.emit(row, "delete");
   }
 
   // --- our work: key modulation -------------------------------------------
@@ -89,9 +99,14 @@ int main() {
     stack.build_file(1, n, item_4k);
     stack.channel.reset();
     stack.client.compute_timer().reset();
-    if (!stack.client.erase_item(stack.fh, fgad::proto::ItemRef::id(n / 2))) {
-      std::fprintf(stderr, "key-modulation delete failed\n");
-      return 1;
+    LatencyRecorder lat;
+    {
+      LatencyRecorder::Timed t(lat);
+      if (!stack.client.erase_item(stack.fh,
+                                   fgad::proto::ItemRef::id(n / 2))) {
+        std::fprintf(stderr, "key-modulation delete failed\n");
+        return 1;
+      }
     }
     // Per the paper's metric, the data item itself is not overhead; the
     // delete exchange carries the target ciphertext once for verification.
@@ -104,12 +119,13 @@ int main() {
                 human_bytes(static_cast<double>(overhead_bytes)).c_str(),
                 human_time(stack.client.compute_timer().total_seconds())
                     .c_str());
-    json.row()
-        .set("solution", "key-modulation")
+    auto& row = json.row();
+    row.set("solution", "key-modulation")
         .set("storage_bytes", stack.client.math().width())
         .set("comm_bytes", overhead_bytes)
         .set("compute_seconds",
              stack.client.compute_timer().total_seconds());
+    lat.emit(row, "delete");
   }
 
   std::printf("\nexpected shape (paper Table II): master-key moves hundreds "

@@ -45,9 +45,10 @@ struct Row {
   const char* mode;
 };
 
-Row measure_protocol(std::size_t n) {
+Row measure_protocol(std::size_t n, LatencyRecorder& lat) {
   Stack stack(HashAlg::kSha1, n);
   stack.build_file(1, n, item_4k);
+  LatencyRecorder::Timed t(lat);
   auto fetched = stack.client.fetch_all(stack.fh);
   if (!fetched) {
     std::fprintf(stderr, "fetch_all failed: %s\n",
@@ -187,20 +188,25 @@ int main() {
   BenchJson json("table3_wholefile");
   const std::size_t cap = std::min<std::size_t>(max_n(), 1'000'000);
   for (std::size_t n = 1'000; n <= cap; n *= 10) {
-    const Row row = n <= 10'000 ? measure_protocol(n) : measure_streaming(n);
+    LatencyRecorder lat;
+    const Row row =
+        n <= 10'000 ? measure_protocol(n, lat) : measure_streaming(n);
     std::printf("%10zu %11.4f%% %11.4f%% %14s %14s %12s\n", row.n,
                 row.comm_ratio * 100.0, row.comp_ratio * 100.0,
                 human_bytes(row.tree_bytes).c_str(),
                 human_bytes(row.file_bytes).c_str(), row.mode);
     std::fflush(stdout);
-    json.row()
-        .set("kind", "overhead")
+    auto& jrow = json.row();
+    jrow.set("kind", "overhead")
         .set("n", row.n)
         .set("comm_ratio", row.comm_ratio)
         .set("comp_ratio", row.comp_ratio)
         .set("tree_bytes", row.tree_bytes)
         .set("file_bytes", row.file_bytes)
         .set("mode", row.mode);
+    if (lat.count() > 0) {
+      lat.emit(jrow, "fetch_all");
+    }
   }
   std::printf("\nexpected (paper Table III): comm ratio < 1%%, comp ratio < "
               "0.3%%, both roughly flat in n.\n");

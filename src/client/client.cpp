@@ -1,5 +1,8 @@
 #include "client/client.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fgad::client {
 
 namespace proto = fgad::proto;
@@ -19,6 +22,7 @@ Client::Client(net::RpcChannel& channel, crypto::RandomSource& rnd,
 
 crypto::Md Client::derive_item_key(const FileHandle& fh,
                                    const core::AccessInfo& info) {
+  obs::Span span("derive_key");
   if (opts_.use_prefix_cache) {
     return fh.cache.derive_key(math_.chain(), fh.key.value(), info.path,
                                info.leaf_mod);
@@ -27,15 +31,39 @@ crypto::Md Client::derive_item_key(const FileHandle& fh,
 }
 
 Result<Bytes> Client::call(BytesView frame, MsgType expect) {
-  Result<Bytes> resp = channel_.roundtrip(frame);
+  static obs::Counter& rpcs =
+      obs::Registry::instance().counter("fgad_client_rpcs_total");
+  static obs::Counter& rpc_errors =
+      obs::Registry::instance().counter("fgad_client_rpc_errors_total");
+  static obs::Histogram& rpc_ns =
+      obs::Registry::instance().histogram("fgad_client_rpc_ns");
+  obs::ScopedTimer timer(rpc_ns);
+  rpcs.inc();
+  const auto req_type = proto::peek_type(frame);
+  obs::Span span(req_type ? proto::msg_type_name(*req_type) : "rpc");
+  // Under an active trace, wrap the frame in a tagged envelope so the
+  // server's audit lines carry this request id. Untagged traffic is
+  // byte-identical to the pre-tagging protocol.
+  const std::uint64_t rid = obs::current_request_id();
+  Result<Bytes> resp =
+      rid != 0 ? channel_.roundtrip(proto::seal_tagged(rid, frame))
+               : channel_.roundtrip(frame);
   if (!resp) {
+    rpc_errors.inc();
     return resp;
   }
   auto env = proto::open_message(resp.value());
   if (!env) {
+    rpc_errors.inc();
     return env.error();
   }
+  if (rid != 0 && env.value().request_id.value_or(rid) != rid) {
+    rpc_errors.inc();
+    return Error(Errc::kDecodeError,
+                 "client: response carries a different request id");
+  }
   if (env.value().type == MsgType::kError) {
+    rpc_errors.inc();
     proto::Reader r(env.value().payload);
     auto err = proto::ErrorMsg::from(r);
     if (!err) {
@@ -44,6 +72,7 @@ Result<Bytes> Client::call(BytesView frame, MsgType expect) {
     return Error(err.value().code, err.value().message);
   }
   if (env.value().type != expect) {
+    rpc_errors.inc();
     return Error(Errc::kDecodeError, "client: unexpected response type");
   }
   return std::move(env.value().payload);
@@ -52,11 +81,13 @@ Result<Bytes> Client::call(BytesView frame, MsgType expect) {
 Result<Client::FileHandle> Client::outsource(
     std::uint64_t file_id, std::size_t n_items,
     const std::function<Bytes(std::size_t)>& item_at) {
+  obs::Span op_span("client:outsource");
   FileHandle fh;
   fh.id = file_id;
   core::OutsourcedFile built;
   {
     CumulativeTimer::Section sec(compute_timer_);
+    obs::Span span("build_outsource");
     fh.key = MasterKey::generate(rnd_, math_.width());
     built = outsourcer_.build(fh.key, n_items, item_at, counter_, rnd_);
   }
@@ -86,6 +117,7 @@ Result<Client::FileHandle> Client::outsource(std::uint64_t file_id,
 }
 
 Result<Bytes> Client::access(const FileHandle& fh, proto::ItemRef ref) {
+  obs::Span op_span("client:access");
   proto::AccessReq req;
   req.file_id = fh.id;
   req.ref = ref;
@@ -131,6 +163,7 @@ Result<Bytes> Client::access(const FileHandle& fh, proto::ItemRef ref) {
 
 Status Client::modify(const FileHandle& fh, std::uint64_t item_id,
                       BytesView new_content) {
+  obs::Span op_span("client:modify");
   // Fetch the item first (the paper's modify = access, edit, re-encrypt
   // under the same data key).
   proto::AccessReq areq;
@@ -180,6 +213,7 @@ Status Client::modify(const FileHandle& fh, std::uint64_t item_id,
 
 Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
                                      std::uint64_t after_item_id) {
+  obs::Span op_span("client:insert");
   proto::InsertBeginReq breq;
   breq.file_id = fh.id;
   auto payload = call(breq.to_frame(), MsgType::kInsertBeginResp);
@@ -201,6 +235,7 @@ Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
     std::uint64_t item_id = 0;
     {
       CumulativeTimer::Section sec(compute_timer_);
+      obs::Span span("plan_insert");
       auto plan = math_.plan_insert(info, fh.key.value(), rnd_);
       if (!plan) {
         return plan.error();
@@ -228,6 +263,7 @@ Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
 }
 
 Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
+  obs::Span op_span("client:erase_item");
   proto::DeleteBeginReq breq;
   breq.file_id = fh.id;
   breq.ref = ref;
@@ -248,6 +284,7 @@ Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
     MasterKey fresh;
     {
       CumulativeTimer::Section sec(compute_timer_);
+      obs::Span span("plan_delete");
       fresh = MasterKey::generate(rnd_, math_.width());
       auto plan =
           math_.plan_delete(info, fh.key.value(), fresh.value(), rnd_);
@@ -259,6 +296,7 @@ Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
       }
       // Only a response that decrypts the target item to a record matching
       // its embedded hash is accepted (Theorem 2's wrong-leaf defence).
+      obs::Span verify_span("verify_target");
       auto opened = codec_.open(plan.value().old_key, info.ciphertext);
       if (!opened) {
         return Status(Errc::kTamperDetected,
@@ -286,6 +324,7 @@ Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
 }
 
 Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {
+  obs::Span op_span("client:fetch_all");
   FetchedFile out;
 
   proto::FetchTreeReq treq;
@@ -329,7 +368,10 @@ Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {
     for (std::size_t i = 0; i < n; ++i) {
       leaf_mods[i] = t.leaf_mod(first_leaf + i);
     }
-    keys = batch_.derive_all_keys(fh.key.value(), links, leaf_mods);
+    {
+      obs::Span span("derive_all_keys");
+      keys = batch_.derive_all_keys(fh.key.value(), links, leaf_mods);
+    }
     out.key_derive_seconds = sw.elapsed_seconds();
   }
 
@@ -381,6 +423,17 @@ Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {
     }
   }
   return out;
+}
+
+Result<proto::StatResp> Client::stat(std::uint64_t file_id) {
+  proto::StatReq req;
+  req.file_id = file_id;
+  auto payload = call(req.to_frame(), MsgType::kStatResp);
+  if (!payload) {
+    return payload.error();
+  }
+  proto::Reader r(payload.value());
+  return proto::StatResp::from(r);
 }
 
 Result<std::vector<std::uint64_t>> Client::list_items(const FileHandle& fh) {

@@ -99,6 +99,10 @@ class Client {
   };
   Result<FetchedFile> fetch_all(const FileHandle& fh);
 
+  /// Server-side size statistics for one file (item count, tree nodes,
+  /// serialized tree bytes) — backs `fgad_cli stats`.
+  Result<proto::StatResp> stat(std::uint64_t file_id);
+
   /// Item ids in file order.
   Result<std::vector<std::uint64_t>> list_items(const FileHandle& fh);
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fgad::cloud {
 
 namespace proto = fgad::proto;
@@ -320,12 +324,34 @@ Bytes error_frame(const Error& e) {
   return msg.to_frame();
 }
 
-Bytes error_frame(Errc code, const char* what) {
-  return error_frame(Error(code, what));
-}
-
 Bytes status_frame(const Status& st, MsgType ok_type) {
   return st ? proto::empty_frame(ok_type) : error_frame(st.error());
+}
+
+/// Malformed request payload: keep the decoder's detail in the reply
+/// (prefixed with the message kind so the client knows which decode
+/// failed) and count it.
+Bytes decode_error_frame(MsgType t, const Error& e) {
+  static obs::Counter& decode_errors = obs::Registry::instance().counter(
+      "fgad_server_rpc_decode_errors_total");
+  decode_errors.inc();
+  return error_frame(
+      Error(e.code, std::string(proto::msg_type_name(t)) + ": " + e.message));
+}
+
+/// One audit-log line per deletion-relevant RPC (delete/insert/re-key/
+/// modify/drop), carrying the wire request id when the client sent one.
+void audit_rpc(const char* op, std::uint64_t file_id, std::uint64_t item,
+               std::size_t path_len, std::size_t cut_size,
+               const Status& outcome) {
+  obs::AuditLog::Entry e;
+  e.op = op;
+  e.request_id = obs::current_request_id();
+  e.file_id = file_id;
+  e.item = item;
+  e.path_len = path_len;
+  e.cut_size = cut_size;
+  obs::AuditLog::instance().record(e, outcome);
 }
 
 // Streaming responses (FetchItems, KvGetRange) stop adding entries once
@@ -337,41 +363,87 @@ constexpr std::size_t kSoftResponseBudget = 64u << 20;  // 64 MiB
 }  // namespace
 
 Bytes CloudServer::handle(BytesView request) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return handle_locked(request);
+  static obs::Counter& rpcs =
+      obs::Registry::instance().counter("fgad_server_rpcs_total");
+  static obs::Counter& errors =
+      obs::Registry::instance().counter("fgad_server_rpc_errors_total");
+  static obs::Histogram& handle_ns =
+      obs::Registry::instance().histogram("fgad_server_handle_ns");
+  obs::ScopedTimer timer(handle_ns);
+  rpcs.inc();
+
+  // A tagged request adopts the client's request id for the duration of
+  // the handler (audit lines, slow-op warnings) and is answered with a
+  // response tagged with the same id. Untagged requests are handled
+  // byte-identically to the pre-tagging protocol.
+  const auto tag = proto::split_tagged(request);
+  const BytesView inner = tag ? tag->second : request;
+  Bytes resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tag) {
+      obs::RequestScope scope(tag->first);
+      resp = handle_locked(inner);
+    } else {
+      resp = handle_locked(inner);
+    }
+  }
+  if (proto::peek_type(resp) == proto::MsgType::kError) {
+    errors.inc();
+  }
+  if (const auto t = proto::peek_type(inner)) {
+    obs::Logger::instance().slow_op(proto::msg_type_name(*t),
+                                    timer.elapsed_ns(),
+                                    tag ? tag->first : 0);
+  }
+  return tag ? proto::seal_tagged(tag->first, resp) : resp;
 }
 
 Bytes CloudServer::handle_locked(BytesView request) {
   auto env = proto::open_message(request);
   if (!env) {
+    static obs::Counter& decode_errors = obs::Registry::instance().counter(
+        "fgad_server_rpc_decode_errors_total");
+    decode_errors.inc();
     return error_frame(env.error());
   }
+  obs::Registry::instance()
+      .counter(std::string("fgad_server_rpc_") +
+               proto::msg_type_name(env.value().type) + "_total")
+      .inc();
   proto::Reader r(env.value().payload);
 
   switch (env.value().type) {
     case MsgType::kOutsourceReq: {
       auto req = proto::OutsourceReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       proto::Reader tr(req.value().tree_blob);
       auto tree = core::ModulationTree::deserialize(
           tr, core::ModulationTree::Config{crypto::HashAlg::kSha1,
                                            opts_.track_duplicates});
-      if (!tree) return error_frame(tree.error());
-      if (auto st = tr.finish(); !st) return error_frame(st.error());
+      if (!tree) return decode_error_frame(env.value().type, tree.error());
+      if (auto st = tr.finish(); !st) {
+        return decode_error_frame(env.value().type, st.error());
+      }
       std::vector<FileStore::IngestItem> items;
       items.reserve(req.value().items.size());
       for (auto& it : req.value().items) {
         items.push_back(FileStore::IngestItem{
             it.item_id, std::move(it.ciphertext), it.plain_size});
       }
-      return status_frame(outsource(req.value().file_id,
-                                    std::move(tree).value(), std::move(items)),
-                          MsgType::kOutsourceResp);
+      const std::size_t n_items = items.size();
+      Status st = outsource(req.value().file_id, std::move(tree).value(),
+                            std::move(items));
+      audit_rpc("outsource", req.value().file_id, n_items, 0, 0, st);
+      return status_frame(st, MsgType::kOutsourceResp);
     }
 
     case MsgType::kAccessReq: {
       auto req = proto::AccessReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      static obs::Histogram& access_ns =
+          obs::Registry::instance().histogram("fgad_server_access_ns");
+      obs::ScopedTimer timer(access_ns);
       auto info = access(req.value().file_id, req.value().ref);
       if (!info) return error_frame(info.error());
       proto::AccessResp resp{std::move(info).value()};
@@ -380,17 +452,25 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kModifyReq: {
       auto req = proto::ModifyReq::from(r);
-      if (!req) return error_frame(req.error());
-      return status_frame(modify(req.value().file_id, req.value().item_id,
-                                 std::move(req.value().ciphertext),
-                                 req.value().plain_size),
-                          MsgType::kModifyResp);
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      Status st = modify(req.value().file_id, req.value().item_id,
+                         std::move(req.value().ciphertext),
+                         req.value().plain_size);
+      audit_rpc("modify", req.value().file_id, req.value().item_id, 0, 0, st);
+      return status_frame(st, MsgType::kModifyResp);
     }
 
     case MsgType::kDeleteBeginReq: {
       auto req = proto::DeleteBeginReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      static obs::Histogram& delete_begin_ns =
+          obs::Registry::instance().histogram("fgad_server_delete_begin_ns");
+      obs::ScopedTimer timer(delete_begin_ns);
       auto info = delete_begin(req.value().file_id, req.value().ref);
+      audit_rpc("delete_begin", req.value().file_id,
+                info ? info.value().item_id : req.value().ref.value,
+                info ? info.value().path.nodes.size() : 0,
+                info ? info.value().cut.size() : 0, info.status());
       if (!info) return error_frame(info.error());
       proto::DeleteBeginResp resp{std::move(info).value()};
       return resp.to_frame();
@@ -398,16 +478,28 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kDeleteCommitReq: {
       auto req = proto::DeleteCommitReq::from(r);
-      if (!req) return error_frame(req.error());
-      return status_frame(
-          delete_commit(req.value().file_id, req.value().commit),
-          MsgType::kDeleteCommitResp);
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      static obs::Counter& deletes =
+          obs::Registry::instance().counter("fgad_server_deletes_total");
+      static obs::Histogram& delete_commit_ns =
+          obs::Registry::instance().histogram("fgad_server_delete_commit_ns");
+      obs::ScopedTimer timer(delete_commit_ns);
+      const core::DeleteCommit& commit = req.value().commit;
+      Status st = delete_commit(req.value().file_id, commit);
+      // The commit IS the re-key: one delta per cut node, path one longer.
+      audit_rpc("delete_commit", req.value().file_id, commit.leaf,
+                commit.deltas.size() + 1, commit.deltas.size(), st);
+      if (st) deletes.inc();
+      return status_frame(st, MsgType::kDeleteCommitResp);
     }
 
     case MsgType::kInsertBeginReq: {
       auto req = proto::InsertBeginReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       auto info = insert_begin(req.value().file_id);
+      audit_rpc("insert_begin", req.value().file_id, 0,
+                info ? info.value().q_path.nodes.size() : 0, 0,
+                info.status());
       if (!info) return error_frame(info.error());
       proto::InsertBeginResp resp{std::move(info).value()};
       return resp.to_frame();
@@ -415,15 +507,22 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kInsertCommitReq: {
       auto req = proto::InsertCommitReq::from(r);
-      if (!req) return error_frame(req.error());
-      return status_frame(
-          insert_commit(req.value().file_id, req.value().commit),
-          MsgType::kInsertCommitResp);
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      static obs::Counter& inserts =
+          obs::Registry::instance().counter("fgad_server_inserts_total");
+      static obs::Histogram& insert_commit_ns =
+          obs::Registry::instance().histogram("fgad_server_insert_commit_ns");
+      obs::ScopedTimer timer(insert_commit_ns);
+      Status st = insert_commit(req.value().file_id, req.value().commit);
+      audit_rpc("insert_commit", req.value().file_id,
+                req.value().commit.item_id, 0, 0, st);
+      if (st) inserts.inc();
+      return status_frame(st, MsgType::kInsertCommitResp);
     }
 
     case MsgType::kFetchTreeReq: {
       auto req = proto::FetchTreeReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       auto blob = fetch_tree(req.value().file_id);
       if (!blob) return error_frame(blob.error());
       proto::FetchTreeResp resp{std::move(blob).value()};
@@ -432,7 +531,7 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kFetchItemsReq: {
       auto req = proto::FetchItemsReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       auto file = get_file(req.value().file_id);
       if (!file) return error_frame(file.error());
       const ItemStore& items = file.value()->items();
@@ -457,7 +556,7 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kListItemsReq: {
       auto req = proto::ListItemsReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       auto file = get_file(req.value().file_id);
       if (!file) return error_frame(file.error());
       proto::ListItemsResp resp;
@@ -467,14 +566,15 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kDropFileReq: {
       auto req = proto::DropFileReq::from(r);
-      if (!req) return error_frame(req.error());
-      return status_frame(drop_file(req.value().file_id),
-                          MsgType::kDropFileResp);
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      Status st = drop_file(req.value().file_id);
+      audit_rpc("drop_file", req.value().file_id, 0, 0, 0, st);
+      return status_frame(st, MsgType::kDropFileResp);
     }
 
     case MsgType::kStatReq: {
       auto req = proto::StatReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       auto file = get_file(req.value().file_id);
       if (!file) return error_frame(file.error());
       proto::StatResp resp;
@@ -486,7 +586,13 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kAuditReq: {
       auto req = proto::AuditReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      static obs::Counter& audits =
+          obs::Registry::instance().counter("fgad_server_audits_total");
+      static obs::Histogram& audit_ns =
+          obs::Registry::instance().histogram("fgad_server_audit_ns");
+      obs::ScopedTimer timer(audit_ns);
+      audits.inc();
       auto resp = audit(req.value().file_id, req.value());
       if (!resp) return error_frame(resp.error());
       return resp.value().to_frame();
@@ -494,14 +600,14 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kKvPutReq: {
       auto req = proto::KvPutReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       kv_put(req.value().table, req.value().key, std::move(req.value().value));
       return proto::empty_frame(MsgType::kKvPutResp);
     }
 
     case MsgType::kKvGetReq: {
       auto req = proto::KvGetReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       auto v = kv_get(req.value().table, req.value().key);
       proto::KvGetResp resp;
       resp.found = v.is_ok();
@@ -513,14 +619,14 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kKvDeleteReq: {
       auto req = proto::KvDeleteReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       return status_frame(kv_delete(req.value().table, req.value().key),
                           MsgType::kKvDeleteResp);
     }
 
     case MsgType::kKvGetRangeReq: {
       auto req = proto::KvGetRangeReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       proto::KvGetRangeResp resp;
       const auto t = tables_.find(req.value().table);
       if (t != tables_.end()) {
@@ -543,7 +649,7 @@ Bytes CloudServer::handle_locked(BytesView request) {
 
     case MsgType::kKvPutBatchReq: {
       auto req = proto::KvPutBatchReq::from(r);
-      if (!req) return error_frame(req.error());
+      if (!req) return decode_error_frame(env.value().type, req.error());
       for (auto& e : req.value().entries) {
         kv_put(req.value().table, e.key, std::move(e.value));
       }
@@ -551,7 +657,10 @@ Bytes CloudServer::handle_locked(BytesView request) {
     }
 
     default:
-      return error_frame(Errc::kUnsupported, "server: unknown message type");
+      return error_frame(
+          Error(Errc::kUnsupported,
+                "server: unknown message type " +
+                    std::to_string(static_cast<unsigned>(env.value().type))));
   }
 }
 

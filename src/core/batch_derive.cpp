@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace fgad::core {
 
 namespace {
@@ -45,8 +47,17 @@ void BatchDeriver::derive_subtree(const ModulatedHashChain& chain, NodeId s,
 std::vector<Md> BatchDeriver::derive_all_keys(
     const Md& master, std::span<const Md> link_mods,
     std::span<const Md> leaf_mods) const {
+  static obs::Counter& derives =
+      obs::Registry::instance().counter("fgad_batch_derives_total");
+  static obs::Counter& keys_derived =
+      obs::Registry::instance().counter("fgad_batch_keys_derived_total");
+  static obs::Histogram& derive_ns =
+      obs::Registry::instance().histogram("fgad_batch_derive_ns");
+  obs::ScopedTimer timer(derive_ns);
+  derives.inc();
   const std::size_t nodes = link_mods.size();
   const std::size_t n = leaf_count_of(nodes);
+  keys_derived.inc(n);
   std::vector<Md> keys;
   if (nodes == 0) {
     return keys;
@@ -99,11 +110,14 @@ std::vector<Md> BatchDeriver::derive_all_keys(
   // chain (thread-local EVP context).
   std::span<Md> prefix_span(prefix);
   std::span<Md> keys_span(keys);
+  static obs::Histogram& subtree_ns =
+      obs::Registry::instance().histogram("fgad_batch_subtree_ns");
   pool_->parallel_for(
       end_root - first_root,
       [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
         ModulatedHashChain local(alg_);
         for (std::size_t i = begin; i < end; ++i) {
+          obs::ScopedTimer st(subtree_ns);
           derive_subtree(local, first_root + i, link_mods, leaf_mods,
                          prefix_span, keys_span);
         }

@@ -1,5 +1,7 @@
 #include "core/prefix_cache.h"
 
+#include "obs/metrics.h"
+
 namespace fgad::core {
 
 Md PrefixCache::derive_key(const ModulatedHashChain& chain, const Md& master,
@@ -17,14 +19,23 @@ Md PrefixCache::derive_key(const ModulatedHashChain& chain, const Md& master,
     --start;
   }
 
+  static obs::Counter& cache_hits =
+      obs::Registry::instance().counter("fgad_prefix_cache_hits_total");
+  static obs::Counter& cache_misses =
+      obs::Registry::instance().counter("fgad_prefix_cache_misses_total");
+  static obs::Counter& cache_steps_saved =
+      obs::Registry::instance().counter("fgad_prefix_cache_steps_saved_total");
   Md cur;
   if (start == 0) {
     cur = master;
     ++misses_;
+    cache_misses.inc();
   } else {
     cur = it->second;
     ++hits_;
     steps_saved_ += start;
+    cache_hits.inc();
+    cache_steps_saved.inc(start);
   }
   // Hash the missing suffix, caching each node's prefix along the way.
   for (std::size_t i = start; i < depth; ++i) {

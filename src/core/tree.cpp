@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace fgad::core {
 
 using crypto::Md;
@@ -189,6 +191,17 @@ InsertInfo ModulationTree::insert_info() const {
 
 Result<ModulationTree::DeleteOutcome> ModulationTree::apply_delete(
     const DeleteCommit& commit) {
+  static obs::Counter& applies =
+      obs::Registry::instance().counter("fgad_tree_apply_delete_total");
+  static obs::Counter& balances =
+      obs::Registry::instance().counter("fgad_tree_balance_total");
+  static obs::Histogram& apply_ns =
+      obs::Registry::instance().histogram("fgad_tree_apply_delete_ns");
+  obs::ScopedTimer timer(apply_ns);
+  applies.inc();
+  if (commit.has_balance) {
+    balances.inc();
+  }
   const NodeId d = commit.leaf;
   if (!is_leaf(d)) {
     return Error(Errc::kInvalidArgument, "apply_delete: target is not a leaf");
@@ -327,6 +340,12 @@ Result<ModulationTree::DeleteOutcome> ModulationTree::apply_delete(
 
 Result<ModulationTree::InsertOutcome> ModulationTree::apply_insert(
     const InsertCommit& commit, std::uint64_t item_slot) {
+  static obs::Counter& applies =
+      obs::Registry::instance().counter("fgad_tree_apply_insert_total");
+  static obs::Histogram& apply_ns =
+      obs::Registry::instance().histogram("fgad_tree_apply_insert_ns");
+  obs::ScopedTimer timer(apply_ns);
+  applies.inc();
   if (commit.empty_tree) {
     if (!empty()) {
       return Error(Errc::kInvalidArgument,

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace fgad::net {
 
 double FaultInjectingChannel::next_unit() {
@@ -26,26 +28,37 @@ Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
     if (dead_) {
       return Error(Errc::kConnReset, "fault: connection is down");
     }
+    const auto injected = [](const char* kind) {
+      obs::Registry::instance()
+          .counter(std::string("fgad_fault_injected_") + kind + "_total")
+          .inc();
+    };
     if (next_unit() < opts_.drop_request) {
       fault = Fault::kDropReq;
       ++counters_.dropped_requests;
+      injected("drop_request");
     } else if (next_unit() < opts_.disconnect) {
       fault = Fault::kDisconnect;
       dead_ = true;
       ++counters_.disconnects;
+      injected("disconnect");
     } else if (next_unit() < opts_.drop_response) {
       fault = Fault::kDropResp;
       ++counters_.dropped_responses;
+      injected("drop_response");
     } else if (next_unit() < opts_.truncate_response) {
       fault = Fault::kTrunc;
       ++counters_.truncated;
+      injected("truncate");
     } else if (next_unit() < opts_.bitflip_response) {
       fault = Fault::kFlip;
       ++counters_.bitflipped;
+      injected("bitflip");
     }
     if (next_unit() < opts_.delay) {
       delay_ms = opts_.delay_ms;
       ++counters_.delayed;
+      injected("delay");
     }
     cut = static_cast<std::uint64_t>(next_unit() * (1u << 30));
   }

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace fgad::net {
 
 RetryChannel::RetryChannel(Dialer dialer, Options opts)
@@ -35,12 +37,18 @@ Result<Bytes> RetryChannel::roundtrip(BytesView request) {
   bool sent_once = false;
   for (int attempt = 0; attempt < std::max(1, opts_.max_attempts); ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(backoff_ms(attempt - 1)));
+      const int sleep_ms = backoff_ms(attempt - 1);
+      static obs::Counter& backoff_total =
+          obs::Registry::instance().counter("fgad_retry_backoff_ms_total");
+      backoff_total.inc(static_cast<std::uint64_t>(sleep_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
     if (!channel_) {
       auto dialed = dialer_();
       ++dials_;
+      static obs::Counter& dial_count =
+          obs::Registry::instance().counter("fgad_retry_dials_total");
+      dial_count.inc();
       if (!dialed) {
         // Dialing sends nothing, so a failed dial is always retryable.
         last = dialed.error();
@@ -50,6 +58,9 @@ Result<Bytes> RetryChannel::roundtrip(BytesView request) {
     }
     if (sent_once) {
       ++resends_;
+      static obs::Counter& resend_count =
+          obs::Registry::instance().counter("fgad_retry_resends_total");
+      resend_count.inc();
     }
     sent_once = true;
     Result<Bytes> resp = channel_->roundtrip(request);
@@ -65,6 +76,9 @@ Result<Bytes> RetryChannel::roundtrip(BytesView request) {
       return resp;
     }
   }
+  static obs::Counter& exhausted =
+      obs::Registry::instance().counter("fgad_retry_exhausted_total");
+  exhausted.inc();
   return Error(Errc::kRetryExhausted,
                "retry: gave up after " +
                    std::to_string(std::max(1, opts_.max_attempts)) +

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace fgad::net {
 
 namespace {
@@ -145,6 +147,12 @@ Status write_frame(int fd, BytesView payload, int timeout_ms) {
   if (payload.size() > kMaxFrameSize) {
     return Status(Errc::kDecodeError, "tcp: frame too large");
   }
+  static obs::Counter& frames_out =
+      obs::Registry::instance().counter("fgad_tcp_frames_out_total");
+  static obs::Counter& bytes_out =
+      obs::Registry::instance().counter("fgad_tcp_bytes_out_total");
+  frames_out.inc();
+  bytes_out.inc(payload.size() + 4);
   const Deadline dl(timeout_ms);
   std::uint8_t hdr[4];
   const auto len = static_cast<std::uint32_t>(payload.size());
@@ -160,10 +168,25 @@ Status write_frame(int fd, BytesView payload, int timeout_ms) {
   return write_all(fd, payload.data(), payload.size(), dl);
 }
 
+namespace {
+void count_read_failure(const Status& st) {
+  if (st.error().code == Errc::kTimeout) {
+    static obs::Counter& timeouts =
+        obs::Registry::instance().counter("fgad_tcp_timeouts_total");
+    timeouts.inc();
+  } else if (st.error().code == Errc::kConnReset) {
+    static obs::Counter& resets =
+        obs::Registry::instance().counter("fgad_tcp_conn_resets_total");
+    resets.inc();
+  }
+}
+}  // namespace
+
 Result<Bytes> read_frame(int fd, int timeout_ms) {
   const Deadline dl(timeout_ms);
   std::uint8_t hdr[4];
   if (auto st = read_all(fd, hdr, sizeof(hdr), dl); !st) {
+    count_read_failure(st);
     return st.error();
   }
   std::uint32_t len = 0;
@@ -176,9 +199,16 @@ Result<Bytes> read_frame(int fd, int timeout_ms) {
   Bytes payload(len);
   if (len > 0) {
     if (auto st = read_all(fd, payload.data(), len, dl); !st) {
+      count_read_failure(st);
       return st.error();
     }
   }
+  static obs::Counter& frames_in =
+      obs::Registry::instance().counter("fgad_tcp_frames_in_total");
+  static obs::Counter& bytes_in =
+      obs::Registry::instance().counter("fgad_tcp_bytes_in_total");
+  frames_in.inc();
+  bytes_in.inc(payload.size() + 4);
   return payload;
 }
 
@@ -370,6 +400,15 @@ void TcpServer::accept_loop() {
     w->fd = fd;
     ++active_;
     peak_ = std::max(peak_, active_);
+    static obs::Counter& accepts =
+        obs::Registry::instance().counter("fgad_tcp_accepts_total");
+    accepts.inc();
+    obs::Registry::instance()
+        .gauge("fgad_tcp_active_workers")
+        .set(static_cast<std::int64_t>(active_));
+    obs::Registry::instance()
+        .gauge("fgad_tcp_peak_workers")
+        .set(static_cast<std::int64_t>(peak_));
     w->thread = std::thread([this, fd, w] { serve_connection(fd, w); });
   }
 }
@@ -391,6 +430,9 @@ void TcpServer::serve_connection(int fd, Worker* self) {
   ::close(fd);
   self->fd = -1;
   --active_;
+  obs::Registry::instance()
+      .gauge("fgad_tcp_active_workers")
+      .set(static_cast<std::int64_t>(active_));
   self->done = true;
   workers_cv_.notify_all();
 }

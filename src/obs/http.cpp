@@ -1,0 +1,180 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fgad::obs {
+
+namespace {
+
+/// Blocking-with-timeout read of one byte chunk; false on error/timeout.
+bool read_some(int fd, std::string& buf, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (rc <= 0) {
+    return false;
+  }
+  char tmp[2048];
+  const ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+  if (r <= 0) {
+    return false;
+  }
+  buf.append(tmp, static_cast<std::size_t>(r));
+  return true;
+}
+
+bool write_all(int fd, const std::string& data, int timeout_ms) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) {
+      return false;
+    }
+    const ssize_t w =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string http_response(int code, const char* status,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + status +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::create(
+    std::uint16_t port, Options opts) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error(Errc::kIoError, "metrics http: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Error(Errc::kIoError, "metrics http: bind/listen failed: " + why);
+  }
+  socklen_t len = sizeof(addr);
+  std::uint16_t bound = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    bound = ntohs(addr.sin_port);
+  }
+  return std::unique_ptr<MetricsHttpServer>(
+      new MetricsHttpServer(fd, bound, opts));
+}
+
+MetricsHttpServer::MetricsHttpServer(int listen_fd, std::uint16_t port,
+                                     Options opts)
+    : listen_fd_(listen_fd), port_(port), opts_(opts) {
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::serve_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !stopping_.load()) {
+        continue;
+      }
+      return;  // listener shut down
+    }
+    serve_one(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::serve_one(int fd) {
+  static Counter& requests =
+      Registry::instance().counter("fgad_metrics_http_requests_total");
+  // Read until the end of the request head; bodies are ignored (GET only).
+  std::string req;
+  while (req.find("\r\n\r\n") == std::string::npos) {
+    if (req.size() > 8192 || !read_some(fd, req, opts_.io_timeout_ms)) {
+      return;
+    }
+  }
+  requests.inc();
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t m_end = req.find(' ');
+  const std::size_t p_end =
+      m_end == std::string::npos ? std::string::npos : req.find(' ', m_end + 1);
+  if (m_end == std::string::npos || p_end == std::string::npos) {
+    write_all(fd, http_response(400, "Bad Request", "text/plain", "bad\n"),
+              opts_.io_timeout_ms);
+    return;
+  }
+  const std::string method = req.substr(0, m_end);
+  std::string path = req.substr(m_end + 1, p_end - m_end - 1);
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+  if (method != "GET") {
+    write_all(fd,
+              http_response(405, "Method Not Allowed", "text/plain",
+                            "GET only\n"),
+              opts_.io_timeout_ms);
+    return;
+  }
+  std::string resp;
+  if (path == "/metrics") {
+    resp = http_response(200, "OK", "text/plain; version=0.0.4",
+                         Registry::instance().render_text());
+  } else if (path == "/metrics.json") {
+    resp = http_response(200, "OK", "application/json",
+                         Registry::instance().render_json());
+  } else if (path == "/healthz") {
+    resp = http_response(200, "OK", "text/plain", "ok\n");
+  } else {
+    resp = http_response(404, "Not Found", "text/plain", "not found\n");
+  }
+  write_all(fd, resp, opts_.io_timeout_ms);
+}
+
+}  // namespace fgad::obs

@@ -1,0 +1,54 @@
+// Minimal HTTP/1.1 endpoint exposing the metrics registry:
+//
+//   GET /metrics       -> text/plain Prometheus-style exposition
+//   GET /metrics.json  -> application/json
+//   GET /healthz       -> "ok\n"
+//
+// One accept thread, one connection at a time, Connection: close. This is
+// an operator scrape target on loopback, not a web server; the framed RPC
+// port stays separate (net::TcpServer speaks length-prefixed frames, not
+// HTTP).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/result.h"
+
+namespace fgad::obs {
+
+class MetricsHttpServer {
+ public:
+  struct Options {
+    int io_timeout_ms = 5000;  // per-connection read/write budget
+  };
+
+  /// Binds 127.0.0.1:port (0 = ephemeral; see port()) and starts serving.
+  static Result<std::unique_ptr<MetricsHttpServer>> create(std::uint16_t port,
+                                                           Options opts);
+  static Result<std::unique_ptr<MetricsHttpServer>> create(std::uint16_t port) {
+    return create(port, Options{});
+  }
+
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  MetricsHttpServer(int listen_fd, std::uint16_t port, Options opts);
+  void serve_loop();
+  void serve_one(int fd);
+
+  int listen_fd_;
+  std::uint16_t port_;
+  Options opts_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace fgad::obs

@@ -1,0 +1,171 @@
+#include "obs/log.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace fgad::obs {
+
+namespace {
+
+/// Wall-clock seconds with microsecond precision for log timestamps.
+double wall_ts() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) {
+    return true;
+  }
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Level parse_level(std::string_view s) {
+  if (s == "debug") return Level::kDebug;
+  if (s == "warn") return Level::kWarn;
+  if (s == "error") return Level::kError;
+  if (s == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+Kv& Kv::u64(const char* key, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " %s=%llu", key,
+                static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+Kv& Kv::i64(const char* key, std::int64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " %s=%lld", key, static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+Kv& Kv::dbl(const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " %s=%.6g", key, v);
+  out_ += buf;
+  return *this;
+}
+
+Kv& Kv::hex64(const char* key, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " %s=%016llx", key,
+                static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+Kv& Kv::str(const char* key, std::string_view v) {
+  out_ += " ";
+  out_ += key;
+  out_ += "=";
+  if (!needs_quoting(v)) {
+    out_ += v;
+    return *this;
+  }
+  out_ += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      out_ += '\\';
+      out_ += c;
+    } else if (c == '\n') {
+      out_ += "\\n";
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += '"';
+  return *this;
+}
+
+Logger& Logger::instance() {
+  static Logger l;
+  return l;
+}
+
+void Logger::log(Level l, const char* event, const Kv& kv) {
+  std::FILE* f = sink();
+  if (f == nullptr || l < level()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(f, "ts=%.6f level=%s event=%s%s\n", wall_ts(), level_name(l),
+               event, kv.text().c_str());
+  std::fflush(f);
+}
+
+void Logger::slow_op(const char* op, std::uint64_t dur_ns, std::uint64_t rid) {
+  const std::uint64_t threshold = slow_op_threshold_ns();
+  if (threshold == 0 || dur_ns < threshold) {
+    return;
+  }
+  static Counter& slow_ops =
+      Registry::instance().counter("fgad_slow_ops_total");
+  slow_ops.inc();
+  Kv kv;
+  kv.str("op", op);
+  if (rid != 0) {
+    kv.hex64("rid", rid);
+  }
+  kv.dbl("dur_ms", static_cast<double>(dur_ns) / 1e6);
+  log(Level::kWarn, "slow_op", kv);
+}
+
+AuditLog& AuditLog::instance() {
+  static AuditLog a;
+  return a;
+}
+
+void AuditLog::record(const Entry& e, const Status& outcome) {
+  std::FILE* f = sink_.load();
+  if (f == nullptr) {
+    return;
+  }
+  Kv kv;
+  kv.hex64("rid", e.request_id)
+      .str("op", e.op)
+      .u64("file", e.file_id)
+      .u64("item", e.item)
+      .u64("path_len", e.path_len)
+      .u64("cut", e.cut_size);
+  if (outcome) {
+    kv.str("outcome", "ok");
+  } else {
+    kv.str("outcome", "error")
+        .str("err", errc_name(outcome.error().code))
+        .str("msg", outcome.error().message);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(f, "audit ts=%.6f%s\n", wall_ts(), kv.text().c_str());
+  std::fflush(f);
+}
+
+}  // namespace fgad::obs

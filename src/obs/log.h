@@ -1,0 +1,122 @@
+// Leveled structured (key=value) logging plus the deletion audit log
+// (DESIGN.md §12).
+//
+// Log lines are single-line key=value records:
+//
+//   ts=1722945600.123456 level=warn event=slow_op op=delete_commit
+//   rid=00a1b2... dur_ms=153.2
+//
+// The audit log is a separate, always-structured stream recording every
+// deletion-relevant RPC the server commits or rejects — deletion
+// *evidence* as a first-class output:
+//
+//   audit ts=1722945600.123456 rid=00a1b2c3d4e5f607 op=delete_commit
+//   file=3 item=42 path_len=5 cut=4 outcome=ok
+//
+// Both sinks default to off (nullptr) so library users and tests stay
+// silent; fgad_server turns them on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace fgad::obs {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* level_name(Level l);
+/// Parses "debug"/"info"/"warn"/"error"/"off"; defaults to kInfo.
+Level parse_level(std::string_view s);
+
+/// Builder for the key=value tail of a log line. Values with spaces,
+/// quotes, or '=' are double-quoted with minimal escaping.
+class Kv {
+ public:
+  Kv& u64(const char* key, std::uint64_t v);
+  Kv& i64(const char* key, std::int64_t v);
+  Kv& dbl(const char* key, double v);
+  Kv& hex64(const char* key, std::uint64_t v);  // zero-padded 16-digit hex
+  Kv& str(const char* key, std::string_view v);
+  const std::string& text() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(Level l) { level_.store(static_cast<int>(l)); }
+  Level level() const { return static_cast<Level>(level_.load()); }
+  bool should(Level l) const { return l >= level() && sink() != nullptr; }
+
+  /// nullptr silences the logger (the default).
+  void set_sink(std::FILE* f) { sink_.store(f); }
+  std::FILE* sink() const { return sink_.load(); }
+
+  /// Ops slower than this emit a warn-level `slow_op` line (and count in
+  /// fgad_slow_ops_total). 0 disables.
+  void set_slow_op_threshold_ns(std::uint64_t ns) {
+    slow_op_ns_.store(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t slow_op_threshold_ns() const {
+    return slow_op_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes one line: ts=... level=... event=<event> <kv>. Thread-safe.
+  void log(Level l, const char* event, const Kv& kv = Kv());
+
+  /// Reports a finished operation; logs `slow_op` when over threshold.
+  /// `rid` of 0 is omitted from the line.
+  void slow_op(const char* op, std::uint64_t dur_ns, std::uint64_t rid = 0);
+
+ private:
+  Logger() = default;
+
+  std::atomic<int> level_{static_cast<int>(Level::kInfo)};
+  std::atomic<std::FILE*> sink_{nullptr};
+  std::atomic<std::uint64_t> slow_op_ns_{0};
+  std::mutex mu_;
+};
+
+/// The deletion audit log. One line per delete/insert/re-key RPC.
+class AuditLog {
+ public:
+  static AuditLog& instance();
+
+  /// nullptr disables (the default). The sink is not owned.
+  void set_sink(std::FILE* f) { sink_.store(f); }
+  bool on() const { return sink_.load() != nullptr; }
+
+  struct Entry {
+    const char* op = "";
+    std::uint64_t request_id = 0;  // 0 = untagged request
+    std::uint64_t file_id = 0;
+    std::uint64_t item = 0;
+    std::size_t path_len = 0;
+    std::size_t cut_size = 0;
+  };
+  /// Thread-safe; near-free when the sink is off.
+  void record(const Entry& e, const Status& outcome);
+
+ private:
+  AuditLog() = default;
+
+  std::atomic<std::FILE*> sink_{nullptr};
+  std::mutex mu_;
+};
+
+}  // namespace fgad::obs

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+namespace fgad::obs {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  if (v < 16) {
+    return static_cast<std::size_t>(v);
+  }
+  // v in [2^k, 2^(k+1)), k >= 4: exponent group k-4, linear sub-bucket
+  // from the 4 bits below the leading one.
+  const unsigned k = static_cast<unsigned>(std::bit_width(v)) - 1;
+  const std::size_t sub = static_cast<std::size_t>((v >> (k - 4)) - 16);
+  return 16 + (static_cast<std::size_t>(k) - 4) * 16 + sub;
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t idx) {
+  if (idx < 16) {
+    return idx;
+  }
+  const std::size_t e = (idx - 16) / 16;
+  const std::size_t sub = (idx - 16) % 16;
+  return (16 + static_cast<std::uint64_t>(sub)) << e;
+}
+
+double Histogram::quantile(double p) const {
+  std::array<std::uint64_t, kBucketCount> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double rank = p * static_cast<double>(total);
+  double cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= rank) {
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi = i + 1 < kBucketCount
+                            ? static_cast<double>(bucket_lower(i + 1))
+                            : lo * 2;
+      const double frac =
+          counts[i] == 0 ? 0 : (rank - cum) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum = next;
+  }
+  return static_cast<double>(bucket_lower(kBucketCount - 1));
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+ScopedTimer::ScopedTimer(Histogram& h) : h_(enabled() ? &h : nullptr) {
+  if (h_ != nullptr) {
+    start_ns_ = now_ns();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (h_ != nullptr) {
+    h_->observe(now_ns() - start_ns_);
+  }
+}
+
+std::uint64_t ScopedTimer::elapsed_ns() const {
+  return h_ == nullptr ? 0 : now_ns() - start_ns_;
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+void append_num(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+void append_num(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+}  // namespace
+
+std::string Registry::render_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n" + name + " ";
+    append_num(out, c->value());
+    out += "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n" + name + " ";
+    append_num(out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    out += "# TYPE " + name + " summary\n";
+    out += name + "{quantile=\"0.5\"} ";
+    append_num(out, s.p50);
+    out += "\n" + name + "{quantile=\"0.95\"} ";
+    append_num(out, s.p95);
+    out += "\n" + name + "{quantile=\"0.99\"} ";
+    append_num(out, s.p99);
+    out += "\n" + name + "_sum ";
+    append_num(out, s.sum);
+    out += "\n" + name + "_count ";
+    append_num(out, s.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Registry::render_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    append_num(out, c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    append_num(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const Histogram::Snapshot s = h->snapshot();
+    out += "\"" + name + "\":{\"count\":";
+    append_num(out, s.count);
+    out += ",\"sum_ns\":";
+    append_num(out, s.sum);
+    out += ",\"p50_ns\":";
+    append_num(out, s.p50);
+    out += ",\"p95_ns\":";
+    append_num(out, s.p95);
+    out += ",\"p99_ns\":";
+    append_num(out, s.p99);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+}  // namespace fgad::obs

@@ -1,0 +1,229 @@
+// Process-wide metrics: monotonic counters, gauges, and fixed-bucket
+// latency histograms with quantile extraction (DESIGN.md §12).
+//
+// Design constraints, in order:
+//   1. The hot path must be one relaxed fetch-add — no locks, no
+//      allocation, no syscalls. Counters shard across cache lines so
+//      concurrent writers do not bounce one line.
+//   2. Everything is compiled in but near-free when disabled:
+//      `Metrics::disable()` turns every inc/observe into a single relaxed
+//      atomic load and a branch.
+//   3. Instruments have stable addresses for the life of the process, so
+//      call sites cache `Counter&` in a function-local static and skip the
+//      registry lookup forever after.
+//
+// Exposition: `Registry::render_text()` emits a Prometheus-style text page
+// (histograms as summaries with p50/p95/p99), `render_json()` the same
+// data as one JSON object. Both are served by obs::MetricsHttpServer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgad::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+/// Global kill switch. Relaxed: a stale read just drops or records one
+/// extra sample around the toggle, which is fine for telemetry.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+struct Metrics {
+  static void enable() {
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  static void disable() {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+  }
+};
+
+/// Monotonic counter, sharded so concurrent increments from different
+/// threads land on different cache lines.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) {
+      return;
+    }
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes the counter (tests / bench resets only; not atomic as a whole).
+  void reset() {
+    for (Shard& s : shards_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Threads pick a fixed shard round-robin at first use.
+  static std::size_t shard_index() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return idx;
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// A point-in-time value (worker occupancy, queue depth, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!enabled()) {
+      return;
+    }
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if (!enabled()) {
+      return;
+    }
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket log-linear histogram for latency samples in nanoseconds.
+//
+// Bucket layout: values < 16 are exact; above that each power of two is
+// split into 16 linear sub-buckets, so the relative quantile error is
+// bounded by 1/16 ≈ 6% at any magnitude. Recording is a relaxed
+// fetch-add on one bucket plus one on the sum — no locks.
+class Histogram {
+ public:
+  // 16 exact buckets + 16 sub-buckets for each exponent 4..63.
+  static constexpr std::size_t kBucketCount = 16 + 16 * 60;
+
+  void observe(std::uint64_t v) {
+    if (!enabled()) {
+      return;
+    }
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) {
+      total += b.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate (p in [0,1]) with linear interpolation inside the
+  /// containing bucket. Returns 0 when empty.
+  double quantile(double p) const;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+  Snapshot snapshot() const;
+
+  void reset() {
+    for (auto& b : buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t v);
+  /// Inclusive lower bound of bucket `idx`.
+  static std::uint64_t bucket_lower(std::size_t idx);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// RAII timer feeding a histogram in nanoseconds. The clock is only read
+/// when metrics are enabled at construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Nanoseconds elapsed so far (0 when metrics were disabled at start).
+  std::uint64_t elapsed_ns() const;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Monotonic wall clock in nanoseconds (steady_clock).
+std::uint64_t now_ns();
+
+/// Name → instrument map. Lookups take a mutex; instruments have stable
+/// addresses, so call sites cache the reference:
+///
+///   static obs::Counter& c =
+///       obs::Registry::instance().counter("fgad_..._total");
+///   c.inc();
+///
+/// Naming scheme (DESIGN.md §12): fgad_<subsystem>_<what>[_<unit>], with
+/// `_total` for counters and `_ns` for latency histograms.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Prometheus-style text exposition (counters/gauges as-is, histograms
+  /// as summaries with quantile labels).
+  std::string render_text() const;
+  /// The same data as a single JSON object.
+  std::string render_json() const;
+
+  /// Zeroes every instrument without invalidating references (tests).
+  void reset_all();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fgad::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fgad::obs {
+
+namespace {
+
+struct SpanRecord {
+  const char* name;
+  std::uint32_t depth;
+  std::uint64_t start_ns;  // relative to trace start
+  std::uint64_t dur_ns;
+};
+
+struct TraceState {
+  std::uint64_t rid = 0;
+  bool collecting = false;
+  std::uint32_t depth = 0;
+  std::uint64_t t0_ns = 0;
+  std::vector<SpanRecord> spans;
+};
+
+TraceState& state() {
+  thread_local TraceState s;
+  return s;
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t current_request_id() { return state().rid; }
+
+std::uint64_t generate_request_id() {
+  static std::atomic<std::uint64_t> seq{0};
+  std::uint64_t x = now_ns() ^ (seq.fetch_add(1, std::memory_order_relaxed)
+                                << 32);
+  std::uint64_t id = splitmix64(x);
+  return id == 0 ? 1 : id;  // 0 means "no request id"
+}
+
+RequestScope::RequestScope(std::uint64_t rid) : prev_(state().rid) {
+  state().rid = rid;
+}
+
+RequestScope::~RequestScope() { state().rid = prev_; }
+
+void trace_begin(std::uint64_t rid) {
+  TraceState& s = state();
+  s.rid = rid;
+  s.collecting = true;
+  s.depth = 0;
+  s.t0_ns = now_ns();
+  s.spans.clear();
+}
+
+bool trace_active() { return state().collecting; }
+
+void trace_dump(std::FILE* out) {
+  TraceState& s = state();
+  if (!s.collecting) {
+    return;
+  }
+  const std::uint64_t total_ns = now_ns() - s.t0_ns;
+  std::fprintf(out, "trace rid=%016llx spans=%zu total=%.3fms\n",
+               static_cast<unsigned long long>(s.rid), s.spans.size(),
+               static_cast<double>(total_ns) / 1e6);
+  for (const SpanRecord& r : s.spans) {
+    std::fprintf(out, "  %*s%-*s +%9.3fms %9.3fms\n",
+                 static_cast<int>(2 * r.depth), "",
+                 static_cast<int>(36 - 2 * (r.depth > 18 ? 18 : r.depth)),
+                 r.name, static_cast<double>(r.start_ns) / 1e6,
+                 static_cast<double>(r.dur_ns) / 1e6);
+  }
+  s.collecting = false;
+  s.depth = 0;
+  s.rid = 0;
+  s.spans.clear();
+  s.spans.shrink_to_fit();
+}
+
+Span::Span(const char* name) : index_(kInactive) {
+  TraceState& s = state();
+  if (!s.collecting) {
+    return;
+  }
+  index_ = s.spans.size();
+  s.spans.push_back(SpanRecord{name, s.depth, now_ns() - s.t0_ns, 0});
+  ++s.depth;
+}
+
+Span::~Span() {
+  if (index_ == kInactive) {
+    return;
+  }
+  TraceState& s = state();
+  if (index_ < s.spans.size()) {
+    SpanRecord& r = s.spans[index_];
+    r.dur_ns = now_ns() - s.t0_ns - r.start_ns;
+  }
+  if (s.depth > 0) {
+    --s.depth;
+  }
+}
+
+}  // namespace fgad::obs

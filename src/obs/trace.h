@@ -1,0 +1,64 @@
+// Request-scoped span tracing (DESIGN.md §12).
+//
+// A trace is a tree of named, timed spans collected on one thread. The
+// client starts one per user operation (`trace_begin` with a fresh
+// request id), the Client tags every RPC frame with that id
+// (proto::seal_tagged), and the server adopts it for the duration of the
+// handler (RequestScope) so its audit-log lines and slow-op warnings
+// carry the same id — one grep correlates both parties.
+//
+// When no trace is active every Span is a single thread-local load and a
+// branch; nothing allocates.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+namespace fgad::obs {
+
+/// The request id bound to this thread (0 = none). Cheap enough to call
+/// on every RPC.
+std::uint64_t current_request_id();
+
+/// Fresh, process-unique, unpredictable-enough request id (not a secret —
+/// it only correlates logs).
+std::uint64_t generate_request_id();
+
+/// Server-side RAII adoption of a request id decoded from the wire; the
+/// previous id is restored on scope exit. Does not start span collection.
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t rid);
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// Starts collecting spans on this thread under `rid` (also sets
+/// current_request_id). Any previous collection on the thread is dropped.
+void trace_begin(std::uint64_t rid);
+
+/// True when this thread is collecting spans.
+bool trace_active();
+
+/// Prints the collected span tree to `out`, then stops collection and
+/// clears the request id. No-op when no trace is active.
+void trace_dump(std::FILE* out);
+
+/// RAII span. `name` must outlive the trace (string literals only).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::size_t index_;
+  static constexpr std::size_t kInactive = ~std::size_t{0};
+};
+
+}  // namespace fgad::obs

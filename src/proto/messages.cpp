@@ -45,25 +45,133 @@ bool is_idempotent(MsgType t) {
   }
 }
 
-bool retryable_request(BytesView framed) {
-  if (framed.size() < 2) {
-    return false;
+Bytes seal_tagged(std::uint64_t request_id, BytesView inner_frame) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(MsgType::kTaggedEnvelope));
+  w.u64(request_id);
+  w.raw(inner_frame);
+  return std::move(w).take();
+}
+
+std::optional<std::pair<std::uint64_t, BytesView>> split_tagged(
+    BytesView framed) {
+  // u16 tag type + u64 request id + at least a u16 inner type.
+  if (framed.size() < 2 + 8 + 2) {
+    return std::nullopt;
   }
   const auto t = static_cast<std::uint16_t>(
       framed[0] | static_cast<std::uint16_t>(framed[1]) << 8);
-  return is_idempotent(static_cast<MsgType>(t));
+  if (static_cast<MsgType>(t) != MsgType::kTaggedEnvelope) {
+    return std::nullopt;
+  }
+  std::uint64_t rid = 0;
+  for (int i = 0; i < 8; ++i) {
+    rid |= static_cast<std::uint64_t>(framed[2 + i]) << (8 * i);
+  }
+  return std::make_pair(rid, framed.subspan(10));
+}
+
+std::optional<MsgType> peek_type(BytesView framed) {
+  if (auto tag = split_tagged(framed)) {
+    framed = tag->second;
+  }
+  if (framed.size() < 2) {
+    return std::nullopt;
+  }
+  const auto t = static_cast<std::uint16_t>(
+      framed[0] | static_cast<std::uint16_t>(framed[1]) << 8);
+  if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope) {
+    return std::nullopt;  // nested tags are invalid
+  }
+  return static_cast<MsgType>(t);
+}
+
+bool retryable_request(BytesView framed) {
+  // A tagged request retries iff its inner request does: the envelope
+  // carries only a correlation id, no commit state.
+  const auto t = peek_type(framed);
+  return t.has_value() && is_idempotent(*t);
 }
 
 Result<Envelope> open_message(BytesView framed) {
   Reader r(framed);
-  const std::uint16_t t = r.u16();
+  std::uint16_t t = r.u16();
   if (!r.ok()) {
     return decode_error("message too short");
   }
   Envelope env;
+  if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope) {
+    const std::uint64_t rid = r.u64();
+    t = r.u16();
+    if (!r.ok()) {
+      return decode_error("tagged envelope: truncated");
+    }
+    if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope) {
+      return decode_error("tagged envelope: nested tag");
+    }
+    env.request_id = rid;
+  }
   env.type = static_cast<MsgType>(t);
   env.payload = r.raw(r.remaining());
   return env;
+}
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kError: return "error";
+    case MsgType::kOutsourceReq: return "outsource_req";
+    case MsgType::kOutsourceResp: return "outsource_resp";
+    case MsgType::kAccessReq: return "access_req";
+    case MsgType::kAccessResp: return "access_resp";
+    case MsgType::kModifyReq: return "modify_req";
+    case MsgType::kModifyResp: return "modify_resp";
+    case MsgType::kInsertBeginReq: return "insert_begin_req";
+    case MsgType::kInsertBeginResp: return "insert_begin_resp";
+    case MsgType::kInsertCommitReq: return "insert_commit_req";
+    case MsgType::kInsertCommitResp: return "insert_commit_resp";
+    case MsgType::kDeleteBeginReq: return "delete_begin_req";
+    case MsgType::kDeleteBeginResp: return "delete_begin_resp";
+    case MsgType::kDeleteCommitReq: return "delete_commit_req";
+    case MsgType::kDeleteCommitResp: return "delete_commit_resp";
+    case MsgType::kFetchTreeReq: return "fetch_tree_req";
+    case MsgType::kFetchTreeResp: return "fetch_tree_resp";
+    case MsgType::kFetchItemsReq: return "fetch_items_req";
+    case MsgType::kFetchItemsResp: return "fetch_items_resp";
+    case MsgType::kListItemsReq: return "list_items_req";
+    case MsgType::kListItemsResp: return "list_items_resp";
+    case MsgType::kDropFileReq: return "drop_file_req";
+    case MsgType::kDropFileResp: return "drop_file_resp";
+    case MsgType::kStatReq: return "stat_req";
+    case MsgType::kStatResp: return "stat_resp";
+    case MsgType::kKvPutReq: return "kv_put_req";
+    case MsgType::kKvPutResp: return "kv_put_resp";
+    case MsgType::kKvGetReq: return "kv_get_req";
+    case MsgType::kKvGetResp: return "kv_get_resp";
+    case MsgType::kKvDeleteReq: return "kv_delete_req";
+    case MsgType::kKvDeleteResp: return "kv_delete_resp";
+    case MsgType::kKvGetRangeReq: return "kv_get_range_req";
+    case MsgType::kKvGetRangeResp: return "kv_get_range_resp";
+    case MsgType::kKvPutBatchReq: return "kv_put_batch_req";
+    case MsgType::kKvPutBatchResp: return "kv_put_batch_resp";
+    case MsgType::kPxCreateFileReq: return "px_create_file_req";
+    case MsgType::kPxCreateFileResp: return "px_create_file_resp";
+    case MsgType::kPxAccessReq: return "px_access_req";
+    case MsgType::kPxAccessResp: return "px_access_resp";
+    case MsgType::kPxInsertReq: return "px_insert_req";
+    case MsgType::kPxInsertResp: return "px_insert_resp";
+    case MsgType::kPxEraseReq: return "px_erase_req";
+    case MsgType::kPxEraseResp: return "px_erase_resp";
+    case MsgType::kPxModifyReq: return "px_modify_req";
+    case MsgType::kPxModifyResp: return "px_modify_resp";
+    case MsgType::kPxDeleteFileReq: return "px_delete_file_req";
+    case MsgType::kPxDeleteFileResp: return "px_delete_file_resp";
+    case MsgType::kPxListFilesReq: return "px_list_files_req";
+    case MsgType::kPxListFilesResp: return "px_list_files_resp";
+    case MsgType::kAuditReq: return "audit_req";
+    case MsgType::kAuditResp: return "audit_resp";
+    case MsgType::kTaggedEnvelope: return "tagged_envelope";
+  }
+  return "unknown";
 }
 
 void encode_path(Writer& w, const PathView& p) {

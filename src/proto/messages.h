@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 
 #include "common/result.h"
 #include "core/views.h"
@@ -77,10 +78,33 @@ enum class MsgType : std::uint16_t {
   // Integrity (PDP/PoR substrate): membership-proof queries.
   kAuditReq = 80,
   kAuditResp = 81,
+  // Observability (DESIGN.md §12): wraps any other frame with a
+  // client-generated request id for cross-party log/trace correlation.
+  // Layout: u16 kTaggedEnvelope | u64 request_id | inner frame (u16 type +
+  // payload). Untagged frames are unchanged on the wire, so peers that
+  // never tag see byte-identical traffic.
+  kTaggedEnvelope = 90,
 };
 
 /// Frames a payload with its message type (u16 prefix).
 Bytes seal_message(MsgType type, BytesView payload);
+
+/// Wraps an already-sealed frame in a kTaggedEnvelope carrying
+/// `request_id` (see MsgType::kTaggedEnvelope).
+Bytes seal_tagged(std::uint64_t request_id, BytesView inner_frame);
+
+/// If `framed` is a tagged envelope, returns {request_id, inner frame
+/// view}; nullopt for untagged or too-short frames.
+std::optional<std::pair<std::uint64_t, BytesView>> split_tagged(
+    BytesView framed);
+
+/// Peeks the message type of a sealed frame, looking through one tagged
+/// envelope; nullopt on frames too short to carry a type.
+std::optional<MsgType> peek_type(BytesView framed);
+
+/// Human-readable snake_case name of a message type ("access_req", ...);
+/// "unknown" for unassigned values.
+const char* msg_type_name(MsgType t);
 
 /// True for read-only request types that are safe to resend after a
 /// transport failure (access, audit, fetches, stats, kv reads). Mutating
@@ -96,6 +120,9 @@ bool retryable_request(BytesView framed);
 struct Envelope {
   MsgType type;
   Bytes payload;
+  /// Present when the frame arrived wrapped in a kTaggedEnvelope;
+  /// open_message unwraps the tag transparently.
+  std::optional<std::uint64_t> request_id;
 };
 Result<Envelope> open_message(BytesView framed);
 

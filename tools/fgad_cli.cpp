@@ -16,6 +16,11 @@
 //   edit FILE_ID ITEM_ID PATH       replace an item's content
 //   rm FILE_ID ITEM_ID              fine-grained ASSURED deletion
 //   drop FILE_ID                    drop the whole file (key destroyed)
+//   stats FILE_ID                   server-side size stats for one file
+//
+// --trace collects a client-side span tree for the command and prints it
+// to stderr on exit; every RPC is tagged with the trace's request id, so
+// the server's audit-log lines carry the same id (DESIGN.md §12).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,6 +30,7 @@
 #include "client/keystore.h"
 #include "net/retry.h"
 #include "net/tcp.h"
+#include "obs/trace.h"
 #include "proto/messages.h"
 
 namespace {
@@ -50,10 +56,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: fgad --store KS --pass PW [--host H] [--port N]\n"
-      "            [--timeout-ms N] [--retries N] CMD [args]\n"
+      "            [--timeout-ms N] [--retries N] [--trace] CMD [args]\n"
       "commands: init | files | outsource FILE PATH... | ls FILE |\n"
       "          cat FILE ITEM | put FILE PATH | edit FILE ITEM PATH |\n"
-      "          rm FILE ITEM | drop FILE\n");
+      "          rm FILE ITEM | drop FILE | stats FILE\n");
   return 2;
 }
 
@@ -74,6 +80,12 @@ struct Session {
   }
 };
 
+/// Prints the span tree on scope exit (any return path) when --trace is
+/// active; a no-op otherwise.
+struct TraceDumper {
+  ~TraceDumper() { obs::trace_dump(stderr); }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +95,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 4270;
   int timeout_ms = 30000;
   int retries = 4;
+  bool trace = false;
   std::vector<std::string> args;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +112,8 @@ int main(int argc, char** argv) {
       timeout_ms = std::atoi(argv[++i]);
     } else if (arg == "--retries" && i + 1 < argc) {
       retries = std::atoi(argv[++i]);
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -111,6 +126,14 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = args[0];
   crypto::SystemRandom rnd;
+
+  TraceDumper trace_dumper;
+  if (trace) {
+    const std::uint64_t rid = obs::generate_request_id();
+    std::fprintf(stderr, "trace: request id %016llx\n",
+                 static_cast<unsigned long long>(rid));
+    obs::trace_begin(rid);
+  }
 
   // `init` needs no connection.
   if (cmd == "init") {
@@ -301,6 +324,22 @@ int main(int argc, char** argv) {
     s.keystore.put(handle.id, handle.key.value());
     std::printf("item assuredly deleted; master key rotated\n");
     return persist();
+  }
+
+  if (cmd == "stats" && args.size() == 2) {
+    const std::uint64_t file_id = std::strtoull(args[1].c_str(), nullptr, 10);
+    auto st = s.client->stat(file_id);
+    if (!st) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   st.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("file %llu: %llu items, %llu tree nodes, %llu tree bytes\n",
+                static_cast<unsigned long long>(file_id),
+                static_cast<unsigned long long>(st.value().n_items),
+                static_cast<unsigned long long>(st.value().node_count),
+                static_cast<unsigned long long>(st.value().tree_bytes));
+    return 0;
   }
 
   if (cmd == "drop" && args.size() == 2) {

@@ -2,6 +2,8 @@
 //
 //   fgad_server [--port N] [--image PATH] [--no-integrity]
 //               [--max-workers N] [--idle-timeout-ms N]
+//               [--metrics-port N] [--audit-log PATH]
+//               [--log-level LVL] [--slow-op-ms N]
 //
 // Listens on 127.0.0.1:N (default 4270; 0 picks an ephemeral port, printed
 // on startup). With --image, server state is loaded from PATH at startup
@@ -11,20 +13,48 @@
 //
 // --max-workers bounds concurrent connections (overflow queues in the
 // listen backlog); --idle-timeout-ms evicts connections with no traffic.
+//
+// Observability (DESIGN.md §12):
+//   --metrics-port N   serve GET /metrics, /metrics.json and /healthz on
+//                      127.0.0.1:N (0 = ephemeral, printed on startup)
+//   --audit-log PATH   append the deletion audit log to PATH (default:
+//                      stderr)
+//   --log-level LVL    debug|info|warn|error|off (default info, to stderr)
+//   --slow-op-ms N     warn about RPCs slower than N ms (0 disables)
+//   SIGUSR1            dump the metrics registry to stderr
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "cloud/server.h"
 #include "net/tcp.h"
+#include "obs/http.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace {
+std::atomic<bool> g_dump_requested{false};
+
+void on_sigusr1(int) { g_dump_requested.store(true); }
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fgad;
 
   std::uint16_t port = 4270;
+  bool metrics_enabled = false;
+  std::uint16_t metrics_port = 0;
   std::string image;
+  std::string audit_path;
+  std::string log_level = "info";
+  int slow_op_ms = 0;
   cloud::CloudServer::Options opts;
   net::TcpServer::Options net_opts;
 
@@ -41,14 +71,45 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
       net_opts.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      metrics_enabled = true;
+      metrics_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--audit-log" && i + 1 < argc) {
+      audit_path = argv[++i];
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      log_level = argv[++i];
+    } else if (arg == "--slow-op-ms" && i + 1 < argc) {
+      slow_op_ms = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: fgad_server [--port N] [--image PATH] "
-                  "[--no-integrity] [--max-workers N] [--idle-timeout-ms N]\n");
+      std::printf(
+          "usage: fgad_server [--port N] [--image PATH] "
+          "[--no-integrity] [--max-workers N] [--idle-timeout-ms N]\n"
+          "                   [--metrics-port N] [--audit-log PATH] "
+          "[--log-level LVL] [--slow-op-ms N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  // Structured logging + deletion audit log. The library defaults to
+  // silent; the daemon is where the sinks come alive.
+  obs::Logger::instance().set_sink(stderr);
+  obs::Logger::instance().set_level(obs::parse_level(log_level));
+  obs::Logger::instance().set_slow_op_threshold_ns(
+      static_cast<std::uint64_t>(slow_op_ms) * 1000000ull);
+  std::FILE* audit_file = nullptr;
+  if (audit_path.empty()) {
+    obs::AuditLog::instance().set_sink(stderr);
+  } else {
+    audit_file = std::fopen(audit_path.c_str(), "ae");
+    if (audit_file == nullptr) {
+      std::fprintf(stderr, "cannot open audit log %s: %s\n",
+                   audit_path.c_str(), std::strerror(errno));
+      return 1;
+    }
+    obs::AuditLog::instance().set_sink(audit_file);
   }
 
   std::unique_ptr<cloud::CloudServer> server;
@@ -78,16 +139,56 @@ int main(int argc, char** argv) {
     return 1;
   }
   net::TcpServer& tcp = *tcp_result.value();
+
+  std::unique_ptr<obs::MetricsHttpServer> metrics;
+  if (metrics_enabled) {
+    auto m = obs::MetricsHttpServer::create(metrics_port);
+    if (!m) {
+      std::fprintf(stderr, "failed to start metrics endpoint on port %u: %s\n",
+                   metrics_port, m.status().to_string().c_str());
+      return 1;
+    }
+    metrics = std::move(m).value();
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n", metrics->port());
+  }
+
   std::printf("fgad cloud server listening on 127.0.0.1:%u "
               "(integrity %s, max %zu workers); EOF on stdin stops it\n",
               tcp.port(), opts.enable_integrity ? "on" : "off",
               net_opts.max_workers);
   std::fflush(stdout);
 
+  // SIGUSR1 -> dump the registry to stderr. SA_RESTART keeps the getchar
+  // park loop below from seeing a spurious EOF; the handler only sets a
+  // flag, a small watcher thread does the printing.
+  {
+    struct sigaction sa {};
+    sa.sa_handler = on_sigusr1;
+    sa.sa_flags = SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGUSR1, &sa, nullptr);
+  }
+  std::atomic<bool> stopping{false};
+  std::thread dump_watcher([&stopping] {
+    while (!stopping.load()) {
+      if (g_dump_requested.exchange(false)) {
+        const std::string text = obs::Registry::instance().render_text();
+        std::fwrite(text.data(), 1, text.size(), stderr);
+        std::fflush(stderr);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+
   // Park until stdin closes.
   for (int c = std::getchar(); c != EOF; c = std::getchar()) {
   }
 
+  stopping.store(true);
+  dump_watcher.join();
+  if (metrics) {
+    metrics->stop();
+  }
   tcp.stop();
   if (!image.empty()) {
     if (auto st = server->save_to_file(image); st) {
@@ -97,6 +198,10 @@ int main(int argc, char** argv) {
                    st.to_string().c_str());
       return 1;
     }
+  }
+  if (audit_file != nullptr) {
+    obs::AuditLog::instance().set_sink(nullptr);
+    std::fclose(audit_file);
   }
   std::printf("bye\n");
   return 0;
