@@ -24,3 +24,4 @@ fgad_bench(micro_core)
 target_link_libraries(micro_core PRIVATE benchmark::benchmark)
 fgad_bench(ablation_integrity)
 fgad_bench(obs_overhead)
+fgad_bench(wal_overhead)

@@ -43,8 +43,14 @@ Result<Bytes> Client::call(BytesView frame, MsgType expect) {
   obs::Span span(req_type ? proto::msg_type_name(*req_type) : "rpc");
   // Under an active trace, wrap the frame in a tagged envelope so the
   // server's audit lines carry this request id. Untagged traffic is
-  // byte-identical to the pre-tagging protocol.
-  const std::uint64_t rid = obs::current_request_id();
+  // byte-identical to the pre-tagging protocol. With tag_mutations on,
+  // mutating RPCs outside a trace get a fresh id per RPC — the durable
+  // server's idempotency token for crash-safe retries.
+  std::uint64_t rid = obs::current_request_id();
+  if (rid == 0 && opts_.tag_mutations && req_type &&
+      proto::is_mutating(*req_type)) {
+    rid = obs::generate_request_id();
+  }
   Result<Bytes> resp =
       rid != 0 ? channel_.roundtrip(proto::seal_tagged(rid, frame))
                : channel_.roundtrip(frame);

@@ -45,6 +45,14 @@ class Client {
     // Cache path-prefix chain values per file so repeated single-item
     // access/modify costs O(1) hashes amortized instead of O(log n).
     bool use_prefix_cache = true;
+    // Wrap every mutating RPC in a tagged envelope with a fresh request
+    // id even when no trace is active. Against a durable server
+    // (cloud::DurableServer) the id doubles as an idempotency token, so
+    // net::RetryChannel may resend deletions/insertions after transport
+    // failures with exactly-once semantics (DESIGN.md §13). Off by
+    // default: untagged traffic stays byte-identical to the seed wire
+    // protocol.
+    bool tag_mutations = false;
   };
 
   Client(net::RpcChannel& channel, crypto::RandomSource& rnd)

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "common/fsio.h"
 #include "core/item_codec.h"
 #include "proto/wire.h"
 
@@ -142,20 +143,12 @@ Result<Keystore> Keystore::unseal(BytesView sealed,
 Status Keystore::save_to_file(const std::string& path,
                               const std::string& passphrase,
                               crypto::RandomSource& rnd) const {
+  // Atomic + durable (temp -> fsync -> rename -> fsync dir): a crash mid-
+  // save never clobbers the previous keystore, and the rename is actually
+  // on disk when this returns.
   const Bytes sealed = seal(passphrase, rnd);
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status(Errc::kIoError, "keystore: cannot open " + tmp);
-  }
-  const bool ok =
-      std::fwrite(sealed.data(), 1, sealed.size(), f) == sealed.size() &&
-      std::fclose(f) == 0;
-  if (!ok) {
-    return Status(Errc::kIoError, "keystore: short write");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status(Errc::kIoError, "keystore: rename failed");
+  if (auto st = fsio::atomic_write_file(path, sealed); !st) {
+    return Status(st.error().code, "keystore: " + st.error().message);
   }
   return Status::ok();
 }

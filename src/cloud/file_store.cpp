@@ -1,5 +1,7 @@
 #include "cloud/file_store.h"
 
+#include <unordered_map>
+
 namespace fgad::cloud {
 
 using core::NodeId;
@@ -214,7 +216,20 @@ Bytes FileStore::serialized_tree() const {
 }
 
 void FileStore::serialize(proto::Writer& w) const {
-  tree_.serialize(w);
+  // Canonical image: the tree's leaf->slot pointers are rewritten to the
+  // file-order positions deserialize() will reassign, so the serialized
+  // form is independent of how the live slot layout fragmented across
+  // deletions. The durable checkpoint path relies on save(load(save(x)))
+  // being byte-identical to save(x) (DESIGN.md §13).
+  std::unordered_map<std::uint64_t, std::uint64_t> canonical_slot;
+  canonical_slot.reserve(items_.size());
+  std::uint64_t position = 0;
+  for (std::uint32_t slot = items_.first(); slot != ItemStore::kNoSlot;
+       slot = items_.next_of(slot)) {
+    canonical_slot.emplace(slot, position++);
+  }
+  tree_.serialize(
+      w, [&](std::uint64_t slot) { return canonical_slot.at(slot); });
   w.u64(items_.size());
   for (std::uint32_t slot = items_.first(); slot != ItemStore::kNoSlot;
        slot = items_.next_of(slot)) {

@@ -1,0 +1,546 @@
+#include "cloud/recovery.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fsio.h"
+#include "crypto/hasher.h"
+#include "integrity/merkle.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace fgad::cloud {
+
+namespace {
+
+constexpr std::uint32_t kCkptMagic = 0x46474350;  // "FGCP"
+constexpr std::uint16_t kCkptVersion = 1;
+
+obs::Counter& checkpoints_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_checkpoints_total");
+  return c;
+}
+obs::Counter& dedup_hits_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_dedup_hits_total");
+  return c;
+}
+obs::Counter& recoveries_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_recoveries_total");
+  return c;
+}
+obs::Counter& replayed_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_recovery_replayed_total");
+  return c;
+}
+
+Bytes io_error_frame(const std::string& msg) {
+  proto::ErrorMsg e;
+  e.code = Errc::kIoError;
+  e.message = msg;
+  return e.to_frame();
+}
+
+/// Lists `<prefix><number><suffix>` entries of `dir`, returning the parsed
+/// numbers sorted ascending.
+std::vector<std::uint64_t> list_numbered(const std::string& dir,
+                                         const std::string& prefix,
+                                         const std::string& suffix) {
+  std::vector<std::uint64_t> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return out;
+  }
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+// ---- RidDedup --------------------------------------------------------------
+
+const Bytes* RidDedup::find(std::uint64_t rid) const {
+  const auto it = by_rid_.find(rid);
+  return it == by_rid_.end() ? nullptr : &it->second;
+}
+
+void RidDedup::put(std::uint64_t rid, Bytes response) {
+  if (rid == 0 || capacity_ == 0) {
+    return;
+  }
+  const auto it = by_rid_.find(rid);
+  if (it != by_rid_.end()) {
+    it->second = std::move(response);  // replay refresh; order unchanged
+    return;
+  }
+  while (order_.size() >= capacity_) {
+    by_rid_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(rid);
+  by_rid_.emplace(rid, std::move(response));
+}
+
+void RidDedup::serialize(proto::Writer& w) const {
+  w.u64(order_.size());
+  for (std::uint64_t rid : order_) {
+    w.u64(rid);
+    w.bytes(by_rid_.at(rid));
+  }
+}
+
+Status RidDedup::deserialize(proto::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ull << 32)) {
+    return Status(Errc::kDecodeError, "dedup table: bad entry count");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t rid = r.u64();
+    Bytes resp = r.bytes();
+    if (!r.ok()) {
+      return Status(Errc::kDecodeError, "dedup table: truncated");
+    }
+    put(rid, std::move(resp));
+  }
+  return Status::ok();
+}
+
+// ---- fsck ------------------------------------------------------------------
+
+Status fsck(const CloudServer& server) {
+  for (std::uint64_t id : server.file_ids()) {
+    const FileStore* fs = server.file(id);
+    const auto fail = [id](const std::string& what) {
+      return Status(Errc::kIntegrityMismatch,
+                    "fsck: file " + std::to_string(id) + ": " + what);
+    };
+    const core::ModulationTree& tree = fs->tree();
+    const ItemStore& items = fs->items();
+    const std::size_t n = tree.node_count();
+    // Left-complete shape: a heap array has 0 or an odd number of nodes,
+    // and exactly (n+1)/2 of them are leaves carrying the items.
+    if (n % 2 == 0 && n != 0) {
+      return fail("even node count " + std::to_string(n));
+    }
+    if (tree.leaf_count() != items.size()) {
+      return fail("leaf count " + std::to_string(tree.leaf_count()) +
+                  " != item count " + std::to_string(items.size()));
+    }
+    // Leaf -> item linkage.
+    for (core::NodeId v = 0; v < n; ++v) {
+      if (!tree.is_leaf(v)) {
+        continue;
+      }
+      const std::uint64_t slot = tree.item_slot(v);
+      if (slot > ~std::uint32_t{0} ||
+          !items.valid(static_cast<std::uint32_t>(slot))) {
+        return fail("leaf " + std::to_string(v) + " points at dead slot");
+      }
+      if (items.at(static_cast<std::uint32_t>(slot)).leaf != v) {
+        return fail("leaf " + std::to_string(v) +
+                    " and its item disagree on linkage");
+      }
+    }
+    // Item -> leaf linkage, walking the file-order list end to end.
+    std::size_t walked = 0;
+    for (std::uint32_t slot = items.first(); slot != ItemStore::kNoSlot;
+         slot = items.next_of(slot)) {
+      const ItemStore::Record& rec = items.at(slot);
+      if (!tree.is_leaf(rec.leaf) || tree.item_slot(rec.leaf) != slot) {
+        return fail("item " + std::to_string(rec.item_id) +
+                    " leaf back-pointer broken");
+      }
+      ++walked;
+    }
+    if (walked != items.size()) {
+      return fail("file-order list covers " + std::to_string(walked) +
+                  " of " + std::to_string(items.size()) + " items");
+    }
+    // Integrity root: recompute every leaf hash from the stored
+    // ciphertexts and rebuild the root from scratch.
+    if (fs->integrity_enabled() && n > 0) {
+      const std::size_t leaves = tree.leaf_count();
+      crypto::Hasher hasher(tree.alg());
+      std::vector<crypto::Md> hashes(leaves);
+      for (std::size_t i = 0; i < leaves; ++i) {
+        const core::NodeId leaf = (leaves - 1) + i;
+        const ItemStore::Record& rec =
+            items.at(static_cast<std::uint32_t>(tree.item_slot(leaf)));
+        hashes[i] = integrity::leaf_hash(hasher, rec.item_id, rec.ciphertext);
+      }
+      integrity::HashTree check(tree.alg());
+      check.build(hashes);
+      if (!(check.root() == fs->integrity_root())) {
+        return fail("integrity root mismatch");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+// ---- DurableServer ---------------------------------------------------------
+
+DurableServer::DurableServer(Options opts,
+                             std::unique_ptr<CloudServer> server,
+                             RidDedup dedup)
+    : opts_(std::move(opts)),
+      server_(std::move(server)),
+      dedup_(std::move(dedup)) {}
+
+DurableServer::~DurableServer() = default;
+
+std::string DurableServer::checkpoint_path(std::uint64_t epoch) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%06" PRIu64 ".ckpt", epoch);
+  return opts_.dir + "/" + buf;
+}
+
+std::string DurableServer::wal_path(std::uint64_t epoch) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06" PRIu64 ".log", epoch);
+  return opts_.dir + "/" + buf;
+}
+
+std::uint64_t DurableServer::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
+  if (opts.dir.empty()) {
+    return Error(Errc::kInvalidArgument, "recovery: empty state dir");
+  }
+  auto ds = std::unique_ptr<DurableServer>(new DurableServer(
+      opts, std::make_unique<CloudServer>(opts.server),
+      RidDedup(opts.dedup_capacity)));
+
+  // 1. Newest valid checkpoint wins; older ones are the fallback when the
+  //    newest is unreadable (disk rot — a crash cannot produce a torn
+  //    checkpoint because the rename is atomic).
+  std::uint64_t base_lsn = 0;
+  std::vector<std::uint64_t> ckpts =
+      list_numbered(opts.dir, "checkpoint-", ".ckpt");
+  for (auto it = ckpts.rbegin(); it != ckpts.rend(); ++it) {
+    auto data = fsio::read_file(ds->checkpoint_path(*it));
+    if (!data || data.value().size() < 4) {
+      ds->recovery_.checkpoint_fallback = true;
+      continue;
+    }
+    const Bytes& buf = data.value();
+    proto::Reader tr(BytesView(buf.data() + buf.size() - 4, 4));
+    if (fsio::crc32(BytesView(buf.data(), buf.size() - 4)) != tr.u32()) {
+      ds->recovery_.checkpoint_fallback = true;
+      continue;
+    }
+    proto::Reader r(BytesView(buf.data(), buf.size() - 4));
+    if (r.u32() != kCkptMagic || r.u16() != kCkptVersion) {
+      ds->recovery_.checkpoint_fallback = true;
+      continue;
+    }
+    const std::uint64_t epoch = r.u64();
+    const std::uint64_t lsn = r.u64();
+    const Bytes image = r.bytes();
+    if (!r.ok()) {
+      ds->recovery_.checkpoint_fallback = true;
+      continue;
+    }
+    proto::Reader ir(image);
+    auto server = CloudServer::load(ir, opts.server);
+    if (!server || !ir.finish()) {
+      ds->recovery_.checkpoint_fallback = true;
+      continue;
+    }
+    RidDedup dedup(opts.dedup_capacity);
+    if (auto st = dedup.deserialize(r); !st) {
+      ds->recovery_.checkpoint_fallback = true;
+      continue;
+    }
+    ds->server_ = std::move(server).value();
+    ds->dedup_ = std::move(dedup);
+    ds->epoch_ = epoch;
+    base_lsn = lsn;
+    ds->recovery_.checkpoint_epoch = epoch;
+    break;
+  }
+
+  // 2. Replay every WAL file in epoch order. LSN skipping makes this
+  //    correct under any crash interleaving: records already covered by
+  //    the chosen checkpoint are skipped, everything younger re-executes
+  //    through the exact same dispatch path as live traffic.
+  std::uint64_t max_lsn = base_lsn;
+  Wal::ScanResult last_scan;
+  std::uint64_t last_wal_epoch = 0;
+  bool have_wal_file = false;
+  for (std::uint64_t e : list_numbered(opts.dir, "wal-", ".log")) {
+    auto scan = Wal::scan(
+        ds->wal_path(e), [&](const Wal::Record& rec) {
+          if (rec.lsn <= base_lsn) {
+            ++ds->recovery_.skipped;
+            return;
+          }
+          const auto tag = proto::split_tagged(rec.request);
+          const std::uint64_t rid = tag ? tag->first : 0;
+          if (rid != 0 && ds->dedup_.find(rid) != nullptr) {
+            ++ds->recovery_.skipped;  // duplicate record; already applied
+            return;
+          }
+          Bytes resp = ds->server_->handle(rec.request);
+          ds->dedup_.put(rid, std::move(resp));
+          ++ds->recovery_.replayed;
+          max_lsn = std::max(max_lsn, rec.lsn);
+        });
+    if (!scan) {
+      // Unreadable/invalid-header WAL file: records in it (if any) were
+      // never acknowledged without an fsync, but surface loudly.
+      obs::Logger::instance().log(
+          obs::Level::kError, "wal_scan_failed",
+          obs::Kv().str("path", ds->wal_path(e)).str(
+              "error", scan.status().to_string()));
+      continue;
+    }
+    ds->recovery_.torn_tail = scan.value().torn_tail;
+    last_scan = scan.value();
+    last_wal_epoch = e;
+    have_wal_file = true;
+  }
+  ds->next_lsn_ = max_lsn + 1;
+
+  // 3. The recovered image must satisfy every structural invariant before
+  //    we serve from it.
+  if (auto st = fsck(*ds->server_); !st) {
+    return st.error();
+  }
+
+  // 4. Open the log for appending: continue the newest WAL file (its torn
+  //    tail, if any, is truncated away) or start the epoch's first one.
+  if (opts.enable_wal) {
+    Wal::Options wopts{opts.wal_sync_ms};
+    if (have_wal_file && last_wal_epoch >= ds->epoch_) {
+      auto w = Wal::reopen(ds->wal_path(last_wal_epoch), last_scan, wopts);
+      if (!w) {
+        return w.error();
+      }
+      ds->wal_ = std::move(w).value();
+    } else {
+      auto w = Wal::create(ds->wal_path(ds->epoch_), ds->epoch_, wopts);
+      if (!w) {
+        return w.error();
+      }
+      ds->wal_ = std::move(w).value();
+    }
+  }
+
+  recoveries_counter().inc();
+  replayed_counter().inc(ds->recovery_.replayed);
+  obs::AuditLog::Entry audit;
+  audit.op = "recovered";
+  audit.item = ds->recovery_.replayed;
+  audit.path_len = static_cast<std::size_t>(ds->recovery_.checkpoint_epoch);
+  audit.cut_size = static_cast<std::size_t>(ds->recovery_.torn_tail);
+  obs::AuditLog::instance().record(audit, Status::ok());
+  obs::Logger::instance().log(
+      obs::Level::kInfo, "recovered",
+      obs::Kv()
+          .u64("checkpoint_epoch", ds->recovery_.checkpoint_epoch)
+          .u64("replayed", ds->recovery_.replayed)
+          .u64("skipped", ds->recovery_.skipped)
+          .u64("torn_tail", ds->recovery_.torn_tail ? 1 : 0)
+          .u64("next_lsn", ds->next_lsn_));
+  return ds;
+}
+
+Bytes DurableServer::handle(BytesView request) {
+  const auto type = proto::peek_type(request);
+  if (!type || !proto::is_mutating(*type)) {
+    return server_->handle(request);  // reads never touch the log
+  }
+  const auto tag = proto::split_tagged(request);
+  const std::uint64_t rid = tag ? tag->first : 0;
+
+  std::shared_ptr<Wal> wal;
+  std::uint64_t ticket = 0;
+  Bytes resp;
+  bool checkpointed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rid != 0) {
+      if (const Bytes* cached = dedup_.find(rid)) {
+        // Exactly-once: the mutation already applied (possibly replayed
+        // from the WAL after a crash); hand back the original response
+        // instead of double-applying it.
+        dedup_hits_counter().inc();
+        return *cached;
+      }
+    }
+    CrashPoint::instance().fire(CrashSite::kBeforeWalAppend);
+    if (wal_) {
+      const std::uint64_t lsn = next_lsn_++;
+      auto t = wal_->append(lsn, request);
+      if (!t) {
+        return io_error_frame("wal append failed: " + t.error().message);
+      }
+      ticket = t.value();
+      wal = wal_;
+    }
+    resp = server_->handle(request);
+    dedup_.put(rid, resp);
+    ++mutations_since_checkpoint_;
+    if (opts_.checkpoint_every_n > 0 &&
+        mutations_since_checkpoint_ >= opts_.checkpoint_every_n) {
+      // Stop-the-world image; also fsyncs and rotates the WAL, so the
+      // just-appended record is durable once this returns.
+      if (auto st = checkpoint_locked(); st) {
+        checkpointed = true;
+      }
+    }
+  }
+  // Group commit happens outside the dispatch lock: concurrent mutations
+  // pile onto one fsync while the next request proceeds.
+  if (wal && !checkpointed) {
+    if (auto st = wal->sync_through(ticket); !st) {
+      return io_error_frame("wal sync failed: " + st.to_string());
+    }
+  }
+  CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
+  return resp;
+}
+
+Status DurableServer::checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_locked();
+}
+
+Status DurableServer::checkpoint_locked() {
+  // Everything logged so far must be durable before the image that
+  // supersedes it claims to cover it.
+  if (wal_) {
+    if (auto st = wal_->sync_now(); !st) {
+      return st;
+    }
+  }
+  const std::uint64_t new_epoch = epoch_ + 1;
+  const std::uint64_t last = next_lsn_ - 1;
+
+  proto::Writer w;
+  w.u32(kCkptMagic);
+  w.u16(kCkptVersion);
+  w.u64(new_epoch);
+  w.u64(last);
+  proto::Writer image;
+  server_->save(image);
+  w.bytes(image.data());
+  dedup_.serialize(w);
+  const std::uint32_t crc = fsio::crc32(w.data());
+  w.u32(crc);
+
+  // temp -> fsync -> (crash point) -> rename -> (crash point) -> fsync dir
+  const std::string path = checkpoint_path(new_epoch);
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status(Errc::kIoError,
+                    "checkpoint open " + tmp + ": " + std::strerror(errno));
+    }
+    const BytesView data = w.data();
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        const Status st(Errc::kIoError,
+                        std::string("checkpoint write: ") +
+                            std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return st;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      const Status st(Errc::kIoError,
+                      std::string("checkpoint fsync: ") + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    ::close(fd);
+  }
+  CrashPoint::instance().fire(CrashSite::kMidCheckpoint);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st(Errc::kIoError,
+                    std::string("checkpoint rename: ") + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  CrashPoint::instance().fire(CrashSite::kPostRename);
+  if (auto st = fsio::fsync_parent_dir(path); !st) {
+    return st;
+  }
+
+  // Log truncation: new epoch's WAL first, then drop superseded files.
+  // If rotation fails we keep appending to the old file — recovery's
+  // LSN-skipping replay stays correct either way.
+  if (wal_) {
+    auto w2 = Wal::create(wal_path(new_epoch), new_epoch,
+                          Wal::Options{opts_.wal_sync_ms});
+    if (!w2) {
+      return w2.status();
+    }
+    wal_ = std::move(w2).value();
+  }
+  const std::uint64_t old_epoch = epoch_;
+  epoch_ = new_epoch;
+  mutations_since_checkpoint_ = 0;
+  checkpoints_counter().inc();
+
+  // Keep the previous checkpoint as a fallback; everything older goes.
+  for (std::uint64_t e : list_numbered(opts_.dir, "checkpoint-", ".ckpt")) {
+    if (e + 1 < new_epoch) {
+      ::unlink(checkpoint_path(e).c_str());
+    }
+  }
+  for (std::uint64_t e : list_numbered(opts_.dir, "wal-", ".log")) {
+    if (e < new_epoch) {
+      ::unlink(wal_path(e).c_str());
+    }
+  }
+  obs::Logger::instance().log(obs::Level::kInfo, "checkpoint",
+                              obs::Kv()
+                                  .u64("epoch", new_epoch)
+                                  .u64("last_lsn", last)
+                                  .u64("prev_epoch", old_epoch));
+  return Status::ok();
+}
+
+}  // namespace fgad::cloud

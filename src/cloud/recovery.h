@@ -1,0 +1,129 @@
+// Crash-consistent hosting of a CloudServer: checkpoints + WAL replay +
+// rid-keyed exactly-once semantics (DESIGN.md §13).
+//
+// DurableServer wraps CloudServer::handle with the durability discipline
+// the paper's assured-deletion guarantee needs to survive ungraceful
+// shutdowns: a mutation is WAL-logged and fsynced before it is
+// acknowledged, the full server image is checkpointed atomically every N
+// mutations (temp -> fsync -> rename -> fsync dir), and startup recovers
+// by loading the newest valid checkpoint and replaying the WAL tail.
+//
+// Exactly-once: a mutating request that arrives in a tagged envelope
+// (proto::kTaggedEnvelope) is deduplicated by its request id. The dedup
+// table — a bounded FIFO of (rid -> response) — is persisted in every
+// checkpoint and rebuilt by WAL replay, so a client that resends a
+// mutation after a timeout, a connection reset, *or a server crash* gets
+// the original response back instead of double-folding deletion deltas.
+// This is what lets proto::retryable_request approve tagged mutations for
+// net::RetryChannel.
+//
+// State directory layout:
+//   checkpoint-<epoch>.ckpt   atomic snapshots (newest valid one wins)
+//   wal-<epoch>.log           records logged on top of checkpoint <epoch>
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/server.h"
+#include "cloud/wal.h"
+
+namespace fgad::cloud {
+
+/// Bounded FIFO map: request id -> the response produced the first time
+/// the mutation was applied. Deterministic (insertion-ordered eviction)
+/// so checkpoint images stay byte-identical across re-executions.
+class RidDedup {
+ public:
+  explicit RidDedup(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// The cached response for `rid`, or nullptr.
+  const Bytes* find(std::uint64_t rid) const;
+  /// Records a response; evicts the oldest entry past capacity. rid 0
+  /// (untagged) is never stored.
+  void put(std::uint64_t rid, Bytes response);
+
+  std::size_t size() const { return order_.size(); }
+
+  void serialize(proto::Writer& w) const;
+  Status deserialize(proto::Reader& r);
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, Bytes> by_rid_;
+};
+
+/// Invariant verifier run after every recovery (and on demand): left-
+/// complete tree shape, item <-> leaf linkage in both directions, and a
+/// from-scratch recomputation of each file's integrity root.
+Status fsck(const CloudServer& server);
+
+class DurableServer {
+ public:
+  struct Options {
+    std::string dir;                        // state directory (must exist)
+    int wal_sync_ms = 0;                    // see Wal::Options
+    std::uint64_t checkpoint_every_n = 1024;  // mutations per checkpoint
+    std::size_t dedup_capacity = 4096;
+    bool enable_wal = true;                 // false: checkpoints only
+    CloudServer::Options server;
+  };
+
+  /// Statistics from the recovery pass, for logs and tests.
+  struct RecoveryInfo {
+    std::uint64_t checkpoint_epoch = 0;  // 0 = started from empty state
+    std::uint64_t replayed = 0;          // WAL records re-executed
+    std::uint64_t skipped = 0;           // records <= checkpoint LSN
+    bool torn_tail = false;              // WAL ended in a torn record
+    bool checkpoint_fallback = false;    // newest checkpoint was invalid
+  };
+
+  /// Recovers (or bootstraps) server state from opts.dir, verifies it with
+  /// fsck, and opens the WAL for appending.
+  static Result<std::unique_ptr<DurableServer>> open(Options opts);
+
+  ~DurableServer();
+  DurableServer(const DurableServer&) = delete;
+  DurableServer& operator=(const DurableServer&) = delete;
+
+  /// Drop-in replacement for CloudServer::handle: reads pass through;
+  /// mutations are dedup-checked, WAL-logged, applied, and only
+  /// acknowledged once durable.
+  Bytes handle(BytesView request);
+
+  /// Writes an atomic checkpoint now and rotates the WAL. Also invoked
+  /// automatically every checkpoint_every_n mutations and by fgad_server
+  /// on SIGTERM.
+  Status checkpoint();
+
+  const CloudServer& server() const { return *server_; }
+  CloudServer& server() { return *server_; }
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  std::uint64_t last_lsn() const;
+
+ private:
+  DurableServer(Options opts, std::unique_ptr<CloudServer> server,
+                RidDedup dedup);
+
+  Status checkpoint_locked();
+  std::string checkpoint_path(std::uint64_t epoch) const;
+  std::string wal_path(std::uint64_t epoch) const;
+
+  Options opts_;
+  std::unique_ptr<CloudServer> server_;
+
+  mutable std::mutex mu_;  // orders WAL appends with their application
+  // shared_ptr: an acknowledging handler may still be waiting in
+  // sync_through() on a log a concurrent checkpoint just rotated away.
+  std::shared_ptr<Wal> wal_;
+  RidDedup dedup_;
+  std::uint64_t epoch_ = 0;     // epoch of the newest durable checkpoint
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t mutations_since_checkpoint_ = 0;
+  RecoveryInfo recovery_;
+};
+
+}  // namespace fgad::cloud

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/fsio.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,6 +58,16 @@ const FileStore* CloudServer::file(std::uint64_t file_id) const {
 FileStore* CloudServer::mutable_file(std::uint64_t file_id) {
   const auto it = files_.find(file_id);
   return it == files_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::uint64_t> CloudServer::file_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, store] : files_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 Result<core::AccessInfo> CloudServer::access(std::uint64_t file_id,
@@ -281,16 +292,8 @@ Result<std::unique_ptr<CloudServer>> CloudServer::load(proto::Reader& r,
 Status CloudServer::save_to_file(const std::string& path) const {
   proto::Writer w;
   save(w);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status(Errc::kIoError, "server image: cannot open " + path);
-  }
-  const std::size_t written = std::fwrite(w.data().data(), 1, w.size(), f);
-  const bool ok = written == w.size() && std::fclose(f) == 0;
-  if (!ok) {
-    return Status(Errc::kIoError, "server image: short write to " + path);
-  }
-  return Status::ok();
+  // Atomic + durable: a crash mid-save leaves the previous image intact.
+  return fsio::atomic_write_file(path, w.data());
 }
 
 Result<std::unique_ptr<CloudServer>> CloudServer::load_from_file(

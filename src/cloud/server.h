@@ -68,6 +68,8 @@ class CloudServer {
   }
   const FileStore* file(std::uint64_t file_id) const;
   FileStore* mutable_file(std::uint64_t file_id);
+  /// Ids of every stored file, sorted ascending (fsck, tooling).
+  std::vector<std::uint64_t> file_ids() const;
 
   // ---- blob tables (baseline substrate) -----------------------------------
 

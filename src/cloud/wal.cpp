@@ -1,0 +1,371 @@
+#include "cloud/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/fsio.h"
+#include "obs/metrics.h"
+#include "proto/wire.h"
+
+namespace fgad::cloud {
+
+namespace {
+
+constexpr std::uint32_t kWalMagic = 0x4647574C;  // "FGWL"
+constexpr std::uint16_t kWalVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 2 + 8;
+// A WAL record never exceeds a wire frame plus its envelope by much; this
+// bound rejects absurd lengths from a corrupted length prefix without
+// attempting the allocation.
+constexpr std::uint32_t kMaxRecordPayload = 1u << 30;
+
+Status errno_status(const std::string& what) {
+  return Status(Errc::kIoError, what + ": " + std::strerror(errno));
+}
+
+Status write_all_fd(int fd, BytesView data) {
+  const std::uint8_t* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return errno_status("wal write");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+obs::Counter& appends_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_wal_appends_total");
+  return c;
+}
+obs::Counter& fsyncs_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_wal_fsyncs_total");
+  return c;
+}
+obs::Counter& bytes_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_wal_bytes_total");
+  return c;
+}
+
+}  // namespace
+
+// ---- crash points ----------------------------------------------------------
+
+const char* crash_site_name(CrashSite s) {
+  switch (s) {
+    case CrashSite::kBeforeWalAppend:
+      return "before-wal";
+    case CrashSite::kAfterWalPreAck:
+      return "after-wal-pre-ack";
+    case CrashSite::kMidCheckpoint:
+      return "mid-checkpoint";
+    case CrashSite::kPostRename:
+      return "post-rename";
+    default:
+      return "unknown";
+  }
+}
+
+CrashPoint& CrashPoint::instance() {
+  static CrashPoint cp;
+  return cp;
+}
+
+void CrashPoint::set_handler(CrashSite site, Handler h) {
+  const int i = static_cast<int>(site);
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[i].store(h != nullptr, std::memory_order_release);
+  handlers_[i] = std::move(h);
+}
+
+void CrashPoint::arm_throw(CrashSite site) {
+  set_handler(site, [](CrashSite s) { throw CrashError{s}; });
+}
+
+void CrashPoint::reset() {
+  for (int i = 0; i < static_cast<int>(CrashSite::kCount); ++i) {
+    set_handler(static_cast<CrashSite>(i), nullptr);
+  }
+}
+
+void CrashPoint::fire(CrashSite site) {
+  const int i = static_cast<int>(site);
+  if (!armed_[i].load(std::memory_order_acquire)) {
+    return;
+  }
+  Handler h;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h = handlers_[i];
+  }
+  if (h) {
+    h(site);
+  }
+}
+
+Status CrashPoint::arm_process_exit(const std::string& spec) {
+  std::string name = spec;
+  long nth = 1;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    const char* digits = spec.c_str() + colon + 1;
+    char* end = nullptr;
+    nth = std::strtol(digits, &end, 10);
+    if (*digits == '\0' || end == nullptr || *end != '\0' || nth < 1) {
+      return Status(Errc::kInvalidArgument,
+                    "bad crash-point count in: " + spec);
+    }
+  }
+  for (int i = 0; i < static_cast<int>(CrashSite::kCount); ++i) {
+    const auto site = static_cast<CrashSite>(i);
+    if (name == crash_site_name(site) ||
+        name == std::to_string(i)) {
+      auto remaining = std::make_shared<std::atomic<long>>(nth);
+      set_handler(site, [remaining](CrashSite) {
+        if (remaining->fetch_sub(1) == 1) {
+          ::_exit(42);  // simulate sudden death: no flushes, no destructors
+        }
+      });
+      return Status::ok();
+    }
+  }
+  return Status(Errc::kInvalidArgument, "unknown crash site: " + spec);
+}
+
+// ---- Wal -------------------------------------------------------------------
+
+Wal::Wal(std::string path, int fd, std::uint64_t epoch, std::uint64_t size,
+         Options opts)
+    : path_(std::move(path)),
+      epoch_(epoch),
+      opts_(opts),
+      fd_(fd),
+      written_(size),
+      durable_(size) {
+  if (opts_.sync_ms > 0) {
+    syncer_ = std::thread([this] { syncer_loop(); });
+  }
+}
+
+Wal::~Wal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (syncer_.joinable()) {
+    syncer_.join();
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::create(const std::string& path,
+                                         std::uint64_t epoch, Options opts) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Error(Errc::kIoError,
+                 "wal create " + path + ": " + std::strerror(errno));
+  }
+  proto::Writer w;
+  w.u32(kWalMagic);
+  w.u16(kWalVersion);
+  w.u64(epoch);
+  Status st = write_all_fd(fd, w.data());
+  if (st && ::fsync(fd) != 0) {
+    st = errno_status("wal fsync header");
+  }
+  if (!st) {
+    ::close(fd);
+    return st.error();
+  }
+  if (auto ds = fsio::fsync_parent_dir(path); !ds) {
+    ::close(fd);
+    return ds.error();
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(path, fd, epoch, kHeaderSize, opts));
+}
+
+Result<Wal::ScanResult> Wal::scan(
+    const std::string& path, const std::function<void(const Record&)>& fn) {
+  auto data = fsio::read_file(path);
+  if (!data) {
+    return data.error();
+  }
+  const Bytes& buf = data.value();
+  if (buf.size() < kHeaderSize) {
+    return Error(Errc::kDecodeError, "wal " + path + ": truncated header");
+  }
+  proto::Reader hr(BytesView(buf.data(), kHeaderSize));
+  if (hr.u32() != kWalMagic || hr.u16() != kWalVersion) {
+    return Error(Errc::kDecodeError, "wal " + path + ": bad magic/version");
+  }
+  ScanResult out;
+  out.epoch = hr.u64();
+  out.valid_end = kHeaderSize;
+
+  std::size_t pos = kHeaderSize;
+  while (pos < buf.size()) {
+    if (buf.size() - pos < 8) {
+      out.torn_tail = true;  // partial frame header
+      break;
+    }
+    proto::Reader fr(BytesView(buf.data() + pos, 8));
+    const std::uint32_t len = fr.u32();
+    const std::uint32_t crc = fr.u32();
+    if (len < 8 + 4 || len > kMaxRecordPayload ||
+        len > buf.size() - pos - 8) {
+      out.torn_tail = true;  // truncated payload or corrupted length
+      break;
+    }
+    const BytesView payload(buf.data() + pos + 8, len);
+    if (fsio::crc32(payload) != crc) {
+      out.torn_tail = true;  // bit rot or torn write inside the payload
+      break;
+    }
+    proto::Reader pr(payload);
+    Record rec;
+    rec.lsn = pr.u64();
+    rec.request = pr.bytes();
+    if (!pr.at_end()) {
+      out.torn_tail = true;
+      break;
+    }
+    if (fn) {
+      fn(rec);
+    }
+    ++out.records;
+    out.max_lsn = std::max(out.max_lsn, rec.lsn);
+    pos += 8 + len;
+    out.valid_end = pos;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Wal>> Wal::reopen(const std::string& path,
+                                         const ScanResult& scan,
+                                         Options opts) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Error(Errc::kIoError,
+                 "wal reopen " + path + ": " + std::strerror(errno));
+  }
+  // Drop the torn tail (if any) so new records start on a clean frame
+  // boundary, and make the truncation durable before appending past it.
+  if (::ftruncate(fd, static_cast<off_t>(scan.valid_end)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0 || ::fsync(fd) != 0) {
+    const Status st = errno_status("wal truncate " + path);
+    ::close(fd);
+    return st.error();
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(path, fd, scan.epoch, scan.valid_end, opts));
+}
+
+Result<std::uint64_t> Wal::append(std::uint64_t lsn, BytesView request) {
+  proto::Writer pw;
+  pw.u64(lsn);
+  pw.bytes(request);
+  proto::Writer fw;
+  fw.u32(static_cast<std::uint32_t>(pw.size()));
+  fw.u32(fsio::crc32(pw.data()));
+  fw.raw(pw.data());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto st = write_all_fd(fd_, fw.data()); !st) {
+    return st.error();
+  }
+  written_ += fw.size();
+  const std::uint64_t ticket = written_;
+  appends_counter().inc();
+  bytes_counter().inc(fw.size());
+  if (opts_.sync_ms == 0) {
+    if (auto st = fsync_locked_bytes(ticket); !st) {
+      return st.error();
+    }
+  }
+  return ticket;
+}
+
+Status Wal::fsync_locked_bytes(std::uint64_t upto) {
+  // Precondition: mu_ held. fsync covers everything written so far.
+  if (durable_ >= upto) {
+    return Status::ok();
+  }
+  if (::fsync(fd_) != 0) {
+    sync_error_ = errno_status("wal fsync");
+    return sync_error_;
+  }
+  fsyncs_counter().inc();
+  durable_ = written_;
+  return Status::ok();
+}
+
+Status Wal::sync_through(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (opts_.sync_ms < 0) {
+    return Status::ok();  // durability disabled (bench-only)
+  }
+  if (opts_.sync_ms == 0) {
+    return fsync_locked_bytes(ticket);
+  }
+  cv_.wait(lock, [&] {
+    return durable_ >= ticket || !sync_error_.is_ok() || stop_;
+  });
+  if (!sync_error_.is_ok()) {
+    return sync_error_;
+  }
+  if (durable_ < ticket) {
+    return Status(Errc::kIoError, "wal: shut down before sync completed");
+  }
+  return Status::ok();
+}
+
+Status Wal::sync_now() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (opts_.sync_ms < 0) {
+    return Status::ok();
+  }
+  return fsync_locked_bytes(written_);
+}
+
+std::uint64_t Wal::appended_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+void Wal::syncer_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(opts_.sync_ms),
+                 [&] { return stop_; });
+    if (durable_ < written_ && sync_error_.is_ok()) {
+      fsync_locked_bytes(written_);
+      cv_.notify_all();
+    }
+  }
+  // Final drain so a clean shutdown loses nothing.
+  if (durable_ < written_ && sync_error_.is_ok()) {
+    fsync_locked_bytes(written_);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace fgad::cloud

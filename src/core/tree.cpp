@@ -432,6 +432,12 @@ void ModulationTree::set_link_mod(NodeId v, Md m) {
 }
 
 void ModulationTree::serialize(proto::Writer& w) const {
+  serialize(w, {});
+}
+
+void ModulationTree::serialize(
+    proto::Writer& w,
+    const std::function<std::uint64_t(std::uint64_t)>& slot_remap) const {
   w.u8(static_cast<std::uint8_t>(cfg_.alg));
   w.u64(node_count());
   for (NodeId v = 1; v < node_count(); ++v) {
@@ -441,7 +447,7 @@ void ModulationTree::serialize(proto::Writer& w) const {
   for (NodeId v = n == 0 ? 0 : n - 1; v < node_count(); ++v) {
     const LeafRec& rec = leaf_rec(v);
     w.raw(rec.leaf_mod.bytes());
-    w.u64(rec.item_slot);
+    w.u64(slot_remap ? slot_remap(rec.item_slot) : rec.item_slot);
   }
 }
 

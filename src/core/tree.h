@@ -143,6 +143,14 @@ class ModulationTree {
   // -- Persistence --------------------------------------------------------
 
   void serialize(proto::Writer& w) const;
+  /// Like serialize(), but each leaf's item_slot is passed through
+  /// `slot_remap` first. FileStore uses this to write file-order positions
+  /// instead of live slot numbers, making the persisted image canonical:
+  /// save(load(save(x))) is byte-identical to save(x) no matter how the
+  /// in-memory slot layout fragmented (DESIGN.md §13).
+  void serialize(proto::Writer& w,
+                 const std::function<std::uint64_t(std::uint64_t)>&
+                     slot_remap) const;
   static Result<ModulationTree> deserialize(proto::Reader& r, Config cfg);
 
   /// Serialized size in bytes (the "fetch the entire modulation tree"

@@ -7,9 +7,12 @@
 // exponential backoff plus jitter. The failed request is resent only when
 // the caller-supplied predicate says it is safe — by default nothing is
 // resent; pair with proto::retryable_request so read-only RPCs (access,
-// audit, fetches) retry transparently while mutating RPCs surface the
-// typed error to the caller (DESIGN.md §11 explains why deletion/insert
-// are never auto-retried). When the budget is exhausted the caller gets
+// audit, fetches) retry transparently. Untagged mutating RPCs surface
+// the typed error to the caller (DESIGN.md §11 explains why a blind
+// deletion/insert replay is unsafe); mutations wrapped in a tagged
+// envelope carry a request id a durable server deduplicates, so the
+// predicate approves them too — a resend converges exactly-once
+// (DESIGN.md §13). When the budget is exhausted the caller gets
 // kRetryExhausted carrying the last underlying error.
 #pragma once
 

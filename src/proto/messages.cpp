@@ -86,11 +86,34 @@ std::optional<MsgType> peek_type(BytesView framed) {
   return static_cast<MsgType>(t);
 }
 
+bool is_mutating(MsgType t) {
+  switch (t) {
+    case MsgType::kOutsourceReq:
+    case MsgType::kModifyReq:
+    case MsgType::kInsertCommitReq:
+    case MsgType::kDeleteCommitReq:
+    case MsgType::kDropFileReq:
+    case MsgType::kKvPutReq:
+    case MsgType::kKvDeleteReq:
+    case MsgType::kKvPutBatchReq:
+      return true;
+    default:
+      return false;
+  }
+}
+
 bool retryable_request(BytesView framed) {
-  // A tagged request retries iff its inner request does: the envelope
-  // carries only a correlation id, no commit state.
   const auto t = peek_type(framed);
-  return t.has_value() && is_idempotent(*t);
+  if (!t.has_value()) {
+    return false;
+  }
+  if (is_idempotent(*t)) {
+    return true;
+  }
+  // A tagged mutation carries its request id as an idempotency token: the
+  // durable server dedups it, so a resend of the identical frame is
+  // applied at most once and replays the original response.
+  return is_mutating(*t) && split_tagged(framed).has_value();
 }
 
 Result<Envelope> open_message(BytesView framed) {

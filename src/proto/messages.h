@@ -107,14 +107,23 @@ std::optional<MsgType> peek_type(BytesView framed);
 const char* msg_type_name(MsgType t);
 
 /// True for read-only request types that are safe to resend after a
-/// transport failure (access, audit, fetches, stats, kv reads). Mutating
-/// RPCs — outsource, modify, insert, delete, drop, kv writes — are never
-/// auto-retried: a lost response leaves the commit state ambiguous, and
-/// the protocol has no idempotency tokens (DESIGN.md §11).
+/// transport failure (access, audit, fetches, stats, kv reads) even
+/// without an idempotency token (DESIGN.md §11).
 bool is_idempotent(MsgType t);
 
+/// True for request types that mutate server state (outsource, modify,
+/// insert/delete commits, drop, kv writes). These are the RPCs the
+/// durability layer WAL-logs and deduplicates (DESIGN.md §13).
+bool is_mutating(MsgType t);
+
 /// Retry predicate over a sealed request frame (peeks the u16 type);
-/// false on malformed frames.
+/// false on malformed frames. Read-only requests always retry. A mutating
+/// request retries only when it is wrapped in a tagged envelope: the
+/// request id doubles as an idempotency token — a durable server
+/// (cloud::DurableServer) replays the cached response instead of applying
+/// the mutation twice, so resending after a timeout, reset, or server
+/// crash converges to exactly-once application (DESIGN.md §13). Untagged
+/// mutations keep the old never-resend behavior.
 bool retryable_request(BytesView framed);
 
 struct Envelope {

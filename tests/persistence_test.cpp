@@ -1,11 +1,22 @@
 // Server persistence: save/load the full cloud image (files + blob tables)
-// and continue operating across the "restart".
+// and continue operating across the "restart" — plus the crash-consistency
+// suite for the durable server (DESIGN.md §13): a crash-point matrix over
+// every CrashSite x mutation, WAL-tail corruption recovery, and rid-keyed
+// exactly-once retry convergence.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 
 #include "client/client.h"
+#include "cloud/recovery.h"
 #include "cloud/server.h"
+#include "cloud/wal.h"
+#include "common/fsio.h"
+#include "net/retry.h"
 #include "support/harness.h"
 
 namespace fgad::cloud {
@@ -137,6 +148,455 @@ TEST(Persistence, EmptyServerImage) {
   auto reloaded = CloudServer::load(r, {});
   ASSERT_TRUE(reloaded.is_ok());
   EXPECT_TRUE(r.finish());
+}
+
+// ---- durable server: crash matrix + recovery -------------------------------
+
+std::string fresh_state_dir(const std::string& name) {
+  static std::atomic<int> counter{0};
+  const std::string d = ::testing::TempDir() + "/" + name + "." +
+                        std::to_string(::getpid()) + "." +
+                        std::to_string(counter.fetch_add(1));
+  ::mkdir(d.c_str(), 0755);
+  return d;
+}
+
+Bytes image_of(CloudServer& s) {
+  proto::Writer w;
+  s.save(w);
+  return std::move(w).take();
+}
+
+/// Drives a tagged client against a DurableServer through a crash-catching
+/// channel, recording every request frame so a never-crashed reference
+/// server can be fed the identical history.
+struct DurableRig {
+  explicit DurableRig(DurableServer::Options dopts, std::uint64_t seed = 1234)
+      : opts(std::move(dopts)), rnd(seed) {
+    auto opened = DurableServer::open(opts);
+    EXPECT_TRUE(opened.is_ok()) << opened.status().to_string();
+    ds = std::move(opened).value();
+    ch = std::make_unique<net::DirectChannel>([this](BytesView req) -> Bytes {
+      frames.emplace_back(req.data(), req.data() + req.size());
+      try {
+        Bytes resp = ds->handle(req);
+        responses.push_back(resp);
+        return resp;
+      } catch (const CrashError&) {
+        crashed = true;
+        proto::ErrorMsg e;
+        e.code = Errc::kConnReset;
+        e.message = "server crashed";
+        return e.to_frame();
+      }
+    });
+    Client::Options copts;
+    copts.tag_mutations = true;
+    client = std::make_unique<Client>(*ch, rnd, copts);
+  }
+
+  /// Simulates the kill -9 + restart: drops the in-memory server and
+  /// recovers purely from the state directory.
+  Result<std::unique_ptr<DurableServer>> restart() {
+    ds.reset();
+    return DurableServer::open(opts);
+  }
+
+  DurableServer::Options opts;
+  crypto::DeterministicRandom rnd;
+  std::unique_ptr<DurableServer> ds;
+  std::unique_ptr<net::DirectChannel> ch;
+  std::unique_ptr<Client> client;
+  std::vector<Bytes> frames;
+  std::vector<Bytes> responses;
+  bool crashed = false;
+};
+
+enum class MutOp { kDelete, kInsert, kOutsource };
+
+const char* mut_op_name(MutOp op) {
+  switch (op) {
+    case MutOp::kDelete:
+      return "delete";
+    case MutOp::kInsert:
+      return "insert";
+    default:
+      return "outsource";
+  }
+}
+
+/// One cell of the crash matrix: build base state, crash the target
+/// mutation at `site`, recover, and require (a) the recovered image is
+/// byte-identical to a never-crashed reference fed the same frames and
+/// (b) resending the crashed frame converges to exactly-once.
+void run_crash_case(CrashSite site, MutOp op) {
+  SCOPED_TRACE(std::string(crash_site_name(site)) + " x " + mut_op_name(op));
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("crash_matrix");
+  dopts.wal_sync_ms = 0;
+  // The checkpoint sites only fire inside a checkpoint, so those cells
+  // checkpoint on every mutation; the WAL sites keep checkpoints out of
+  // the way entirely (0 = only explicit/shutdown checkpoints).
+  const bool ckpt_site =
+      site == CrashSite::kMidCheckpoint || site == CrashSite::kPostRename;
+  dopts.checkpoint_every_n = ckpt_site ? 1 : 0;
+  DurableRig rig(dopts);
+
+  // Base history: outsource + one delete + one insert, all committed.
+  std::vector<Bytes> items;
+  for (int i = 0; i < 12; ++i) items.push_back(payload_for(i));
+  auto fh = rig.client->outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  ASSERT_TRUE(rig.client->erase_item(fh.value(), proto::ItemRef::id(2)));
+  ASSERT_TRUE(rig.client->insert(fh.value(), payload_for(77)).is_ok());
+  ASSERT_FALSE(rig.crashed);
+
+  // Crash the next mutating RPC at `site`. The client sees a transport-
+  // style error, exactly as if the server died before responding.
+  CrashPoint::instance().arm_throw(site);
+  switch (op) {
+    case MutOp::kDelete:
+      EXPECT_FALSE(rig.client->erase_item(fh.value(), proto::ItemRef::id(5)));
+      break;
+    case MutOp::kInsert:
+      EXPECT_FALSE(rig.client->insert(fh.value(), payload_for(88)).is_ok());
+      break;
+    case MutOp::kOutsource: {
+      std::vector<Bytes> more{payload_for(200), payload_for(201),
+                              payload_for(202)};
+      EXPECT_FALSE(rig.client->outsource(2, more).is_ok());
+      break;
+    }
+  }
+  CrashPoint::instance().reset();
+  ASSERT_TRUE(rig.crashed);
+  const Bytes crashed_frame = rig.frames.back();
+  ASSERT_TRUE(proto::split_tagged(crashed_frame).has_value());
+  ASSERT_TRUE(proto::retryable_request(crashed_frame));
+
+  // Recover from disk alone; open() runs fsck before serving.
+  auto reopened = rig.restart();
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  DurableServer& ds2 = *reopened.value();
+
+  // Reference: a pristine server fed the identical frame history. Only
+  // kBeforeWalAppend loses the in-flight mutation; at every later site it
+  // was logged durably (and applied) before the crash.
+  const bool applied = site != CrashSite::kBeforeWalAppend;
+  CloudServer ref;
+  for (std::size_t i = 0; i + 1 < rig.frames.size(); ++i) {
+    ref.handle(rig.frames[i]);
+  }
+  if (applied) {
+    ref.handle(crashed_frame);
+  }
+  EXPECT_EQ(image_of(ds2.server()), image_of(ref));
+
+  // Exactly-once retry: the client's resend either applies the mutation
+  // for the first time or hits the rid-dedup table; a second resend is
+  // always a dedup hit. State never double-applies.
+  const Bytes r1 = ds2.handle(crashed_frame);
+  if (!applied) {
+    ref.handle(crashed_frame);
+  }
+  EXPECT_EQ(image_of(ds2.server()), image_of(ref));
+  const Bytes r2 = ds2.handle(crashed_frame);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(image_of(ds2.server()), image_of(ref));
+  EXPECT_TRUE(fsck(ds2.server()));
+}
+
+TEST(CrashMatrix, BeforeWalAppend) {
+  for (MutOp op : {MutOp::kDelete, MutOp::kInsert, MutOp::kOutsource}) {
+    run_crash_case(CrashSite::kBeforeWalAppend, op);
+  }
+}
+
+TEST(CrashMatrix, AfterWalPreAck) {
+  for (MutOp op : {MutOp::kDelete, MutOp::kInsert, MutOp::kOutsource}) {
+    run_crash_case(CrashSite::kAfterWalPreAck, op);
+  }
+}
+
+TEST(CrashMatrix, MidCheckpoint) {
+  for (MutOp op : {MutOp::kDelete, MutOp::kInsert, MutOp::kOutsource}) {
+    run_crash_case(CrashSite::kMidCheckpoint, op);
+  }
+}
+
+TEST(CrashMatrix, PostRename) {
+  for (MutOp op : {MutOp::kDelete, MutOp::kInsert, MutOp::kOutsource}) {
+    run_crash_case(CrashSite::kPostRename, op);
+  }
+}
+
+TEST(DurableRecovery, CleanRestartReplaysWal) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("durable_clean");
+  dopts.checkpoint_every_n = 0;  // everything lives in the WAL
+  DurableRig rig(dopts);
+
+  std::vector<Bytes> items;
+  for (int i = 0; i < 10; ++i) items.push_back(payload_for(i));
+  auto fh = rig.client->outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  ASSERT_TRUE(rig.client->erase_item(fh.value(), proto::ItemRef::id(4)));
+  auto inserted = rig.client->insert(fh.value(), payload_for(55));
+  ASSERT_TRUE(inserted.is_ok());
+  const Bytes before = image_of(rig.ds->server());
+
+  auto reopened = rig.restart();
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  DurableServer& ds2 = *reopened.value();
+  EXPECT_EQ(image_of(ds2.server()), before);
+  EXPECT_EQ(ds2.recovery_info().checkpoint_epoch, 0u);
+  EXPECT_EQ(ds2.recovery_info().replayed, 3u);  // outsource, delete, insert
+  EXPECT_FALSE(ds2.recovery_info().torn_tail);
+
+  // The surviving client continues seamlessly against the recovered state.
+  net::DirectChannel ch2([&ds2](BytesView req) { return ds2.handle(req); });
+  Client client2(ch2, rig.rnd);
+  client2.set_counter(rig.client->counter());
+  Client::FileHandle fh2;
+  fh2.id = 1;
+  fh2.key = fh.value().key.clone();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    if (i == 4) continue;
+    auto got = client2.access(fh2, proto::ItemRef::id(i));
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), items[i]);
+  }
+  EXPECT_EQ(client2.access(fh2, proto::ItemRef::id(inserted.value())).value(),
+            payload_for(55));
+}
+
+TEST(DurableRecovery, CheckpointTruncatesLogAndPrunes) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("durable_ckpt");
+  dopts.checkpoint_every_n = 0;
+  DurableRig rig(dopts);
+
+  std::vector<Bytes> items{payload_for(0), payload_for(1), payload_for(2)};
+  auto fh = rig.client->outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  ASSERT_TRUE(rig.ds->checkpoint());
+  ASSERT_TRUE(rig.client->erase_item(fh.value(), proto::ItemRef::id(1)));
+  ASSERT_TRUE(rig.ds->checkpoint());
+  ASSERT_TRUE(rig.ds->checkpoint());
+
+  // Keep newest + one fallback checkpoint; only the newest epoch's WAL.
+  EXPECT_TRUE(fsio::exists(dopts.dir + "/checkpoint-000003.ckpt"));
+  EXPECT_TRUE(fsio::exists(dopts.dir + "/checkpoint-000002.ckpt"));
+  EXPECT_FALSE(fsio::exists(dopts.dir + "/checkpoint-000001.ckpt"));
+  EXPECT_TRUE(fsio::exists(dopts.dir + "/wal-000003.log"));
+  EXPECT_FALSE(fsio::exists(dopts.dir + "/wal-000002.log"));
+  EXPECT_FALSE(fsio::exists(dopts.dir + "/wal-000000.log"));
+
+  const Bytes before = image_of(rig.ds->server());
+  auto reopened = rig.restart();
+  ASSERT_TRUE(reopened.is_ok());
+  EXPECT_EQ(image_of(reopened.value()->server()), before);
+  EXPECT_EQ(reopened.value()->recovery_info().checkpoint_epoch, 3u);
+  EXPECT_EQ(reopened.value()->recovery_info().replayed, 0u);
+}
+
+TEST(DurableRecovery, TornWalTailTruncatedOnRecovery) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("durable_torn");
+  dopts.checkpoint_every_n = 0;
+  DurableRig rig(dopts);
+
+  std::vector<Bytes> items{payload_for(0), payload_for(1), payload_for(2),
+                           payload_for(3)};
+  auto fh = rig.client->outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  ASSERT_TRUE(rig.client->erase_item(fh.value(), proto::ItemRef::id(0)));
+  const Bytes before = image_of(rig.ds->server());
+  rig.ds.reset();
+
+  // A torn final append: garbage that looks like the start of a frame.
+  const std::string wal = dopts.dir + "/wal-000000.log";
+  {
+    std::FILE* f = std::fopen(wal.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const Bytes junk = {0x40, 0x00, 0x00, 0x00, 't', 'o', 'r', 'n', '!'};
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+
+  auto reopened = DurableServer::open(dopts);
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  EXPECT_TRUE(reopened.value()->recovery_info().torn_tail);
+  EXPECT_EQ(image_of(reopened.value()->server()), before);
+  EXPECT_TRUE(fsck(reopened.value()->server()));
+
+  // The torn tail was truncated away: appends after recovery land on a
+  // clean boundary and a second recovery sees a clean log.
+  proto::KvPutReq put;
+  put.table = 9;
+  put.key = 1;
+  put.value = to_bytes("post-recovery");
+  reopened.value()->handle(put.to_frame());
+  reopened.value().reset();
+  auto again = DurableServer::open(dopts);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_FALSE(again.value()->recovery_info().torn_tail);
+  EXPECT_EQ(to_string(again.value()->server().kv_get(9, 1).value()),
+            "post-recovery");
+}
+
+TEST(DurableRecovery, BitflippedWalRecordDropsUnackedSuffix) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("durable_bitflip");
+  dopts.checkpoint_every_n = 0;
+  DurableRig rig(dopts);
+
+  std::vector<Bytes> items{payload_for(0), payload_for(1), payload_for(2),
+                           payload_for(3), payload_for(4)};
+  auto fh = rig.client->outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  ASSERT_TRUE(rig.client->insert(fh.value(), payload_for(90)).is_ok());
+  rig.ds.reset();
+
+  // Flip one bit inside the last record's payload: its CRC fails, the
+  // record is dropped, and recovery falls back to the state before it.
+  const std::string wal = dopts.dir + "/wal-000000.log";
+  auto data = fsio::read_file(wal);
+  ASSERT_TRUE(data.is_ok());
+  Bytes bad = data.value();
+  bad[bad.size() - 3] ^= 0x10;
+  {
+    std::FILE* f = std::fopen(wal.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bad.data(), 1, bad.size(), f);
+    std::fclose(f);
+  }
+
+  auto reopened = DurableServer::open(dopts);
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  EXPECT_TRUE(reopened.value()->recovery_info().torn_tail);
+  EXPECT_TRUE(fsck(reopened.value()->server()));
+
+  // Reference = all frames except the final (insert-commit) mutation.
+  CloudServer ref;
+  for (std::size_t i = 0; i + 1 < rig.frames.size(); ++i) {
+    ref.handle(rig.frames[i]);
+  }
+  EXPECT_EQ(image_of(reopened.value()->server()), image_of(ref));
+}
+
+TEST(DurableRecovery, RidDedupSurvivesRestart) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("durable_dedup");
+  dopts.checkpoint_every_n = 0;
+  DurableRig rig(dopts);
+
+  std::vector<Bytes> items{payload_for(0), payload_for(1), payload_for(2)};
+  auto fh = rig.client->outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+  ASSERT_TRUE(rig.client->erase_item(fh.value(), proto::ItemRef::id(1)));
+
+  // The delete-commit is the last mutating exchange.
+  const Bytes frame = rig.frames.back();
+  const Bytes original_resp = rig.responses.back();
+  ASSERT_TRUE(proto::split_tagged(frame).has_value());
+  const Bytes before = image_of(rig.ds->server());
+
+  auto reopened = rig.restart();
+  ASSERT_TRUE(reopened.is_ok());
+  DurableServer& ds2 = *reopened.value();
+  // Replay rebuilt the dedup table: resending the already-applied delete
+  // returns the original response bytes and folds no deltas twice.
+  EXPECT_EQ(ds2.handle(frame), original_resp);
+  EXPECT_EQ(image_of(ds2.server()), before);
+  EXPECT_EQ(ds2.handle(frame), original_resp);
+  EXPECT_EQ(image_of(ds2.server()), before);
+}
+
+TEST(DurableRecovery, UntaggedMutationsAreNotRetryable) {
+  // The retry predicate only approves mutations carrying an idempotency
+  // token; bare frames keep the seed's never-resend behavior.
+  proto::KvPutReq put;
+  put.table = 1;
+  put.key = 2;
+  put.value = to_bytes("v");
+  const Bytes untagged = put.to_frame();
+  EXPECT_FALSE(proto::retryable_request(untagged));
+  EXPECT_TRUE(proto::retryable_request(proto::seal_tagged(7, untagged)));
+  // Read-only requests retry either way.
+  proto::KvGetReq get;
+  get.table = 1;
+  get.key = 2;
+  EXPECT_TRUE(proto::retryable_request(get.to_frame()));
+}
+
+/// Executes the request server-side but reports a lost response for the
+/// first `drops` delete-commits — the classic ack-lost retry hazard.
+class AckDropChannel final : public net::RpcChannel {
+ public:
+  AckDropChannel(DurableServer& ds, std::atomic<int>& drops)
+      : ds_(ds), drops_(drops) {}
+
+  Result<Bytes> roundtrip(BytesView req) override {
+    Bytes resp = ds_.handle(req);
+    const auto t = proto::peek_type(req);
+    if (t == proto::MsgType::kDeleteCommitReq &&
+        drops_.fetch_sub(1) > 0) {
+      return Error(Errc::kTimeout, "injected: response lost");
+    }
+    return resp;
+  }
+
+ private:
+  DurableServer& ds_;
+  std::atomic<int>& drops_;
+};
+
+TEST(DurableRecovery, RetryChannelConvergesExactlyOnce) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("durable_retry");
+  dopts.checkpoint_every_n = 0;
+  auto opened = DurableServer::open(dopts);
+  ASSERT_TRUE(opened.is_ok());
+  DurableServer& ds = *opened.value();
+
+  std::atomic<int> drops{1};
+  net::RetryChannel::Options ropts;
+  ropts.base_backoff_ms = 1;
+  ropts.retryable = [](BytesView f) { return proto::retryable_request(f); };
+  net::RetryChannel retry(
+      [&]() -> Result<std::unique_ptr<net::RpcChannel>> {
+        return std::unique_ptr<net::RpcChannel>(
+            new AckDropChannel(ds, drops));
+      },
+      ropts);
+
+  SystemRandom rnd;
+  Client::Options copts;
+  copts.tag_mutations = true;  // mutations carry the idempotency token
+  Client client(retry, rnd, copts);
+
+  std::vector<Bytes> items;
+  for (int i = 0; i < 8; ++i) items.push_back(payload_for(i));
+  auto fh = client.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+
+  // The commit's ACK is dropped once; RetryChannel resends, the dedup
+  // table returns the original response, and the client's key rotation
+  // completes as if nothing happened.
+  ASSERT_TRUE(client.erase_item(fh.value(), proto::ItemRef::id(3)));
+  EXPECT_GE(retry.resends(), 1u);
+  EXPECT_EQ(ds.server().file(1)->item_count(), 7u);
+  EXPECT_TRUE(fsck(ds.server()));
+
+  // Every surviving item still decrypts under the rotated master key —
+  // a double-applied delete would have corrupted the modulators.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    if (i == 3) continue;
+    auto got = client.access(fh.value(), proto::ItemRef::id(i));
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), items[i]);
+  }
 }
 
 }  // namespace

@@ -1,15 +1,32 @@
 // fgad_server — run the cloud side as a standalone TCP daemon.
 //
 //   fgad_server [--port N] [--image PATH] [--no-integrity]
+//               [--state-dir DIR] [--checkpoint-every-n N] [--wal-sync-ms N]
 //               [--max-workers N] [--idle-timeout-ms N]
 //               [--metrics-port N] [--audit-log PATH]
 //               [--log-level LVL] [--slow-op-ms N]
 //
 // Listens on 127.0.0.1:N (default 4270; 0 picks an ephemeral port, printed
-// on startup). With --image, server state is loaded from PATH at startup
-// (if it exists) and saved back on clean shutdown. The process runs until
-// stdin reaches EOF or the user presses Ctrl-D / sends SIGINT via the
-// terminal driver closing stdin.
+// on startup). The process runs until stdin reaches EOF or SIGTERM/SIGINT
+// arrives; SIGTERM triggers a clean final checkpoint before exit.
+//
+// Durability (DESIGN.md §13):
+//   --state-dir DIR         crash-consistent operation: every mutating RPC
+//                           is WAL-logged (fsync before ACK) and the full
+//                           image is checkpointed atomically; startup
+//                           recovers from the newest valid checkpoint +
+//                           WAL tail and runs the fsck invariant verifier
+//   --checkpoint-every-n N  mutations between automatic checkpoints
+//                           (default 1024; 0 = only on SIGTERM/shutdown)
+//   --wal-sync-ms N         group-commit window in ms (default 0 =
+//                           fsync per mutation; -1 = never fsync, unsafe)
+//   FGAD_CRASH_AT=site[:n]  kill the process (exit 42) the n-th time the
+//                           named crash site is reached (before-wal,
+//                           after-wal-pre-ack, mid-checkpoint,
+//                           post-rename) — crash-recovery test hook
+//
+// --image PATH is the legacy whole-image mode: state is loaded from PATH
+// at startup and saved back only on clean shutdown (no crash safety).
 //
 // --max-workers bounds concurrent connections (overflow queues in the
 // listen backlog); --idle-timeout-ms evicts connections with no traffic.
@@ -33,6 +50,7 @@
 #include <string>
 #include <thread>
 
+#include "cloud/recovery.h"
 #include "cloud/server.h"
 #include "net/tcp.h"
 #include "obs/http.h"
@@ -41,8 +59,10 @@
 
 namespace {
 std::atomic<bool> g_dump_requested{false};
+std::atomic<bool> g_terminate{false};
 
 void on_sigusr1(int) { g_dump_requested.store(true); }
+void on_sigterm(int) { g_terminate.store(true); }
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,6 +76,7 @@ int main(int argc, char** argv) {
   std::string log_level = "info";
   int slow_op_ms = 0;
   cloud::CloudServer::Options opts;
+  cloud::DurableServer::Options dur_opts;
   net::TcpServer::Options net_opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +85,13 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--image" && i + 1 < argc) {
       image = argv[++i];
+    } else if (arg == "--state-dir" && i + 1 < argc) {
+      dur_opts.dir = argv[++i];
+    } else if (arg == "--checkpoint-every-n" && i + 1 < argc) {
+      dur_opts.checkpoint_every_n =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--wal-sync-ms" && i + 1 < argc) {
+      dur_opts.wal_sync_ms = std::atoi(argv[++i]);
     } else if (arg == "--no-integrity") {
       opts.enable_integrity = false;
     } else if (arg == "--max-workers" && i + 1 < argc) {
@@ -82,8 +110,10 @@ int main(int argc, char** argv) {
       slow_op_ms = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: fgad_server [--port N] [--image PATH] "
-          "[--no-integrity] [--max-workers N] [--idle-timeout-ms N]\n"
+          "usage: fgad_server [--port N] [--image PATH] [--state-dir DIR]\n"
+          "                   [--checkpoint-every-n N] [--wal-sync-ms N]\n"
+          "                   [--no-integrity] [--max-workers N] "
+          "[--idle-timeout-ms N]\n"
           "                   [--metrics-port N] [--audit-log PATH] "
           "[--log-level LVL] [--slow-op-ms N]\n");
       return 0;
@@ -91,6 +121,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
+  }
+  if (!image.empty() && !dur_opts.dir.empty()) {
+    std::fprintf(stderr, "--image and --state-dir are mutually exclusive\n");
+    return 2;
   }
 
   // Structured logging + deletion audit log. The library defaults to
@@ -112,8 +146,38 @@ int main(int argc, char** argv) {
     obs::AuditLog::instance().set_sink(audit_file);
   }
 
+  // Deterministic crash injection for recovery integration tests.
+  if (const char* crash_at = std::getenv("FGAD_CRASH_AT");
+      crash_at != nullptr && *crash_at != '\0') {
+    if (auto st = cloud::CrashPoint::instance().arm_process_exit(crash_at);
+        !st) {
+      std::fprintf(stderr, "FGAD_CRASH_AT: %s\n", st.to_string().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "armed crash point: %s\n", crash_at);
+  }
+
+  std::unique_ptr<cloud::DurableServer> durable;
   std::unique_ptr<cloud::CloudServer> server;
-  if (!image.empty()) {
+  if (!dur_opts.dir.empty()) {
+    dur_opts.server = opts;
+    auto opened = cloud::DurableServer::open(dur_opts);
+    if (!opened) {
+      std::fprintf(stderr, "recovery from %s failed: %s\n",
+                   dur_opts.dir.c_str(),
+                   opened.status().to_string().c_str());
+      return 1;
+    }
+    durable = std::move(opened).value();
+    const auto& info = durable->recovery_info();
+    std::printf(
+        "recovered state from %s (checkpoint epoch %llu, %llu WAL records "
+        "replayed%s)\n",
+        dur_opts.dir.c_str(),
+        static_cast<unsigned long long>(info.checkpoint_epoch),
+        static_cast<unsigned long long>(info.replayed),
+        info.torn_tail ? ", torn tail truncated" : "");
+  } else if (!image.empty()) {
     auto loaded = cloud::CloudServer::load_from_file(image, opts);
     if (loaded) {
       server = std::move(loaded).value();
@@ -126,13 +190,14 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!server) {
+  if (!durable && !server) {
     server = std::make_unique<cloud::CloudServer>(opts);
   }
 
-  auto tcp_result = net::TcpServer::create(
-      port, [&server](BytesView req) { return server->handle(req); },
-      net_opts);
+  const auto handler = [&](BytesView req) {
+    return durable ? durable->handle(req) : server->handle(req);
+  };
+  auto tcp_result = net::TcpServer::create(port, handler, net_opts);
   if (!tcp_result) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u: %s\n", port,
                  tcp_result.status().to_string().c_str());
@@ -153,20 +218,29 @@ int main(int argc, char** argv) {
   }
 
   std::printf("fgad cloud server listening on 127.0.0.1:%u "
-              "(integrity %s, max %zu workers); EOF on stdin stops it\n",
+              "(integrity %s, durability %s, max %zu workers); "
+              "EOF on stdin or SIGTERM stops it\n",
               tcp.port(), opts.enable_integrity ? "on" : "off",
+              durable ? dur_opts.dir.c_str() : "off",
               net_opts.max_workers);
   std::fflush(stdout);
 
-  // SIGUSR1 -> dump the registry to stderr. SA_RESTART keeps the getchar
-  // park loop below from seeing a spurious EOF; the handler only sets a
-  // flag, a small watcher thread does the printing.
+  // SIGUSR1 -> dump the registry to stderr (SA_RESTART: only sets a flag,
+  // a watcher thread prints). SIGTERM/SIGINT -> clean shutdown with a
+  // final checkpoint; *no* SA_RESTART so the getchar park loop below is
+  // interrupted and observes the flag.
   {
     struct sigaction sa {};
     sa.sa_handler = on_sigusr1;
     sa.sa_flags = SA_RESTART;
     sigemptyset(&sa.sa_mask);
     sigaction(SIGUSR1, &sa, nullptr);
+    struct sigaction st {};
+    st.sa_handler = on_sigterm;
+    st.sa_flags = 0;
+    sigemptyset(&st.sa_mask);
+    sigaction(SIGTERM, &st, nullptr);
+    sigaction(SIGINT, &st, nullptr);
   }
   std::atomic<bool> stopping{false};
   std::thread dump_watcher([&stopping] {
@@ -180,8 +254,16 @@ int main(int argc, char** argv) {
     }
   });
 
-  // Park until stdin closes.
-  for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+  // Park until stdin closes or a termination signal arrives.
+  while (!g_terminate.load()) {
+    const int c = std::getchar();
+    if (c == EOF) {
+      if (errno == EINTR && !g_terminate.load()) {
+        clearerr(stdin);
+        continue;
+      }
+      break;
+    }
   }
 
   stopping.store(true);
@@ -190,7 +272,15 @@ int main(int argc, char** argv) {
     metrics->stop();
   }
   tcp.stop();
-  if (!image.empty()) {
+  if (durable) {
+    if (auto st = durable->checkpoint(); st) {
+      std::printf("final checkpoint written to %s\n", dur_opts.dir.c_str());
+    } else {
+      std::fprintf(stderr, "final checkpoint failed: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+  } else if (!image.empty()) {
     if (auto st = server->save_to_file(image); st) {
       std::printf("saved server image to %s\n", image.c_str());
     } else {
