@@ -12,6 +12,7 @@
 
 #include "core/client_math.h"
 #include "core/tree.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "support/bench_util.h"
 
@@ -110,5 +111,44 @@ int main() {
       .set("enabled_ns_per_op", on_ns)
       .set("overhead_pct", overhead_pct)
       .set("target_pct", 2.0);
+
+  // Flight recorder record() cost (DESIGN.md §14): one relaxed fetch-add
+  // plus five relaxed stores when metrics are on; one relaxed load and a
+  // branch when off. Measured the same interleaved way.
+  auto& fr = fgad::obs::FlightRecorder::instance();
+  fr.configure(4096);
+  constexpr std::size_t kRecords = 200'000;
+  auto record_round = [&fr]() {
+    fgad::Stopwatch sw;
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      fr.record(fgad::obs::FrEvent::kMark, i, i, i);
+    }
+    return sw.elapsed_seconds() * 1e9 / static_cast<double>(kRecords);
+  };
+  record_round();  // warm-up
+  std::vector<double> rec_on;
+  std::vector<double> rec_off;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const bool on = (r % 2) == 0;
+    if (on) {
+      fgad::obs::Metrics::enable();
+    } else {
+      fgad::obs::Metrics::disable();
+    }
+    (on ? rec_on : rec_off).push_back(record_round());
+  }
+  fgad::obs::Metrics::enable();
+  const double rec_on_ns = median(rec_on);
+  const double rec_off_ns = median(rec_off);
+  std::printf("\n  flight recorder record(): %.1f ns enabled, %.1f ns "
+              "disabled\n", rec_on_ns, rec_off_ns);
+  json.row()
+      .set("op", "flight_record")
+      .set("metrics", "enabled")
+      .set("ns_per_op", rec_on_ns);
+  json.row()
+      .set("op", "flight_record")
+      .set("metrics", "disabled")
+      .set("ns_per_op", rec_off_ns);
   return 0;
 }

@@ -24,6 +24,7 @@
 
 #include "cloud/recovery.h"
 #include "core/outsource.h"
+#include "obs/metrics.h"
 #include "support/bench_util.h"
 
 namespace fgad::bench {
@@ -174,6 +175,24 @@ void run() {
     opened.value().reset();
     remove_dir(dir);
   }
+
+  // The durability instrumentation (DESIGN.md §14) watched the same run
+  // from the inside: embed the registry's WAL histograms in the meta
+  // block so a snapshot records both the black-box and white-box view.
+  // Meta is informational — bench_compare only gates on rows.
+  const auto append_snap =
+      obs::Registry::instance().histogram("fgad_wal_append_ns").snapshot();
+  const auto fsync_snap =
+      obs::Registry::instance().histogram("fgad_wal_fsync_ns").snapshot();
+  json.meta()
+      .set("registry_wal_append_count", append_snap.count)
+      .set("registry_wal_append_p50_ns", append_snap.p50)
+      .set("registry_wal_append_p95_ns", append_snap.p95)
+      .set("registry_wal_append_p99_ns", append_snap.p99)
+      .set("registry_wal_fsync_count", fsync_snap.count)
+      .set("registry_wal_fsync_p50_ns", fsync_snap.p50)
+      .set("registry_wal_fsync_p95_ns", fsync_snap.p95)
+      .set("registry_wal_fsync_p99_ns", fsync_snap.p99);
 }
 
 }  // namespace

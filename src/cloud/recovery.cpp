@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -13,8 +14,10 @@
 #include "common/fsio.h"
 #include "crypto/hasher.h"
 #include "integrity/merkle.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fgad::cloud {
 
@@ -42,6 +45,48 @@ obs::Counter& replayed_counter() {
   static obs::Counter& c =
       obs::Registry::instance().counter("fgad_recovery_replayed_total");
   return c;
+}
+obs::Counter& skipped_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_recovery_skipped_total");
+  return c;
+}
+obs::Counter& dedup_evictions_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_dedup_evictions_total");
+  return c;
+}
+obs::Histogram& recovery_hist() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("fgad_recovery_duration_ns");
+  return h;
+}
+obs::Histogram& checkpoint_hist() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("fgad_checkpoint_duration_ns");
+  return h;
+}
+obs::Gauge& dedup_entries_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("fgad_dedup_entries");
+  return g;
+}
+obs::Gauge& ckpt_epoch_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("fgad_checkpoint_epoch");
+  return g;
+}
+obs::Gauge& ckpt_size_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("fgad_checkpoint_size_bytes");
+  return g;
+}
+// Checkpoint age is the scrape-side difference between now and this wall
+// timestamp — the standard Prometheus idiom for "age of X".
+obs::Gauge& ckpt_last_unix_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("fgad_checkpoint_last_unix_seconds");
+  return g;
 }
 
 Bytes io_error_frame(const std::string& msg) {
@@ -103,9 +148,11 @@ void RidDedup::put(std::uint64_t rid, Bytes response) {
   while (order_.size() >= capacity_) {
     by_rid_.erase(order_.front());
     order_.pop_front();
+    dedup_evictions_counter().inc();
   }
   order_.push_back(rid);
   by_rid_.emplace(rid, std::move(response));
+  dedup_entries_gauge().set(static_cast<std::int64_t>(order_.size()));
 }
 
 void RidDedup::serialize(proto::Writer& w) const {
@@ -237,6 +284,7 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
   if (opts.dir.empty()) {
     return Error(Errc::kInvalidArgument, "recovery: empty state dir");
   }
+  const std::uint64_t recover_t0 = obs::now_ns();
   auto ds = std::unique_ptr<DurableServer>(new DurableServer(
       opts, std::make_unique<CloudServer>(opts.server),
       RidDedup(opts.dedup_capacity)));
@@ -294,6 +342,9 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
   //    correct under any crash interleaving: records already covered by
   //    the chosen checkpoint are skipped, everything younger re-executes
   //    through the exact same dispatch path as live traffic.
+  obs::FlightRecorder::instance().record(
+      obs::FrEvent::kRecoveryBegin, 0, ds->recovery_.checkpoint_epoch);
+
   std::uint64_t max_lsn = base_lsn;
   Wal::ScanResult last_scan;
   std::uint64_t last_wal_epoch = 0;
@@ -333,8 +384,17 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
   ds->next_lsn_ = max_lsn + 1;
 
   // 3. The recovered image must satisfy every structural invariant before
-  //    we serve from it.
+  //    we serve from it. A failure here is exactly the moment forensics
+  //    matter, so the ring is dumped before the error propagates.
   if (auto st = fsck(*ds->server_); !st) {
+    auto& fr = obs::FlightRecorder::instance();
+    fr.record(obs::FrEvent::kFsckFail, 0);
+    char path[obs::FlightRecorder::kMaxDumpDir + 128];
+    if (fr.dump_auto("fsck", path, sizeof(path))) {
+      obs::Logger::instance().log(
+          obs::Level::kError, "flight_recorder_dump",
+          obs::Kv().str("path", path).str("error", st.to_string()));
+    }
     return st.error();
   }
 
@@ -357,8 +417,14 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
     }
   }
 
+  ds->recovery_.duration_ns = obs::now_ns() - recover_t0;
   recoveries_counter().inc();
   replayed_counter().inc(ds->recovery_.replayed);
+  skipped_counter().inc(ds->recovery_.skipped);
+  recovery_hist().observe(ds->recovery_.duration_ns);
+  obs::FlightRecorder::instance().record(obs::FrEvent::kRecoveryEnd, 0,
+                                         ds->recovery_.replayed,
+                                         ds->recovery_.skipped);
   obs::AuditLog::Entry audit;
   audit.op = "recovered";
   audit.item = ds->recovery_.replayed;
@@ -383,6 +449,9 @@ Bytes DurableServer::handle(BytesView request) {
   }
   const auto tag = proto::split_tagged(request);
   const std::uint64_t rid = tag ? tag->first : 0;
+  // Bind the rid to this thread before touching the durability layer so
+  // the WAL append/fsync and crash-point flight events it emits carry it.
+  obs::RequestScope rid_scope(rid);
 
   std::shared_ptr<Wal> wal;
   std::uint64_t ticket = 0;
@@ -396,6 +465,7 @@ Bytes DurableServer::handle(BytesView request) {
         // from the WAL after a crash); hand back the original response
         // instead of double-applying it.
         dedup_hits_counter().inc();
+        obs::FlightRecorder::instance().record(obs::FrEvent::kDedupHit, rid);
         return *cached;
       }
     }
@@ -447,6 +517,9 @@ Status DurableServer::checkpoint_locked() {
   }
   const std::uint64_t new_epoch = epoch_ + 1;
   const std::uint64_t last = next_lsn_ - 1;
+  obs::ScopedTimer ckpt_timer(checkpoint_hist());
+  obs::FlightRecorder::instance().record(
+      obs::FrEvent::kCheckpointBegin, obs::current_request_id(), new_epoch);
 
   proto::Writer w;
   w.u32(kCkptMagic);
@@ -523,6 +596,15 @@ Status DurableServer::checkpoint_locked() {
   epoch_ = new_epoch;
   mutations_since_checkpoint_ = 0;
   checkpoints_counter().inc();
+  ckpt_epoch_gauge().set(static_cast<std::int64_t>(new_epoch));
+  ckpt_size_gauge().set(static_cast<std::int64_t>(w.size()));
+  ckpt_last_unix_gauge().set(static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count()));
+  obs::FlightRecorder::instance().record(
+      obs::FrEvent::kCheckpointCommit, obs::current_request_id(), new_epoch,
+      w.size());
 
   // Keep the previous checkpoint as a fallback; everything older goes.
   for (std::uint64_t e : list_numbered(opts_.dir, "checkpoint-", ".ckpt")) {

@@ -77,6 +77,7 @@ class DurableServer {
     std::uint64_t checkpoint_epoch = 0;  // 0 = started from empty state
     std::uint64_t replayed = 0;          // WAL records re-executed
     std::uint64_t skipped = 0;           // records <= checkpoint LSN
+    std::uint64_t duration_ns = 0;       // wall time of the recovery pass
     bool torn_tail = false;              // WAL ended in a torn record
     bool checkpoint_fallback = false;    // newest checkpoint was invalid
   };

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/fsio.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -381,12 +382,34 @@ Bytes CloudServer::handle(BytesView request) {
   // byte-identically to the pre-tagging protocol.
   const auto tag = proto::split_tagged(request);
   const BytesView inner = tag ? tag->second : request;
+  const auto inner_type = proto::peek_type(inner);
+  const std::uint64_t type_ord =
+      inner_type ? static_cast<std::uint64_t>(*inner_type) : 0;
+  obs::FlightRecorder::instance().record(obs::FrEvent::kRpcStart,
+                                         tag ? tag->first : 0, type_ord);
   Bytes resp;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (tag) {
       obs::RequestScope scope(tag->first);
-      resp = handle_locked(inner);
+      // With --trace-capture on, collect this handler's span tree and
+      // park it in the TraceStore under the client's rid, where
+      // GET /trace.json?rid=... can fetch it for Perfetto.
+      const bool capture =
+          tag->first != 0 && obs::TraceStore::instance().capture_enabled();
+      if (capture) {
+        obs::trace_begin(tag->first);
+        obs::Span rpc_span(inner_type ? proto::msg_type_name(*inner_type)
+                                      : "decode-error");
+        resp = handle_locked(inner);
+      } else {
+        resp = handle_locked(inner);
+      }
+      if (capture) {
+        obs::TraceStore::instance().put(tag->first,
+                                        obs::trace_render_chrome_json());
+        obs::trace_stop();
+      }
     } else {
       resp = handle_locked(inner);
     }
@@ -394,8 +417,11 @@ Bytes CloudServer::handle(BytesView request) {
   if (proto::peek_type(resp) == proto::MsgType::kError) {
     errors.inc();
   }
-  if (const auto t = proto::peek_type(inner)) {
-    obs::Logger::instance().slow_op(proto::msg_type_name(*t),
+  obs::FlightRecorder::instance().record(obs::FrEvent::kRpcEnd,
+                                         tag ? tag->first : 0, type_ord,
+                                         timer.elapsed_ns());
+  if (inner_type) {
+    obs::Logger::instance().slow_op(proto::msg_type_name(*inner_type),
                                     timer.elapsed_ns(),
                                     tag ? tag->first : 0);
   }

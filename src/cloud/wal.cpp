@@ -9,7 +9,10 @@
 #include <cstring>
 
 #include "common/fsio.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/wire.h"
 
 namespace fgad::cloud {
@@ -59,6 +62,25 @@ obs::Counter& bytes_counter() {
   static obs::Counter& c =
       obs::Registry::instance().counter("fgad_wal_bytes_total");
   return c;
+}
+obs::Histogram& append_hist() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("fgad_wal_append_ns");
+  return h;
+}
+obs::Histogram& fsync_hist() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("fgad_wal_fsync_ns");
+  return h;
+}
+obs::Gauge& wal_size_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("fgad_wal_size_bytes");
+  return g;
+}
+obs::Gauge& wal_epoch_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("fgad_wal_epoch");
+  return g;
 }
 
 }  // namespace
@@ -113,6 +135,18 @@ void CrashPoint::fire(CrashSite site) {
     h = handlers_[i];
   }
   if (h) {
+    // The handler is about to simulate sudden death (throw or _exit), so
+    // capture the evidence first: the dump's tail then shows the exact
+    // mutation in flight (rid + WAL LSN) when the "crash" hit.
+    auto& fr = obs::FlightRecorder::instance();
+    fr.record(obs::FrEvent::kCrashPoint, obs::current_request_id(),
+              static_cast<std::uint64_t>(i));
+    char path[obs::FlightRecorder::kMaxDumpDir + 128];
+    if (fr.dump_auto("crashpoint", path, sizeof(path))) {
+      obs::Logger::instance().log(
+          obs::Level::kWarn, "flight_recorder_dump",
+          obs::Kv().str("path", path).str("site", crash_site_name(site)));
+    }
     h(site);
   }
 }
@@ -156,6 +190,8 @@ Wal::Wal(std::string path, int fd, std::uint64_t epoch, std::uint64_t size,
       fd_(fd),
       written_(size),
       durable_(size) {
+  wal_epoch_gauge().set(static_cast<std::int64_t>(epoch_));
+  wal_size_gauge().set(static_cast<std::int64_t>(written_));
   if (opts_.sync_ms > 0) {
     syncer_ = std::thread([this] { syncer_loop(); });
   }
@@ -289,13 +325,19 @@ Result<std::uint64_t> Wal::append(std::uint64_t lsn, BytesView request) {
   fw.raw(pw.data());
 
   std::unique_lock<std::mutex> lock(mu_);
-  if (auto st = write_all_fd(fd_, fw.data()); !st) {
-    return st.error();
+  {
+    obs::ScopedTimer timer(append_hist());
+    if (auto st = write_all_fd(fd_, fw.data()); !st) {
+      return st.error();
+    }
   }
   written_ += fw.size();
   const std::uint64_t ticket = written_;
   appends_counter().inc();
   bytes_counter().inc(fw.size());
+  wal_size_gauge().set(static_cast<std::int64_t>(written_));
+  obs::FlightRecorder::instance().record(
+      obs::FrEvent::kWalAppend, obs::current_request_id(), lsn, fw.size());
   if (opts_.sync_ms == 0) {
     if (auto st = fsync_locked_bytes(ticket); !st) {
       return st.error();
@@ -309,12 +351,17 @@ Status Wal::fsync_locked_bytes(std::uint64_t upto) {
   if (durable_ >= upto) {
     return Status::ok();
   }
+  const std::uint64_t t0 = obs::now_ns();
   if (::fsync(fd_) != 0) {
     sync_error_ = errno_status("wal fsync");
     return sync_error_;
   }
+  const std::uint64_t dur = obs::now_ns() - t0;
   fsyncs_counter().inc();
+  fsync_hist().observe(dur);
   durable_ = written_;
+  obs::FlightRecorder::instance().record(
+      obs::FrEvent::kWalFsync, obs::current_request_id(), durable_, dur);
   return Status::ok();
 }
 

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "proto/messages.h"
 
 namespace fgad::net {
 
@@ -28,37 +30,44 @@ Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
     if (dead_) {
       return Error(Errc::kConnReset, "fault: connection is down");
     }
-    const auto injected = [](const char* kind) {
+    const auto tag = proto::split_tagged(request);
+    const std::uint64_t rid = tag ? tag->first : 0;
+    // `code` is the stable FrEvent::kFaultInjected `a` value for this
+    // fault kind (documented in DESIGN.md §14), independent of the local
+    // Fault enum so dumps stay decodable if that enum is reordered.
+    const auto injected = [rid](const char* kind, std::uint64_t code) {
       obs::Registry::instance()
           .counter(std::string("fgad_fault_injected_") + kind + "_total")
           .inc();
+      obs::FlightRecorder::instance().record(obs::FrEvent::kFaultInjected,
+                                             rid, code);
     };
     if (next_unit() < opts_.drop_request) {
       fault = Fault::kDropReq;
       ++counters_.dropped_requests;
-      injected("drop_request");
+      injected("drop_request", 0);
     } else if (next_unit() < opts_.disconnect) {
       fault = Fault::kDisconnect;
       dead_ = true;
       ++counters_.disconnects;
-      injected("disconnect");
+      injected("disconnect", 1);
     } else if (next_unit() < opts_.drop_response) {
       fault = Fault::kDropResp;
       ++counters_.dropped_responses;
-      injected("drop_response");
+      injected("drop_response", 2);
     } else if (next_unit() < opts_.truncate_response) {
       fault = Fault::kTrunc;
       ++counters_.truncated;
-      injected("truncate");
+      injected("truncate", 3);
     } else if (next_unit() < opts_.bitflip_response) {
       fault = Fault::kFlip;
       ++counters_.bitflipped;
-      injected("bitflip");
+      injected("bitflip", 4);
     }
     if (next_unit() < opts_.delay) {
       delay_ms = opts_.delay_ms;
       ++counters_.delayed;
-      injected("delay");
+      injected("delay", 5);
     }
     cut = static_cast<std::uint64_t>(next_unit() * (1u << 30));
   }

@@ -4,9 +4,20 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "proto/messages.h"
 
 namespace fgad::net {
+
+namespace {
+/// Request id from a tagged frame (0 when untagged) so retry flight
+/// events correlate with the server-side WAL/RPC events for the same rid.
+std::uint64_t frame_rid(BytesView request) {
+  const auto tag = proto::split_tagged(request);
+  return tag ? tag->first : 0;
+}
+}  // namespace
 
 RetryChannel::RetryChannel(Dialer dialer, Options opts)
     : dialer_(std::move(dialer)),
@@ -33,6 +44,7 @@ int RetryChannel::backoff_ms(int attempt) {
 Result<Bytes> RetryChannel::roundtrip(BytesView request) {
   std::lock_guard<std::mutex> lock(mu_);
   const bool may_resend = opts_.retryable && opts_.retryable(request);
+  const std::uint64_t rid = frame_rid(request);
   Error last(Errc::kIoError, "retry: no attempt made");
   bool sent_once = false;
   for (int attempt = 0; attempt < std::max(1, opts_.max_attempts); ++attempt) {
@@ -49,6 +61,9 @@ Result<Bytes> RetryChannel::roundtrip(BytesView request) {
       static obs::Counter& dial_count =
           obs::Registry::instance().counter("fgad_retry_dials_total");
       dial_count.inc();
+      obs::FlightRecorder::instance().record(
+          obs::FrEvent::kRetryDial, rid,
+          static_cast<std::uint64_t>(attempt));
       if (!dialed) {
         // Dialing sends nothing, so a failed dial is always retryable.
         last = dialed.error();
@@ -61,6 +76,9 @@ Result<Bytes> RetryChannel::roundtrip(BytesView request) {
       static obs::Counter& resend_count =
           obs::Registry::instance().counter("fgad_retry_resends_total");
       resend_count.inc();
+      obs::FlightRecorder::instance().record(
+          obs::FrEvent::kRetryResend, rid,
+          static_cast<std::uint64_t>(attempt));
     }
     sent_once = true;
     Result<Bytes> resp = channel_->roundtrip(request);
@@ -79,6 +97,9 @@ Result<Bytes> RetryChannel::roundtrip(BytesView request) {
   static obs::Counter& exhausted =
       obs::Registry::instance().counter("fgad_retry_exhausted_total");
   exhausted.inc();
+  obs::FlightRecorder::instance().record(
+      obs::FrEvent::kRetryExhausted, rid,
+      static_cast<std::uint64_t>(std::max(1, opts_.max_attempts)));
   return Error(Errc::kRetryExhausted,
                "retry: gave up after " +
                    std::to_string(std::max(1, opts_.max_attempts)) +

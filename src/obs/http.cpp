@@ -8,10 +8,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fgad::obs {
 
@@ -152,7 +157,9 @@ void MetricsHttpServer::serve_one(int fd) {
   }
   const std::string method = req.substr(0, m_end);
   std::string path = req.substr(m_end + 1, p_end - m_end - 1);
+  std::string query;
   if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
     path.resize(q);
   }
   if (method != "GET") {
@@ -164,11 +171,39 @@ void MetricsHttpServer::serve_one(int fd) {
   }
   std::string resp;
   if (path == "/metrics") {
+    FlightRecorder::instance().publish_metrics();
     resp = http_response(200, "OK", "text/plain; version=0.0.4",
                          Registry::instance().render_text());
   } else if (path == "/metrics.json") {
+    FlightRecorder::instance().publish_metrics();
     resp = http_response(200, "OK", "application/json",
                          Registry::instance().render_json());
+  } else if (path == "/flightrecorder.json") {
+    resp = http_response(200, "OK", "application/json",
+                         FlightRecorder::instance().render_json());
+  } else if (path == "/traces.json") {
+    std::string body = "{\"rids\":[";
+    bool first = true;
+    for (std::uint64_t rid : TraceStore::instance().rids()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s\"%016" PRIx64 "\"",
+                    first ? "" : ",", rid);
+      body += buf;
+      first = false;
+    }
+    body += "]}";
+    resp = http_response(200, "OK", "application/json", body);
+  } else if (path == "/trace.json") {
+    // /trace.json?rid=<16-hex-digit id from /traces.json or a CLI trace>
+    std::uint64_t rid = 0;
+    if (query.compare(0, 4, "rid=") == 0) {
+      rid = std::strtoull(query.c_str() + 4, nullptr, 16);
+    }
+    const std::string body = TraceStore::instance().get(rid);
+    resp = body.empty()
+               ? http_response(404, "Not Found", "text/plain",
+                               "no trace for that rid\n")
+               : http_response(200, "OK", "application/json", body);
   } else if (path == "/healthz") {
     resp = http_response(200, "OK", "text/plain", "ok\n");
   } else {

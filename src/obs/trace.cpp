@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <vector>
 
+#include "common/fsio.h"
 #include "obs/metrics.h"
 
 namespace fgad::obs {
@@ -88,6 +90,127 @@ void trace_dump(std::FILE* out) {
   s.rid = 0;
   s.spans.clear();
   s.spans.shrink_to_fit();
+}
+
+namespace {
+
+/// One "X" (complete) trace event. ts/dur are microseconds as doubles —
+/// the resolution Chrome's trace-event format expects.
+void append_chrome_event(std::string& out, std::uint64_t rid,
+                         const char* name, std::uint32_t depth,
+                         std::uint64_t start_ns, std::uint64_t dur_ns,
+                         bool first) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                "\"dur\":%.3f,\"pid\":1,\"tid\":1,"
+                "\"args\":{\"rid\":\"%016" PRIx64 "\",\"depth\":%u}}",
+                first ? "" : ",", name,
+                static_cast<double>(start_ns) / 1e3,
+                static_cast<double>(dur_ns) / 1e3, rid, depth);
+  out += buf;
+}
+
+}  // namespace
+
+std::string trace_render_chrome_json() {
+  TraceState& s = state();
+  if (!s.collecting) {
+    return "";
+  }
+  const std::uint64_t now = now_ns() - s.t0_ns;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : s.spans) {
+    // A span still open when we render (dur recorded as 0 but started
+    // earlier) keeps dur 0 — Perfetto shows it as instantaneous, which is
+    // honest about what we measured.
+    append_chrome_event(out, s.rid, r.name, r.depth, r.start_ns, r.dur_ns,
+                        first);
+    first = false;
+  }
+  // A synthetic root spanning the whole trace so the viewer shows total
+  // wall time even when the first span started late.
+  append_chrome_event(out, s.rid, "trace", 0, 0, now, first);
+  out += "]}";
+  return out;
+}
+
+Status trace_export_json(const std::string& path) {
+  TraceState& s = state();
+  if (!s.collecting) {
+    return Status(Errc::kInvalidArgument, "trace export: no active trace");
+  }
+  const std::string json = trace_render_chrome_json();
+  trace_stop();
+  return fsio::atomic_write_file(
+      path, BytesView(reinterpret_cast<const std::uint8_t*>(json.data()),
+                      json.size()));
+}
+
+void trace_stop() {
+  TraceState& s = state();
+  if (!s.collecting) {
+    return;
+  }
+  s.collecting = false;
+  s.depth = 0;
+  s.rid = 0;
+  s.spans.clear();
+  s.spans.shrink_to_fit();
+}
+
+// ---- TraceStore ------------------------------------------------------------
+
+TraceStore& TraceStore::instance() {
+  static TraceStore ts;
+  return ts;
+}
+
+void TraceStore::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n;
+  while (order_.size() > capacity_) {
+    by_rid_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+bool TraceStore::capture_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ > 0;
+}
+
+void TraceStore::put(std::uint64_t rid, std::string trace_json) {
+  if (rid == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    return;
+  }
+  const auto it = by_rid_.find(rid);
+  if (it != by_rid_.end()) {
+    it->second = std::move(trace_json);  // refresh; order unchanged
+    return;
+  }
+  while (order_.size() >= capacity_) {
+    by_rid_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(rid);
+  by_rid_.emplace(rid, std::move(trace_json));
+}
+
+std::string TraceStore::get(std::uint64_t rid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_rid_.find(rid);
+  return it == by_rid_.end() ? std::string() : it->second;
+}
+
+std::vector<std::uint64_t> TraceStore::rids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::uint64_t>(order_.begin(), order_.end());
 }
 
 Span::Span(const char* name) : index_(kInactive) {

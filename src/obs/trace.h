@@ -13,6 +13,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
 
 namespace fgad::obs {
 
@@ -47,6 +54,48 @@ bool trace_active();
 /// Prints the collected span tree to `out`, then stops collection and
 /// clears the request id. No-op when no trace is active.
 void trace_dump(std::FILE* out);
+
+/// Renders the spans collected on this thread since trace_begin() as one
+/// Chrome trace-event JSON object (the `{"traceEvents":[...]}` flavor,
+/// loadable in Perfetto or chrome://tracing; DESIGN.md §14). Spans become
+/// complete ("ph":"X") events with microsecond ts/dur, so the nesting
+/// shows up as a flame graph. Does not stop collection; returns "" when
+/// no trace is active.
+std::string trace_render_chrome_json();
+
+/// trace_dump's file sibling: writes trace_render_chrome_json() to `path`
+/// atomically, then stops collection and clears the request id.
+Status trace_export_json(const std::string& path);
+
+/// Stops span collection on this thread without printing anything and
+/// clears the request id. No-op when no trace is active.
+void trace_stop();
+
+/// Bounded FIFO of rid -> rendered Chrome-trace JSON, filled by the server
+/// when capture is enabled (`fgad_server --trace-capture N`). Serves
+/// GET /traces.json (index) and GET /trace.json?rid=<hex> (one trace).
+class TraceStore {
+ public:
+  static TraceStore& instance();
+
+  /// Keeps the most recent `n` traces; 0 (the default) disables capture.
+  void set_capacity(std::size_t n);
+  bool capture_enabled() const;
+
+  void put(std::uint64_t rid, std::string trace_json);
+  /// The stored trace for `rid`, or "" when absent/evicted.
+  std::string get(std::uint64_t rid) const;
+  /// Stored rids, oldest first.
+  std::vector<std::uint64_t> rids() const;
+
+ private:
+  TraceStore() = default;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 0;
+  std::deque<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::string> by_rid_;
+};
 
 /// RAII span. `name` must outlive the trace (string literals only).
 class Span {

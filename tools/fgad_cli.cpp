@@ -56,7 +56,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: fgad --store KS --pass PW [--host H] [--port N]\n"
-      "            [--timeout-ms N] [--retries N] [--trace] CMD [args]\n"
+      "            [--timeout-ms N] [--retries N] [--trace]\n"
+      "            [--trace-json FILE] CMD [args]\n"
       "commands: init | files | outsource FILE PATH... | ls FILE |\n"
       "          cat FILE ITEM | put FILE PATH | edit FILE ITEM PATH |\n"
       "          rm FILE ITEM | drop FILE | stats FILE\n");
@@ -80,10 +81,23 @@ struct Session {
   }
 };
 
-/// Prints the span tree on scope exit (any return path) when --trace is
-/// active; a no-op otherwise.
+/// Exports or prints the span tree on scope exit (any return path) when
+/// --trace / --trace-json is active; a no-op otherwise. The JSON flavor
+/// wins when both are given: one file, loadable in Perfetto.
 struct TraceDumper {
-  ~TraceDumper() { obs::trace_dump(stderr); }
+  std::string json_path;
+  ~TraceDumper() {
+    if (!json_path.empty() && obs::trace_active()) {
+      if (auto st = obs::trace_export_json(json_path); !st) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     st.to_string().c_str());
+      } else {
+        std::fprintf(stderr, "trace written to %s\n", json_path.c_str());
+      }
+      return;
+    }
+    obs::trace_dump(stderr);
+  }
 };
 
 }  // namespace
@@ -96,6 +110,7 @@ int main(int argc, char** argv) {
   int timeout_ms = 30000;
   int retries = 4;
   bool trace = false;
+  std::string trace_json;
   std::vector<std::string> args;
 
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +129,9 @@ int main(int argc, char** argv) {
       retries = std::atoi(argv[++i]);
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace = true;
+      trace_json = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -128,6 +146,7 @@ int main(int argc, char** argv) {
   crypto::SystemRandom rnd;
 
   TraceDumper trace_dumper;
+  trace_dumper.json_path = trace_json;
   if (trace) {
     const std::uint64_t rid = obs::generate_request_id();
     std::fprintf(stderr, "trace: request id %016llx\n",

@@ -5,6 +5,8 @@
 //               [--max-workers N] [--idle-timeout-ms N]
 //               [--metrics-port N] [--audit-log PATH]
 //               [--log-level LVL] [--slow-op-ms N]
+//               [--flight-recorder-size N] [--flight-recorder-dir DIR]
+//               [--trace-capture N]
 //
 // Listens on 127.0.0.1:N (default 4270; 0 picks an ephemeral port, printed
 // on startup). The process runs until stdin reaches EOF or SIGTERM/SIGINT
@@ -39,6 +41,17 @@
 //   --log-level LVL    debug|info|warn|error|off (default info, to stderr)
 //   --slow-op-ms N     warn about RPCs slower than N ms (0 disables)
 //   SIGUSR1            dump the metrics registry to stderr
+//
+// Forensics (DESIGN.md §14):
+//   --flight-recorder-size N   ring capacity in events (default 4096,
+//                              rounded up to a power of two)
+//   --flight-recorder-dir DIR  where crash/SIGUSR2 dumps land (default:
+//                              the state dir, else ".")
+//   --trace-capture N          keep the last N per-request span trees,
+//                              served at /trace.json?rid=... (default 0)
+//   SIGUSR2                    dump the flight recorder ring to a file
+//   SIGSEGV/SIGABRT/SIGBUS     dump the ring on the way down (the dump
+//                              path is written to stderr), then re-raise
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -53,9 +66,11 @@
 #include "cloud/recovery.h"
 #include "cloud/server.h"
 #include "net/tcp.h"
+#include "obs/flight_recorder.h"
 #include "obs/http.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 std::atomic<bool> g_dump_requested{false};
@@ -75,6 +90,9 @@ int main(int argc, char** argv) {
   std::string audit_path;
   std::string log_level = "info";
   int slow_op_ms = 0;
+  std::size_t flight_recorder_size = obs::FlightRecorder::kDefaultCapacity;
+  std::string flight_recorder_dir;
+  std::size_t trace_capture = 0;
   cloud::CloudServer::Options opts;
   cloud::DurableServer::Options dur_opts;
   net::TcpServer::Options net_opts;
@@ -108,6 +126,14 @@ int main(int argc, char** argv) {
       log_level = argv[++i];
     } else if (arg == "--slow-op-ms" && i + 1 < argc) {
       slow_op_ms = std::atoi(argv[++i]);
+    } else if (arg == "--flight-recorder-size" && i + 1 < argc) {
+      flight_recorder_size =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--flight-recorder-dir" && i + 1 < argc) {
+      flight_recorder_dir = argv[++i];
+    } else if (arg == "--trace-capture" && i + 1 < argc) {
+      trace_capture =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: fgad_server [--port N] [--image PATH] [--state-dir DIR]\n"
@@ -115,7 +141,9 @@ int main(int argc, char** argv) {
           "                   [--no-integrity] [--max-workers N] "
           "[--idle-timeout-ms N]\n"
           "                   [--metrics-port N] [--audit-log PATH] "
-          "[--log-level LVL] [--slow-op-ms N]\n");
+          "[--log-level LVL] [--slow-op-ms N]\n"
+          "                   [--flight-recorder-size N] "
+          "[--flight-recorder-dir DIR] [--trace-capture N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -145,6 +173,24 @@ int main(int argc, char** argv) {
     }
     obs::AuditLog::instance().set_sink(audit_file);
   }
+
+  // Forensic flight recorder: ring + crash-signal/SIGUSR2 dump handlers.
+  // Configured before the durability layer opens so recovery events land
+  // in the ring and a crash during recovery already dumps.
+  {
+    obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+    fr.configure(flight_recorder_size);
+    if (flight_recorder_dir.empty()) {
+      flight_recorder_dir = dur_opts.dir.empty() ? "." : dur_opts.dir;
+    }
+    if (auto st = fr.set_dump_dir(flight_recorder_dir); !st) {
+      std::fprintf(stderr, "flight recorder dir %s: %s\n",
+                   flight_recorder_dir.c_str(), st.to_string().c_str());
+      return 2;
+    }
+    obs::FlightRecorder::install_crash_handlers();
+  }
+  obs::TraceStore::instance().set_capacity(trace_capture);
 
   // Deterministic crash injection for recovery integration tests.
   if (const char* crash_at = std::getenv("FGAD_CRASH_AT");
@@ -217,6 +263,10 @@ int main(int argc, char** argv) {
     std::printf("metrics on http://127.0.0.1:%u/metrics\n", metrics->port());
   }
 
+  std::printf("flight recorder: %zu events, dumps to %s (SIGUSR2 dumps on "
+              "demand)\n",
+              obs::FlightRecorder::instance().capacity(),
+              flight_recorder_dir.c_str());
   std::printf("fgad cloud server listening on 127.0.0.1:%u "
               "(integrity %s, durability %s, max %zu workers); "
               "EOF on stdin or SIGTERM stops it\n",

@@ -11,3 +11,4 @@ endfunction()
 
 fgad_tool(fgad_server_tool fgad_server.cpp fgad_server)
 fgad_tool(fgad_cli fgad_cli.cpp fgad)
+fgad_tool(bench_compare bench_compare.cpp bench_compare)
