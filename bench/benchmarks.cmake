@@ -25,3 +25,4 @@ target_link_libraries(micro_core PRIVATE benchmark::benchmark)
 fgad_bench(ablation_integrity)
 fgad_bench(obs_overhead)
 fgad_bench(wal_overhead)
+fgad_bench(net_concurrency)

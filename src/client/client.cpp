@@ -84,6 +84,73 @@ Result<Bytes> Client::call(BytesView frame, MsgType expect) {
   return std::move(env.value().payload);
 }
 
+Result<std::vector<Result<Bytes>>> Client::call_batch(
+    std::vector<Bytes> frames, MsgType expect) {
+  static obs::Counter& rpcs =
+      obs::Registry::instance().counter("fgad_client_rpcs_total");
+  static obs::Counter& rpc_errors =
+      obs::Registry::instance().counter("fgad_client_rpc_errors_total");
+  static obs::Counter& batches =
+      obs::Registry::instance().counter("fgad_client_rpc_batches_total");
+  rpcs.inc(frames.size());
+  batches.inc();
+  obs::Span span("batch_rpc");
+  std::vector<std::uint64_t> rids(frames.size(), 0);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto req_type = proto::peek_type(frames[i]);
+    std::uint64_t rid = obs::current_request_id();
+    if (rid != 0 ||
+        (opts_.tag_mutations && req_type && proto::is_mutating(*req_type))) {
+      // Pipelined frames need DISTINCT idempotency tokens even under one
+      // trace — a shared rid would dedup-collapse the whole batch.
+      rid = obs::generate_request_id();
+      rids[i] = rid;
+      frames[i] = proto::seal_tagged(rid, frames[i]);
+    }
+  }
+  auto resps = channel_.roundtrip_batch(frames);
+  if (!resps) {
+    rpc_errors.inc();
+    return resps.error();
+  }
+  std::vector<Result<Bytes>> out;
+  out.reserve(frames.size());
+  for (std::size_t i = 0; i < resps.value().size(); ++i) {
+    auto env = proto::open_message(resps.value()[i]);
+    if (!env) {
+      rpc_errors.inc();
+      out.push_back(env.error());
+      continue;
+    }
+    if (rids[i] != 0 && env.value().request_id.value_or(rids[i]) != rids[i]) {
+      rpc_errors.inc();
+      out.push_back(Error(Errc::kDecodeError,
+                          "client: response carries a different request id"));
+      continue;
+    }
+    if (env.value().type == MsgType::kError) {
+      rpc_errors.inc();
+      proto::Reader r(env.value().payload);
+      auto err = proto::ErrorMsg::from(r);
+      if (!err) {
+        out.push_back(
+            Error(Errc::kDecodeError, "client: malformed error response"));
+      } else {
+        out.push_back(Error(err.value().code, err.value().message));
+      }
+      continue;
+    }
+    if (env.value().type != expect) {
+      rpc_errors.inc();
+      out.push_back(
+          Error(Errc::kDecodeError, "client: unexpected response type"));
+      continue;
+    }
+    out.push_back(std::move(env.value().payload));
+  }
+  return out;
+}
+
 Result<Client::FileHandle> Client::outsource(
     std::uint64_t file_id, std::size_t n_items,
     const std::function<Bytes(std::size_t)>& item_at) {
@@ -167,6 +234,46 @@ Result<Bytes> Client::access(const FileHandle& fh, proto::ItemRef ref) {
   return std::move(opened.value().plaintext);
 }
 
+Result<proto::ModifyReq> Client::build_modify(const FileHandle& fh,
+                                              std::uint64_t item_id,
+                                              BytesView access_payload,
+                                              BytesView new_content) {
+  proto::Reader r(access_payload);
+  auto resp = proto::AccessResp::from(r);
+  if (!resp) {
+    return resp.error();
+  }
+  const core::AccessInfo& info = resp.value().info;
+
+  proto::ModifyReq mreq;
+  CumulativeTimer::Section sec(compute_timer_);
+  if (!info.path.well_formed()) {
+    return Error(Errc::kTamperDetected, "modify: malformed path");
+  }
+  crypto::Md key = derive_item_key(fh, info);
+  auto opened = codec_.open(key, info.ciphertext);
+  if (!opened && opts_.use_prefix_cache) {
+    fh.cache.invalidate();
+    const crypto::Md fresh =
+        math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+    if (fresh != key) {
+      key = fresh;
+      opened = codec_.open(key, info.ciphertext);
+    }
+  }
+  if (!opened) {
+    return Error(Errc::kIntegrityMismatch, "modify: item failed check");
+  }
+  if (opened.value().r != info.item_id) {
+    return Error(Errc::kTamperDetected, "modify: counter value mismatch");
+  }
+  mreq.file_id = fh.id;
+  mreq.item_id = item_id;
+  mreq.ciphertext = codec_.seal(key, new_content, opened.value().r, rnd_);
+  mreq.plain_size = new_content.size();
+  return mreq;
+}
+
 Status Client::modify(const FileHandle& fh, std::uint64_t item_id,
                       BytesView new_content) {
   obs::Span op_span("client:modify");
@@ -179,42 +286,58 @@ Status Client::modify(const FileHandle& fh, std::uint64_t item_id,
   if (!payload) {
     return payload.status();
   }
-  proto::Reader r(payload.value());
-  auto resp = proto::AccessResp::from(r);
-  if (!resp) {
-    return resp.status();
+  auto mreq = build_modify(fh, item_id, payload.value(), new_content);
+  if (!mreq) {
+    return mreq.status();
   }
-  const core::AccessInfo& info = resp.value().info;
+  return call(mreq.value().to_frame(), MsgType::kModifyResp).status();
+}
 
-  proto::ModifyReq mreq;
-  {
-    CumulativeTimer::Section sec(compute_timer_);
-    if (!info.path.well_formed()) {
-      return Status(Errc::kTamperDetected, "modify: malformed path");
-    }
-    crypto::Md key = derive_item_key(fh, info);
-    auto opened = codec_.open(key, info.ciphertext);
-    if (!opened && opts_.use_prefix_cache) {
-      fh.cache.invalidate();
-      const crypto::Md fresh =
-          math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
-      if (fresh != key) {
-        key = fresh;
-        opened = codec_.open(key, info.ciphertext);
-      }
-    }
-    if (!opened) {
-      return Status(Errc::kIntegrityMismatch, "modify: item failed check");
-    }
-    if (opened.value().r != info.item_id) {
-      return Status(Errc::kTamperDetected, "modify: counter value mismatch");
-    }
-    mreq.file_id = fh.id;
-    mreq.item_id = item_id;
-    mreq.ciphertext = codec_.seal(key, new_content, opened.value().r, rnd_);
-    mreq.plain_size = new_content.size();
+Status Client::modify_batch(
+    const FileHandle& fh,
+    std::span<const std::pair<std::uint64_t, Bytes>> updates) {
+  obs::Span op_span("client:modify_batch");
+  if (updates.empty()) {
+    return Status::ok();
   }
-  return call(mreq.to_frame(), MsgType::kModifyResp).status();
+  // Phase 1: pipelined access of every target item.
+  std::vector<Bytes> frames;
+  frames.reserve(updates.size());
+  for (const auto& [item_id, content] : updates) {
+    (void)content;
+    proto::AccessReq areq;
+    areq.file_id = fh.id;
+    areq.ref = proto::ItemRef::id(item_id);
+    frames.push_back(areq.to_frame());
+  }
+  auto aresps = call_batch(std::move(frames), MsgType::kAccessResp);
+  if (!aresps) {
+    return aresps.status();
+  }
+  // Phase 2: verify + re-seal locally, then pipeline the uploads.
+  std::vector<Bytes> uploads;
+  uploads.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (!aresps.value()[i]) {
+      return aresps.value()[i].status();
+    }
+    auto mreq = build_modify(fh, updates[i].first, aresps.value()[i].value(),
+                             updates[i].second);
+    if (!mreq) {
+      return mreq.status();
+    }
+    uploads.push_back(mreq.value().to_frame());
+  }
+  auto mresps = call_batch(std::move(uploads), MsgType::kModifyResp);
+  if (!mresps) {
+    return mresps.status();
+  }
+  for (const auto& resp : mresps.value()) {
+    if (!resp) {
+      return resp.status();
+    }
+  }
+  return Status::ok();
 }
 
 Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
@@ -327,6 +450,152 @@ Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
   }
   return Status(Errc::kDuplicateModulator,
                 "delete: retries exhausted (server kept reporting duplicates)");
+}
+
+Status Client::erase_batch(std::span<FileHandle* const> files,
+                           std::span<const proto::ItemRef> refs) {
+  obs::Span op_span("client:erase_batch");
+  if (files.size() != refs.size()) {
+    return Status(Errc::kInvalidArgument,
+                  "erase_batch: files/refs size mismatch");
+  }
+  if (files.empty()) {
+    return Status::ok();
+  }
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i] == nullptr) {
+      return Status(Errc::kInvalidArgument, "erase_batch: null file handle");
+    }
+    for (std::size_t j = i + 1; j < files.size(); ++j) {
+      if (files[j] != nullptr && files[j]->id == files[i]->id) {
+        return Status(Errc::kInvalidArgument,
+                      "erase_batch: duplicate file id (deletions within one "
+                      "file serialize on the key rotation)");
+      }
+    }
+  }
+
+  Status first_error = Status::ok();
+  auto note = [&first_error](const Status& st) {
+    if (first_error.is_ok() && !st.is_ok()) {
+      first_error = st;
+    }
+  };
+
+  // Phase 1: pipeline every DeleteBegin.
+  std::vector<Bytes> begins;
+  begins.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    proto::DeleteBeginReq breq;
+    breq.file_id = files[i]->id;
+    breq.ref = refs[i];
+    begins.push_back(breq.to_frame());
+  }
+  auto bresps = call_batch(std::move(begins), MsgType::kDeleteBeginResp);
+  if (!bresps) {
+    return bresps.status();
+  }
+
+  // Phase 2: plan each deletion locally. The F(K',M_k) collision re-run
+  // is pure client-side compute, so it stays inside this loop; only the
+  // commit round-trips. Every file whose plan verifies gets staged.
+  struct Staged {
+    std::size_t idx;
+    MasterKey fresh;
+    Bytes frame;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(files.size());
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto& slot = bresps.value()[i];
+    if (!slot) {
+      note(slot.status());
+      continue;
+    }
+    proto::Reader r(slot.value());
+    auto bresp = proto::DeleteBeginResp::from(r);
+    if (!bresp) {
+      note(bresp.status());
+      continue;
+    }
+    const core::DeleteInfo& info = bresp.value().info;
+    FileHandle& fh = *files[i];
+
+    auto plan_one = [&](MasterKey& fresh_out) -> Result<proto::DeleteCommitReq> {
+      CumulativeTimer::Section sec(compute_timer_);
+      obs::Span span("plan_delete");
+      for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+        MasterKey fresh = MasterKey::generate(rnd_, math_.width());
+        auto plan =
+            math_.plan_delete(info, fh.key.value(), fresh.value(), rnd_);
+        if (!plan) {
+          if (plan.error().code == Errc::kInvalidArgument) {
+            continue;  // F(K',M_k) collision: pick another K'
+          }
+          return plan.error();
+        }
+        obs::Span verify_span("verify_target");
+        auto opened = codec_.open(plan.value().old_key, info.ciphertext);
+        if (!opened) {
+          return Error(Errc::kTamperDetected,
+                       "delete: MT(k) does not decrypt the target item");
+        }
+        if (opened.value().r != info.item_id) {
+          return Error(Errc::kTamperDetected,
+                       "delete: counter value mismatch");
+        }
+        proto::DeleteCommitReq creq;
+        creq.file_id = fh.id;
+        creq.commit = std::move(plan.value().commit);
+        fresh_out = std::move(fresh);
+        return creq;
+      }
+      return Error(Errc::kDuplicateModulator,
+                   "delete: retries exhausted picking a fresh key");
+    };
+
+    MasterKey fresh;
+    auto creq = plan_one(fresh);
+    if (!creq) {
+      note(creq.status());
+      continue;
+    }
+    staged.push_back(Staged{i, std::move(fresh), creq.value().to_frame()});
+  }
+
+  // Phase 3: pipeline the commits, then rotate keys for exactly the
+  // files whose commit the server confirmed.
+  if (!staged.empty()) {
+    std::vector<Bytes> commits;
+    commits.reserve(staged.size());
+    for (auto& s : staged) {
+      commits.push_back(std::move(s.frame));
+    }
+    auto cresps = call_batch(std::move(commits), MsgType::kDeleteCommitResp);
+    if (!cresps) {
+      return cresps.status();
+    }
+    for (std::size_t k = 0; k < staged.size(); ++k) {
+      Staged& s = staged[k];
+      FileHandle& fh = *files[s.idx];
+      const auto& resp = cresps.value()[k];
+      if (resp) {
+        // Server committed: permanently destroy the old master key.
+        fh.key = std::move(s.fresh);
+        fh.cache.invalidate();
+        continue;
+      }
+      if (resp.error().code == Errc::kDuplicateModulator) {
+        // The server saw a modulator collision we could not predict
+        // locally; the sequential retry loop handles the re-run.
+        note(erase_item(fh, refs[s.idx]));
+      } else {
+        note(resp.status());
+      }
+    }
+  }
+  return first_error;
 }
 
 Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {

@@ -85,6 +85,16 @@ class Client {
   Status modify(const FileHandle& fh, std::uint64_t item_id,
                 BytesView new_content);
 
+  /// Bulk upload: pipelined modify of many items of one file. Both
+  /// phases (access fetch, re-sealed upload) go through the channel's
+  /// batched path, so against a TcpChannel + reactor server all frames
+  /// of a phase are in flight at once and the server's group committer
+  /// amortizes one fsync over the batch. Item ids must be distinct
+  /// (modify does not touch the tree, so items are independent).
+  Status modify_batch(
+      const FileHandle& fh,
+      std::span<const std::pair<std::uint64_t, Bytes>> updates);
+
   /// Inserts a new item; returns its unique id r. `after_item_id` positions
   /// it in file order (kAppend = end of file).
   Result<std::uint64_t> insert(
@@ -95,6 +105,18 @@ class Client {
   /// a fresh master key, sends the modulator deltas, and rotates the handle
   /// key — securely destroying the old one — once the server commits.
   Status erase_item(FileHandle& fh, proto::ItemRef ref);
+
+  /// Batched assured deletion across DISTINCT files: the begin phase and
+  /// the commit phase are each pipelined over the channel's batched
+  /// path. Deletions within one file cannot pipeline — each rotates the
+  /// master key and restructures the tree, so `files` must not repeat a
+  /// file id (kInvalidArgument otherwise). `files[i]` is the handle for
+  /// `refs[i]`; a key is rotated if and only if that file's commit
+  /// succeeded. Per-file duplicate-modulator rejections fall back to the
+  /// sequential erase_item retry loop; the first other failure is
+  /// returned after every file has been attempted.
+  Status erase_batch(std::span<FileHandle* const> files,
+                     std::span<const proto::ItemRef> refs);
 
   /// Whole-file access (Table III): fetches the modulation tree and all
   /// ciphertexts, derives every data key in one pass, and decrypts.
@@ -130,6 +152,23 @@ class Client {
 
  private:
   Result<Bytes> call(BytesView frame, proto::MsgType expect);
+
+  /// Pipelined batch of `call`s: tags each mutating frame with its own
+  /// request id, ships all frames through RpcChannel::roundtrip_batch,
+  /// and validates each response (rid echo, type) independently. A
+  /// transport-level failure fails the whole batch; per-request error
+  /// frames come back as per-slot errors so callers can fall back
+  /// per-item (duplicate modulators).
+  Result<std::vector<Result<Bytes>>> call_batch(std::vector<Bytes> frames,
+                                                proto::MsgType expect);
+
+  /// Verifies one AccessResp payload (path shape, decrypt, counter echo)
+  /// and re-seals `new_content` under the item's data key: the
+  /// crypto half of modify(), shared with modify_batch().
+  Result<proto::ModifyReq> build_modify(const FileHandle& fh,
+                                        std::uint64_t item_id,
+                                        BytesView access_payload,
+                                        BytesView new_content);
 
   /// Data key of one item; goes through the per-file prefix cache when
   /// Options::use_prefix_cache is set.

@@ -61,6 +61,16 @@ obs::Histogram& recovery_hist() {
       obs::Registry::instance().histogram("fgad_recovery_duration_ns");
   return h;
 }
+obs::Histogram& commit_batch_hist() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("fgad_wal_commit_batch_size");
+  return h;
+}
+obs::Counter& group_commits_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_wal_group_commits_total");
+  return c;
+}
 obs::Histogram& checkpoint_hist() {
   static obs::Histogram& h =
       obs::Registry::instance().histogram("fgad_checkpoint_duration_ns");
@@ -250,6 +260,111 @@ Status fsck(const CloudServer& server) {
     }
   }
   return Status::ok();
+}
+
+// ---- GroupCommitter --------------------------------------------------------
+
+GroupCommitter::GroupCommitter() {
+  thread_ = std::thread([this] { loop(); });
+}
+
+GroupCommitter::~GroupCommitter() {
+  stop();
+}
+
+void GroupCommitter::enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
+                             Release release) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      queue_.push_back(Entry{std::move(wal), ticket, std::move(release)});
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Shut down: degrade to a single-entry flush on the caller's thread so
+  // the durability contract still holds.
+  std::vector<Entry> one;
+  one.push_back(Entry{std::move(wal), ticket, std::move(release)});
+  flush(one);
+}
+
+void GroupCommitter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void GroupCommitter::flush(std::vector<Entry>& batch) {
+  // Consecutive entries on the same log share one fsync: sync_to() with
+  // the run's highest ticket covers every record staged at or below it.
+  // (In practice the run is the whole batch; it only splits across a
+  // checkpoint-triggered WAL rotation.)
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    std::size_t j = i;
+    std::uint64_t max_ticket = 0;
+    while (j < batch.size() && batch[j].wal == batch[i].wal) {
+      max_ticket = std::max(max_ticket, batch[j].ticket);
+      ++j;
+    }
+    // A crash here loses the WHOLE staged batch atomically: nothing in
+    // [i, j) was acknowledged yet, and the un-fsynced tail vanishes as
+    // one unit. Tests arm this site to prove no torn partial-batch ACKs.
+    Status st = Status::ok();
+    std::uint64_t fsync_ns = 0;
+    try {
+      CrashPoint::instance().fire(CrashSite::kBeforeGroupFsync);
+      const std::uint64_t t0 = obs::now_ns();
+      st = batch[i].wal ? batch[i].wal->sync_to(max_ticket) : Status::ok();
+      fsync_ns = obs::now_ns() - t0;
+    } catch (const CrashError&) {
+      // Simulated death mid-commit (throw-flavor crash point): the batch
+      // dies unacknowledged, exactly like the process would.
+      for (std::size_t k = i; k < j; ++k) {
+        batch[k].release = nullptr;
+      }
+      i = j;
+      continue;
+    }
+    const std::uint64_t n = j - i;
+    group_commits_counter().inc();
+    commit_batch_hist().observe(n);
+    obs::FlightRecorder::instance().record(obs::FrEvent::kGroupCommitFlush, 0,
+                                           n, fsync_ns);
+    for (std::size_t k = i; k < j; ++k) {
+      if (batch[k].release) {
+        batch[k].release(st);
+      }
+    }
+    i = j;
+  }
+  batch.clear();
+}
+
+void GroupCommitter::loop() {
+  std::vector<Entry> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      break;  // stop_ with nothing left to flush
+    }
+    // Swap out the entire stage: everything that arrived while the
+    // previous fsync ran commits under the next single flush.
+    batch.swap(queue_);
+    lock.unlock();
+    flush(batch);
+    lock.lock();
+  }
 }
 
 // ---- DurableServer ---------------------------------------------------------
@@ -500,6 +615,79 @@ Bytes DurableServer::handle(BytesView request) {
   }
   CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
   return resp;
+}
+
+void DurableServer::handle_async(Bytes request, Done done) {
+  const auto type = proto::peek_type(request);
+  if (!type || !proto::is_mutating(*type)) {
+    done(server_->handle(request));  // reads never touch the log
+    return;
+  }
+  const auto tag = proto::split_tagged(request);
+  const std::uint64_t rid = tag ? tag->first : 0;
+  obs::RequestScope rid_scope(rid);
+
+  std::shared_ptr<Wal> wal;
+  std::uint64_t ticket = 0;
+  Bytes resp;
+  bool durable_already = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rid != 0) {
+      if (const Bytes* cached = dedup_.find(rid)) {
+        dedup_hits_counter().inc();
+        obs::FlightRecorder::instance().record(obs::FrEvent::kDedupHit, rid);
+        resp = *cached;
+        durable_already = true;
+      }
+    }
+    if (!durable_already) {
+      CrashPoint::instance().fire(CrashSite::kBeforeWalAppend);
+      if (wal_) {
+        const std::uint64_t lsn = next_lsn_++;
+        // Staged, not yet durable: the group committer below performs
+        // the fsync for the whole cross-connection batch at once.
+        auto t = wal_->append(lsn, request, /*defer_sync=*/true);
+        if (!t) {
+          done(io_error_frame("wal append failed: " + t.error().message));
+          return;
+        }
+        ticket = t.value();
+        wal = wal_;
+      }
+      resp = server_->handle(request);
+      dedup_.put(rid, resp);
+      ++mutations_since_checkpoint_;
+      if (opts_.checkpoint_every_n > 0 &&
+          mutations_since_checkpoint_ >= opts_.checkpoint_every_n) {
+        // checkpoint_locked() fsyncs the log first, so the staged record
+        // is durable once this succeeds — no ticket wait needed.
+        if (auto st = checkpoint_locked(); st) {
+          durable_already = true;
+        }
+      }
+    }
+  }
+  if (wal == nullptr || durable_already) {
+    CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
+    done(std::move(resp));
+    return;
+  }
+  committer_.enqueue(
+      wal, ticket,
+      [rid, resp = std::move(resp), done = std::move(done)](Status st) mutable {
+        if (!st) {
+          done(io_error_frame("wal sync failed: " + st.to_string()));
+          return;
+        }
+        obs::RequestScope rid_scope(rid);
+        try {
+          CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
+        } catch (const CrashError&) {
+          return;  // simulated death before the ACK: drop the response
+        }
+        done(std::move(resp));
+      });
 }
 
 Status DurableServer::checkpoint() {

@@ -22,10 +22,15 @@
 //   wal-<epoch>.log           records logged on top of checkpoint <epoch>
 #pragma once
 
+#include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "cloud/server.h"
 #include "cloud/wal.h"
@@ -61,6 +66,56 @@ class RidDedup {
 /// from-scratch recomputation of each file's integrity root.
 Status fsck(const CloudServer& server);
 
+/// Cross-connection WAL group commit (DESIGN.md §15).
+///
+/// Mutation handlers stage their WAL append (Wal::append with
+/// defer_sync) and park the pending acknowledgement here as a commit
+/// ticket + release callback. The committer thread swaps out the whole
+/// stage, performs ONE fsync covering its highest ticket (Wal::sync_to),
+/// and releases every parked response in one wake — so one disk flush
+/// amortizes over however many mutations arrived while the previous
+/// flush was in progress. Batching is natural, not timed: an idle server
+/// still gets fsync-per-mutation latency, a loaded one gets batches.
+class GroupCommitter {
+ public:
+  /// Invoked exactly once per enqueue, after the entry's bytes are
+  /// durable (or with the fsync error). May run on the committer thread
+  /// or inline in enqueue() after shutdown.
+  using Release = std::function<void(Status)>;
+
+  GroupCommitter();
+  ~GroupCommitter();
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Parks one staged append: `ticket` is the Wal::append return value on
+  /// `wal`. The shared_ptr keeps a rotated-away log alive until its last
+  /// parked response is released.
+  void enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
+               Release release);
+
+  /// Flushes stragglers and joins the committer thread. Entries enqueued
+  /// after stop() are synced + released inline on the caller's thread.
+  void stop();
+
+ private:
+  struct Entry {
+    std::shared_ptr<Wal> wal;
+    std::uint64_t ticket = 0;
+    Release release;
+  };
+
+  void loop();
+  /// One fsync per consecutive same-log run of `batch`, then releases.
+  static void flush(std::vector<Entry>& batch);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 class DurableServer {
  public:
   struct Options {
@@ -92,8 +147,22 @@ class DurableServer {
 
   /// Drop-in replacement for CloudServer::handle: reads pass through;
   /// mutations are dedup-checked, WAL-logged, applied, and only
-  /// acknowledged once durable.
+  /// acknowledged once durable. The fsync happens on the caller's thread
+  /// (fsync-per-ACK when sync_ms == 0).
   Bytes handle(BytesView request);
+
+  /// Completion for handle_async: receives the response frame once the
+  /// mutation is durable. May be invoked inline (reads, dedup hits,
+  /// errors) or later from the group-commit thread.
+  using Done = std::function<void(Bytes)>;
+
+  /// Pipelining-aware variant of handle() for the reactor server: the
+  /// mutation is staged into the WAL and the acknowledgement parks on a
+  /// GroupCommitter ticket, so one fsync covers every mutation staged
+  /// across all connections while the previous flush was in flight.
+  /// Call-order per connection is preserved by the reactor's response
+  /// slots, not by this function.
+  void handle_async(Bytes request, Done done);
 
   /// Writes an atomic checkpoint now and rotates the WAL. Also invoked
   /// automatically every checkpoint_every_n mutations and by fgad_server
@@ -125,6 +194,9 @@ class DurableServer {
   std::uint64_t next_lsn_ = 1;
   std::uint64_t mutations_since_checkpoint_ = 0;
   RecoveryInfo recovery_;
+  // Declared last: its thread holds shared_ptr<Wal> copies and must be
+  // stopped before the members above are torn down.
+  GroupCommitter committer_;
 };
 
 }  // namespace fgad::cloud

@@ -97,6 +97,8 @@ const char* crash_site_name(CrashSite s) {
       return "mid-checkpoint";
     case CrashSite::kPostRename:
       return "post-rename";
+    case CrashSite::kBeforeGroupFsync:
+      return "before-group-fsync";
     default:
       return "unknown";
   }
@@ -315,7 +317,8 @@ Result<std::unique_ptr<Wal>> Wal::reopen(const std::string& path,
       new Wal(path, fd, scan.epoch, scan.valid_end, opts));
 }
 
-Result<std::uint64_t> Wal::append(std::uint64_t lsn, BytesView request) {
+Result<std::uint64_t> Wal::append(std::uint64_t lsn, BytesView request,
+                                  bool defer_sync) {
   proto::Writer pw;
   pw.u64(lsn);
   pw.bytes(request);
@@ -338,12 +341,25 @@ Result<std::uint64_t> Wal::append(std::uint64_t lsn, BytesView request) {
   wal_size_gauge().set(static_cast<std::int64_t>(written_));
   obs::FlightRecorder::instance().record(
       obs::FrEvent::kWalAppend, obs::current_request_id(), lsn, fw.size());
-  if (opts_.sync_ms == 0) {
+  if (opts_.sync_ms == 0 && !defer_sync) {
     if (auto st = fsync_locked_bytes(ticket); !st) {
       return st.error();
     }
   }
   return ticket;
+}
+
+Status Wal::sync_to(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (opts_.sync_ms < 0) {
+    return Status::ok();  // durability disabled (bench-only)
+  }
+  const Status st = fsync_locked_bytes(ticket);
+  lock.unlock();
+  // Window-mode handlers may be parked in sync_through() on bytes this
+  // flush just covered.
+  cv_.notify_all();
+  return st;
 }
 
 Status Wal::fsync_locked_bytes(std::uint64_t upto) {
@@ -396,6 +412,11 @@ Status Wal::sync_now() {
 std::uint64_t Wal::appended_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return written_;
+}
+
+std::uint64_t Wal::durable_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_;
 }
 
 void Wal::syncer_loop() {

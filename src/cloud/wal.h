@@ -55,7 +55,8 @@ enum class CrashSite : int {
   kAfterWalPreAck = 1,    // record durable + applied, ACK not sent
   kMidCheckpoint = 2,     // checkpoint temp file written, not yet renamed
   kPostRename = 3,        // checkpoint renamed, WAL not yet rotated
-  kCount = 4,
+  kBeforeGroupFsync = 4,  // commit batch staged (appended), fsync not done
+  kCount = 5,
 };
 
 const char* crash_site_name(CrashSite s);
@@ -142,12 +143,24 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Appends one record (write(2), not yet durable unless sync_ms == 0).
-  /// Returns a ticket for sync_through().
-  Result<std::uint64_t> append(std::uint64_t lsn, BytesView request);
+  /// Returns a ticket for sync_through()/sync_to(). With `defer_sync`
+  /// the sync_ms == 0 inline fsync is skipped — the record is *staged*
+  /// and the caller (the cross-connection group committer) is
+  /// responsible for making it durable via sync_to() before anything is
+  /// acknowledged on its strength.
+  Result<std::uint64_t> append(std::uint64_t lsn, BytesView request,
+                               bool defer_sync = false);
 
   /// Blocks until every byte up to `ticket` is fsynced (no-op when
   /// sync_ms <= 0 or already durable).
   Status sync_through(std::uint64_t ticket);
+
+  /// Immediately fsyncs through `ticket` on the caller's thread,
+  /// regardless of the sync_ms window mode (no-op when sync_ms < 0 —
+  /// durability disabled — or already durable). One call covers every
+  /// record staged at or below the ticket: this is the group-commit
+  /// flush primitive.
+  Status sync_to(std::uint64_t ticket);
 
   /// fsyncs everything appended so far.
   Status sync_now();
@@ -155,6 +168,8 @@ class Wal {
   std::uint64_t epoch() const { return epoch_; }
   const std::string& path() const { return path_; }
   std::uint64_t appended_bytes() const;
+  /// Bytes known fsynced (the durable prefix of the ticket space).
+  std::uint64_t durable_bytes() const;
 
  private:
   Wal(std::string path, int fd, std::uint64_t epoch, std::uint64_t size,

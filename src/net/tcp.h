@@ -8,19 +8,28 @@
 // Robustness (DESIGN.md §11): every socket operation runs on a non-blocking
 // fd behind a poll()-based deadline, so a stalled or malicious peer can
 // only cost the caller its configured timeout, never a hang. Frame-size
-// limits are enforced symmetrically on send and receive. The server runs a
-// bounded worker pool: finished workers deregister their fd and are reaped,
-// and the accept loop applies backpressure (stops accepting) at the bound.
-// Failures surface through the structured taxonomy in common/result.h:
-// kTimeout (deadline expired), kConnReset (peer closed/reset), kIoError
-// (other socket failure), kDecodeError (frame-limit violations).
+// limits are enforced symmetrically on send and receive. Failures surface
+// through the structured taxonomy in common/result.h: kTimeout (deadline
+// expired), kConnReset (peer closed/reset), kIoError (other socket
+// failure), kDecodeError (frame-limit violations).
+//
+// Server core (DESIGN.md §15): an epoll (fallback: poll) reactor. A small
+// fixed set of IOWorker event-loop threads each owns a share of the
+// non-blocking connection fds; per-connection read/write buffers support
+// request pipelining — multiple frames in flight per connection, responses
+// written back in request-arrival order regardless of the order handlers
+// complete in. Idle and write-stall deadlines are folded into the event
+// loop, and the accept path backs off (instead of dying) under fd
+// exhaustion. `Options::max_workers` keeps its historical meaning as the
+// concurrent-connection bound: at the bound the accept loop stops
+// accepting and the kernel backlog queues the overflow.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -67,30 +76,61 @@ class TcpChannel final : public RpcChannel {
 
   Result<Bytes> roundtrip(BytesView request) override;
 
+  /// Pipelined batch: all requests are written without waiting for the
+  /// responses, full-duplex (reads interleave with writes so neither
+  /// side's socket buffer can deadlock a large batch). Responses come
+  /// back in request order, as guaranteed by the reactor server. The
+  /// io_timeout_ms deadline is an *inactivity* deadline: it resets on any
+  /// byte of progress, so a big batch is not held to a single-frame
+  /// budget.
+  Result<std::vector<Bytes>> roundtrip_batch(
+      const std::vector<Bytes>& requests) override;
+
  private:
   TcpChannel(int fd, Options opts) : fd_(fd), opts_(opts) {}
   int fd_;
   Options opts_;
 };
 
-/// Accept-loop server with a bounded, reaped worker pool (one worker per
-/// live connection; the accept loop blocks — backpressure via the listen
-/// backlog — once `max_workers` connections are in flight).
+/// Epoll/poll reactor server. A bounded set of connections (backpressure
+/// via the listen backlog at `max_workers`) is multiplexed over
+/// `io_workers` event-loop threads; each connection supports up to
+/// `max_pipeline` requests in flight with responses written in arrival
+/// order.
 class TcpServer {
  public:
   using Handler = std::function<Bytes(BytesView)>;
 
+  /// Completion callback for one pipelined request. Thread-safe: may be
+  /// invoked from any thread (a group-commit syncer, a thread pool, or
+  /// inline from the handler), at most once. Invoking it after the server
+  /// stopped or the connection died is safe and drops the response.
+  using Respond = std::function<void(Bytes)>;
+
+  /// Asynchronous handler: take ownership of the request, produce the
+  /// response on any thread, and hand it to `respond`. The reactor keeps
+  /// accepting further pipelined frames on the same connection while
+  /// earlier responses are pending and writes responses back in request
+  /// order.
+  using AsyncHandler = std::function<void(Bytes request, Respond respond)>;
+
   struct Options {
     std::size_t max_workers = 64;   // concurrent-connection bound
+    std::size_t io_workers = 0;     // event-loop threads (0 = auto)
+    std::size_t max_pipeline = 32;  // frames in flight per connection
+    // Slow-reader budget: a connection whose pending response bytes
+    // exceed this stops being read from until the peer drains.
+    std::size_t write_buffer_limit = 64u << 20;
     int backlog = 16;               // listen(2) queue (holds the overflow)
     int idle_timeout_ms = kNoTimeout;  // evict connections idle this long
-    int io_timeout_ms = 30000;      // per-frame write deadline to a client
+    int io_timeout_ms = 30000;      // write-stall eviction deadline
   };
 
-  /// Binds to 127.0.0.1:`port` (0 = ephemeral). Prefer create(); this
-  /// legacy constructor reports bind/listen failure only via ok().
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral). Prefer create(); these
+  /// legacy constructors report bind/listen failure only via ok().
   TcpServer(std::uint16_t port, Handler handler);
   TcpServer(std::uint16_t port, Handler handler, Options opts);
+  TcpServer(std::uint16_t port, AsyncHandler handler, Options opts);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -103,43 +143,47 @@ class TcpServer {
   static Result<std::unique_ptr<TcpServer>> create(std::uint16_t port,
                                                    Handler handler,
                                                    Options opts);
+  static Result<std::unique_ptr<TcpServer>> create(std::uint16_t port,
+                                                   AsyncHandler handler,
+                                                   Options opts);
 
   bool ok() const { return listen_fd_ >= 0; }
   std::uint16_t port() const { return port_; }
 
-  /// Live (not yet finished) connection workers.
+  /// Live connections (name kept from the thread-per-connection era; one
+  /// "worker" is now one connection multiplexed onto an event loop).
   std::size_t active_workers() const;
-  /// High-water mark of concurrent workers over the server's lifetime.
+  /// High-water mark of concurrent connections over the server's lifetime.
   std::size_t peak_workers() const;
+  /// Event-loop threads actually running.
+  std::size_t io_worker_count() const { return workers_.size(); }
 
-  /// Stops accepting, closes the listener, unblocks and joins all workers.
+  /// Stops accepting, closes the listener, unwinds every event loop
+  /// (closing all connection fds), and joins the threads.
   void stop();
 
  private:
-  struct Worker {
-    std::thread thread;
-    int fd = -1;       // -1 once the worker has deregistered + closed it
-    bool done = false;  // set by the worker as its last action
-  };
+  class IOWorker;
+  friend class IOWorker;
 
-  TcpServer(std::uint16_t port, Handler handler, Options opts,
-            std::string* error_out);
+  TcpServer(std::uint16_t port, Handler sync_handler, AsyncHandler handler,
+            Options opts, std::string* error_out);
 
   void accept_loop();
-  void serve_connection(int fd, Worker* self);
-  /// Joins and erases finished workers. Requires workers_mu_ held.
-  void reap_finished_locked();
+  /// IOWorker notifies the accept loop's backpressure gate here whenever
+  /// a connection it owns goes away.
+  void on_connection_closed();
 
-  Handler handler_;
+  AsyncHandler handler_;
   Options opts_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  mutable std::mutex workers_mu_;
-  std::condition_variable workers_cv_;
-  std::list<Worker> workers_;  // std::list: Worker* stays valid across ops
-  std::size_t active_ = 0;
+  std::vector<std::unique_ptr<IOWorker>> workers_;
+  mutable std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::size_t active_ = 0;  // live connections across all IOWorkers
   std::size_t peak_ = 0;
 };
 

@@ -1,10 +1,19 @@
 #include "net/transport.h"
 
-// Header-only interfaces; this translation unit exists so the library owns
-// the vtable anchors.
-
 namespace fgad::net {
 
-// (intentionally empty)
+Result<std::vector<Bytes>> RpcChannel::roundtrip_batch(
+    const std::vector<Bytes>& requests) {
+  std::vector<Bytes> responses;
+  responses.reserve(requests.size());
+  for (const Bytes& req : requests) {
+    Result<Bytes> resp = roundtrip(req);
+    if (!resp) {
+      return resp.error();
+    }
+    responses.push_back(std::move(resp).value());
+  }
+  return responses;
+}
 
 }  // namespace fgad::net

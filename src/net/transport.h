@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -36,6 +37,15 @@ class RpcChannel {
 
   /// Sends a request and waits for the response.
   virtual Result<Bytes> roundtrip(BytesView request) = 0;
+
+  /// Sends a batch of requests and returns their responses in request
+  /// order. The base implementation round-trips sequentially — correct
+  /// on every transport, including decorators whose per-RPC semantics
+  /// (retry, fault injection) matter. Pipelining transports (TcpChannel)
+  /// override it to keep all requests in flight at once against the
+  /// reactor server. The first failed request fails the whole batch.
+  virtual Result<std::vector<Bytes>> roundtrip_batch(
+      const std::vector<Bytes>& requests);
 };
 
 /// In-process loopback: hands the request straight to a server handler.
@@ -67,6 +77,23 @@ class CountingChannel final : public RpcChannel {
       received_ += resp.value().size() + kFrameHeaderSize;
     }
     return resp;
+  }
+
+  /// Forwards to the inner channel's (possibly pipelined) batch path —
+  /// the bytes on the wire are identical either way.
+  Result<std::vector<Bytes>> roundtrip_batch(
+      const std::vector<Bytes>& requests) override {
+    for (const Bytes& r : requests) {
+      sent_ += r.size() + kFrameHeaderSize;
+      ++rpcs_;
+    }
+    Result<std::vector<Bytes>> resps = inner_.roundtrip_batch(requests);
+    if (resps) {
+      for (const Bytes& r : resps.value()) {
+        received_ += r.size() + kFrameHeaderSize;
+      }
+    }
+    return resps;
   }
 
   std::uint64_t bytes_sent() const { return sent_; }

@@ -126,6 +126,8 @@ const char* fr_event_name(FrEvent e) {
       return "dedup-hit";
     case FrEvent::kMark:
       return "mark";
+    case FrEvent::kGroupCommitFlush:
+      return "group-commit";
   }
   return "unknown";
 }

@@ -59,6 +59,7 @@ enum class FrEvent : std::uint16_t {
   kFsckFail = 13,
   kDedupHit = 14,
   kMark = 15,             // free-form test/tooling marker
+  kGroupCommitFlush = 16,  // a = commit batch size, b = fsync duration ns
 };
 
 /// Stable short name ("wal-append", ...) for dump lines and JSON.

@@ -9,7 +9,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "client/client.h"
 #include "cloud/recovery.h"
@@ -17,6 +21,7 @@
 #include "cloud/wal.h"
 #include "common/fsio.h"
 #include "net/retry.h"
+#include "net/tcp.h"
 #include "obs/metrics.h"
 #include "support/harness.h"
 
@@ -638,6 +643,228 @@ TEST(DurableRecovery, RecoveryMetricsPopulatedAfterRestart) {
   EXPECT_GT(
       obs::Registry::instance().counter("fgad_wal_appends_total").value(),
       0u);
+}
+
+// ---- cross-connection group commit (DESIGN.md §15) -------------------------
+
+Bytes tagged_kv_put(std::uint64_t rid, std::uint64_t key, BytesView value) {
+  proto::KvPutReq put;
+  put.table = 1;
+  put.key = key;
+  put.value = Bytes(value.begin(), value.end());
+  return proto::seal_tagged(rid, put.to_frame());
+}
+
+TEST(GroupCommit, AsyncMutationsShareFsyncsAndSurviveRestart) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("group_commit");
+  dopts.checkpoint_every_n = 0;
+  auto opened = DurableServer::open(dopts);
+  ASSERT_TRUE(opened.is_ok());
+  auto ds = std::move(opened).value();
+
+  auto& commits =
+      obs::Registry::instance().counter("fgad_wal_group_commits_total");
+  auto& hist =
+      obs::Registry::instance().histogram("fgad_wal_commit_batch_size");
+  const std::uint64_t commits_before = commits.value();
+  const std::uint64_t hist_sum_before = hist.sum();
+
+  constexpr int kN = 24;
+  std::atomic<int> acked{0};
+  std::mutex mu;
+  std::vector<Bytes> responses(kN);
+  for (int i = 0; i < kN; ++i) {
+    ds->handle_async(
+        tagged_kv_put(1000 + i, static_cast<std::uint64_t>(i), payload_for(i)),
+        [&, i](Bytes resp) {
+          std::lock_guard<std::mutex> lock(mu);
+          responses[i] = std::move(resp);
+          acked.fetch_add(1);
+        });
+  }
+  for (int spin = 0; spin < 5000 && acked.load() < kN; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(acked.load(), kN);
+
+  // Every staged mutation landed in exactly one commit batch; the number
+  // of fsyncs can be anything from 1 (all batched) to kN (fully serial),
+  // but the histogram's sum accounts for each mutation exactly once.
+  EXPECT_EQ(hist.sum() - hist_sum_before, static_cast<std::uint64_t>(kN));
+  const std::uint64_t flushes = commits.value() - commits_before;
+  EXPECT_GE(flushes, 1u);
+  EXPECT_LE(flushes, static_cast<std::uint64_t>(kN));
+
+  // Re-sending an acknowledged mutation answers inline from the rid
+  // table with the original bytes — no second WAL append, no new fsync.
+  Bytes again;
+  ds->handle_async(tagged_kv_put(1000, 0, payload_for(0)),
+                   [&again](Bytes resp) { again = std::move(resp); });
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(again, responses[0]);
+  }
+
+  // The ACKs were honest: a cold restart recovers every mutation.
+  ds.reset();
+  auto reopened = DurableServer::open(dopts);
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  for (int i = 0; i < kN; ++i) {
+    auto got = reopened.value()->server().kv_get(1, i);
+    ASSERT_TRUE(got.is_ok()) << i;
+    EXPECT_EQ(got.value(), payload_for(i));
+  }
+}
+
+TEST(GroupCommit, CrashBeforeFsyncLosesWholeBatchThenResendsExactlyOnce) {
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("group_atomic");
+  dopts.checkpoint_every_n = 0;
+  auto opened = DurableServer::open(dopts);
+  ASSERT_TRUE(opened.is_ok());
+  auto ds = std::move(opened).value();
+
+  // Durable base state through the synchronous fsync-per-ACK path.
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    ds->handle(tagged_kv_put(100 + k, k, to_bytes("base")));
+  }
+  // Snapshot the durable WAL prefix: everything so far is fsynced.
+  const std::string wal = dopts.dir + "/wal-000000.log";
+  auto durable_prefix = fsio::read_file(wal);
+  ASSERT_TRUE(durable_prefix.is_ok());
+
+  // Arm the pre-fsync crash site: every commit flush now dies before
+  // syncing, so the whole pipelined batch must stay unacknowledged —
+  // a torn partial-batch ACK would be a durability lie.
+  CrashPoint::instance().arm_throw(CrashSite::kBeforeGroupFsync);
+  constexpr std::uint64_t kBatch = 6;
+  std::vector<Bytes> batch_frames;
+  std::atomic<int> acked{0};
+  for (std::uint64_t k = 0; k < kBatch; ++k) {
+    batch_frames.push_back(tagged_kv_put(200 + k, 50 + k, to_bytes("batch")));
+    ds->handle_async(Bytes(batch_frames.back()),
+                     [&acked](Bytes) { acked.fetch_add(1); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(acked.load(), 0);
+
+  // "Power loss": rebuild the state directory from the durable prefix
+  // alone — the staged-but-unsynced WAL tail vanishes with the page
+  // cache, exactly what fsync-after-ACK would have risked.
+  DurableServer::Options ropts = dopts;
+  ropts.dir = fresh_state_dir("group_atomic_recovered");
+  ASSERT_TRUE(fsio::atomic_write_file(ropts.dir + "/wal-000000.log",
+                                      durable_prefix.value()));
+  CrashPoint::instance().reset();
+  ds.reset();
+
+  auto reopened = DurableServer::open(ropts);
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  DurableServer& ds2 = *reopened.value();
+  // The base survived; NONE of the unacknowledged batch did.
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(ds2.server().kv_get(1, k).is_ok()) << k;
+  }
+  for (std::uint64_t k = 0; k < kBatch; ++k) {
+    EXPECT_FALSE(ds2.server().kv_get(1, 50 + k).is_ok()) << k;
+  }
+
+  // The client saw no ACK, so it resends the whole batch: applied
+  // exactly once, and a second resend is pure rid-dedup.
+  for (const Bytes& f : batch_frames) {
+    ds2.handle(f);
+  }
+  const Bytes once = image_of(ds2.server());
+  for (const Bytes& f : batch_frames) {
+    ds2.handle(f);
+  }
+  EXPECT_EQ(image_of(ds2.server()), once);
+  for (std::uint64_t k = 0; k < kBatch; ++k) {
+    EXPECT_EQ(to_string(ds2.server().kv_get(1, 50 + k).value()), "batch");
+  }
+  EXPECT_TRUE(fsck(ds2.server()));
+}
+
+TEST(GroupCommit, PipelinedClientBatchesOverReactorTcp) {
+  // Full stack: batched Client API -> pipelined TcpChannel -> reactor
+  // TcpServer -> DurableServer::handle_async -> group commit.
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("group_tcp");
+  auto opened = DurableServer::open(dopts);
+  ASSERT_TRUE(opened.is_ok());
+  DurableServer& ds = *opened.value();
+
+  auto server = net::TcpServer::create(
+      0,
+      [&ds](Bytes req, net::TcpServer::Respond respond) {
+        ds.handle_async(std::move(req),
+                        [respond](Bytes resp) { respond(std::move(resp)); });
+      },
+      net::TcpServer::Options{});
+  ASSERT_TRUE(server.is_ok());
+  auto ch = net::TcpChannel::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(ch.is_ok());
+
+  SystemRandom rnd;
+  Client::Options copts;
+  copts.tag_mutations = true;
+  Client client(*ch.value(), rnd, copts);
+
+  std::vector<Bytes> items;
+  for (int i = 0; i < 16; ++i) items.push_back(payload_for(i));
+  auto fh = client.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+
+  // Pipelined bulk modify of one file.
+  std::vector<std::pair<std::uint64_t, Bytes>> updates;
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    updates.emplace_back(id, payload_for(700 + id));
+  }
+  ASSERT_TRUE(client.modify_batch(fh.value(), updates));
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    auto got = client.access(fh.value(), proto::ItemRef::id(id));
+    ASSERT_TRUE(got.is_ok()) << id;
+    EXPECT_EQ(got.value(), payload_for(700 + id));
+  }
+
+  // Batched assured deletion across distinct files. Item ids are drawn
+  // from the client's global counter, so each file's ids differ — fetch
+  // them per file.
+  auto fh2 = client.outsource(2, items);
+  auto fh3 = client.outsource(3, items);
+  ASSERT_TRUE(fh2.is_ok());
+  ASSERT_TRUE(fh3.is_ok());
+  auto ids2 = client.list_items(fh2.value());
+  auto ids3 = client.list_items(fh3.value());
+  ASSERT_TRUE(ids2.is_ok());
+  ASSERT_TRUE(ids3.is_ok());
+  std::vector<Client::FileHandle*> handles{&fh.value(), &fh2.value(),
+                                           &fh3.value()};
+  std::vector<proto::ItemRef> refs{proto::ItemRef::id(3),
+                                   proto::ItemRef::id(ids2.value()[4]),
+                                   proto::ItemRef::id(ids3.value()[5])};
+  const Status erased = client.erase_batch(handles, refs);
+  ASSERT_TRUE(erased) << erased.to_string();
+  EXPECT_FALSE(client.access(fh.value(), proto::ItemRef::id(3)).is_ok());
+  EXPECT_FALSE(
+      client.access(fh2.value(), proto::ItemRef::id(ids2.value()[4])).is_ok());
+  EXPECT_FALSE(
+      client.access(fh3.value(), proto::ItemRef::id(ids3.value()[5])).is_ok());
+  // The rotated keys still decrypt every survivor.
+  EXPECT_EQ(client.access(fh2.value(), proto::ItemRef::id(ids2.value()[0]))
+                .value(),
+            items[0]);
+  EXPECT_EQ(client.access(fh3.value(), proto::ItemRef::id(ids3.value()[1]))
+                .value(),
+            items[1]);
+
+  // Two deletions in one file cannot pipeline (each rotates the key).
+  std::vector<Client::FileHandle*> dup{&fh.value(), &fh.value()};
+  std::vector<proto::ItemRef> dup_refs{proto::ItemRef::id(1),
+                                       proto::ItemRef::id(2)};
+  EXPECT_EQ(client.erase_batch(dup, dup_refs).code(), Errc::kInvalidArgument);
+  EXPECT_TRUE(fsck(ds.server()));
 }
 
 }  // namespace

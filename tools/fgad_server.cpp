@@ -2,7 +2,7 @@
 //
 //   fgad_server [--port N] [--image PATH] [--no-integrity]
 //               [--state-dir DIR] [--checkpoint-every-n N] [--wal-sync-ms N]
-//               [--max-workers N] [--idle-timeout-ms N]
+//               [--max-connections N] [--io-workers N] [--idle-timeout-ms N]
 //               [--metrics-port N] [--audit-log PATH]
 //               [--log-level LVL] [--slow-op-ms N]
 //               [--flight-recorder-size N] [--flight-recorder-dir DIR]
@@ -30,8 +30,14 @@
 // --image PATH is the legacy whole-image mode: state is loaded from PATH
 // at startup and saved back only on clean shutdown (no crash safety).
 //
-// --max-workers bounds concurrent connections (overflow queues in the
-// listen backlog); --idle-timeout-ms evicts connections with no traffic.
+// Server core (DESIGN.md §15): an epoll reactor with request pipelining.
+// --max-connections bounds concurrent connections (overflow queues in the
+// listen backlog; --max-workers is the legacy spelling), --io-workers sets
+// the number of event-loop threads (0 = auto), and --idle-timeout-ms
+// evicts connections with no traffic. With --state-dir, mutations from
+// all connections are acknowledged through the cross-connection WAL group
+// committer: one fsync covers every mutation staged while the previous
+// fsync ran.
 //
 // Observability (DESIGN.md §12):
 //   --metrics-port N   serve GET /metrics, /metrics.json and /healthz on
@@ -112,8 +118,12 @@ int main(int argc, char** argv) {
       dur_opts.wal_sync_ms = std::atoi(argv[++i]);
     } else if (arg == "--no-integrity") {
       opts.enable_integrity = false;
-    } else if (arg == "--max-workers" && i + 1 < argc) {
+    } else if ((arg == "--max-workers" || arg == "--max-connections") &&
+               i + 1 < argc) {
       net_opts.max_workers =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--io-workers" && i + 1 < argc) {
+      net_opts.io_workers =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
       net_opts.idle_timeout_ms = std::atoi(argv[++i]);
@@ -138,8 +148,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: fgad_server [--port N] [--image PATH] [--state-dir DIR]\n"
           "                   [--checkpoint-every-n N] [--wal-sync-ms N]\n"
-          "                   [--no-integrity] [--max-workers N] "
-          "[--idle-timeout-ms N]\n"
+          "                   [--no-integrity] [--max-connections N] "
+          "[--io-workers N] [--idle-timeout-ms N]\n"
           "                   [--metrics-port N] [--audit-log PATH] "
           "[--log-level LVL] [--slow-op-ms N]\n"
           "                   [--flight-recorder-size N] "
@@ -240,10 +250,22 @@ int main(int argc, char** argv) {
     server = std::make_unique<cloud::CloudServer>(opts);
   }
 
-  const auto handler = [&](BytesView req) {
-    return durable ? durable->handle(req) : server->handle(req);
+  // The async path lets the durable layer park pipelined mutations on the
+  // cross-connection group committer (one fsync per batch) instead of
+  // paying fsync-per-ACK; a plain in-memory server just answers inline.
+  const auto handler = [&](Bytes req, net::TcpServer::Respond respond) {
+    if (durable) {
+      durable->handle_async(std::move(req),
+                            [respond = std::move(respond)](Bytes resp) {
+                              respond(std::move(resp));
+                            });
+    } else {
+      respond(server->handle(req));
+    }
   };
-  auto tcp_result = net::TcpServer::create(port, handler, net_opts);
+  auto tcp_result =
+      net::TcpServer::create(port, net::TcpServer::AsyncHandler(handler),
+                             net_opts);
   if (!tcp_result) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u: %s\n", port,
                  tcp_result.status().to_string().c_str());
@@ -268,11 +290,11 @@ int main(int argc, char** argv) {
               obs::FlightRecorder::instance().capacity(),
               flight_recorder_dir.c_str());
   std::printf("fgad cloud server listening on 127.0.0.1:%u "
-              "(integrity %s, durability %s, max %zu workers); "
-              "EOF on stdin or SIGTERM stops it\n",
+              "(integrity %s, durability %s, max %zu connections over "
+              "%zu io workers); EOF on stdin or SIGTERM stops it\n",
               tcp.port(), opts.enable_integrity ? "on" : "off",
               durable ? dur_opts.dir.c_str() : "off",
-              net_opts.max_workers);
+              net_opts.max_workers, tcp.io_worker_count());
   std::fflush(stdout);
 
   // SIGUSR1 -> dump the registry to stderr (SA_RESTART: only sets a flag,
