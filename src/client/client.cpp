@@ -1,5 +1,7 @@
 #include "client/client.h"
 
+#include <unordered_map>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -28,6 +30,37 @@ crypto::Md Client::derive_item_key(const FileHandle& fh,
                                info.leaf_mod);
   }
   return math_.derive_key(fh.key.value(), info.path, info.leaf_mod);
+}
+
+Status Client::check_handle(const FileHandle& fh) const {
+  if (fh.poisoned) {
+    return Status(Errc::kIndeterminate,
+                  "client: handle is poisoned by an indeterminate key "
+                  "rotation; call resync() first");
+  }
+  return Status::ok();
+}
+
+bool Client::commit_outcome_unknown(Errc c) {
+  switch (c) {
+    case Errc::kTimeout:
+    case Errc::kConnReset:
+    case Errc::kIoError:
+    case Errc::kRetryExhausted:
+    case Errc::kDecodeError:  // response unreadable: cannot prove either way
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Client::poison(FileHandle& fh, MasterKey&& fresh) {
+  static obs::Counter& poisoned =
+      obs::Registry::instance().counter("fgad_client_indeterminate_commits_total");
+  poisoned.inc();
+  fh.poisoned = true;
+  fh.pending_key = std::move(fresh);
+  fh.cache.invalidate();
 }
 
 Result<Bytes> Client::call(BytesView frame, MsgType expect) {
@@ -191,6 +224,9 @@ Result<Client::FileHandle> Client::outsource(std::uint64_t file_id,
 
 Result<Bytes> Client::access(const FileHandle& fh, proto::ItemRef ref) {
   obs::Span op_span("client:access");
+  if (auto st = check_handle(fh); !st) {
+    return st.error();
+  }
   proto::AccessReq req;
   req.file_id = fh.id;
   req.ref = ref;
@@ -277,6 +313,9 @@ Result<proto::ModifyReq> Client::build_modify(const FileHandle& fh,
 Status Client::modify(const FileHandle& fh, std::uint64_t item_id,
                       BytesView new_content) {
   obs::Span op_span("client:modify");
+  if (auto st = check_handle(fh); !st) {
+    return st;
+  }
   // Fetch the item first (the paper's modify = access, edit, re-encrypt
   // under the same data key).
   proto::AccessReq areq;
@@ -297,6 +336,9 @@ Status Client::modify_batch(
     const FileHandle& fh,
     std::span<const std::pair<std::uint64_t, Bytes>> updates) {
   obs::Span op_span("client:modify_batch");
+  if (auto st = check_handle(fh); !st) {
+    return st;
+  }
   if (updates.empty()) {
     return Status::ok();
   }
@@ -343,6 +385,9 @@ Status Client::modify_batch(
 Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
                                      std::uint64_t after_item_id) {
   obs::Span op_span("client:insert");
+  if (auto st = check_handle(fh); !st) {
+    return st.error();
+  }
   proto::InsertBeginReq breq;
   breq.file_id = fh.id;
   auto payload = call(breq.to_frame(), MsgType::kInsertBeginResp);
@@ -357,8 +402,9 @@ Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
   const core::InsertInfo& info = bresp.value().info;
 
   // The server rejects duplicate modulators; re-plan with fresh randomness
-  // until it accepts (the paper's re-perform rule).
-  for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+  // until it accepts (the paper's re-perform rule): one initial attempt
+  // plus up to max_retries re-runs.
+  for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
     proto::InsertCommitReq creq;
     creq.file_id = fh.id;
     std::uint64_t item_id = 0;
@@ -393,6 +439,9 @@ Result<std::uint64_t> Client::insert(const FileHandle& fh, BytesView content,
 
 Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
   obs::Span op_span("client:erase_item");
+  if (auto st = check_handle(fh); !st) {
+    return st;
+  }
   proto::DeleteBeginReq breq;
   breq.file_id = fh.id;
   breq.ref = ref;
@@ -407,7 +456,7 @@ Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
   }
   const core::DeleteInfo& info = bresp.value().info;
 
-  for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+  for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
     proto::DeleteCommitReq creq;
     creq.file_id = fh.id;
     MasterKey fresh;
@@ -444,12 +493,128 @@ Status Client::erase_item(FileHandle& fh, proto::ItemRef ref) {
       fh.cache.invalidate();
       return Status::ok();
     }
-    if (resp.error().code != Errc::kDuplicateModulator) {
-      return resp.status();
+    if (resp.error().code == Errc::kDuplicateModulator) {
+      continue;  // server-observed collision: re-run with a fresh K'
     }
+    if (commit_outcome_unknown(resp.error().code)) {
+      // The transport died with the commit in flight: the server may be
+      // in either key epoch. Keeping only one candidate key here would
+      // risk silently diverging from the server, so the handle holds
+      // both and fails fast until resync() settles it.
+      poison(fh, std::move(fresh));
+      return Status(Errc::kIndeterminate,
+                    "delete: commit outcome unknown (" +
+                        resp.error().to_string() +
+                        "); handle poisoned, resync() required");
+    }
+    return resp.status();
   }
   return Status(Errc::kDuplicateModulator,
                 "delete: retries exhausted (server kept reporting duplicates)");
+}
+
+Status Client::erase_items(FileHandle& fh,
+                           std::span<const proto::ItemRef> refs) {
+  obs::Span op_span("client:erase_items");
+  if (auto st = check_handle(fh); !st) {
+    return st;
+  }
+  if (refs.empty()) {
+    return Status::ok();
+  }
+  if (refs.size() == 1) {
+    return erase_item(fh, refs[0]);
+  }
+  static obs::Counter& bulk_deletes =
+      obs::Registry::instance().counter("fgad_client_bulk_deletes_total");
+  static obs::Counter& bulk_items =
+      obs::Registry::instance().counter("fgad_client_bulk_deleted_items_total");
+
+  proto::DeleteManyBeginReq breq;
+  breq.file_id = fh.id;
+  breq.refs.assign(refs.begin(), refs.end());
+  auto payload = call(breq.to_frame(), MsgType::kDeleteManyBeginResp);
+  if (!payload) {
+    return payload.status();
+  }
+  proto::Reader r(payload.value());
+  auto bresp = proto::DeleteManyBeginResp::from(r);
+  if (!bresp) {
+    return bresp.status();
+  }
+  const core::DeleteManyInfo& info = bresp.value().info;
+
+  for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+    proto::DeleteManyCommitReq creq;
+    creq.file_id = fh.id;
+    MasterKey fresh;
+    {
+      CumulativeTimer::Section sec(compute_timer_);
+      obs::Span span("plan_delete_many");
+      fresh = MasterKey::generate(rnd_, math_.width());
+      auto plan = math_.plan_delete_many(info, fh.key.value(), fresh.value(),
+                                         rnd_, batch_.pool());
+      if (!plan) {
+        if (plan.error().code == Errc::kInvalidArgument) {
+          continue;  // F(K',M_d) collision on some target: pick another K'
+        }
+        return plan.status();
+      }
+      // Theorem 2's wrong-leaf defence, applied to EVERY target: each
+      // returned ciphertext must decrypt under its claimed old data key
+      // to a record echoing the item id. One bad target rejects the
+      // whole bundle before anything is committed. The m opens are
+      // independent under one key epoch, so they ride the batch pool —
+      // sequential deletes cannot do this, as each open waits on the
+      // previous rotation.
+      obs::Span verify_span("verify_targets");
+      std::vector<core::BatchDeriver::OpenTask> tasks;
+      tasks.reserve(info.targets.size());
+      for (std::size_t i = 0; i < info.targets.size(); ++i) {
+        tasks.push_back(core::BatchDeriver::OpenTask{
+            i, info.targets[i].ciphertext, info.targets[i].item_id});
+      }
+      auto opened = batch_.open_all(plan.value().old_keys, tasks);
+      if (!opened) {
+        return Status(Errc::kTamperDetected,
+                      opened.error().code == Errc::kIntegrityMismatch
+                          ? "delete_many: MT(k) does not decrypt a target item"
+                          : "delete_many: counter value mismatch");
+      }
+      creq.commit = std::move(plan.value().commit);
+    }
+    auto resp = call(creq.to_frame(), MsgType::kDeleteManyCommitResp);
+    if (resp) {
+      bulk_deletes.inc();
+      bulk_items.inc(refs.size());
+      // One commit rotated the key for every deleted item.
+      fh.key = std::move(fresh);
+      fh.cache.invalidate();
+      return Status::ok();
+    }
+    if (resp.error().code == Errc::kDuplicateModulator) {
+      continue;  // server-observed collision: re-run with a fresh K'
+    }
+    if (commit_outcome_unknown(resp.error().code)) {
+      poison(fh, std::move(fresh));
+      return Status(Errc::kIndeterminate,
+                    "delete_many: commit outcome unknown (" +
+                        resp.error().to_string() +
+                        "); handle poisoned, resync() required");
+    }
+    return resp.status();
+  }
+  // Collision bound exhausted on the merged bundle (more targets → more
+  // chances for one modulator to collide). Fall back to sequential
+  // single deletions, addressed by the STABLE item ids the begin phase
+  // reported — the caller's ordinal/offset refs shift as earlier
+  // deletions restructure the file.
+  for (const auto& t : info.targets) {
+    if (auto st = erase_item(fh, proto::ItemRef::id(t.item_id)); !st) {
+      return st;
+    }
+  }
+  return Status::ok();
 }
 
 Status Client::erase_batch(std::span<FileHandle* const> files,
@@ -462,17 +627,32 @@ Status Client::erase_batch(std::span<FileHandle* const> files,
   if (files.empty()) {
     return Status::ok();
   }
+  // Group refs by file id (a hash map — the previous pairwise scan was
+  // O(m²) and rejected same-file refs outright). Groups keep first-
+  // appearance order so the operation is deterministic.
+  struct Group {
+    FileHandle* fh;
+    std::vector<proto::ItemRef> refs;
+  };
+  std::vector<Group> groups;
+  groups.reserve(files.size());
+  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  group_of.reserve(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
     if (files[i] == nullptr) {
       return Status(Errc::kInvalidArgument, "erase_batch: null file handle");
     }
-    for (std::size_t j = i + 1; j < files.size(); ++j) {
-      if (files[j] != nullptr && files[j]->id == files[i]->id) {
-        return Status(Errc::kInvalidArgument,
-                      "erase_batch: duplicate file id (deletions within one "
-                      "file serialize on the key rotation)");
-      }
+    auto [it, inserted] = group_of.try_emplace(files[i]->id, groups.size());
+    if (inserted) {
+      groups.push_back(Group{files[i], {refs[i]}});
+      continue;
     }
+    Group& g = groups[it->second];
+    if (g.fh != files[i]) {
+      return Status(Errc::kInvalidArgument,
+                    "erase_batch: two distinct handles share one file id");
+    }
+    g.refs.push_back(refs[i]);
   }
 
   Status first_error = Status::ok();
@@ -482,32 +662,55 @@ Status Client::erase_batch(std::span<FileHandle* const> files,
     }
   };
 
+  // Same-file groups take the merged-cut bulk path — all their items
+  // fall under ONE key rotation — while single-ref groups pipeline their
+  // begin/commit phases across files below.
+  std::vector<Group*> singles;
+  singles.reserve(groups.size());
+  for (auto& g : groups) {
+    if (auto st = check_handle(*g.fh); !st) {
+      note(st);
+      continue;
+    }
+    if (g.refs.size() > 1) {
+      note(erase_items(*g.fh, g.refs));
+    } else {
+      singles.push_back(&g);
+    }
+  }
+  if (singles.empty()) {
+    return first_error;
+  }
+
   // Phase 1: pipeline every DeleteBegin.
   std::vector<Bytes> begins;
-  begins.reserve(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
+  begins.reserve(singles.size());
+  for (const Group* g : singles) {
     proto::DeleteBeginReq breq;
-    breq.file_id = files[i]->id;
-    breq.ref = refs[i];
+    breq.file_id = g->fh->id;
+    breq.ref = g->refs[0];
     begins.push_back(breq.to_frame());
   }
   auto bresps = call_batch(std::move(begins), MsgType::kDeleteBeginResp);
   if (!bresps) {
-    return bresps.status();
+    // Begin is read-only, so a wholesale transport failure here leaves
+    // no key epoch in doubt.
+    note(bresps.status());
+    return first_error;
   }
 
   // Phase 2: plan each deletion locally. The F(K',M_k) collision re-run
   // is pure client-side compute, so it stays inside this loop; only the
   // commit round-trips. Every file whose plan verifies gets staged.
   struct Staged {
-    std::size_t idx;
+    std::size_t idx;  // into `singles`
     MasterKey fresh;
     Bytes frame;
   };
   std::vector<Staged> staged;
-  staged.reserve(files.size());
+  staged.reserve(singles.size());
 
-  for (std::size_t i = 0; i < files.size(); ++i) {
+  for (std::size_t i = 0; i < singles.size(); ++i) {
     const auto& slot = bresps.value()[i];
     if (!slot) {
       note(slot.status());
@@ -520,12 +723,12 @@ Status Client::erase_batch(std::span<FileHandle* const> files,
       continue;
     }
     const core::DeleteInfo& info = bresp.value().info;
-    FileHandle& fh = *files[i];
+    FileHandle& fh = *singles[i]->fh;
 
     auto plan_one = [&](MasterKey& fresh_out) -> Result<proto::DeleteCommitReq> {
       CumulativeTimer::Section sec(compute_timer_);
       obs::Span span("plan_delete");
-      for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+      for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
         MasterKey fresh = MasterKey::generate(rnd_, math_.width());
         auto plan =
             math_.plan_delete(info, fh.key.value(), fresh.value(), rnd_);
@@ -574,11 +777,26 @@ Status Client::erase_batch(std::span<FileHandle* const> files,
     }
     auto cresps = call_batch(std::move(commits), MsgType::kDeleteCommitResp);
     if (!cresps) {
-      return cresps.status();
+      if (commit_outcome_unknown(cresps.error().code)) {
+        // The transport died with every staged commit in flight: any
+        // subset may have been applied server-side. Silently assuming
+        // "none landed" would desynchronize client keys from whichever
+        // commits did — so every staged handle keeps both candidate
+        // keys and fails fast until resync().
+        for (auto& s : staged) {
+          poison(*singles[s.idx]->fh, std::move(s.fresh));
+        }
+        return Status(Errc::kIndeterminate,
+                      "erase_batch: commit batch outcome unknown (" +
+                          cresps.error().to_string() +
+                          "); staged handles poisoned, resync() required");
+      }
+      note(cresps.status());
+      return first_error;
     }
     for (std::size_t k = 0; k < staged.size(); ++k) {
       Staged& s = staged[k];
-      FileHandle& fh = *files[s.idx];
+      FileHandle& fh = *singles[s.idx]->fh;
       const auto& resp = cresps.value()[k];
       if (resp) {
         // Server committed: permanently destroy the old master key.
@@ -589,7 +807,15 @@ Status Client::erase_batch(std::span<FileHandle* const> files,
       if (resp.error().code == Errc::kDuplicateModulator) {
         // The server saw a modulator collision we could not predict
         // locally; the sequential retry loop handles the re-run.
-        note(erase_item(fh, refs[s.idx]));
+        note(erase_item(fh, singles[s.idx]->refs[0]));
+      } else if (commit_outcome_unknown(resp.error().code)) {
+        // Transport failures fail the whole batch above; a per-slot
+        // unknown is an unreadable or mismatched response to a commit
+        // the server did receive.
+        poison(fh, std::move(s.fresh));
+        note(Status(Errc::kIndeterminate,
+                    "erase_batch: commit outcome unknown; handle "
+                    "poisoned, resync() required"));
       } else {
         note(resp.status());
       }
@@ -598,8 +824,69 @@ Status Client::erase_batch(std::span<FileHandle* const> files,
   return first_error;
 }
 
+Status Client::resync(FileHandle& fh) {
+  obs::Span op_span("client:resync");
+  if (!fh.poisoned) {
+    return Status::ok();
+  }
+  auto ids = list_items(fh);
+  if (!ids) {
+    return ids.status();  // still poisoned; retry when reachable
+  }
+  if (ids.value().empty()) {
+    // No surviving item to probe. Only the in-doubt deletion could have
+    // emptied the file (every other mutation is fail-fast while
+    // poisoned), so the pending key is the live epoch.
+    fh.key = std::move(fh.pending_key);
+    fh.cache.invalidate();
+    fh.poisoned = false;
+    return Status::ok();
+  }
+  // Probe one surviving item under each candidate epoch: exactly one
+  // master key derives a data key that opens its ciphertext.
+  proto::AccessReq areq;
+  areq.file_id = fh.id;
+  areq.ref = proto::ItemRef::id(ids.value().front());
+  auto payload = call(areq.to_frame(), MsgType::kAccessResp);
+  if (!payload) {
+    return payload.status();
+  }
+  proto::Reader r(payload.value());
+  auto resp = proto::AccessResp::from(r);
+  if (!resp) {
+    return resp.status();
+  }
+  const core::AccessInfo& info = resp.value().info;
+  if (!info.path.well_formed()) {
+    return Status(Errc::kTamperDetected, "resync: malformed path");
+  }
+  CumulativeTimer::Section sec(compute_timer_);
+  auto opens_under = [&](const MasterKey& candidate) {
+    const crypto::Md key =
+        math_.derive_key(candidate.value(), info.path, info.leaf_mod);
+    auto opened = codec_.open(key, info.ciphertext);
+    return opened.is_ok() && opened.value().r == info.item_id;
+  };
+  if (opens_under(fh.key)) {
+    // The commit never landed: the old epoch is live. The fresh key was
+    // never used by anyone; wipe it.
+    fh.pending_key.erase();
+  } else if (opens_under(fh.pending_key)) {
+    fh.key = std::move(fh.pending_key);
+  } else {
+    return Status(Errc::kTamperDetected,
+                  "resync: item opens under neither candidate key");
+  }
+  fh.cache.invalidate();
+  fh.poisoned = false;
+  return Status::ok();
+}
+
 Result<Client::FetchedFile> Client::fetch_all(const FileHandle& fh) {
   obs::Span op_span("client:fetch_all");
+  if (auto st = check_handle(fh); !st) {
+    return st.error();
+  }
   FetchedFile out;
 
   proto::FetchTreeReq treq;

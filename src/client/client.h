@@ -37,7 +37,9 @@ class Client {
  public:
   struct Options {
     crypto::HashAlg alg = crypto::HashAlg::kSha1;
-    int max_retries = 8;  // duplicate-modulator re-run bound
+    // Duplicate-modulator re-run bound: 1 initial attempt plus up to
+    // max_retries re-runs with fresh randomness (0 = try exactly once).
+    int max_retries = 8;
     // Worker threads for whole-file derivation / sealing / unsealing:
     // 0 = hardware_concurrency, 1 = the seed's sequential pass. Results
     // are byte-identical at every setting.
@@ -63,10 +65,19 @@ class Client {
   /// the path-prefix cache bound to the current key epoch. The cache is
   /// mutable so read-style operations (access) can warm it; the client
   /// invalidates it on re-key and on structural mutations.
+  ///
+  /// `poisoned` is set when a key-rotating commit's outcome is unknown
+  /// (the transport failed after the request may have been sent): the
+  /// handle then holds BOTH candidate keys — `key` (pre-rotation) and
+  /// `pending_key` (the fresh key the lost commit would have installed) —
+  /// and every operation except drop_file fails fast with kIndeterminate
+  /// until resync() determines which epoch the server is in.
   struct FileHandle {
     std::uint64_t id = 0;
     crypto::MasterKey key;
     mutable core::PrefixCache cache;
+    bool poisoned = false;
+    crypto::MasterKey pending_key;
   };
 
   // ---- operations ---------------------------------------------------------
@@ -106,17 +117,35 @@ class Client {
   /// key — securely destroying the old one — once the server commits.
   Status erase_item(FileHandle& fh, proto::ItemRef ref);
 
-  /// Batched assured deletion across DISTINCT files: the begin phase and
-  /// the commit phase are each pipelined over the channel's batched
-  /// path. Deletions within one file cannot pipeline — each rotates the
-  /// master key and restructures the tree, so `files` must not repeat a
-  /// file id (kInvalidArgument otherwise). `files[i]` is the handle for
-  /// `refs[i]`; a key is rotated if and only if that file's commit
+  /// Merged-cut bulk deletion of many items of ONE file (DESIGN.md §16):
+  /// a single begin/commit exchange deletes every referenced item under
+  /// one fresh master key. The deltas cover the union of the targets'
+  /// sibling cuts — |cut| ≤ m·ceil(log2(n/m)) — so m deletions cost one
+  /// round trip and ONE key rotation instead of m. Refs must resolve to
+  /// distinct items. If the server keeps reporting modulator collisions
+  /// past the retry bound, the items are deleted sequentially via
+  /// erase_item (each rotating its own key).
+  Status erase_items(FileHandle& fh, std::span<const proto::ItemRef> refs);
+
+  /// Batched assured deletion: refs of DISTINCT files pipeline their
+  /// begin and commit phases over the channel's batched path; refs that
+  /// share a file are grouped and deleted through the merged-cut bulk
+  /// path (erase_items), one group at a time. `files[i]` is the handle
+  /// for `refs[i]`; a key is rotated if and only if that file's commit
   /// succeeded. Per-file duplicate-modulator rejections fall back to the
   /// sequential erase_item retry loop; the first other failure is
-  /// returned after every file has been attempted.
+  /// returned after every file has been attempted. If the pipelined
+  /// commit phase fails wholesale in transport, every staged handle is
+  /// poisoned (see FileHandle) and kIndeterminate is returned.
   Status erase_batch(std::span<FileHandle* const> files,
                      std::span<const proto::ItemRef> refs);
+
+  /// Recovers a poisoned handle: asks the server which key epoch it is
+  /// in (by test-decrypting a surviving item, or by observing the file
+  /// emptied) and adopts the matching key, clearing the poison. A
+  /// transport failure leaves the handle poisoned; retry when the
+  /// server is reachable.
+  Status resync(FileHandle& fh);
 
   /// Whole-file access (Table III): fetches the modulation tree and all
   /// ciphertexts, derives every data key in one pass, and decrypts.
@@ -152,6 +181,17 @@ class Client {
 
  private:
   Result<Bytes> call(BytesView frame, proto::MsgType expect);
+
+  /// Fail-fast guard: kIndeterminate while `fh` is poisoned.
+  Status check_handle(const FileHandle& fh) const;
+
+  /// True when an error code means a commit may or may not have been
+  /// applied server-side (transport died after the frame could have been
+  /// sent, or the response was unreadable).
+  static bool commit_outcome_unknown(Errc c);
+
+  /// Marks `fh` indeterminate between its current key and `fresh`.
+  static void poison(FileHandle& fh, crypto::MasterKey&& fresh);
 
   /// Pipelined batch of `call`s: tags each mutating frame with its own
   /// request id, ships all frames through RpcChannel::roundtrip_batch,

@@ -1,5 +1,6 @@
 #include "cloud/file_store.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace fgad::cloud {
@@ -174,6 +175,74 @@ Status FileStore::delete_commit(const core::DeleteCommit& commit) {
     return st;
   }
   for (const auto& move : outcome.value().moves) {
+    items_.set_leaf(static_cast<std::uint32_t>(move.item_slot), move.new_leaf);
+  }
+  return Status::ok();
+}
+
+Result<core::DeleteManyInfo> FileStore::delete_many_begin(
+    std::span<const std::uint32_t> slots) const {
+  if (slots.empty()) {
+    return Error(Errc::kInvalidArgument, "file store: no deletion targets");
+  }
+  std::vector<std::pair<NodeId, std::uint32_t>> by_leaf;
+  by_leaf.reserve(slots.size());
+  for (std::uint32_t slot : slots) {
+    if (!items_.valid(slot)) {
+      return Error(Errc::kNotFound, "file store: bad slot");
+    }
+    by_leaf.emplace_back(items_.at(slot).leaf, slot);
+  }
+  std::sort(by_leaf.begin(), by_leaf.end());
+  std::vector<NodeId> leaves;
+  leaves.reserve(by_leaf.size());
+  for (std::size_t i = 0; i < by_leaf.size(); ++i) {
+    if (i > 0 && by_leaf[i].first == by_leaf[i - 1].first) {
+      return Error(Errc::kInvalidArgument,
+                   "file store: duplicate deletion target");
+    }
+    leaves.push_back(by_leaf[i].first);
+  }
+  core::DeleteManyInfo info = tree_.delete_many_info_for(leaves, pool_);
+  for (std::size_t i = 0; i < by_leaf.size(); ++i) {
+    const ItemStore::Record& rec = items_.at(by_leaf[i].second);
+    info.targets[i].item_id = rec.item_id;
+    info.targets[i].ciphertext = rec.ciphertext;
+  }
+  return info;
+}
+
+Status FileStore::delete_many_commit(const core::DeleteManyCommit& commit) {
+  auto outcome = tree_.apply_delete_many(commit);
+  if (!outcome) {
+    return outcome.status();
+  }
+  const core::ModulationTree::DeleteManyOutcome& out = outcome.value();
+  if (integrity_) {
+    // The old hash tree is still intact: every surviving leaf's hash lives
+    // at its pre-deletion node (its own id if it stayed in place, or the
+    // relocation source). Rebuilding from those digests is O(n') internal
+    // hashing with zero ciphertext re-hashing.
+    const std::size_t n2 = tree_.leaf_count();
+    std::unordered_map<NodeId, NodeId> source;  // new node -> old node
+    source.reserve(out.leaf_relocations.size());
+    for (const auto& rl : out.leaf_relocations) {
+      source.emplace(rl.to, rl.from);
+    }
+    std::vector<crypto::Md> hashes(n2);
+    for (std::size_t i = 0; i < n2; ++i) {
+      const NodeId v = static_cast<NodeId>((n2 - 1) + i);
+      const auto it = source.find(v);
+      hashes[i] = integrity_->node_hash(it == source.end() ? v : it->second);
+    }
+    integrity_->build(hashes);
+  }
+  for (std::uint64_t slot : out.removed_item_slots) {
+    if (auto st = items_.erase(static_cast<std::uint32_t>(slot)); !st) {
+      return st;
+    }
+  }
+  for (const auto& move : out.moves) {
     items_.set_leaf(static_cast<std::uint32_t>(move.item_slot), move.new_leaf);
   }
   return Status::ok();

@@ -60,6 +60,13 @@ class FileStore {
   Result<core::DeleteInfo> delete_begin(std::uint32_t slot) const;
   Status delete_commit(const core::DeleteCommit& commit);
 
+  /// Merged-cut bulk deletion (DESIGN.md §16). `slots` must be valid and
+  /// resolve to distinct items; the returned info's targets are ordered by
+  /// leaf node id ascending.
+  Result<core::DeleteManyInfo> delete_many_begin(
+      std::span<const std::uint32_t> slots) const;
+  Status delete_many_commit(const core::DeleteManyCommit& commit);
+
   core::InsertInfo insert_begin() const { return tree_.insert_info(); }
   Status insert_commit(const core::InsertCommit& commit);
 

@@ -111,6 +111,31 @@ Status CloudServer::delete_commit(std::uint64_t file_id,
   return file.value()->delete_commit(c);
 }
 
+Result<core::DeleteManyInfo> CloudServer::delete_many_begin(
+    std::uint64_t file_id, const std::vector<proto::ItemRef>& refs) const {
+  auto file = get_file(file_id);
+  if (!file) return file.error();
+  std::vector<std::uint32_t> slots;
+  slots.reserve(refs.size());
+  for (const proto::ItemRef& ref : refs) {
+    auto slot = file.value()->resolve(ref);
+    if (!slot) return slot.error();
+    slots.push_back(slot.value());
+  }
+  auto info = file.value()->delete_many_begin(slots);
+  if (info && tamper_delete_many_info) {
+    tamper_delete_many_info(info.value());
+  }
+  return info;
+}
+
+Status CloudServer::delete_many_commit(std::uint64_t file_id,
+                                       const core::DeleteManyCommit& c) {
+  auto file = get_file(file_id);
+  if (!file) return file.status();
+  return file.value()->delete_many_commit(c);
+}
+
 Result<core::InsertInfo> CloudServer::insert_begin(
     std::uint64_t file_id) const {
   auto file = get_file(file_id);
@@ -520,6 +545,45 @@ Bytes CloudServer::handle_locked(BytesView request) {
                 commit.deltas.size() + 1, commit.deltas.size(), st);
       if (st) deletes.inc();
       return status_frame(st, MsgType::kDeleteCommitResp);
+    }
+
+    case MsgType::kDeleteManyBeginReq: {
+      auto req = proto::DeleteManyBeginReq::from(r);
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      static obs::Histogram& begin_ns = obs::Registry::instance().histogram(
+          "fgad_server_delete_many_begin_ns");
+      obs::ScopedTimer timer(begin_ns);
+      auto info = delete_many_begin(req.value().file_id, req.value().refs);
+      audit_rpc("delete_many_begin", req.value().file_id,
+                req.value().refs.size(),
+                info ? info.value().targets.size() : 0,
+                info ? info.value().cut.size() : 0, info.status());
+      if (!info) return error_frame(info.error());
+      proto::DeleteManyBeginResp resp{std::move(info).value()};
+      return resp.to_frame();
+    }
+
+    case MsgType::kDeleteManyCommitReq: {
+      auto req = proto::DeleteManyCommitReq::from(r);
+      if (!req) return decode_error_frame(env.value().type, req.error());
+      static obs::Counter& bulk_deletes = obs::Registry::instance().counter(
+          "fgad_server_bulk_deletes_total");
+      static obs::Counter& bulk_items = obs::Registry::instance().counter(
+          "fgad_server_bulk_deleted_items_total");
+      static obs::Histogram& commit_ns = obs::Registry::instance().histogram(
+          "fgad_server_delete_many_commit_ns");
+      obs::ScopedTimer timer(commit_ns);
+      const core::DeleteManyCommit& commit = req.value().commit;
+      Status st = delete_many_commit(req.value().file_id, commit);
+      // One merged cut, one key rotation, m items (DESIGN.md §16).
+      audit_rpc("delete_many_commit", req.value().file_id,
+                commit.leaves.size(), commit.relocs.size(),
+                commit.deltas.size(), st);
+      if (st) {
+        bulk_deletes.inc();
+        bulk_items.inc(commit.leaves.size());
+      }
+      return status_frame(st, MsgType::kDeleteManyCommitResp);
     }
 
     case MsgType::kInsertBeginReq: {

@@ -53,6 +53,13 @@ class CloudServer {
                                         const proto::ItemRef& ref) const;
   Status delete_commit(std::uint64_t file_id, const core::DeleteCommit& c);
 
+  /// Merged-cut bulk deletion: one begin/commit exchange deletes every
+  /// referenced item of one file under a single key rotation.
+  Result<core::DeleteManyInfo> delete_many_begin(
+      std::uint64_t file_id, const std::vector<proto::ItemRef>& refs) const;
+  Status delete_many_commit(std::uint64_t file_id,
+                            const core::DeleteManyCommit& c);
+
   Result<core::InsertInfo> insert_begin(std::uint64_t file_id) const;
   Status insert_commit(std::uint64_t file_id, const core::InsertCommit& c);
 
@@ -101,6 +108,7 @@ class CloudServer {
   // ---- adversarial hooks ---------------------------------------------------
 
   std::function<void(core::DeleteInfo&)> tamper_delete_info;
+  std::function<void(core::DeleteManyInfo&)> tamper_delete_many_info;
   std::function<void(core::AccessInfo&)> tamper_access_info;
   std::function<void(core::InsertInfo&)> tamper_insert_info;
 

@@ -28,6 +28,8 @@ const char* errc_name(Errc c) {
       return "CONN_RESET";
     case Errc::kRetryExhausted:
       return "RETRY_EXHAUSTED";
+    case Errc::kIndeterminate:
+      return "INDETERMINATE";
   }
   return "UNKNOWN";
 }

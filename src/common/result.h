@@ -28,6 +28,8 @@ enum class Errc {
   kTimeout,              // per-operation deadline expired
   kConnReset,            // peer closed or reset the connection
   kRetryExhausted,       // bounded retry/backoff gave up
+  kIndeterminate,        // a commit's outcome is unknown (transport failed
+                         // after send); caller must resync before reuse
 };
 
 /// Human-readable name of an error code.

@@ -52,6 +52,9 @@ class BatchDeriver {
   HashAlg alg() const noexcept { return alg_; }
   std::size_t threads() const noexcept { return pool_ ? pool_->size() : 1; }
   const Options& options() const noexcept { return opts_; }
+  /// The underlying pool (null when fully serial), for callers that want
+  /// to fan other batch work out over the same workers.
+  ThreadPool* pool() const noexcept { return pool_.get(); }
 
   /// Derives all n data keys of a serialized whole tree, indexed by
   /// leaf node id - (n-1). Byte-identical to ClientMath::derive_all_keys.

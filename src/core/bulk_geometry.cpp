@@ -1,0 +1,88 @@
+#include "core/bulk_geometry.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+
+namespace fgad::core {
+
+std::vector<NodeId> merged_cut_nodes(std::size_t node_count,
+                                     std::span<const NodeId> leaves) {
+  std::vector<NodeId> cut;
+  if (leaves.empty() || node_count == 0) return cut;
+  // Ancestor-or-self closure of the deleted leaves (contains the root for
+  // any non-empty leaf set). A flat byte map over the node range makes the
+  // membership tests during the walk-up and the sibling probes below plain
+  // array reads — measurably cheaper than a hash set at bulk sizes, and
+  // the zero-fill is a single memset.
+  std::vector<std::uint8_t> in_anc(node_count, 0);
+  std::vector<NodeId> anc;
+  anc.reserve(leaves.size() * 2 + 64);
+  for (NodeId d : leaves) {
+    NodeId v = d;
+    // Walk up until we hit a node already in the closure (shared tail).
+    while (v < node_count && !in_anc[v]) {
+      in_anc[v] = 1;
+      anc.push_back(v);
+      if (v == root_id()) break;
+      v = parent_of(v);
+    }
+  }
+  cut.reserve(anc.size());
+  for (NodeId a : anc) {
+    if (a == root_id()) continue;
+    const NodeId s = sibling_of(a);
+    // Siblings that are themselves ancestors of a deleted leaf are not cut
+    // nodes — their deltas would double-modulate the region below them.
+    if (s >= node_count || !in_anc[s]) cut.push_back(s);
+  }
+  std::sort(cut.begin(), cut.end());
+  return cut;
+}
+
+BulkGeometry bulk_geometry(std::size_t node_count,
+                           std::span<const NodeId> leaves) {
+  BulkGeometry geo;
+  const std::size_t m = leaves.size();
+  const std::size_t n = leaf_count_of(node_count);
+  if (m == 0 || m > n) return geo;
+  if (m == n) {
+    geo.new_node_count = 0;  // tree vanishes; no relocation needed
+    return geo;
+  }
+  geo.new_node_count = node_count - 2 * m;
+  const std::size_t new_leaf_begin = leaf_count_of(geo.new_node_count) - 1;
+  const std::unordered_set<NodeId> dset(leaves.begin(), leaves.end());
+  // Holes: final leaf slots [n'-1, N') that don't already hold a surviving
+  // leaf — formerly internal slots (< old first leaf) or deleted slots.
+  // Built in O(m): slots [n'-1, min(N', n-1)) were all internal before the
+  // shrink, and the only other candidates are the deleted leaves below N'.
+  // The two groups straddle old_leaf_begin, so appending them in order
+  // keeps the holes ascending without scanning all n' slots.
+  const std::size_t old_leaf_begin = leaf_count_of(node_count) - 1;
+  const NodeId internal_end = static_cast<NodeId>(
+      std::min<std::size_t>(geo.new_node_count, old_leaf_begin));
+  for (NodeId h = new_leaf_begin; h < internal_end; ++h) {
+    geo.holes.push_back(h);
+  }
+  std::vector<NodeId> deleted_in_range;
+  for (NodeId d : leaves) {
+    if (d >= old_leaf_begin && d < geo.new_node_count) {
+      deleted_in_range.push_back(d);
+    }
+  }
+  std::sort(deleted_in_range.begin(), deleted_in_range.end());
+  geo.holes.insert(geo.holes.end(), deleted_in_range.begin(),
+                   deleted_in_range.end());
+  // Movers: surviving leaves in the chopped tail [N', N). When the tree
+  // shrinks below the old leaf line (m > n/2), slots [N', n-1) were internal
+  // and are simply chopped — only slots >= old_leaf_begin can hold leaves.
+  const NodeId tail_begin =
+      static_cast<NodeId>(std::max(geo.new_node_count, old_leaf_begin));
+  for (NodeId v = tail_begin; v < node_count; ++v) {
+    if (!dset.contains(v)) geo.movers.push_back(v);
+  }
+  return geo;
+}
+
+}  // namespace fgad::core

@@ -1,0 +1,52 @@
+// Pure geometry of merged-cut bulk deletion (DESIGN.md §16).
+//
+// Deleting a set D of m leaves from a left-complete tree in ONE operation
+// needs two pieces of arithmetic that the client and the server must agree
+// on exactly (the client recomputes both to validate the server's view):
+//
+//   * the *merged cut*: the union of the m per-leaf sibling cuts,
+//     deduplicated, minus any cut node that is itself an ancestor of another
+//     deleted leaf. Equivalently: the frontier of the deleted region — every
+//     node c with sibling(c) on some deleted leaf's path and no deleted leaf
+//     inside subtree(c). |cut| <= m * log(n/m) instead of m * log n.
+//
+//   * the *relocation plan* restoring left-completeness: after removing m
+//     leaves the tree shrinks from N to N' = N - 2m nodes. Final leaf slots
+//     that were internal nodes or deleted leaves ("holes") are refilled by
+//     the surviving leaves that lived in the chopped tail [N', N)
+//     ("movers"), paired index-wise in ascending node order. For m = 1 this
+//     degenerates to the paper's Section IV-D balancing (Step 1 promote +
+//     Step 2 re-home).
+//
+// Both functions take the leaf set sorted ascending and distinct; callers
+// validate that before asking for geometry.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/node_id.h"
+
+namespace fgad::core {
+
+/// Merged cut of `leaves` in a tree of `node_count` nodes, node ids
+/// ascending (for m = 1 this equals the canonical per-depth cut order,
+/// since path-node ids strictly increase with depth).
+std::vector<NodeId> merged_cut_nodes(std::size_t node_count,
+                                     std::span<const NodeId> leaves);
+
+struct BulkGeometry {
+  std::size_t new_node_count = 0;  // N' = N - 2m (0 when every leaf dies)
+  /// Final leaf slots that need a relocated leaf, ascending: formerly
+  /// internal nodes whose children were chopped, plus deleted slots that
+  /// survive as slots.
+  std::vector<NodeId> holes;
+  /// Surviving leaves in the chopped tail [N', N), ascending. Always the
+  /// same length as `holes`; holes[i] is refilled by movers[i].
+  std::vector<NodeId> movers;
+};
+
+BulkGeometry bulk_geometry(std::size_t node_count,
+                           std::span<const NodeId> leaves);
+
+}  // namespace fgad::core

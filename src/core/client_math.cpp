@@ -1,7 +1,11 @@
 #include "core/client_math.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
+
+#include "core/bulk_geometry.h"
 
 namespace fgad::core {
 
@@ -36,6 +40,64 @@ Status put(ModMap& map, NodeId node, Kind kind, const Md& value) {
   }
   return Status::ok();
 }
+
+// Flat modulator ledger for the bulk verifier. A DeleteManyInfo for m
+// targets mentions O(m log n) modulators, most of them several times
+// (overlapping root paths); per-mention hash-map churn dominated the whole
+// verification at m = 256. Instead, per-slot consistency is a direct-index
+// lookup (slots are bounded by 2 * node_count, and the slot table is
+// touched once per mention), and pairwise distinctness sorts the unique
+// values by a 64-bit prehash so full value compares happen only within
+// hash-equal runs.
+class ModLedger {
+ public:
+  explicit ModLedger(std::uint64_t node_count)
+      : first_seen_(2 * node_count, nullptr) {}
+
+  // Records `value` for the slot; fails if the slot was already seen with
+  // a conflicting value (a self-inconsistent server response).
+  Status add(NodeId node, Kind kind, const Md& value) {
+    const std::uint64_t slot = node * 2 + (kind == Kind::kLeaf ? 1 : 0);
+    const Md*& seen = first_seen_[slot];
+    if (seen == nullptr) {
+      seen = &value;
+      unique_.push_back(&value);
+      return Status::ok();
+    }
+    if (*seen != value) {
+      return Status(Errc::kTamperDetected,
+                    "delete info: node reported with conflicting modulators");
+    }
+    return Status::ok();  // consistent duplicate mention
+  }
+
+  // Pairwise distinctness across every distinct slot's value.
+  Status check_distinct() const {
+    std::vector<std::pair<std::uint64_t, const Md*>> by_hash;
+    by_hash.reserve(unique_.size());
+    const Md::Hasher hash;
+    for (const Md* v : unique_) {
+      by_hash.emplace_back(hash(*v), v);
+    }
+    std::sort(by_hash.begin(), by_hash.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return *a.second < *b.second;
+              });
+    for (std::size_t i = 1; i < by_hash.size(); ++i) {
+      if (by_hash[i].first == by_hash[i - 1].first &&
+          *by_hash[i].second == *by_hash[i - 1].second) {
+        return Status(Errc::kDuplicateModulator,
+                      "delete many info: modulators are not pairwise distinct");
+      }
+    }
+    return Status::ok();
+  }
+
+ private:
+  std::vector<const Md*> first_seen_;  // slot -> first recorded value
+  std::vector<const Md*> unique_;      // distinct slots, in mention order
+};
 
 }  // namespace
 
@@ -276,6 +338,342 @@ Result<ClientMath::DeletePlan> ClientMath::plan_delete(
   t_new_leaf ^= prefix_t;
   t_new_leaf ^= t_leaf_post;
   commit.t_new_leaf_mod = t_new_leaf;
+  return plan;
+}
+
+Status ClientMath::verify_delete_many_info(const DeleteManyInfo& info) const {
+  const std::size_t w = width();
+  const std::size_t m = info.targets.size();
+  const std::uint64_t nc = info.node_count;
+  if (m == 0) {
+    return Status(Errc::kTamperDetected, "delete many info: no targets");
+  }
+  if (nc == 0 || nc % 2 == 0) {
+    return Status(Errc::kTamperDetected, "delete many info: bad node count");
+  }
+  if (m > leaf_count_of(nc)) {
+    return Status(Errc::kTamperDetected,
+                  "delete many info: more targets than leaves");
+  }
+
+  ModLedger ledger(nc);
+  const auto put_path = [&](const PathView& path) -> Status {
+    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      if (path.links[i].size() != w) {
+        return Status(Errc::kTamperDetected,
+                      "delete many info: bad link width");
+      }
+      if (auto st = ledger.add(path.nodes[i + 1], Kind::kLink, path.links[i]);
+          !st) {
+        return st;
+      }
+    }
+    return Status::ok();
+  };
+
+  std::vector<NodeId> leaves;
+  leaves.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const DeleteManyInfo::Target& t = info.targets[i];
+    const NodeId d = t.path.well_formed() ? t.path.target() : kNoNode;
+    if (d == kNoNode || !is_leaf_in(d, nc) || d >= nc) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: malformed target path");
+    }
+    if (i > 0 && d <= leaves.back()) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: targets not strictly ascending");
+    }
+    if (t.leaf_mod.size() != w) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: bad leaf modulator");
+    }
+    if (auto st = put_path(t.path); !st) {
+      return st;
+    }
+    if (auto st = ledger.add(d, Kind::kLeaf, t.leaf_mod); !st) {
+      return st;
+    }
+    leaves.push_back(d);
+  }
+
+  // The client recomputes the merged cut itself; the server's entries must
+  // match it node for node.
+  const std::vector<NodeId> expect_cut = merged_cut_nodes(nc, leaves);
+  if (info.cut.size() != expect_cut.size()) {
+    return Status(Errc::kTamperDetected, "delete many info: cut size mismatch");
+  }
+  for (std::size_t i = 0; i < info.cut.size(); ++i) {
+    const CutEntry& e = info.cut[i];
+    if (e.node != expect_cut[i] || e.is_leaf != is_leaf_in(e.node, nc)) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: cut geometry wrong");
+    }
+    if (e.link.size() != w || (e.is_leaf && e.leaf_mod.size() != w)) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: bad cut modulator");
+    }
+    if (auto st = ledger.add(e.node, Kind::kLink, e.link); !st) {
+      return st;
+    }
+    if (e.is_leaf) {
+      if (auto st = ledger.add(e.node, Kind::kLeaf, e.leaf_mod); !st) {
+        return st;
+      }
+    }
+  }
+
+  // Relocation geometry: holes that are not deleted slots need their own
+  // paths; every mover needs path + leaf modulator, in ascending order.
+  const BulkGeometry geo = bulk_geometry(nc, leaves);
+  const std::unordered_set<NodeId> dset(leaves.begin(), leaves.end());
+  std::vector<NodeId> expect_holes;
+  for (NodeId h : geo.holes) {
+    if (!dset.contains(h)) {
+      expect_holes.push_back(h);
+    }
+  }
+  if (info.hole_paths.size() != expect_holes.size()) {
+    return Status(Errc::kTamperDetected,
+                  "delete many info: hole path count mismatch");
+  }
+  for (std::size_t i = 0; i < expect_holes.size(); ++i) {
+    const PathView& path = info.hole_paths[i];
+    if (!path.well_formed() || path.target() != expect_holes[i]) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: malformed hole path");
+    }
+    if (auto st = put_path(path); !st) {
+      return st;
+    }
+  }
+  if (info.movers.size() != geo.movers.size()) {
+    return Status(Errc::kTamperDetected,
+                  "delete many info: mover count mismatch");
+  }
+  for (std::size_t i = 0; i < geo.movers.size(); ++i) {
+    const DeleteManyInfo::Mover& mv = info.movers[i];
+    if (!mv.path.well_formed() || mv.path.target() != geo.movers[i]) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: malformed mover path");
+    }
+    if (mv.leaf_mod.size() != w) {
+      return Status(Errc::kTamperDetected,
+                    "delete many info: bad mover leaf modulator");
+    }
+    if (auto st = put_path(mv.path); !st) {
+      return st;
+    }
+    if (auto st = ledger.add(geo.movers[i], Kind::kLeaf, mv.leaf_mod); !st) {
+      return st;
+    }
+  }
+
+  // Per-slot consistency was enforced on every add; what remains is
+  // pairwise distinctness across the whole bundle (Theorem 2's client
+  // check, applied to the union of all supplied branches).
+  return ledger.check_distinct();
+}
+
+Result<ClientMath::DeleteManyPlan> ClientMath::plan_delete_many(
+    const DeleteManyInfo& info, const Md& master_old, const Md& master_new,
+    crypto::RandomSource& rnd, ThreadPool* pool) const {
+  if (auto st = verify_delete_many_info(info); !st) {
+    return Error(st.error());
+  }
+  if (master_old.size() != width() || master_new.size() != width()) {
+    return Error(Errc::kInvalidArgument,
+                 "plan_delete_many: bad master key width");
+  }
+
+  std::vector<NodeId> leaves;
+  leaves.reserve(info.targets.size());
+  for (const DeleteManyInfo::Target& t : info.targets) {
+    leaves.push_back(t.path.target());
+  }
+
+  // Link modulator of every node mentioned anywhere in the bundle (verify
+  // already proved consistency across overlapping branches). Sized up
+  // front: rehashing a map this large costs more than the hashing below.
+  const std::size_t mention_bound =
+      (info.targets.size() + info.hole_paths.size() + info.movers.size()) *
+          (depth_of(static_cast<NodeId>(info.node_count - 1)) + 1) +
+      info.cut.size();
+  std::unordered_map<NodeId, Md> link_of;
+  link_of.reserve(mention_bound);
+  const auto absorb_path = [&](const PathView& path) {
+    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      link_of.emplace(path.nodes[i + 1], path.links[i]);
+    }
+  };
+  for (const DeleteManyInfo::Target& t : info.targets) {
+    absorb_path(t.path);
+  }
+  for (const PathView& p : info.hole_paths) {
+    absorb_path(p);
+  }
+  for (const DeleteManyInfo::Mover& mv : info.movers) {
+    absorb_path(mv.path);
+  }
+  for (const CutEntry& e : info.cut) {
+    link_of.emplace(e.node, e.link);
+  }
+
+  // Memoized pre-adjustment prefixes. Queried only at nodes on deleted
+  // leaves' paths (A-nodes), whose edges are never delta-adjusted, so the
+  // raw links are correct under both keys.
+  std::unordered_map<NodeId, Md> pre_old_of{{root_id(), master_old}};
+  std::unordered_map<NodeId, Md> pre_new_of{{root_id(), master_new}};
+  pre_old_of.reserve(mention_bound);
+  pre_new_of.reserve(mention_bound);
+  const auto plain_prefix = [&](std::unordered_map<NodeId, Md>& memo,
+                                NodeId v) -> Md {
+    std::vector<NodeId> pending;
+    NodeId cur = v;
+    while (!memo.contains(cur)) {
+      pending.push_back(cur);
+      cur = parent_of(cur);
+    }
+    for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+      const Md step = chain_.step(memo.at(parent_of(*it)), link_of.at(*it));
+      memo.emplace(*it, step);
+    }
+    return memo.at(v);
+  };
+
+  DeleteManyPlan plan;
+  plan.old_keys.reserve(info.targets.size());
+  DeleteManyCommit& commit = plan.commit;
+  commit.leaves = leaves;
+
+  // Per-item wrong-leaf check (the paper's footnote to Theorem 2, applied
+  // to every target): one shared K' must miss ALL m targets.
+  for (const DeleteManyInfo::Target& t : info.targets) {
+    const NodeId d = t.path.target();
+    const Md old_key = chain_.step(plain_prefix(pre_old_of, d), t.leaf_mod);
+    if (chain_.step(plain_prefix(pre_new_of, d), t.leaf_mod) == old_key) {
+      return Error(Errc::kInvalidArgument,
+                   "plan_delete_many: new master key collides; pick another");
+    }
+    plan.old_keys.push_back(old_key);
+  }
+
+  // One delta per merged-cut node (Eq. 5 with M_c = path prefix to
+  // parent(c) plus the cut link). parent(c) is always an A-node. The
+  // prefix walks share the memo tables and stay sequential; the two chain
+  // steps per cut node are independent of each other, so with a pool they
+  // fan out across workers (each worker gets its own hash context — the
+  // EVP context inside ModulatedHashChain is not shareable).
+  struct CutPrefix {
+    Md pre_old;
+    Md pre_new;
+  };
+  std::vector<CutPrefix> cut_prefix;
+  cut_prefix.reserve(info.cut.size());
+  for (const CutEntry& e : info.cut) {
+    const NodeId p = parent_of(e.node);
+    cut_prefix.push_back(
+        CutPrefix{plain_prefix(pre_old_of, p), plain_prefix(pre_new_of, p)});
+  }
+  commit.deltas.resize(info.cut.size());
+  const auto delta_range = [&](std::size_t begin, std::size_t end,
+                               const ModulatedHashChain& chain) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Md delta = chain.step(cut_prefix[i].pre_old, info.cut[i].link);
+      delta ^= chain.step(cut_prefix[i].pre_new, info.cut[i].link);
+      commit.deltas[i] = delta;
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && info.cut.size() >= 64) {
+    std::vector<ModulatedHashChain> chains;
+    chains.reserve(pool->size());
+    for (std::size_t i = 0; i < pool->size(); ++i) {
+      chains.emplace_back(alg());
+    }
+    pool->parallel_for(info.cut.size(), /*grain=*/32,
+                       [&](std::size_t begin, std::size_t end,
+                           std::size_t worker) {
+                         delta_range(begin, end, chains[worker]);
+                       });
+  } else {
+    delta_range(0, info.cut.size(), chain_);
+  }
+  std::unordered_map<NodeId, Md> delta_of;
+  delta_of.reserve(info.cut.size());
+  for (std::size_t i = 0; i < info.cut.size(); ++i) {
+    delta_of.emplace(info.cut[i].node, commit.deltas[i]);
+  }
+
+  // Post-adjustment transforms, as in plan_delete: an edge changed iff its
+  // upper endpoint is an internal cut node; a cut leaf absorbs its delta.
+  const auto post_link = [&](NodeId parent, const Md& link) {
+    auto it = delta_of.find(parent);
+    if (it == delta_of.end()) {
+      return link;
+    }
+    Md v = link;
+    v ^= it->second;
+    return v;
+  };
+  const auto post_leaf = [&](NodeId leaf, const Md& mod) {
+    auto it = delta_of.find(leaf);
+    if (it == delta_of.end()) {
+      return mod;
+    }
+    Md v = mod;
+    v ^= it->second;
+    return v;
+  };
+
+  // Post-adjustment prefixes under K' (the state every relocation formula
+  // is evaluated in). By the single-cut-crossing cancellation these equal
+  // the pre-adjustment values under K below each surviving leaf's cut node.
+  std::unordered_map<NodeId, Md> post_new_of{{root_id(), master_new}};
+  post_new_of.reserve(mention_bound);
+  const auto post_prefix = [&](NodeId v) -> Md {
+    std::vector<NodeId> pending;
+    NodeId cur = v;
+    while (!post_new_of.contains(cur)) {
+      pending.push_back(cur);
+      cur = parent_of(cur);
+    }
+    for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+      const NodeId p = parent_of(*it);
+      const Md step =
+          chain_.step(post_new_of.at(p), post_link(p, link_of.at(*it)));
+      post_new_of.emplace(*it, step);
+    }
+    return post_new_of.at(v);
+  };
+
+  // Relocations: refill hole i with mover i. A hole that is a deleted slot
+  // gets a fresh random link (Eq. 9 pattern); a formerly internal hole
+  // keeps its existing (possibly delta-adjusted) link (Eq. 8 pattern).
+  // Either way the mover's data key is preserved:
+  //   H(target_prefix ^ new_leaf_mod) = H(mover_prefix ^ mover_leaf_post).
+  const BulkGeometry geo = bulk_geometry(info.node_count, leaves);
+  const std::unordered_set<NodeId> dset(leaves.begin(), leaves.end());
+  commit.relocs.reserve(geo.holes.size());
+  for (std::size_t i = 0; i < geo.holes.size(); ++i) {
+    const NodeId h = geo.holes[i];
+    const NodeId v = geo.movers[i];
+    const Md mover_prefix = post_prefix(v);
+    const Md mover_leaf_post = post_leaf(v, info.movers[i].leaf_mod);
+    DeleteManyCommit::Reloc rl;
+    Md target_prefix;
+    if (dset.contains(h)) {
+      rl.has_new_link = true;
+      rl.new_link = rnd.random_md(width());
+      target_prefix = chain_.step(post_prefix(parent_of(h)), rl.new_link);
+    } else {
+      target_prefix = post_prefix(h);
+    }
+    Md new_mod = target_prefix;
+    new_mod ^= mover_prefix;
+    new_mod ^= mover_leaf_post;
+    rl.new_leaf_mod = new_mod;
+    commit.relocs.push_back(std::move(rl));
+  }
   return plan;
 }
 

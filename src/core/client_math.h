@@ -16,6 +16,7 @@
 #pragma once
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/chain.h"
 #include "core/views.h"
 #include "crypto/random.h"
@@ -56,6 +57,33 @@ class ClientMath {
   Result<DeletePlan> plan_delete(const DeleteInfo& info, const Md& master_old,
                                  const Md& master_new,
                                  crypto::RandomSource& rnd) const;
+
+  /// Security check on a server-supplied DeleteManyInfo: recomputes the
+  /// merged cut and relocation geometry from (node_count, target leaves)
+  /// and cross-checks the server's view against them, plus the usual
+  /// per-node consistency and pairwise-distinctness checks over the whole
+  /// bundle (overlapping branches of different targets must agree).
+  Status verify_delete_many_info(const DeleteManyInfo& info) const;
+
+  /// Computes the DeleteManyCommit for `info` under ONE fresh master key:
+  /// one delta per merged-cut node (Eq. 5 on the cut frontier) and one
+  /// relocation record per hole (Eqs. 8-9 generalized; `rnd` supplies a
+  /// fresh link modulator per deleted-slot hole, drawn in hole order).
+  /// Fails with kInvalidArgument if F(K',M_d) == F(K,M_d) for ANY target
+  /// (the per-item wrong-leaf check; pick another K'). Also returns every
+  /// target's (now dead) data key for the pre-delete decrypt-verify step.
+  /// An optional pool fans the per-cut-node delta hashing out across
+  /// workers; the plan is byte-identical with and without it (all random
+  /// draws and output ordering stay sequential).
+  struct DeleteManyPlan {
+    DeleteManyCommit commit;
+    std::vector<Md> old_keys;  // aligned with info.targets
+  };
+  Result<DeleteManyPlan> plan_delete_many(const DeleteManyInfo& info,
+                                          const Md& master_old,
+                                          const Md& master_new,
+                                          crypto::RandomSource& rnd,
+                                          ThreadPool* pool = nullptr) const;
 
   /// Computes the InsertCommit scaffolding (fresh modulators + the moved
   /// leaf's recomputed modulator) and the new item's data key. The caller

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "core/bulk_geometry.h"
 #include "obs/metrics.h"
 
 namespace fgad::core {
@@ -177,6 +179,76 @@ DeleteInfo ModulationTree::delete_info_for(NodeId k) const {
   return info;
 }
 
+std::vector<CutEntry> ModulationTree::cut_for_many(
+    std::span<const NodeId> leaves) const {
+  for (NodeId d : leaves) {
+    if (!is_leaf(d)) {
+      throw std::out_of_range("ModulationTree::cut_for_many: not a leaf");
+    }
+  }
+  const std::vector<NodeId> nodes = merged_cut_nodes(node_count(), leaves);
+  std::vector<CutEntry> cut;
+  cut.reserve(nodes.size());
+  for (NodeId c : nodes) {
+    CutEntry e;
+    e.node = c;
+    e.link = link_[c];
+    e.is_leaf = is_leaf(c);
+    if (e.is_leaf) {
+      e.leaf_mod = leaf_rec(c).leaf_mod;
+    }
+    cut.push_back(e);
+  }
+  return cut;
+}
+
+DeleteManyInfo ModulationTree::delete_many_info_for(
+    std::span<const NodeId> leaves, ThreadPool* pool) const {
+  DeleteManyInfo info;
+  info.node_count = node_count();
+  info.cut = cut_for_many(leaves);
+  const BulkGeometry geo = bulk_geometry(node_count(), leaves);
+  const std::unordered_set<NodeId> dset(leaves.begin(), leaves.end());
+  std::vector<NodeId> survivor_holes;
+  for (NodeId h : geo.holes) {
+    if (!dset.contains(h)) {
+      survivor_holes.push_back(h);
+    }
+  }
+  // Path extraction is one independent tree walk per target/hole/mover —
+  // at bulk sizes it dominates this function, so fan it out when a pool is
+  // available (path_to and leaf_rec are read-only).
+  info.targets.resize(leaves.size());
+  info.hole_paths.resize(survivor_holes.size());
+  info.movers.resize(geo.movers.size());
+  const std::size_t total =
+      leaves.size() + survivor_holes.size() + geo.movers.size();
+  const auto fill_range = [&](std::size_t begin, std::size_t end,
+                              std::size_t /*worker*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i < leaves.size()) {
+        DeleteManyInfo::Target& t = info.targets[i];
+        t.path = path_to(leaves[i]);
+        t.leaf_mod = leaf_rec(leaves[i]).leaf_mod;  // throws if not a leaf
+      } else if (i < leaves.size() + survivor_holes.size()) {
+        const std::size_t j = i - leaves.size();
+        info.hole_paths[j] = path_to(survivor_holes[j]);
+      } else {
+        const std::size_t j = i - leaves.size() - survivor_holes.size();
+        DeleteManyInfo::Mover& mv = info.movers[j];
+        mv.path = path_to(geo.movers[j]);
+        mv.leaf_mod = leaf_rec(geo.movers[j]).leaf_mod;
+      }
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && total >= 64) {
+    pool->parallel_for(total, /*grain=*/16, fill_range);
+  } else {
+    fill_range(0, total, 0);
+  }
+  return info;
+}
+
 InsertInfo ModulationTree::insert_info() const {
   InsertInfo info;
   if (empty()) {
@@ -335,6 +407,146 @@ Result<ModulationTree::DeleteOutcome> ModulationTree::apply_delete(
   dup_remove(link_[last]);
   link_.resize(nodes - 2);
   leaf_ref_.resize(nodes - 2);
+  return outcome;
+}
+
+Result<ModulationTree::DeleteManyOutcome> ModulationTree::apply_delete_many(
+    const DeleteManyCommit& commit) {
+  static obs::Counter& applies =
+      obs::Registry::instance().counter("fgad_tree_apply_delete_many_total");
+  static obs::Counter& deleted =
+      obs::Registry::instance().counter("fgad_tree_bulk_deleted_leaves_total");
+  static obs::Histogram& apply_ns =
+      obs::Registry::instance().histogram("fgad_tree_apply_delete_many_ns");
+  obs::ScopedTimer timer(apply_ns);
+  applies.inc();
+
+  const std::vector<NodeId>& dl = commit.leaves;
+  const std::size_t m = dl.size();
+  if (m == 0) {
+    return Error(Errc::kInvalidArgument, "apply_delete_many: empty leaf set");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!is_leaf(dl[i])) {
+      return Error(Errc::kInvalidArgument,
+                   "apply_delete_many: target is not a leaf");
+    }
+    if (i > 0 && dl[i] <= dl[i - 1]) {
+      return Error(Errc::kInvalidArgument,
+                   "apply_delete_many: leaves not strictly ascending");
+    }
+  }
+  const std::size_t nodes = node_count();
+  const std::vector<NodeId> cut = merged_cut_nodes(nodes, dl);
+  if (commit.deltas.size() != cut.size()) {
+    return Error(Errc::kInvalidArgument, "apply_delete_many: wrong delta count");
+  }
+  for (const Md& delta : commit.deltas) {
+    if (delta.size() != width_) {
+      return Error(Errc::kInvalidArgument, "apply_delete_many: bad delta width");
+    }
+  }
+  const BulkGeometry geo = bulk_geometry(nodes, dl);
+  if (commit.relocs.size() != geo.holes.size()) {
+    return Error(Errc::kInvalidArgument,
+                 "apply_delete_many: wrong relocation count");
+  }
+  const std::unordered_set<NodeId> dset(dl.begin(), dl.end());
+  for (std::size_t i = 0; i < commit.relocs.size(); ++i) {
+    const DeleteManyCommit::Reloc& rl = commit.relocs[i];
+    if (rl.has_new_link != dset.contains(geo.holes[i])) {
+      return Error(Errc::kInvalidArgument,
+                   "apply_delete_many: relocation link flag mismatch");
+    }
+    if (rl.new_leaf_mod.size() != width_ ||
+        (rl.has_new_link && rl.new_link.size() != width_)) {
+      return Error(Errc::kInvalidArgument,
+                   "apply_delete_many: bad relocation modulator width");
+    }
+  }
+  // Best-effort duplicate pre-check on the client-supplied fresh values
+  // (same contract as apply_delete: delta-adjusted collisions are ~2^-(8w)
+  // and caught by the client's MT(k) distinctness check later).
+  {
+    std::vector<const Md*> incoming;
+    incoming.reserve(2 * commit.relocs.size());
+    for (const DeleteManyCommit::Reloc& rl : commit.relocs) {
+      incoming.push_back(&rl.new_leaf_mod);
+      if (rl.has_new_link) {
+        incoming.push_back(&rl.new_link);
+      }
+    }
+    std::unordered_set<Md, Md::Hasher> fresh;
+    fresh.reserve(incoming.size());
+    for (const Md* v : incoming) {
+      if (dup_would_collide(*v)) {
+        return Error(Errc::kDuplicateModulator,
+                     "apply_delete_many: commit modulator duplicates tree value");
+      }
+      if (!fresh.insert(*v).second) {
+        return Error(Errc::kDuplicateModulator,
+                     "apply_delete_many: commit modulators not distinct");
+      }
+    }
+  }
+
+  // All checks passed; mutate. Step A: one delta per merged-cut node
+  // (Eqs. 6-7 applied to the cut frontier).
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    const NodeId c = cut[i];
+    const Md& delta = commit.deltas[i];
+    if (is_leaf(c)) {
+      xor_mod(leaf_rec(c).leaf_mod, delta);
+    } else {
+      xor_mod(link_[left_child(c)], delta);
+      xor_mod(link_[right_child(c)], delta);
+    }
+  }
+
+  // Step B: drop every deleted leaf's record.
+  DeleteManyOutcome outcome;
+  outcome.removed_item_slots.reserve(m);
+  for (NodeId d : dl) {
+    outcome.removed_item_slots.push_back(leaf_rec(d).item_slot);
+    dup_remove(leaf_rec(d).leaf_mod);
+    free_leaf_rec(leaf_ref_[d]);
+    leaf_ref_[d] = kNoLeafRef;
+  }
+  deleted.inc(m);
+
+  if (geo.new_node_count == 0) {
+    link_.clear();
+    leaf_ref_.clear();
+    return outcome;
+  }
+
+  // Step C: relocate tail leaves into the holes (generalized IV-D).
+  for (std::size_t i = 0; i < geo.holes.size(); ++i) {
+    const NodeId h = geo.holes[i];
+    const NodeId v = geo.movers[i];
+    const DeleteManyCommit::Reloc& rl = commit.relocs[i];
+    const std::uint32_t ref = leaf_ref_[v];
+    dup_remove(leaves_[ref].leaf_mod);
+    leaves_[ref].leaf_mod = rl.new_leaf_mod;
+    dup_add(leaves_[ref].leaf_mod);
+    leaf_ref_[h] = ref;
+    leaf_ref_[v] = kNoLeafRef;
+    if (rl.has_new_link) {
+      dup_remove(link_[h]);
+      link_[h] = rl.new_link;
+      dup_add(link_[h]);
+    }
+    outcome.moves.push_back(LeafMove{leaves_[ref].item_slot, h});
+    outcome.leaf_relocations.push_back(DeleteManyOutcome::LeafReloc{v, h});
+  }
+
+  // Step D: chop the tail (chopped slots include formerly internal nodes
+  // when the tree shrank below the old leaf line).
+  for (NodeId v = geo.new_node_count; v < nodes; ++v) {
+    dup_remove(link_[v]);
+  }
+  link_.resize(geo.new_node_count);
+  leaf_ref_.resize(geo.new_node_count);
   return outcome;
 }
 

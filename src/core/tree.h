@@ -22,10 +22,12 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/node_id.h"
 #include "core/views.h"
 #include "crypto/digest.h"
@@ -52,6 +54,20 @@ class ModulationTree {
   struct DeleteOutcome {
     std::uint64_t removed_item_slot;  // ciphertext to discard
     std::vector<LeafMove> moves;
+  };
+
+  struct DeleteManyOutcome {
+    /// Ciphertexts to discard, aligned with the commit's leaf list.
+    std::vector<std::uint64_t> removed_item_slots;
+    std::vector<LeafMove> moves;
+    /// Old-node -> new-node pairs for the relocated leaves, hole-ascending.
+    /// The integrity layer uses these to rebuild its hash tree from the
+    /// pre-deletion node hashes without re-hashing any ciphertext.
+    struct LeafReloc {
+      NodeId from;
+      NodeId to;
+    };
+    std::vector<LeafReloc> leaf_relocations;
   };
 
   struct InsertOutcome {
@@ -107,6 +123,18 @@ class ModulationTree {
   /// filled in by the cloud layer).
   DeleteInfo delete_info_for(NodeId k) const;
 
+  /// The merged cut for a set of leaves (ascending, distinct), node ids
+  /// ascending. For a single leaf this is cut_for(k) reordered by node id —
+  /// which equals depth order, since path node ids grow with depth.
+  std::vector<CutEntry> cut_for_many(std::span<const NodeId> leaves) const;
+
+  /// Assembles the DeleteManyInfo for a set of leaves (ascending, distinct;
+  /// item ids and ciphertexts are filled in by the cloud layer). An
+  /// optional pool parallelizes the per-target/hole/mover path extraction;
+  /// the result is identical with and without it.
+  DeleteManyInfo delete_many_info_for(std::span<const NodeId> leaves,
+                                      ThreadPool* pool = nullptr) const;
+
   /// Assembles the InsertInfo for the next insertion.
   InsertInfo insert_info() const;
 
@@ -116,6 +144,11 @@ class ModulationTree {
   /// tracking on, rejects commits that would introduce duplicate modulator
   /// values (the client then re-runs with fresh randomness).
   Result<DeleteOutcome> apply_delete(const DeleteCommit& commit);
+
+  /// Applies a merged-cut bulk deletion commit: one delta bundle, one
+  /// relocation set, all-or-nothing (every shape/width/duplicate check runs
+  /// before the first mutation). See DESIGN.md §16.
+  Result<DeleteManyOutcome> apply_delete_many(const DeleteManyCommit& commit);
 
   /// Applies an insertion commit. `item_slot` is the cloud-layer slot where
   /// the new ciphertext was stored.

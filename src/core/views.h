@@ -81,6 +81,51 @@ struct DeleteCommit {
   Md t_new_leaf_mod;     // computed leaf modulator for t at k's slot (Eq. 9)
 };
 
+/// Server view for merged-cut bulk deletion of m leaves of one file
+/// (DESIGN.md §16). Carries enough for the client to *independently*
+/// recompute the merged cut and the relocation geometry from
+/// (node_count, target leaves) and cross-check every modulator.
+struct DeleteManyInfo {
+  std::uint64_t node_count = 0;  // N, pre-deletion
+
+  struct Target {
+    PathView path;  // P(d), root to the deleted leaf
+    Md leaf_mod;
+    std::uint64_t item_id = 0;
+    Bytes ciphertext;  // for the client's verify step
+  };
+  std::vector<Target> targets;  // sorted by leaf id ascending, distinct
+
+  /// Merged cut, node ids ascending (matches core::merged_cut_nodes).
+  std::vector<CutEntry> cut;
+
+  /// Paths to relocation holes that are NOT deleted leaves (formerly
+  /// internal slots), hole-ascending. Holes that are deleted leaves already
+  /// have their paths in `targets`.
+  std::vector<PathView> hole_paths;
+
+  struct Mover {
+    PathView path;  // path to the surviving tail leaf being relocated
+    Md leaf_mod;
+  };
+  std::vector<Mover> movers;  // node ids ascending (core::bulk_geometry)
+};
+
+/// Client commit for merged-cut bulk deletion: ONE fresh master key K'
+/// covers all m targets; one delta per merged-cut node plus one relocation
+/// record per hole.
+struct DeleteManyCommit {
+  std::vector<NodeId> leaves;  // deleted leaves, ascending, distinct
+  std::vector<Md> deltas;      // aligned with merged_cut_nodes(N, leaves)
+
+  struct Reloc {
+    Md new_leaf_mod;  // Eq. 8 pattern (hole keeps its link) or Eq. 9
+    bool has_new_link = false;  // true iff the hole is a deleted slot
+    Md new_link;                // fresh random link (Eq. 9 pattern)
+  };
+  std::vector<Reloc> relocs;  // aligned with bulk_geometry holes, ascending
+};
+
 struct InsertInfo {
   bool empty_tree = false;
   PathView q_path;  // path to q, the leaf to split (empty when empty_tree)

@@ -92,6 +92,7 @@ bool is_mutating(MsgType t) {
     case MsgType::kModifyReq:
     case MsgType::kInsertCommitReq:
     case MsgType::kDeleteCommitReq:
+    case MsgType::kDeleteManyCommitReq:
     case MsgType::kDropFileReq:
     case MsgType::kKvPutReq:
     case MsgType::kKvDeleteReq:
@@ -156,6 +157,10 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kDeleteBeginResp: return "delete_begin_resp";
     case MsgType::kDeleteCommitReq: return "delete_commit_req";
     case MsgType::kDeleteCommitResp: return "delete_commit_resp";
+    case MsgType::kDeleteManyBeginReq: return "delete_many_begin_req";
+    case MsgType::kDeleteManyBeginResp: return "delete_many_begin_resp";
+    case MsgType::kDeleteManyCommitReq: return "delete_many_commit_req";
+    case MsgType::kDeleteManyCommitResp: return "delete_many_commit_resp";
     case MsgType::kFetchTreeReq: return "fetch_tree_req";
     case MsgType::kFetchTreeResp: return "fetch_tree_resp";
     case MsgType::kFetchItemsReq: return "fetch_items_req";
@@ -329,6 +334,157 @@ Result<DeleteCommit> decode_delete_commit(Reader& r) {
   }
   if (!r.ok()) {
     return decode_error("delete commit: truncated");
+  }
+  return c;
+}
+
+void encode_delete_many_info(Writer& w, const core::DeleteManyInfo& info) {
+  w.u64(info.node_count);
+  w.u32(static_cast<std::uint32_t>(info.targets.size()));
+  for (const auto& t : info.targets) {
+    encode_path(w, t.path);
+    w.md(t.leaf_mod);
+    w.u64(t.item_id);
+    w.bytes(t.ciphertext);
+  }
+  w.u32(static_cast<std::uint32_t>(info.cut.size()));
+  for (const CutEntry& e : info.cut) {
+    w.u64(e.node);
+    w.md(e.link);
+    w.u8(e.is_leaf ? 1 : 0);
+    if (e.is_leaf) {
+      w.md(e.leaf_mod);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(info.hole_paths.size()));
+  for (const PathView& p : info.hole_paths) {
+    encode_path(w, p);
+  }
+  w.u32(static_cast<std::uint32_t>(info.movers.size()));
+  for (const auto& mv : info.movers) {
+    encode_path(w, mv.path);
+    w.md(mv.leaf_mod);
+  }
+}
+
+Result<core::DeleteManyInfo> decode_delete_many_info(Reader& r) {
+  core::DeleteManyInfo info;
+  info.node_count = r.u64();
+  const std::uint32_t nt = r.u32();
+  // Every target carries at least a 1-node path (12 bytes) plus a
+  // modulator; bound the claim by the bytes present.
+  if (!r.ok() || nt == 0 || nt > (1u << 26) || nt > r.remaining() / 12 + 1) {
+    return decode_error("delete many info: bad target count");
+  }
+  info.targets.reserve(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    core::DeleteManyInfo::Target t;
+    auto path = decode_path(r);
+    if (!path) return path.error();
+    t.path = std::move(path).value();
+    t.leaf_mod = r.md();
+    t.item_id = r.u64();
+    t.ciphertext = r.bytes();
+    if (!r.ok()) return decode_error("delete many info: truncated target");
+    info.targets.push_back(std::move(t));
+  }
+  const std::uint32_t nc = r.u32();
+  if (!r.ok() || nc > (1u << 26) || nc > r.remaining() / 9 + 1) {
+    return decode_error("delete many info: bad cut count");
+  }
+  info.cut.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    CutEntry e;
+    e.node = r.u64();
+    e.link = r.md();
+    e.is_leaf = r.u8() != 0;
+    if (e.is_leaf) {
+      e.leaf_mod = r.md();
+    }
+    info.cut.push_back(std::move(e));
+  }
+  const std::uint32_t nh = r.u32();
+  if (!r.ok() || nh > (1u << 26) || nh > r.remaining() / 12 + 1) {
+    return decode_error("delete many info: bad hole path count");
+  }
+  info.hole_paths.reserve(nh);
+  for (std::uint32_t i = 0; i < nh; ++i) {
+    auto path = decode_path(r);
+    if (!path) return path.error();
+    info.hole_paths.push_back(std::move(path).value());
+  }
+  const std::uint32_t nm = r.u32();
+  if (!r.ok() || nm > (1u << 26) || nm > r.remaining() / 12 + 1) {
+    return decode_error("delete many info: bad mover count");
+  }
+  info.movers.reserve(nm);
+  for (std::uint32_t i = 0; i < nm; ++i) {
+    core::DeleteManyInfo::Mover mv;
+    auto path = decode_path(r);
+    if (!path) return path.error();
+    mv.path = std::move(path).value();
+    mv.leaf_mod = r.md();
+    info.movers.push_back(std::move(mv));
+  }
+  if (!r.ok()) {
+    return decode_error("delete many info: truncated");
+  }
+  return info;
+}
+
+void encode_delete_many_commit(Writer& w, const core::DeleteManyCommit& c) {
+  w.u32(static_cast<std::uint32_t>(c.leaves.size()));
+  for (core::NodeId v : c.leaves) {
+    w.u64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(c.deltas.size()));
+  for (const auto& d : c.deltas) {
+    w.md(d);
+  }
+  w.u32(static_cast<std::uint32_t>(c.relocs.size()));
+  for (const auto& rl : c.relocs) {
+    w.md(rl.new_leaf_mod);
+    w.u8(rl.has_new_link ? 1 : 0);
+    if (rl.has_new_link) {
+      w.md(rl.new_link);
+    }
+  }
+}
+
+Result<core::DeleteManyCommit> decode_delete_many_commit(Reader& r) {
+  core::DeleteManyCommit c;
+  const std::uint32_t nl = r.u32();
+  if (!r.ok() || nl == 0 || nl > (1u << 26) || nl > r.remaining() / 8 + 1) {
+    return decode_error("delete many commit: bad leaf count");
+  }
+  c.leaves.reserve(nl);
+  for (std::uint32_t i = 0; i < nl; ++i) {
+    c.leaves.push_back(r.u64());
+  }
+  const std::uint32_t nd = r.u32();
+  if (!r.ok() || nd > (1u << 26) || nd > r.remaining()) {
+    return decode_error("delete many commit: bad delta count");
+  }
+  c.deltas.reserve(nd);
+  for (std::uint32_t i = 0; i < nd; ++i) {
+    c.deltas.push_back(r.md());
+  }
+  const std::uint32_t nr = r.u32();
+  if (!r.ok() || nr > (1u << 26) || nr > r.remaining()) {
+    return decode_error("delete many commit: bad relocation count");
+  }
+  c.relocs.reserve(nr);
+  for (std::uint32_t i = 0; i < nr; ++i) {
+    core::DeleteManyCommit::Reloc rl;
+    rl.new_leaf_mod = r.md();
+    rl.has_new_link = r.u8() != 0;
+    if (rl.has_new_link) {
+      rl.new_link = r.md();
+    }
+    c.relocs.push_back(std::move(rl));
+  }
+  if (!r.ok()) {
+    return decode_error("delete many commit: truncated");
   }
   return c;
 }
@@ -617,6 +773,63 @@ Result<DeleteCommitReq> DeleteCommitReq::from(Reader& r) {
   DeleteCommitReq m;
   m.file_id = r.u64();
   auto c = decode_delete_commit(r);
+  if (!c) return c.error();
+  m.commit = std::move(c).value();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes DeleteManyBeginReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  w.u32(static_cast<std::uint32_t>(refs.size()));
+  for (const ItemRef& ref : refs) {
+    encode_item_ref(w, ref);
+  }
+  return frame(MsgType::kDeleteManyBeginReq, std::move(w));
+}
+
+Result<DeleteManyBeginReq> DeleteManyBeginReq::from(Reader& r) {
+  DeleteManyBeginReq m;
+  m.file_id = r.u64();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n == 0 || n > (1u << 26) || n > r.remaining() / 9 + 1) {
+    return decode_error("delete many begin: bad ref count");
+  }
+  m.refs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto ref = decode_item_ref(r);
+    if (!ref) return ref.error();
+    m.refs.push_back(ref.value());
+  }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes DeleteManyBeginResp::to_frame() const {
+  Writer w;
+  encode_delete_many_info(w, info);
+  return frame(MsgType::kDeleteManyBeginResp, std::move(w));
+}
+
+Result<DeleteManyBeginResp> DeleteManyBeginResp::from(Reader& r) {
+  auto info = decode_delete_many_info(r);
+  if (!info) return info.error();
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return DeleteManyBeginResp{std::move(info).value()};
+}
+
+Bytes DeleteManyCommitReq::to_frame() const {
+  Writer w;
+  w.u64(file_id);
+  encode_delete_many_commit(w, commit);
+  return frame(MsgType::kDeleteManyCommitReq, std::move(w));
+}
+
+Result<DeleteManyCommitReq> DeleteManyCommitReq::from(Reader& r) {
+  DeleteManyCommitReq m;
+  m.file_id = r.u64();
+  auto c = decode_delete_many_commit(r);
   if (!c) return c.error();
   m.commit = std::move(c).value();
   if (auto st = r.finish(); !st) return Error(st.error());

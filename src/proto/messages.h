@@ -49,6 +49,12 @@ enum class MsgType : std::uint16_t {
   kDropFileResp = 22,
   kStatReq = 23,
   kStatResp = 24,
+  // Merged-cut bulk deletion (DESIGN.md §16): m items of one file, one
+  // fresh master key, one delta bundle, one commit round trip.
+  kDeleteManyBeginReq = 25,
+  kDeleteManyBeginResp = 26,
+  kDeleteManyCommitReq = 27,
+  kDeleteManyCommitResp = 28,
   kKvPutReq = 30,
   kKvPutResp = 31,
   kKvGetReq = 32,
@@ -145,6 +151,12 @@ Result<core::DeleteInfo> decode_delete_info(Reader& r);
 
 void encode_delete_commit(Writer& w, const core::DeleteCommit& c);
 Result<core::DeleteCommit> decode_delete_commit(Reader& r);
+
+void encode_delete_many_info(Writer& w, const core::DeleteManyInfo& info);
+Result<core::DeleteManyInfo> decode_delete_many_info(Reader& r);
+
+void encode_delete_many_commit(Writer& w, const core::DeleteManyCommit& c);
+Result<core::DeleteManyCommit> decode_delete_many_commit(Reader& r);
 
 void encode_insert_info(Writer& w, const core::InsertInfo& info);
 Result<core::InsertInfo> decode_insert_info(Reader& r);
@@ -261,6 +273,26 @@ struct DeleteCommitReq {
   core::DeleteCommit commit;
   Bytes to_frame() const;
   static Result<DeleteCommitReq> from(Reader& r);
+};
+
+struct DeleteManyBeginReq {
+  std::uint64_t file_id = 0;
+  std::vector<ItemRef> refs;  // >= 1, must resolve to distinct items
+  Bytes to_frame() const;
+  static Result<DeleteManyBeginReq> from(Reader& r);
+};
+
+struct DeleteManyBeginResp {
+  core::DeleteManyInfo info;
+  Bytes to_frame() const;
+  static Result<DeleteManyBeginResp> from(Reader& r);
+};
+
+struct DeleteManyCommitReq {
+  std::uint64_t file_id = 0;
+  core::DeleteManyCommit commit;
+  Bytes to_frame() const;
+  static Result<DeleteManyCommitReq> from(Reader& r);
 };
 
 struct FetchTreeReq {

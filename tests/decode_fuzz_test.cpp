@@ -36,6 +36,12 @@ TEST(DecodeFuzz, MessageDecodersSurviveRandomBytes) {
     (void)proto::AuditResp::from(r6);
     proto::Reader r7(junk);
     (void)proto::OutsourceReq::from(r7);
+    proto::Reader r8(junk);
+    (void)proto::decode_delete_many_info(r8);
+    proto::Reader r9(junk);
+    (void)proto::decode_delete_many_commit(r9);
+    proto::Reader r10(junk);
+    (void)proto::DeleteManyBeginReq::from(r10);
   }
   SUCCEED();
 }
@@ -62,6 +68,8 @@ TEST(DecodeFuzz, ServerSurvivesTypedGarbagePayloads) {
       proto::MsgType::kInsertCommitReq, proto::MsgType::kFetchTreeReq,
       proto::MsgType::kFetchItemsReq,  proto::MsgType::kAuditReq,
       proto::MsgType::kKvPutBatchReq,  proto::MsgType::kStatReq,
+      proto::MsgType::kDeleteManyBeginReq,
+      proto::MsgType::kDeleteManyCommitReq,
   };
   for (int i = 0; i < 2000; ++i) {
     const auto type = types[rng.next_below(std::size(types))];

@@ -294,5 +294,146 @@ TEST(FaultInjection, FullFaultMixOverRealTcpStaysBounded) {
   tcp.value()->stop();
 }
 
+/// Routes delete-commit frames (single and bulk) through a fault layer
+/// while every other frame takes the clean path — the deterministic way
+/// to kill exactly the commit phase of a batched deletion.
+class CommitFaultRouter final : public net::RpcChannel {
+ public:
+  CommitFaultRouter(net::RpcChannel& clean, net::RpcChannel& faulty)
+      : clean_(clean), faulty_(faulty) {}
+
+  Result<Bytes> roundtrip(BytesView frame) override {
+    const auto type = proto::peek_type(frame);
+    const bool commit =
+        type && (*type == proto::MsgType::kDeleteCommitReq ||
+                 *type == proto::MsgType::kDeleteManyCommitReq);
+    return commit ? faulty_.roundtrip(frame) : clean_.roundtrip(frame);
+  }
+
+ private:
+  net::RpcChannel& clean_;
+  net::RpcChannel& faulty_;
+};
+
+TEST(FaultInjection, EraseBatchCommitDisconnectPoisonsAllStagedHandles) {
+  // Satellite scenario: the pipelined commit batch of erase_batch dies in
+  // transport. The client cannot know which commits (if any) the server
+  // applied, so it must NOT silently keep the old keys — it poisons every
+  // staged handle and reports kIndeterminate until resync() settles each.
+  CloudServer server;
+  SystemRandom rnd;
+  net::DirectChannel clean(
+      [&server](BytesView req) { return server.handle(req); });
+  net::DirectChannel inner(
+      [&server](BytesView req) { return server.handle(req); });
+  // disconnect = 1: the connection dies BEFORE the server executes, so
+  // in truth no commit landed — which resync() must discover.
+  net::FaultInjectingChannel faulty(inner, {.disconnect = 1.0});
+  CommitFaultRouter router(clean, faulty);
+  Client client(router, rnd);
+
+  std::vector<Bytes> items;
+  for (int i = 0; i < 10; ++i) items.push_back(payload_for(i));
+  auto fh1 = client.outsource(1, items);
+  auto fh2 = client.outsource(2, items);
+  ASSERT_TRUE(fh1.is_ok());
+  ASSERT_TRUE(fh2.is_ok());
+  auto ids2 = client.list_items(fh2.value());
+  ASSERT_TRUE(ids2.is_ok());
+
+  std::vector<Client::FileHandle*> handles{&fh1.value(), &fh2.value()};
+  std::vector<proto::ItemRef> refs{proto::ItemRef::id(3),
+                                   proto::ItemRef::id(ids2.value()[4])};
+  EXPECT_EQ(client.erase_batch(handles, refs).code(), Errc::kIndeterminate);
+  EXPECT_TRUE(fh1.value().poisoned);
+  EXPECT_TRUE(fh2.value().poisoned);
+
+  // Every operation fails fast on a poisoned handle...
+  EXPECT_EQ(client.access(fh1.value(), proto::ItemRef::id(0)).code(),
+            Errc::kIndeterminate);
+  EXPECT_EQ(client.erase_item(fh2.value(), refs[1]).code(),
+            Errc::kIndeterminate);
+  // ...until resync determines the server never applied the commits and
+  // re-adopts the OLD keys.
+  ASSERT_TRUE(client.resync(fh1.value()));
+  ASSERT_TRUE(client.resync(fh2.value()));
+  EXPECT_FALSE(fh1.value().poisoned);
+  EXPECT_FALSE(fh2.value().poisoned);
+  EXPECT_EQ(client.access(fh1.value(), proto::ItemRef::id(3)).value(),
+            items[3]);
+  EXPECT_EQ(client.access(fh2.value(), proto::ItemRef::id(ids2.value()[4]))
+                .value(),
+            items[4]);
+}
+
+TEST(FaultInjection, EraseItemLostCommitResponseResyncsToNewKey) {
+  // The opposite truth: drop_response executes the commit server-side and
+  // loses only the ACK. Assuming "it failed" and keeping the old key
+  // would permanently desynchronize the client; resync() must detect the
+  // rotation and adopt the pending key.
+  CloudServer server;
+  SystemRandom rnd;
+  net::DirectChannel clean(
+      [&server](BytesView req) { return server.handle(req); });
+  net::DirectChannel inner(
+      [&server](BytesView req) { return server.handle(req); });
+  net::FaultInjectingChannel faulty(inner, {.drop_response = 1.0});
+  CommitFaultRouter router(clean, faulty);
+  Client client(router, rnd);
+
+  std::vector<Bytes> items;
+  for (int i = 0; i < 10; ++i) items.push_back(payload_for(i));
+  auto fh = client.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+
+  EXPECT_EQ(client.erase_item(fh.value(), proto::ItemRef::id(2)).code(),
+            Errc::kIndeterminate);
+  EXPECT_TRUE(fh.value().poisoned);
+  ASSERT_TRUE(client.resync(fh.value()));
+  EXPECT_FALSE(fh.value().poisoned);
+  // The deletion DID land; survivors decrypt under the adopted new key.
+  EXPECT_FALSE(client.access(fh.value(), proto::ItemRef::id(2)).is_ok());
+  for (std::uint64_t id : {0u, 1u, 3u, 9u}) {
+    EXPECT_EQ(client.access(fh.value(), proto::ItemRef::id(id)).value(),
+              items[id]);
+  }
+  // The handle is usable again post-resync.
+  ASSERT_TRUE(client.modify(fh.value(), 5, payload_for(55)));
+  EXPECT_EQ(client.access(fh.value(), proto::ItemRef::id(5)).value(),
+            payload_for(55));
+}
+
+TEST(FaultInjection, EraseItemsLostCommitOnEmptiedFileResyncs) {
+  // Bulk-delete EVERY item with the commit ACK lost: resync has no
+  // surviving item to probe and must conclude from the emptied file that
+  // the pending key is live.
+  CloudServer server;
+  SystemRandom rnd;
+  net::DirectChannel clean(
+      [&server](BytesView req) { return server.handle(req); });
+  net::DirectChannel inner(
+      [&server](BytesView req) { return server.handle(req); });
+  net::FaultInjectingChannel faulty(inner, {.drop_response = 1.0});
+  CommitFaultRouter router(clean, faulty);
+  Client client(router, rnd);
+
+  std::vector<Bytes> items;
+  for (int i = 0; i < 6; ++i) items.push_back(payload_for(i));
+  auto fh = client.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+
+  std::vector<proto::ItemRef> all;
+  for (std::uint64_t id = 0; id < 6; ++id) {
+    all.push_back(proto::ItemRef::id(id));
+  }
+  EXPECT_EQ(client.erase_items(fh.value(), all).code(), Errc::kIndeterminate);
+  EXPECT_TRUE(fh.value().poisoned);
+  ASSERT_TRUE(client.resync(fh.value()));
+  EXPECT_FALSE(fh.value().poisoned);
+  auto left = client.list_items(fh.value());
+  ASSERT_TRUE(left.is_ok());
+  EXPECT_TRUE(left.value().empty());
+}
+
 }  // namespace
 }  // namespace fgad

@@ -23,6 +23,7 @@
 #include "net/retry.h"
 #include "net/tcp.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/harness.h"
 
 namespace fgad::cloud {
@@ -786,6 +787,119 @@ TEST(GroupCommit, CrashBeforeFsyncLosesWholeBatchThenResendsExactlyOnce) {
   EXPECT_TRUE(fsck(ds2.server()));
 }
 
+TEST(GroupCommit, BulkDeleteCrashBeforeFsyncThenExactlyOnceResend) {
+  // A merged-cut bulk deletion is ONE WAL record; a crash before its
+  // group fsync must lose it atomically (no torn half-applied batch),
+  // and the client's resend of the identical tagged frame must apply it
+  // exactly once via rid-dedup.
+  DurableServer::Options dopts;
+  dopts.dir = fresh_state_dir("group_bulk_delete");
+  dopts.checkpoint_every_n = 0;
+  auto opened = DurableServer::open(dopts);
+  ASSERT_TRUE(opened.is_ok());
+  auto ds = std::move(opened).value();
+
+  SystemRandom rnd;
+  net::DirectChannel ch([&ds](BytesView req) { return ds->handle(req); });
+  Client::Options copts;
+  copts.tag_mutations = true;
+  Client client(ch, rnd, copts);
+  std::vector<Bytes> items;
+  for (int i = 0; i < 16; ++i) items.push_back(payload_for(i));
+  auto fh = client.outsource(1, items);
+  ASSERT_TRUE(fh.is_ok());
+
+  // Snapshot the durable WAL prefix: the outsource is fsynced.
+  const std::string wal = dopts.dir + "/wal-000000.log";
+  auto durable_prefix = fsio::read_file(wal);
+  ASSERT_TRUE(durable_prefix.is_ok());
+
+  // Build the bulk commit by hand so the exact tagged frame can be
+  // resent byte-identically after the crash.
+  proto::DeleteManyBeginReq breq;
+  breq.file_id = 1;
+  for (std::uint64_t id : {2u, 3u, 9u}) {
+    breq.refs.push_back(proto::ItemRef::id(id));
+  }
+  auto benv = proto::open_message(ds->handle(breq.to_frame()));
+  ASSERT_TRUE(benv.is_ok());
+  ASSERT_EQ(benv.value().type, proto::MsgType::kDeleteManyBeginResp);
+  proto::Reader br(benv.value().payload);
+  auto bresp = proto::DeleteManyBeginResp::from(br);
+  ASSERT_TRUE(bresp.is_ok());
+
+  core::ClientMath math(crypto::HashAlg::kSha1);
+  crypto::MasterKey fresh;
+  proto::DeleteManyCommitReq creq;
+  creq.file_id = 1;
+  bool planned = false;
+  for (int attempt = 0; attempt < 8 && !planned; ++attempt) {
+    fresh = crypto::MasterKey::generate(rnd, math.width());
+    auto plan = math.plan_delete_many(bresp.value().info,
+                                      fh.value().key.value(), fresh.value(),
+                                      rnd);
+    if (!plan && plan.error().code == Errc::kInvalidArgument) {
+      continue;  // F(K',M_d) collision: pick another K'
+    }
+    ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+    creq.commit = std::move(plan.value().commit);
+    planned = true;
+  }
+  ASSERT_TRUE(planned);
+  const Bytes tagged =
+      proto::seal_tagged(obs::generate_request_id(), creq.to_frame());
+
+  // Crash before the group fsync: the staged WAL record vanishes with
+  // the page cache, so the commit must not be acknowledged.
+  CrashPoint::instance().arm_throw(CrashSite::kBeforeGroupFsync);
+  std::atomic<int> acked{0};
+  ds->handle_async(Bytes(tagged), [&acked](Bytes) { acked.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(acked.load(), 0);
+
+  // "Power loss": rebuild from the durable prefix alone.
+  DurableServer::Options ropts = dopts;
+  ropts.dir = fresh_state_dir("group_bulk_delete_recovered");
+  ASSERT_TRUE(fsio::atomic_write_file(ropts.dir + "/wal-000000.log",
+                                      durable_prefix.value()));
+  CrashPoint::instance().reset();
+  ds.reset();
+
+  auto reopened = DurableServer::open(ropts);
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  DurableServer& ds2 = *reopened.value();
+  ASSERT_NE(ds2.server().file(1), nullptr);
+  // Atomic loss: all 16 items are still there — no torn deletion.
+  EXPECT_EQ(ds2.server().file(1)->item_count(), 16u);
+
+  // The unacknowledged client resends the identical frame: applied
+  // exactly once; a second resend is pure rid-dedup.
+  auto env1 = proto::open_message(ds2.handle(tagged));
+  ASSERT_TRUE(env1.is_ok());
+  EXPECT_EQ(env1.value().type, proto::MsgType::kDeleteManyCommitResp);
+  const Bytes once = image_of(ds2.server());
+  auto env2 = proto::open_message(ds2.handle(tagged));
+  ASSERT_TRUE(env2.is_ok());
+  EXPECT_EQ(env2.value().type, proto::MsgType::kDeleteManyCommitResp);
+  EXPECT_EQ(image_of(ds2.server()), once);
+  EXPECT_EQ(ds2.server().file(1)->item_count(), 13u);
+
+  // Recovery is byte-exact w.r.t. the rotated key epoch: the fresh key
+  // decrypts every survivor, the targets are gone.
+  net::DirectChannel ch2([&ds2](BytesView req) { return ds2.handle(req); });
+  Client client2(ch2, rnd, copts);
+  Client::FileHandle fh2;
+  fh2.id = 1;
+  fh2.key = std::move(fresh);
+  for (std::uint64_t id : {2u, 3u, 9u}) {
+    EXPECT_FALSE(client2.access(fh2, proto::ItemRef::id(id)).is_ok()) << id;
+  }
+  for (std::uint64_t id : {0u, 1u, 8u, 15u}) {
+    EXPECT_EQ(client2.access(fh2, proto::ItemRef::id(id)).value(), items[id]);
+  }
+  EXPECT_TRUE(fsck(ds2.server()));
+}
+
 TEST(GroupCommit, PipelinedClientBatchesOverReactorTcp) {
   // Full stack: batched Client API -> pipelined TcpChannel -> reactor
   // TcpServer -> DurableServer::handle_async -> group commit.
@@ -859,11 +973,17 @@ TEST(GroupCommit, PipelinedClientBatchesOverReactorTcp) {
                 .value(),
             items[1]);
 
-  // Two deletions in one file cannot pipeline (each rotates the key).
+  // Two deletions in one file route through the merged-cut bulk path:
+  // one commit, one key rotation, both items gone, survivors intact.
   std::vector<Client::FileHandle*> dup{&fh.value(), &fh.value()};
   std::vector<proto::ItemRef> dup_refs{proto::ItemRef::id(1),
                                        proto::ItemRef::id(2)};
-  EXPECT_EQ(client.erase_batch(dup, dup_refs).code(), Errc::kInvalidArgument);
+  const Status bulk = client.erase_batch(dup, dup_refs);
+  ASSERT_TRUE(bulk) << bulk.to_string();
+  EXPECT_FALSE(client.access(fh.value(), proto::ItemRef::id(1)).is_ok());
+  EXPECT_FALSE(client.access(fh.value(), proto::ItemRef::id(2)).is_ok());
+  EXPECT_EQ(client.access(fh.value(), proto::ItemRef::id(0)).value(),
+            payload_for(700));
   EXPECT_TRUE(fsck(ds.server()));
 }
 

@@ -104,6 +104,51 @@ class Harness {
     return Status::ok();
   }
 
+  /// Merged-cut bulk deletion through DeleteManyInfo -> plan -> apply:
+  /// one fresh key covers every target. Also asserts the economics claim
+  /// behind the merge — the merged cut never exceeds the sum of the
+  /// individual sibling cuts it replaces.
+  Status erase_many(const std::vector<std::uint64_t>& ids) {
+    std::vector<std::uint32_t> slots;
+    slots.reserve(ids.size());
+    for (std::uint64_t id : ids) {
+      auto slot = store_.items().find(id);
+      if (!slot) {
+        return Status(Errc::kNotFound, "harness: no such item");
+      }
+      slots.push_back(*slot);
+    }
+    std::size_t individual_sum = 0;
+    for (std::uint32_t s : slots) {
+      auto one = store_.delete_begin(s);
+      if (!one) return one.status();
+      individual_sum += one.value().cut.size();
+    }
+    auto info = store_.delete_many_begin(slots);
+    if (!info) return info.status();
+    EXPECT_LE(info.value().cut.size(), individual_sum);
+    MasterKey fresh = MasterKey::generate(rnd_, math_.width());
+    auto plan = math_.plan_delete_many(info.value(), key_.value(),
+                                       fresh.value(), rnd_);
+    if (!plan) return plan.status();
+    std::vector<Md> old_keys;
+    for (std::size_t i = 0; i < info.value().targets.size(); ++i) {
+      auto opened = codec_.open(plan.value().old_keys[i],
+                                info.value().targets[i].ciphertext);
+      if (!opened || opened.value().r != info.value().targets[i].item_id) {
+        return Status(Errc::kTamperDetected, "harness: MT(k) rejected");
+      }
+      old_keys.push_back(plan.value().old_keys[i]);
+    }
+    if (auto st = store_.delete_many_commit(plan.value().commit); !st) {
+      return st;
+    }
+    key_ = std::move(fresh);
+    for (const Md& k : old_keys) dead_keys_.push_back(k);
+    for (std::uint64_t id : ids) expected_.erase(id);
+    return Status::ok();
+  }
+
   Result<std::uint64_t> insert(const Bytes& payload) {
     const core::InsertInfo info = store_.insert_begin();
     auto plan = math_.plan_insert(info, key_.value(), rnd_);

@@ -60,7 +60,7 @@ int usage() {
       "            [--trace-json FILE] CMD [args]\n"
       "commands: init | files | outsource FILE PATH... | ls FILE |\n"
       "          cat FILE ITEM | put FILE PATH | edit FILE ITEM PATH |\n"
-      "          rm FILE ITEM | drop FILE | stats FILE\n");
+      "          rm FILE ITEM... | drop FILE | stats FILE\n");
   return 2;
 }
 
@@ -324,24 +324,50 @@ int main(int argc, char** argv) {
     return persist();
   }
 
-  if (cmd == "rm" && args.size() == 3) {
+  if (cmd == "rm" && args.size() >= 3) {
     auto fh = s.handle(std::strtoull(args[1].c_str(), nullptr, 10));
     if (!fh) {
       std::fprintf(stderr, "%s\n", fh.status().to_string().c_str());
       return 1;
     }
     auto handle = std::move(fh).value();
-    auto st = s.client->erase_item(
-        handle, proto::ItemRef::id(std::strtoull(args[2].c_str(), nullptr,
-                                                 10)));
+    Status st = Status::ok();
+    if (args.size() == 3) {
+      st = s.client->erase_item(
+          handle, proto::ItemRef::id(std::strtoull(args[2].c_str(), nullptr,
+                                                   10)));
+    } else {
+      // Several items: merged-cut bulk deletion — one round trip, ONE key
+      // rotation for the whole batch (DESIGN.md §16).
+      std::vector<proto::ItemRef> refs;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        refs.push_back(
+            proto::ItemRef::id(std::strtoull(args[i].c_str(), nullptr, 10)));
+      }
+      st = s.client->erase_items(handle, refs);
+    }
     if (!st) {
       std::fprintf(stderr, "assured delete failed: %s\n",
                    st.to_string().c_str());
+      if (st.error().code == Errc::kIndeterminate) {
+        // Commit outcome unknown; the handle is poisoned. Try to prove the
+        // server's epoch so the keystore ends up with the live key.
+        if (auto re = s.client->resync(handle); re) {
+          s.keystore.put(handle.id, handle.key.value());
+          persist();
+          std::fprintf(stderr, "resynced: keystore now holds the live key\n");
+        }
+      }
       return 1;
     }
     // The master key rotated: persist the new one, destroying the old.
     s.keystore.put(handle.id, handle.key.value());
-    std::printf("item assuredly deleted; master key rotated\n");
+    if (args.size() == 3) {
+      std::printf("item assuredly deleted; master key rotated\n");
+    } else {
+      std::printf("%zu items assuredly deleted; master key rotated once\n",
+                  args.size() - 2);
+    }
     return persist();
   }
 
