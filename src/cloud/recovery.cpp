@@ -400,6 +400,10 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
     return Error(Errc::kInvalidArgument, "recovery: empty state dir");
   }
   const std::uint64_t recover_t0 = obs::now_ns();
+  // /readyz reports 503 until checkpoint load + WAL replay + fsck all
+  // complete (the guard clears on every exit path from open()).
+  obs::Readiness::Block not_ready("recovery",
+                                  "checkpoint load / WAL replay in progress");
   auto ds = std::unique_ptr<DurableServer>(new DurableServer(
       opts, std::make_unique<CloudServer>(opts.server),
       RidDedup(opts.dedup_capacity)));

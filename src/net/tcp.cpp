@@ -201,6 +201,24 @@ obs::Gauge& reactor_connections_gauge() {
       obs::Registry::instance().gauge("fgad_net_reactor_connections");
   return g;
 }
+obs::Counter& write_stalls_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_net_write_stalls_total");
+  return c;
+}
+// Connections currently blocked on a slow-reading peer / paused for
+// backpressure. The SLO tracker windows these to drive the "overloaded"
+// readiness signal (DESIGN.md §17).
+obs::Gauge& write_stalled_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("fgad_net_write_stalled");
+  return g;
+}
+obs::Gauge& backpressure_paused_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("fgad_net_backpressure_paused");
+  return g;
+}
 obs::Gauge& active_workers_gauge() {
   static obs::Gauge& g =
       obs::Registry::instance().gauge("fgad_tcp_active_workers");
@@ -772,10 +790,32 @@ class TcpServer::IOWorker {
       return;
     }
     c->dead = true;
+    if (c->paused) {
+      backpressure_paused_gauge().add(-1);
+    }
+    if (c->write_stall_start != Clock::time_point{}) {
+      write_stalled_gauge().add(-1);
+    }
     poller_.del(c->fd);
     ::close(c->fd);
     conns_.erase(c->fd);
     server_->on_connection_closed();
+  }
+
+  /// Pause-state transitions go through here so the backpressure gauge
+  /// tracks the live count of paused connections.
+  void set_paused(const std::shared_ptr<Conn>& c, bool paused) {
+    if (c->paused != paused) {
+      c->paused = paused;
+      backpressure_paused_gauge().add(paused ? 1 : -1);
+    }
+  }
+
+  void clear_write_stall(const std::shared_ptr<Conn>& c) {
+    if (c->write_stall_start != Clock::time_point{}) {
+      c->write_stall_start = Clock::time_point{};
+      write_stalled_gauge().add(-1);
+    }
   }
 
   void update_interest(const std::shared_ptr<Conn>& c) {
@@ -866,7 +906,7 @@ class TcpServer::IOWorker {
       // Completing responses may have freed pipeline slots: resume
       // reading and parse any frames the peer already buffered.
       if (c->paused && !should_pause(*c)) {
-        c->paused = false;
+        set_paused(c, false);
         parse_frames(c);
         if (c->dead) {
           return;
@@ -884,7 +924,7 @@ class TcpServer::IOWorker {
       if (n > 0) {
         c->woff += static_cast<std::size_t>(n);
         c->last_activity = Clock::now();
-        c->write_stall_start = Clock::time_point{};
+        clear_write_stall(c);
         continue;
       }
       if (errno == EINTR) {
@@ -900,7 +940,7 @@ class TcpServer::IOWorker {
     if (c->woff == c->wbuf.size()) {
       c->wbuf.clear();
       c->woff = 0;
-      c->write_stall_start = Clock::time_point{};
+      clear_write_stall(c);
     } else {
       if (c->woff > kCompactThreshold) {
         c->wbuf.erase(c->wbuf.begin(),
@@ -909,6 +949,8 @@ class TcpServer::IOWorker {
       }
       if (c->write_stall_start == Clock::time_point{}) {
         c->write_stall_start = Clock::now();
+        write_stalls_counter().inc();
+        write_stalled_gauge().add(1);
       }
     }
   }
@@ -952,7 +994,7 @@ class TcpServer::IOWorker {
                     c->rbuf.begin() + static_cast<std::ptrdiff_t>(c->roff));
       c->roff = 0;
     }
-    c->paused = should_pause(*c);
+    set_paused(c, should_pause(*c));
     update_interest(c);
   }
 
@@ -996,7 +1038,7 @@ class TcpServer::IOWorker {
     }
     // Draining the write buffer can lift slow-reader backpressure.
     if (c->paused && !should_pause(*c)) {
-      c->paused = false;
+      set_paused(c, false);
       parse_frames(c);
       if (c->dead) {
         return;

@@ -128,6 +128,8 @@ const char* fr_event_name(FrEvent e) {
       return "mark";
     case FrEvent::kGroupCommitFlush:
       return "group-commit";
+    case FrEvent::kSloBreach:
+      return "slo-breach";
   }
   return "unknown";
 }

@@ -60,6 +60,7 @@ enum class FrEvent : std::uint16_t {
   kDedupHit = 14,
   kMark = 15,             // free-form test/tooling marker
   kGroupCommitFlush = 16,  // a = commit batch size, b = fsync duration ns
+  kSloBreach = 17,         // a = objective index, b = short burn ×1000
 };
 
 /// Stable short name ("wal-append", ...) for dump lines and JSON.

@@ -16,6 +16,9 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace fgad::obs {
@@ -66,6 +69,42 @@ std::string http_response(int code, const char* status,
                     "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+/// Value of `key=` in a query string ("" when absent).
+std::string query_param(const std::string& query, const char* key) {
+  const std::string prefix = std::string(key) + "=";
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    if (query.compare(pos, prefix.size(), prefix) == 0) {
+      return query.substr(pos + prefix.size(), end - pos - prefix.size());
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
+/// "60", "60s", "5m", "1h" -> seconds; fallback on empty/garbage.
+std::uint64_t parse_window_s(const std::string& v, std::uint64_t fallback) {
+  if (v.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || n == 0) {
+    return fallback;
+  }
+  std::uint64_t mult = 1;
+  if (*end == 'm') {
+    mult = 60;
+  } else if (*end == 'h') {
+    mult = 3600;
+  }
+  return static_cast<std::uint64_t>(n) * mult;
 }
 
 }  // namespace
@@ -204,8 +243,49 @@ void MetricsHttpServer::serve_one(int fd) {
                ? http_response(404, "Not Found", "text/plain",
                                "no trace for that rid\n")
                : http_response(200, "OK", "application/json", body);
+  } else if (path == "/vars.json") {
+    // Windowed view of every instrument plus the SLO tracker's burn
+    // rates, spliced into one document: {...,"slo":{...}}.
+    const std::uint64_t window_s =
+        parse_window_s(query_param(query, "window"), 60);
+    std::string body = WindowedRegistry::instance().render_vars_json(window_s);
+    if (!body.empty() && body.back() == '}') {
+      body.pop_back();
+      body += ",\"slo\":" + SloTracker::instance().render_json() + "}";
+    }
+    resp = http_response(200, "OK", "application/json", body);
   } else if (path == "/healthz") {
+    // Pure liveness: the process is up and the serve loop is turning.
     resp = http_response(200, "OK", "text/plain", "ok\n");
+  } else if (path == "/readyz") {
+    // Readiness: 503 with reasons while recovery replay, a shutdown
+    // checkpoint, or sustained SLO overload blocks serving.
+    Readiness& r = Readiness::instance();
+    const std::string body = r.render_json();
+    resp = r.ready()
+               ? http_response(200, "OK", "application/json", body)
+               : http_response(503, "Service Unavailable", "application/json",
+                               body);
+  } else if (path == "/profile") {
+    // Blocking capture: this server handles one connection at a time,
+    // so a capture parks the scrape endpoint for `seconds`. Cap it.
+    double seconds = 1.0;
+    const std::string v = query_param(query, "seconds");
+    if (!v.empty()) {
+      seconds = std::strtod(v.c_str(), nullptr);
+    }
+    if (seconds <= 0) {
+      seconds = 1.0;
+    }
+    if (seconds > 30) {
+      seconds = 30;
+    }
+    Profiler::Options popts;
+    popts.wall = query_param(query, "mode") == "wall";
+    const std::string body = Profiler::capture_folded(seconds, popts);
+    resp = body.compare(0, 8, "# error:") == 0
+               ? http_response(503, "Service Unavailable", "text/plain", body)
+               : http_response(200, "OK", "text/plain", body);
   } else {
     resp = http_response(404, "Not Found", "text/plain", "not found\n");
   }

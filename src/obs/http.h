@@ -2,7 +2,13 @@
 //
 //   GET /metrics       -> text/plain Prometheus-style exposition
 //   GET /metrics.json  -> application/json
-//   GET /healthz       -> "ok\n"
+//   GET /vars.json     -> windowed rates/quantiles + SLO burn rates
+//                         (?window=60s|5m|1h; DESIGN.md §17)
+//   GET /healthz       -> liveness: always "ok\n" while the process runs
+//   GET /readyz        -> readiness: 503 + JSON reasons during recovery
+//                         replay, shutdown checkpoint, or SLO overload
+//   GET /profile       -> ?seconds=N[&mode=wall]: blocks, samples, and
+//                         returns collapsed/folded stacks (flamegraph-ready)
 //
 // One accept thread, one connection at a time, Connection: close. This is
 // an operator scrape target on loopback, not a web server; the framed RPC

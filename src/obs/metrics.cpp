@@ -33,13 +33,13 @@ std::uint64_t Histogram::bucket_lower(std::size_t idx) {
   return (16 + static_cast<std::uint64_t>(sub)) << e;
 }
 
-double Histogram::quantile(double p) const {
-  std::array<std::uint64_t, kBucketCount> counts;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kBucketCount; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
+namespace {
+
+/// Shared quantile kernel over any bucket-count array laid out with the
+/// Histogram bucket geometry (used by both the live histogram and
+/// windowed Snapshot deltas).
+double quantile_over(const std::uint64_t* counts, std::size_t n_buckets,
+                     std::uint64_t total, double p) {
   if (total == 0) {
     return 0;
   }
@@ -47,33 +47,97 @@ double Histogram::quantile(double p) const {
   if (p > 1) p = 1;
   const double rank = p * static_cast<double>(total);
   double cum = 0;
-  for (std::size_t i = 0; i < kBucketCount; ++i) {
+  for (std::size_t i = 0; i < n_buckets; ++i) {
     if (counts[i] == 0) {
       continue;
     }
     const double next = cum + static_cast<double>(counts[i]);
     if (next >= rank) {
-      const double lo = static_cast<double>(bucket_lower(i));
-      const double hi = i + 1 < kBucketCount
-                            ? static_cast<double>(bucket_lower(i + 1))
+      const double lo = static_cast<double>(Histogram::bucket_lower(i));
+      const double hi = i + 1 < n_buckets
+                            ? static_cast<double>(Histogram::bucket_lower(i + 1))
                             : lo * 2;
-      const double frac =
-          counts[i] == 0 ? 0 : (rank - cum) / static_cast<double>(counts[i]);
+      const double frac = (rank - cum) / static_cast<double>(counts[i]);
       return lo + (hi - lo) * frac;
     }
     cum = next;
   }
-  return static_cast<double>(bucket_lower(kBucketCount - 1));
+  return static_cast<double>(Histogram::bucket_lower(n_buckets - 1));
 }
 
-Histogram::Snapshot Histogram::snapshot() const {
+}  // namespace
+
+double Histogram::quantile(double p) const {
+  std::array<std::uint64_t, kBucketCount> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  return quantile_over(counts.data(), kBucketCount, total, p);
+}
+
+Histogram::Snapshot Histogram::snapshot(bool with_buckets) const {
   Snapshot s;
+  if (with_buckets) {
+    s.buckets.resize(kBucketCount);
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.count += s.buckets[i];
+    }
+    s.sum = sum();
+    s.recompute_quantiles();
+    return s;
+  }
   s.count = count();
   s.sum = sum();
   s.p50 = quantile(0.50);
   s.p95 = quantile(0.95);
   s.p99 = quantile(0.99);
   return s;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.buckets.empty()) {
+    return;
+  }
+  if (buckets.empty()) {
+    buckets = other.buckets;
+    return;
+  }
+  for (std::size_t i = 0; i < buckets.size() && i < other.buckets.size();
+       ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void Histogram::Snapshot::subtract(const Snapshot& other) {
+  count = count > other.count ? count - other.count : 0;
+  sum = sum > other.sum ? sum - other.sum : 0;
+  for (std::size_t i = 0; i < buckets.size() && i < other.buckets.size();
+       ++i) {
+    buckets[i] = buckets[i] > other.buckets[i] ? buckets[i] - other.buckets[i]
+                                               : 0;
+  }
+}
+
+double Histogram::Snapshot::quantile(double p) const {
+  if (buckets.empty()) {
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : buckets) {
+    total += c;
+  }
+  return quantile_over(buckets.data(), buckets.size(), total, p);
+}
+
+void Histogram::Snapshot::recompute_quantiles() {
+  p50 = quantile(0.50);
+  p95 = quantile(0.95);
+  p99 = quantile(0.99);
 }
 
 ScopedTimer::ScopedTimer(Histogram& h) : h_(enabled() ? &h : nullptr) {
@@ -177,6 +241,46 @@ std::string Registry::render_text() const {
   return out;
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 std::string Registry::render_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
@@ -184,7 +288,7 @@ std::string Registry::render_json() const {
   for (const auto& [name, c] : counters_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + name + "\":";
+    out += "\"" + json_escape(name) + "\":";
     append_num(out, c->value());
   }
   out += "},\"gauges\":{";
@@ -192,7 +296,7 @@ std::string Registry::render_json() const {
   for (const auto& [name, g] : gauges_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + name + "\":";
+    out += "\"" + json_escape(name) + "\":";
     append_num(out, g->value());
   }
   out += "},\"histograms\":{";
@@ -201,7 +305,7 @@ std::string Registry::render_json() const {
     if (!first) out += ",";
     first = false;
     const Histogram::Snapshot s = h->snapshot();
-    out += "\"" + name + "\":{\"count\":";
+    out += "\"" + json_escape(name) + "\":{\"count\":";
     append_num(out, s.count);
     out += ",\"sum_ns\":";
     append_num(out, s.sum);
@@ -212,6 +316,79 @@ std::string Registry::render_json() const {
     out += ",\"p99_ns\":";
     append_num(out, s.p99);
     out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::all_counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, c.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::all_gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::all_histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h.get());
+  }
+  return out;
+}
+
+// ---- readiness -------------------------------------------------------------
+
+Readiness& Readiness::instance() {
+  static Readiness r;
+  return r;
+}
+
+void Readiness::set(std::string_view condition, bool blocked,
+                    std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blocked) {
+    blocked_[std::string(condition)] = std::string(reason);
+  } else {
+    const auto it = blocked_.find(condition);
+    if (it != blocked_.end()) {
+      blocked_.erase(it);
+    }
+  }
+}
+
+bool Readiness::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocked_.empty();
+}
+
+std::string Readiness::render_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      blocked_.empty() ? "{\"ready\":true,\"reasons\":{"
+                       : "{\"ready\":false,\"reasons\":{";
+  bool first = true;
+  for (const auto& [cond, reason] : blocked_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(cond) + "\":\"" + json_escape(reason) + "\"";
   }
   out += "}}";
   return out;

@@ -152,8 +152,27 @@ class Histogram {
     double p50 = 0;
     double p95 = 0;
     double p99 = 0;
+    // Full per-bucket counts (size kBucketCount) when captured with
+    // snapshot(/*with_buckets=*/true); empty otherwise. Carrying the
+    // buckets is what makes snapshots an abelian group: the windowed
+    // registry subtracts consecutive cumulative snapshots to get
+    // per-interval deltas and merges deltas back into window totals
+    // (DESIGN.md §17).
+    std::vector<std::uint64_t> buckets;
+
+    /// Adds `other` into this snapshot (counts, sum, buckets). Both
+    /// sides must carry buckets unless one is empty.
+    void merge(const Snapshot& other);
+    /// Subtracts `other` (an earlier cumulative snapshot of the same
+    /// histogram) from this one. Clamps at zero per bucket, so a racing
+    /// writer can never produce an underflowed window.
+    void subtract(const Snapshot& other);
+    /// Quantile over the carried buckets (0 when empty or bucket-less).
+    double quantile(double p) const;
+    /// Refreshes p50/p95/p99 from the carried buckets.
+    void recompute_quantiles();
   };
-  Snapshot snapshot() const;
+  Snapshot snapshot(bool with_buckets = false) const;
 
   void reset() {
     for (auto& b : buckets_) {
@@ -191,6 +210,50 @@ class ScopedTimer {
 /// Monotonic wall clock in nanoseconds (steady_clock).
 std::uint64_t now_ns();
 
+/// JSON string-body escaping shared by every exposition surface
+/// (/metrics.json, /vars.json, /readyz): `"` and `\` get a backslash,
+/// control characters become \uXXXX. Metric names are caller-chosen
+/// strings, so emitting them unescaped would let one odd name corrupt
+/// the whole document.
+std::string json_escape(std::string_view s);
+
+/// Process-wide readiness state: a set of named conditions that block
+/// serving (recovery replay in progress, shutdown checkpoint mid-flight,
+/// sustained SLO overload). /healthz stays a cheap liveness probe;
+/// /readyz returns 503 with these reasons while any condition is set.
+class Readiness {
+ public:
+  static Readiness& instance();
+
+  /// Sets (blocked=true, with a human-readable reason) or clears
+  /// (blocked=false) one named condition.
+  void set(std::string_view condition, bool blocked,
+           std::string_view reason = "");
+  bool ready() const;
+  /// {"ready":bool,"reasons":{"condition":"reason",...}}
+  std::string render_json() const;
+
+  /// RAII guard: blocks `condition` for its lifetime.
+  class Block {
+   public:
+    Block(std::string_view condition, std::string_view reason)
+        : condition_(condition) {
+      Readiness::instance().set(condition_, true, reason);
+    }
+    ~Block() { Readiness::instance().set(condition_, false); }
+    Block(const Block&) = delete;
+    Block& operator=(const Block&) = delete;
+
+   private:
+    std::string condition_;
+  };
+
+ private:
+  Readiness() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string, std::less<>> blocked_;
+};
+
 /// Name → instrument map. Lookups take a mutex; instruments have stable
 /// addresses, so call sites cache the reference:
 ///
@@ -213,6 +276,13 @@ class Registry {
   std::string render_text() const;
   /// The same data as a single JSON object.
   std::string render_json() const;
+
+  /// Stable-address instrument listings, sorted by name. The pointers
+  /// stay valid for the life of the process (instruments are never
+  /// destroyed), so the windowed registry can hold them across ticks.
+  std::vector<std::pair<std::string, const Counter*>> all_counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> all_gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> all_histograms() const;
 
   /// Zeroes every instrument without invalidating references (tests).
   void reset_all();

@@ -1,0 +1,218 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace fgad::obs {
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::on_sigprof(int /*sig*/) {
+  // Preserve errno: the interrupted code may be between a syscall and
+  // its errno check.
+  const int saved_errno = errno;
+  Profiler& p = instance();
+  if (p.active_.load(std::memory_order_relaxed)) {
+    p.record_current_stack();
+  }
+  errno = saved_errno;
+}
+
+void Profiler::record_current_stack() {
+  void* buf[kMaxDepth + 4];
+  const int n = backtrace(buf, kMaxDepth + 4);
+  // Drop the handler's own frames: record_current_stack, on_sigprof,
+  // and the kernel signal trampoline.
+  constexpr int kSkip = 3;
+  if (n <= kSkip) {
+    return;
+  }
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= max_samples_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Sample& s = samples_[idx];
+  const std::uint32_t depth =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(n - kSkip),
+                              kMaxDepth);
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    s.pcs[i] = buf[kSkip + i];
+  }
+  s.pub.store(depth + 1, std::memory_order_release);
+}
+
+Status Profiler::start(Options opts) {
+  if (active_.load(std::memory_order_acquire)) {
+    return Status(Errc::kInvalidArgument, "profiler already running");
+  }
+  if (opts.max_samples == 0 || opts.interval_us == 0) {
+    return Status(Errc::kInvalidArgument,
+                  "profiler needs max_samples > 0 and interval_us > 0");
+  }
+
+  // Pre-warm backtrace(): its first call may dlopen libgcc, which
+  // allocates — unacceptable inside the signal handler.
+  void* warm[4];
+  (void)backtrace(warm, 4);
+
+  samples_ = std::make_unique<Sample[]>(opts.max_samples);
+  max_samples_ = opts.max_samples;
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  wall_timer_ = opts.wall;
+
+  const int sig = opts.wall ? SIGALRM : SIGPROF;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &Profiler::on_sigprof;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(sig, &sa, nullptr) != 0) {
+    return Status(Errc::kIoError, "sigaction failed");
+  }
+  handler_installed_ = true;
+
+  active_.store(true, std::memory_order_release);
+
+  struct itimerval it;
+  it.it_interval.tv_sec = static_cast<time_t>(opts.interval_us / 1'000'000);
+  it.it_interval.tv_usec =
+      static_cast<suseconds_t>(opts.interval_us % 1'000'000);
+  it.it_value = it.it_interval;
+  if (setitimer(opts.wall ? ITIMER_REAL : ITIMER_PROF, &it, nullptr) != 0) {
+    active_.store(false, std::memory_order_release);
+    return Status(Errc::kIoError, "setitimer failed");
+  }
+  return Status::ok();
+}
+
+void Profiler::stop() {
+  if (!active_.load(std::memory_order_acquire)) {
+    return;
+  }
+  struct itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(wall_timer_ ? ITIMER_REAL : ITIMER_PROF, &off, nullptr);
+  // A signal may already be pending; the handler checks active_ and
+  // bails, and record_current_stack() is safe against readers anyway.
+  active_.store(false, std::memory_order_release);
+}
+
+bool Profiler::running() const {
+  return active_.load(std::memory_order_acquire);
+}
+
+std::uint64_t Profiler::sample_count() const {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  return std::min<std::uint64_t>(n, max_samples_);
+}
+
+std::uint64_t Profiler::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Best-effort frame name: demangled symbol, raw symbol, or the address.
+std::string frame_name(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);
+      // Folded-stack field separators must not appear inside a frame.
+      std::replace(out.begin(), out.end(), ';', ',');
+      return out;
+    }
+    if (demangled != nullptr) {
+      std::free(demangled);
+    }
+    return info.dli_sname;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<std::uintptr_t>(pc)));
+  return buf;
+}
+
+}  // namespace
+
+std::string Profiler::folded() const {
+  const std::uint64_t published = sample_count();
+  // Group identical raw stacks first, then symbolize each unique pc
+  // once — symbolization dominates, and real profiles repeat stacks.
+  std::map<std::vector<void*>, std::uint64_t> groups;
+  for (std::uint64_t i = 0; i < published; ++i) {
+    const Sample& s = samples_[i];
+    const std::uint32_t pub = s.pub.load(std::memory_order_acquire);
+    if (pub == 0) {
+      continue;  // claimed but not yet published
+    }
+    const std::uint32_t depth = pub - 1;
+    std::vector<void*> key(s.pcs, s.pcs + depth);
+    ++groups[key];
+  }
+
+  std::map<void*, std::string> names;
+  std::string out;
+  for (const auto& [stack, count] : groups) {
+    // backtrace() is leaf-first; folded format is root-first.
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      auto it = names.find(stack[i]);
+      if (it == names.end()) {
+        it = names.emplace(stack[i], frame_name(stack[i])).first;
+      }
+      out += it->second;
+      out += i == 0 ? ' ' : ';';
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::capture_folded(double seconds, Options opts) {
+  Profiler& p = instance();
+  const Status st = p.start(opts);
+  if (!st.is_ok()) {
+    return "# error: " + st.to_string() + "\n";
+  }
+  if (seconds < 0.01) seconds = 0.01;
+  if (seconds > 60) seconds = 60;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000)));
+  p.stop();
+  std::string out = p.folded();
+  if (out.empty()) {
+    // An idle process under ITIMER_PROF accrues no CPU time and thus no
+    // signals; say so instead of returning an empty 200 body.
+    out = "# no samples (process idle during capture)\n";
+  }
+  return out;
+}
+
+}  // namespace fgad::obs

@@ -1,0 +1,97 @@
+// In-process sampling profiler (DESIGN.md §17).
+//
+// setitimer(ITIMER_PROF) delivers SIGPROF to whichever thread is
+// burning CPU; the handler captures that thread's stack with
+// backtrace() and publishes it into a preallocated sample ring using
+// the flight recorder's publish trick — one relaxed fetch_add claims a
+// slot, plain stores fill it, a release store of the frame count makes
+// it readable. No locks, no allocation, no stdio in the handler.
+//
+// Signal-safety argument (DESIGN.md §17): backtrace() lazily dlopens
+// libgcc on first use, which allocates — so start() pre-warms it once
+// from a normal context before arming the timer. After that the handler
+// only does the unwind walk, array stores, and atomics. Samples that
+// land after the ring is full are counted as dropped, not resized.
+//
+// Aggregation happens entirely outside signal context: folded() groups
+// identical stacks, symbolizes each frame via dladdr +
+// abi::__cxa_demangle, and emits collapsed/folded-stack text
+// ("frameRoot;frameMid;frameLeaf count\n") — feed it straight to
+// flamegraph.pl or speedscope. Served at GET /profile?seconds=N.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace fgad::obs {
+
+class Profiler {
+ public:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  struct Options {
+    // Sampling period. 997us (a prime) avoids lockstep with 1ms-periodic
+    // work; ~1k samples per busy second.
+    std::uint64_t interval_us = 997;
+    // false = ITIMER_PROF (CPU time: on-CPU threads only);
+    // true = ITIMER_REAL (wall clock: also catches blocked time, but the
+    // signal lands on an arbitrary thread).
+    bool wall = false;
+    std::size_t max_samples = 1 << 16;
+  };
+
+  static Profiler& instance();
+
+  /// Arms the timer and starts sampling. Fails if already running.
+  Status start(Options opts);
+  Status start() { return start(Options{}); }
+  /// Disarms the timer. Published samples remain readable.
+  void stop();
+  bool running() const;
+
+  /// Samples published so far (monotone while running).
+  std::uint64_t sample_count() const;
+  /// Samples lost to a full ring.
+  std::uint64_t dropped() const;
+
+  /// Collapsed-stack aggregation of the published samples, root-first:
+  /// "frameA;frameB;frameC 42\n". Symbolizes (allocates) — never call
+  /// from a signal handler. Safe to call while sampling continues; it
+  /// reads only published slots.
+  std::string folded() const;
+
+  /// start() + sleep + stop() + folded(), the /profile?seconds=N body.
+  /// On start failure the error message is returned as a "# error: ..."
+  /// comment line so the HTTP layer can pass it through.
+  static std::string capture_folded(double seconds, Options opts);
+  static std::string capture_folded(double seconds) {
+    return capture_folded(seconds, Options{});
+  }
+
+ private:
+  Profiler() = default;
+
+  struct Sample {
+    // depth+1 with release ordering once readable; 0 while empty or
+    // mid-write.
+    std::atomic<std::uint32_t> pub{0};
+    void* pcs[kMaxDepth];  // leaf-first, as backtrace() returns
+  };
+
+  static void on_sigprof(int);
+  void record_current_stack();
+
+  std::unique_ptr<Sample[]> samples_;
+  std::size_t max_samples_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> active_{false};
+  bool wall_timer_ = false;
+  bool handler_installed_ = false;
+};
+
+}  // namespace fgad::obs

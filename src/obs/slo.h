@@ -1,0 +1,132 @@
+// SLO objectives and multi-window burn-rate tracking (DESIGN.md §17).
+//
+// An objective names a target over one instrument in the windowed
+// registry:
+//
+//   latency      "p99 of fgad_server_delete_commit_ns < 5ms"
+//   error_ratio  "fgad_server_rpc_errors_total / fgad_server_rpcs_total
+//                 < 0.1%"
+//   gauge_above  "avg(fgad_net_backpressure_paused) < 1"
+//
+// Burn rate is observed badness divided by budget: for a latency
+// objective the budget is 1 - target_quantile (a p99 target tolerates 1%
+// of samples over threshold), so burn = bad_fraction / 0.01; for an
+// error-ratio objective burn = ratio / max_error_rate; for a gauge it is
+// avg / threshold. Burn 1.0 means exactly consuming budget; multi-window
+// alerting (the SRE-workbook shape) requires BOTH a short window (default
+// 5m — is it bad *now*?) and a long window (default 1h — has it been bad
+// long enough to matter?) to exceed `burn_threshold` before an objective
+// counts as breaching. Each breach edge increments
+// fgad_slo_<name>_breaches_total (+ the aggregate
+// fgad_slo_breaches_total) and records a kSloBreach flight-recorder
+// event; `overload_evals` consecutive breaching evaluations set the
+// "overloaded" readiness condition, which /readyz reports as 503.
+//
+// Evaluation hangs off WindowedRegistry's tick hook (attach()), so it
+// runs once per rotation interval with no extra thread. Tests call
+// evaluate() directly after driving tick() by hand.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fgad::obs {
+
+class SloTracker {
+ public:
+  enum class Kind : std::uint8_t {
+    kLatency = 0,     // quantile of a histogram vs threshold_ns
+    kErrorRatio = 1,  // error counter / total counter vs max_error_rate
+    kGaugeAbove = 2,  // windowed gauge average vs threshold
+  };
+
+  struct Objective {
+    std::string name;          // stable slug, used in metric names
+    Kind kind = Kind::kLatency;
+    std::string metric;        // histogram / gauge / error-counter name
+    std::string total_metric;  // kErrorRatio only: denominator counter
+    std::uint64_t threshold_ns = 0;   // kLatency: bad above this;
+                                      // kGaugeAbove: gauge threshold
+    double target_quantile = 0.99;    // kLatency: budget = 1 - this
+    double max_error_rate = 0.001;    // kErrorRatio budget
+    double burn_threshold = 1.0;      // breach when both burns exceed
+    std::uint64_t short_window_s = 300;
+    std::uint64_t long_window_s = 3600;
+  };
+
+  struct ObjectiveStatus {
+    std::string name;
+    double short_burn = 0;
+    double long_burn = 0;
+    bool breached = false;          // currently over on both windows
+    std::uint64_t breaches = 0;     // breach edges seen (monotone)
+    std::uint64_t consecutive = 0;  // breaching evaluations in a row
+  };
+
+  static SloTracker& instance();
+
+  /// Replaces the objective set and resets all breach state.
+  void configure(std::vector<Objective> objectives);
+  void add(Objective objective);
+  void clear();
+  std::size_t objective_count() const;
+
+  /// Breaching evaluations in a row before the "overloaded" readiness
+  /// condition is set (cleared on the first non-breaching evaluation).
+  void set_overload_evals(std::uint64_t n);
+
+  /// Registers evaluate() as the WindowedRegistry tick hook.
+  void attach();
+
+  /// Recomputes every objective's burn rates from the windowed registry,
+  /// updates breach counters / flight-recorder events / the overloaded
+  /// readiness condition. Called per tick once attach()ed.
+  void evaluate();
+
+  std::optional<ObjectiveStatus> status(std::string_view name) const;
+  std::vector<ObjectiveStatus> all_status() const;
+  bool overloaded() const;
+
+  /// {"objectives":[{"name":..,"kind":..,"short_burn":..,"long_burn":..,
+  ///   "breached":..,"breaches":..}],"overloaded":bool} — spliced into
+  /// /vars.json and served standalone for tests.
+  std::string render_json() const;
+
+  /// Parses "name:latency:<hist>:<quantile>:<threshold_ns>[:burn]",
+  ///        "name:error_ratio:<err_counter>:<total_counter>:<max_rate>[:burn]",
+  ///        "name:gauge_above:<gauge>:<threshold>[:burn]" — the
+  /// fgad_server --slo flag format.
+  static Result<Objective> parse(std::string_view spec);
+
+  /// The stock objective set fgad_server installs by default: delete /
+  /// access commit p99 latency, RPC error ratio, and reactor
+  /// backpressure feeding the overload signal.
+  static std::vector<Objective> default_server_objectives();
+
+ private:
+  SloTracker() = default;
+
+  struct State {
+    Objective obj;
+    double short_burn = 0;
+    double long_burn = 0;
+    bool breached = false;
+    std::uint64_t breaches = 0;
+    std::uint64_t consecutive = 0;
+  };
+
+  double burn_over_window(const Objective& obj, std::uint64_t window_s) const;
+
+  mutable std::mutex mu_;
+  std::vector<State> states_;
+  std::uint64_t overload_evals_ = 3;
+  bool overloaded_ = false;
+};
+
+}  // namespace fgad::obs

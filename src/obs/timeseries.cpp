@@ -1,0 +1,427 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fgad::obs {
+
+WindowedRegistry& WindowedRegistry::instance() {
+  static WindowedRegistry w;
+  return w;
+}
+
+void WindowedRegistry::HistDelta::fold(const HistDelta& other) {
+  count += other.count;
+  sum += other.sum;
+  // Duplicate bucket indices are fine: add_into() is additive, so two
+  // entries for one bucket merge correctly on the query side.
+  nz.insert(nz.end(), other.nz.begin(), other.nz.end());
+}
+
+void WindowedRegistry::configure(Options opts) {
+  if (running_.load(std::memory_order_acquire)) {
+    return;  // geometry changes require a stopped ticker
+  }
+  if (opts.interval_ns == 0) opts.interval_ns = 1;
+  if (opts.slots == 0) opts.slots = 1;
+  if (opts.coarse_factor == 0) opts.coarse_factor = 1;
+  if (opts.coarse_slots == 0) opts.coarse_slots = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_ = opts;
+  ticks_ = 0;
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+WindowedRegistry::Options WindowedRegistry::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opts_;
+}
+
+std::uint64_t WindowedRegistry::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+void WindowedRegistry::set_tick_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_hook_ = std::move(hook);
+}
+
+void WindowedRegistry::tick() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Registry& reg = Registry::instance();
+    const std::size_t pos = ticks_ % opts_.slots;
+    const bool close_group = (ticks_ + 1) % opts_.coarse_factor == 0;
+    const std::size_t cpos =
+        (ticks_ / opts_.coarse_factor) % opts_.coarse_slots;
+
+    for (const auto& [name, c] : reg.all_counters()) {
+      auto it = counters_.find(name);
+      if (it == counters_.end()) {
+        // First sighting: baseline at the current cumulative value so
+        // pre-registration history does not land in one slot.
+        CounterState st;
+        st.src = c;
+        st.prev = c->value();
+        st.fine.assign(opts_.slots, 0);
+        st.coarse.assign(opts_.coarse_slots, 0);
+        it = counters_.emplace(name, std::move(st)).first;
+      } else {
+        CounterState& st = it->second;
+        const std::uint64_t cur = c->value();
+        const std::uint64_t delta = cur >= st.prev ? cur - st.prev : 0;
+        st.prev = cur;
+        st.fine[pos] = delta;
+        st.coarse_accum += delta;
+      }
+      if (close_group) {
+        CounterState& st = it->second;
+        st.coarse[cpos] = st.coarse_accum;
+        st.coarse_accum = 0;
+      }
+    }
+
+    for (const auto& [name, g] : reg.all_gauges()) {
+      auto it = gauges_.find(name);
+      if (it == gauges_.end()) {
+        GaugeState st;
+        st.src = g;
+        st.fine.assign(opts_.slots, 0);
+        st.coarse.assign(opts_.coarse_slots, 0);
+        it = gauges_.emplace(name, std::move(st)).first;
+      }
+      GaugeState& st = it->second;
+      st.fine[pos] = g->value();
+      if (close_group) {
+        st.coarse[cpos] = st.fine[pos];
+      }
+    }
+
+    for (const auto& [name, h] : reg.all_histograms()) {
+      auto it = hists_.find(name);
+      if (it == hists_.end()) {
+        HistState st;
+        st.src = h;
+        st.prev = h->snapshot(/*with_buckets=*/true);
+        st.fine.assign(opts_.slots, HistDelta{});
+        st.coarse.assign(opts_.coarse_slots, HistDelta{});
+        it = hists_.emplace(name, std::move(st)).first;
+        it->second.fine[pos].clear();
+      } else {
+        HistState& st = it->second;
+        Histogram::Snapshot cur = h->snapshot(/*with_buckets=*/true);
+        Histogram::Snapshot diff = cur;
+        diff.subtract(st.prev);
+        st.prev = std::move(cur);
+        HistDelta d;
+        d.count = diff.count;
+        d.sum = diff.sum;
+        for (std::size_t i = 0; i < diff.buckets.size(); ++i) {
+          if (diff.buckets[i] != 0) {
+            d.nz.emplace_back(static_cast<std::uint32_t>(i),
+                              diff.buckets[i]);
+          }
+        }
+        st.coarse_accum.fold(d);
+        st.fine[pos] = std::move(d);
+      }
+      if (close_group) {
+        HistState& st = it->second;
+        st.coarse[cpos] = std::move(st.coarse_accum);
+        st.coarse_accum.clear();
+      }
+    }
+
+    ++ticks_;
+    hook = tick_hook_;
+  }
+  if (hook) {
+    hook();
+  }
+}
+
+WindowedRegistry::Span WindowedRegistry::plan_span(
+    std::uint64_t window_s) const {
+  Span sp;
+  const std::uint64_t window_ns = window_s * 1'000'000'000ull;
+  std::size_t want = static_cast<std::size_t>(
+      (window_ns + opts_.interval_ns - 1) / opts_.interval_ns);
+  if (want == 0) {
+    want = 1;
+  }
+  const std::size_t filled =
+      static_cast<std::size_t>(std::min<std::uint64_t>(ticks_, opts_.slots));
+  const double interval_s =
+      static_cast<double>(opts_.interval_ns) / 1e9;
+  if (want <= opts_.slots) {
+    sp.use_fine = true;
+    sp.n = std::min(want, filled);
+    sp.covered_s = static_cast<double>(sp.n) * interval_s;
+    return sp;
+  }
+  sp.use_fine = false;
+  const std::size_t closed = static_cast<std::size_t>(
+      ticks_ / opts_.coarse_factor);
+  const std::size_t cfilled = std::min(closed, opts_.coarse_slots);
+  const std::size_t cwant =
+      (want + opts_.coarse_factor - 1) / opts_.coarse_factor;
+  sp.n = std::min(cwant, cfilled);
+  sp.partial = static_cast<std::size_t>(ticks_ % opts_.coarse_factor);
+  sp.covered_s = static_cast<double>(sp.n * opts_.coarse_factor + sp.partial) *
+                 interval_s;
+  return sp;
+}
+
+std::uint64_t WindowedRegistry::merge_counter(const CounterState& st,
+                                              const Span& sp) const {
+  std::uint64_t delta = 0;
+  if (sp.use_fine) {
+    for (std::size_t i = 0; i < sp.n; ++i) {
+      delta += st.fine[(ticks_ - 1 - i) % opts_.slots];
+    }
+    return delta;
+  }
+  const std::size_t closed =
+      static_cast<std::size_t>(ticks_ / opts_.coarse_factor);
+  for (std::size_t i = 0; i < sp.n; ++i) {
+    delta += st.coarse[(closed - 1 - i) % opts_.coarse_slots];
+  }
+  // The open coarse group is exactly coarse_accum.
+  delta += st.coarse_accum;
+  return delta;
+}
+
+double WindowedRegistry::merge_gauge_avg(const GaugeState& st,
+                                         const Span& sp) const {
+  double total = 0;
+  std::size_t n = 0;
+  if (sp.use_fine) {
+    for (std::size_t i = 0; i < sp.n; ++i) {
+      total += static_cast<double>(st.fine[(ticks_ - 1 - i) % opts_.slots]);
+      ++n;
+    }
+  } else {
+    const std::size_t closed =
+        static_cast<std::size_t>(ticks_ / opts_.coarse_factor);
+    for (std::size_t i = 0; i < sp.n; ++i) {
+      total +=
+          static_cast<double>(st.coarse[(closed - 1 - i) % opts_.coarse_slots]);
+      ++n;
+    }
+    for (std::size_t j = 0; j < sp.partial; ++j) {
+      total += static_cast<double>(st.fine[(ticks_ - 1 - j) % opts_.slots]);
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : total / static_cast<double>(n);
+}
+
+Histogram::Snapshot WindowedRegistry::merge_hist(const HistState& st,
+                                                 const Span& sp) const {
+  Histogram::Snapshot s;
+  s.buckets.assign(Histogram::kBucketCount, 0);
+  if (sp.use_fine) {
+    for (std::size_t i = 0; i < sp.n; ++i) {
+      st.fine[(ticks_ - 1 - i) % opts_.slots].add_into(s);
+    }
+  } else {
+    const std::size_t closed =
+        static_cast<std::size_t>(ticks_ / opts_.coarse_factor);
+    for (std::size_t i = 0; i < sp.n; ++i) {
+      st.coarse[(closed - 1 - i) % opts_.coarse_slots].add_into(s);
+    }
+    st.coarse_accum.add_into(s);
+  }
+  s.recompute_quantiles();
+  return s;
+}
+
+std::optional<WindowedRegistry::CounterWindow> WindowedRegistry::counter_window(
+    std::string_view name, std::uint64_t window_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end() || ticks_ == 0) {
+    return std::nullopt;
+  }
+  const Span sp = plan_span(window_s);
+  CounterWindow w;
+  w.covered_s = sp.covered_s;
+  w.delta = merge_counter(it->second, sp);
+  w.rate_per_s =
+      sp.covered_s > 0 ? static_cast<double>(w.delta) / sp.covered_s : 0;
+  return w;
+}
+
+std::optional<WindowedRegistry::GaugeWindow> WindowedRegistry::gauge_window(
+    std::string_view name, std::uint64_t window_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end() || ticks_ == 0) {
+    return std::nullopt;
+  }
+  const Span sp = plan_span(window_s);
+  GaugeWindow w;
+  w.covered_s = sp.covered_s;
+  w.last = it->second.src->value();
+  w.avg = merge_gauge_avg(it->second, sp);
+  return w;
+}
+
+std::optional<WindowedRegistry::HistogramWindow>
+WindowedRegistry::histogram_window(std::string_view name,
+                                   std::uint64_t window_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hists_.find(name);
+  if (it == hists_.end() || ticks_ == 0) {
+    return std::nullopt;
+  }
+  const Span sp = plan_span(window_s);
+  HistogramWindow w;
+  w.covered_s = sp.covered_s;
+  w.delta = merge_hist(it->second, sp);
+  w.rate_per_s = sp.covered_s > 0
+                     ? static_cast<double>(w.delta.count) / sp.covered_s
+                     : 0;
+  return w;
+}
+
+namespace {
+void append_f(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+void append_u(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+void append_i(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+}  // namespace
+
+std::string WindowedRegistry::render_vars_json(std::uint64_t window_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Span sp = plan_span(window_s);
+  std::string out;
+  out.reserve(8192);
+  out += "{\"window_s\":";
+  append_u(out, window_s);
+  out += ",\"covered_s\":";
+  append_f(out, sp.covered_s);
+  out += ",\"interval_ns\":";
+  append_u(out, opts_.interval_ns);
+  out += ",\"ticks\":";
+  append_u(out, ticks_);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, st] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    const std::uint64_t delta = ticks_ == 0 ? 0 : merge_counter(st, sp);
+    out += "\"" + json_escape(name) + "\":{\"delta\":";
+    append_u(out, delta);
+    out += ",\"rate_per_s\":";
+    append_f(out, sp.covered_s > 0
+                      ? static_cast<double>(delta) / sp.covered_s
+                      : 0);
+    out += "}";
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, st] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{\"value\":";
+    append_i(out, st.src->value());
+    out += ",\"avg\":";
+    append_f(out, ticks_ == 0 ? 0 : merge_gauge_avg(st, sp));
+    out += "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, st] : hists_) {
+    if (!first) out += ",";
+    first = false;
+    const Histogram::Snapshot s =
+        ticks_ == 0 ? Histogram::Snapshot{} : merge_hist(st, sp);
+    out += "\"" + json_escape(name) + "\":{\"count\":";
+    append_u(out, s.count);
+    out += ",\"rate_per_s\":";
+    append_f(out, sp.covered_s > 0
+                      ? static_cast<double>(s.count) / sp.covered_s
+                      : 0);
+    out += ",\"sum_ns\":";
+    append_u(out, s.sum);
+    out += ",\"p50_ns\":";
+    append_f(out, s.p50);
+    out += ",\"p95_ns\":";
+    append_f(out, s.p95);
+    out += ",\"p99_ns\":";
+    append_f(out, s.p99);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+// ---- background ticker -----------------------------------------------------
+
+void WindowedRegistry::start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void WindowedRegistry::stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    stop_requested_ = true;
+    run_cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+bool WindowedRegistry::running() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+void WindowedRegistry::loop() {
+  const std::chrono::nanoseconds interval(options().interval_ns);
+  auto next = std::chrono::steady_clock::now() + interval;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      if (run_cv_.wait_until(lock, next, [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    tick();
+    next += interval;
+    // A long scheduling stall must not cause a burst of catch-up ticks
+    // (each would record near-zero deltas); re-anchor instead.
+    const auto now = std::chrono::steady_clock::now();
+    if (next < now) {
+      next = now + interval;
+    }
+  }
+}
+
+}  // namespace fgad::obs

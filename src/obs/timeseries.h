@@ -1,0 +1,192 @@
+// Windowed time-series layer over the metrics registry (DESIGN.md §17).
+//
+// The base registry (metrics.h) is cumulative: counters and histograms
+// only ever grow, so "p99 over the last minute" or "current qps" need an
+// external scraper to difference consecutive scrapes. WindowedRegistry
+// makes those queries answerable in-process: a rotation tick (default
+// every 1s) takes a cumulative snapshot of every registered instrument,
+// subtracts the previous snapshot (Histogram::Snapshot::subtract), and
+// stores the per-interval delta in a ring of slots (default 300 — five
+// minutes of 1s resolution). A window query merges the most recent slots
+// back into one Snapshot (Histogram::Snapshot::merge) and recomputes
+// quantiles over the merged buckets.
+//
+// Two-level ring: every `coarse_factor` fine slots (default 60) are
+// folded into one coarse slot (default 120 of them — two hours at 1m
+// resolution), so multi-window SLO burn rates (5m fine / 1h coarse) come
+// from real history, not extrapolation. A query picks the fine ring when
+// it covers the requested window and falls back to coarse + the current
+// partial group otherwise.
+//
+// Cost model: instrument hot paths are untouched — writers keep doing
+// their one relaxed fetch-add against the base registry; all windowing
+// work happens on the rotation tick (one pass over the registry per
+// second). Histogram deltas are stored sparsely (only buckets that moved
+// during the interval), so an idle server's ring is near-empty.
+//
+// Exposition: render_vars_json() is served at GET /vars.json?window=60s.
+// Tests drive tick() directly for determinism; servers call start() for
+// a background ticker thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fgad::obs {
+
+class WindowedRegistry {
+ public:
+  struct Options {
+    std::uint64_t interval_ns = 1'000'000'000;  // fine slot width
+    std::size_t slots = 300;          // fine ring length (5 min at 1s)
+    std::size_t coarse_factor = 60;   // fine slots folded per coarse slot
+    std::size_t coarse_slots = 120;   // coarse ring length (2 h at 1 min)
+  };
+
+  static WindowedRegistry& instance();
+
+  /// Re-arms the ring with new geometry and drops all accumulated
+  /// history. Not valid while the background ticker is running.
+  void configure(Options opts);
+  Options options() const;
+
+  /// Advances one fine slot: snapshots every instrument in the base
+  /// Registry, stores the delta since the previous tick, and folds a
+  /// coarse slot when a group completes. Tests call this directly;
+  /// start() drives it from a background thread every interval.
+  void tick();
+  /// Fine ticks since configure().
+  std::uint64_t ticks() const;
+
+  /// Runs tick() every interval on a background thread. Idempotent.
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Invoked after every tick(), outside the registry lock — the SLO
+  /// tracker hangs its evaluation here.
+  void set_tick_hook(std::function<void()> hook);
+
+  struct CounterWindow {
+    std::uint64_t delta = 0;   // increments inside the window
+    double covered_s = 0;      // seconds of history actually merged
+    double rate_per_s = 0;
+  };
+  struct GaugeWindow {
+    std::int64_t last = 0;     // newest recorded value
+    double avg = 0;            // mean of per-slot values in the window
+    double covered_s = 0;
+  };
+  struct HistogramWindow {
+    Histogram::Snapshot delta;  // merged buckets, quantiles recomputed
+    double covered_s = 0;
+    double rate_per_s = 0;      // samples per second inside the window
+  };
+
+  /// Window queries: merge the most recent completed slots spanning at
+  /// least `window_s` seconds (clamped to available history). Returns
+  /// nullopt for instruments the rotation has not seen yet.
+  std::optional<CounterWindow> counter_window(std::string_view name,
+                                              std::uint64_t window_s) const;
+  std::optional<GaugeWindow> gauge_window(std::string_view name,
+                                          std::uint64_t window_s) const;
+  std::optional<HistogramWindow> histogram_window(
+      std::string_view name, std::uint64_t window_s) const;
+
+  /// One JSON document with every instrument's windowed view:
+  /// {"window_s":..,"covered_s":..,"counters":{name:{"delta","rate_per_s"}},
+  ///  "gauges":{name:{"value","avg"}},
+  ///  "histograms":{name:{"count","rate_per_s","sum_ns","p50_ns",...}}}
+  std::string render_vars_json(std::uint64_t window_s) const;
+
+ private:
+  WindowedRegistry() = default;
+
+  /// Sparse per-interval histogram delta: only the buckets that moved.
+  struct HistDelta {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> nz;
+
+    void clear() {
+      count = 0;
+      sum = 0;
+      nz.clear();
+    }
+    void add_into(Histogram::Snapshot& s) const {
+      s.count += count;
+      s.sum += sum;
+      for (const auto& [idx, c] : nz) {
+        if (idx < s.buckets.size()) {
+          s.buckets[idx] += c;
+        }
+      }
+    }
+    void fold(const HistDelta& other);  // accumulate another delta
+  };
+
+  struct CounterState {
+    const Counter* src = nullptr;
+    std::uint64_t prev = 0;
+    std::vector<std::uint64_t> fine;
+    std::vector<std::uint64_t> coarse;
+    std::uint64_t coarse_accum = 0;
+  };
+  struct GaugeState {
+    const Gauge* src = nullptr;
+    std::vector<std::int64_t> fine;
+    std::vector<std::int64_t> coarse;
+  };
+  struct HistState {
+    const Histogram* src = nullptr;
+    Histogram::Snapshot prev;  // cumulative, with buckets
+    std::vector<HistDelta> fine;
+    std::vector<HistDelta> coarse;
+    HistDelta coarse_accum;
+  };
+
+  /// How many most-recent slots of a ring to merge for `window_s`, and
+  /// the covered duration. ticks = fine ticks so far.
+  struct Span {
+    bool use_fine = true;
+    std::size_t n = 0;           // slots to merge from the chosen ring
+    std::size_t partial = 0;     // fine slots of the open coarse group
+    double covered_s = 0;
+  };
+  Span plan_span(std::uint64_t window_s) const;  // callers hold mu_
+
+  // Merge helpers over one instrument's rings for a planned span; all
+  // callers hold mu_.
+  std::uint64_t merge_counter(const CounterState& st, const Span& sp) const;
+  double merge_gauge_avg(const GaugeState& st, const Span& sp) const;
+  Histogram::Snapshot merge_hist(const HistState& st, const Span& sp) const;
+
+  void loop();
+
+  mutable std::mutex mu_;
+  Options opts_;
+  std::uint64_t ticks_ = 0;
+  std::map<std::string, CounterState, std::less<>> counters_;
+  std::map<std::string, GaugeState, std::less<>> gauges_;
+  std::map<std::string, HistState, std::less<>> hists_;
+  std::function<void()> tick_hook_;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace fgad::obs

@@ -163,6 +163,31 @@ TEST(ObsRegistry, StableAddressesAndRendering) {
             std::string::npos);
 }
 
+TEST(ObsJsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(obs::json_escape("plain_name"), "plain_name");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(obs::json_escape("\b\f"), "\\b\\f");
+  EXPECT_EQ(obs::json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+// Round trip: a metric name containing every character class the escaper
+// handles must come back out of render_json() in escaped form, and the
+// raw (invalid-JSON-producing) bytes must not appear unescaped.
+TEST(ObsJsonEscape, RenderJsonSurvivesHostileMetricNames) {
+  Registry& reg = Registry::instance();
+  const std::string evil = "fgad_test_evil\"name\\with\ncontrol";
+  reg.counter(evil).inc(9);
+  const std::string json = reg.render_json();
+  EXPECT_NE(json.find("\"fgad_test_evil\\\"name\\\\with\\ncontrol\":9"),
+            std::string::npos)
+      << json;
+  // No raw quote-in-name or raw newline may survive into the document.
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
 // Writers on every instrument kind race against renderers; run under TSan
 // in CI. The final counts must be exact (no lost increments).
 TEST(ObsRegistry, ConcurrentWritersAndRenderers) {

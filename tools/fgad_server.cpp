@@ -39,9 +39,20 @@
 // committer: one fsync covers every mutation staged while the previous
 // fsync ran.
 //
-// Observability (DESIGN.md §12):
-//   --metrics-port N   serve GET /metrics, /metrics.json and /healthz on
-//                      127.0.0.1:N (0 = ephemeral, printed on startup)
+// Observability (DESIGN.md §12, §17):
+//   --metrics-port N   serve GET /metrics, /metrics.json, /vars.json,
+//                      /healthz, /readyz and /profile on 127.0.0.1:N
+//                      (0 = ephemeral, printed on startup)
+//   --vars-interval-ms N  time-series rotation interval for /vars.json
+//                      windows and SLO burn rates (default 1000; 0
+//                      disables windowed telemetry)
+//   --slo SPEC         add an SLO objective (repeatable); SPEC is
+//                      name:latency:<hist>:<quantile>:<threshold_ns>[:burn],
+//                      name:error_ratio:<err>:<total>:<max_rate>[:burn], or
+//                      name:gauge_above:<gauge>:<threshold>[:burn]
+//   --no-default-slos  start with only the --slo objectives (default: the
+//                      stock delete/access p99 + error-ratio +
+//                      backpressure set is installed)
 //   --audit-log PATH   append the deletion audit log to PATH (default:
 //                      stderr)
 //   --log-level LVL    debug|info|warn|error|off (default info, to stderr)
@@ -68,6 +79,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cloud/recovery.h"
 #include "cloud/server.h"
@@ -76,6 +88,8 @@
 #include "obs/http.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace {
@@ -99,6 +113,9 @@ int main(int argc, char** argv) {
   std::size_t flight_recorder_size = obs::FlightRecorder::kDefaultCapacity;
   std::string flight_recorder_dir;
   std::size_t trace_capture = 0;
+  std::uint64_t vars_interval_ms = 1000;
+  bool default_slos = true;
+  std::vector<std::string> slo_specs;
   cloud::CloudServer::Options opts;
   cloud::DurableServer::Options dur_opts;
   net::TcpServer::Options net_opts;
@@ -144,6 +161,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-capture" && i + 1 < argc) {
       trace_capture =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--vars-interval-ms" && i + 1 < argc) {
+      vars_interval_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--slo" && i + 1 < argc) {
+      slo_specs.emplace_back(argv[++i]);
+    } else if (arg == "--no-default-slos") {
+      default_slos = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: fgad_server [--port N] [--image PATH] [--state-dir DIR]\n"
@@ -153,7 +176,9 @@ int main(int argc, char** argv) {
           "                   [--metrics-port N] [--audit-log PATH] "
           "[--log-level LVL] [--slow-op-ms N]\n"
           "                   [--flight-recorder-size N] "
-          "[--flight-recorder-dir DIR] [--trace-capture N]\n");
+          "[--flight-recorder-dir DIR] [--trace-capture N]\n"
+          "                   [--vars-interval-ms N] [--slo SPEC]... "
+          "[--no-default-slos]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -285,6 +310,35 @@ int main(int argc, char** argv) {
     std::printf("metrics on http://127.0.0.1:%u/metrics\n", metrics->port());
   }
 
+  // Windowed telemetry + SLO burn-rate tracking (DESIGN.md §17): a 1s
+  // rotation tick feeds /vars.json windows; the SLO tracker evaluates
+  // after every tick and flips the "overloaded" readiness condition on
+  // sustained breach.
+  if (vars_interval_ms > 0) {
+    obs::WindowedRegistry::Options wopts;
+    wopts.interval_ns = vars_interval_ms * 1'000'000ull;
+    obs::WindowedRegistry::instance().configure(wopts);
+    std::vector<obs::SloTracker::Objective> objectives;
+    if (default_slos) {
+      objectives = obs::SloTracker::default_server_objectives();
+    }
+    for (const std::string& spec : slo_specs) {
+      auto parsed = obs::SloTracker::parse(spec);
+      if (!parsed) {
+        std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+        return 2;
+      }
+      objectives.push_back(std::move(parsed).value());
+    }
+    const std::size_t n_objectives = objectives.size();
+    obs::SloTracker::instance().configure(std::move(objectives));
+    obs::SloTracker::instance().attach();
+    obs::WindowedRegistry::instance().start();
+    std::printf("windowed telemetry: %llums rotation, %zu SLO objectives\n",
+                static_cast<unsigned long long>(vars_interval_ms),
+                n_objectives);
+  }
+
   std::printf("flight recorder: %zu events, dumps to %s (SIGUSR2 dumps on "
               "demand)\n",
               obs::FlightRecorder::instance().capacity(),
@@ -340,11 +394,13 @@ int main(int argc, char** argv) {
 
   stopping.store(true);
   dump_watcher.join();
-  if (metrics) {
-    metrics->stop();
-  }
+  obs::WindowedRegistry::instance().stop();
   tcp.stop();
+  // The metrics endpoint outlives the RPC listener so /readyz reports
+  // 503 "shutdown" while the final checkpoint is mid-flight.
   if (durable) {
+    obs::Readiness::Block not_ready("shutdown",
+                                    "final checkpoint in progress");
     if (auto st = durable->checkpoint(); st) {
       std::printf("final checkpoint written to %s\n", dur_opts.dir.c_str());
     } else {
@@ -360,6 +416,9 @@ int main(int argc, char** argv) {
                    st.to_string().c_str());
       return 1;
     }
+  }
+  if (metrics) {
+    metrics->stop();
   }
   if (audit_file != nullptr) {
     obs::AuditLog::instance().set_sink(nullptr);

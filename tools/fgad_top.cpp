@@ -1,0 +1,272 @@
+// fgad_top — live per-RPC telemetry for a running fgad_server.
+//
+//   fgad_top --port N [--host 127.0.0.1] [--window 60] [--interval-ms 2000]
+//            [--filter PREFIX] [--once]
+//
+// Polls GET /vars.json?window=<W> on the server's metrics port and
+// renders a refreshing table of windowed qps and p50/p95/p99 for every
+// histogram matching --filter (default fgad_server_), plus the overall
+// RPC error rate and the SLO tracker's burn rates. --once prints a
+// single snapshot and exits (CI smoke / scripting); without it the
+// screen redraws every --interval-ms until SIGINT.
+//
+// The parser is a purpose-built scanner for the flat /vars.json shape
+// (DESIGN.md §17), not a general JSON library — names are taken verbatim
+// from the document, numeric fields via strtod.
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_sigint(int) { g_stop = 1; }
+
+/// One-shot HTTP/1.0-style GET; returns the response body or "" on error.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return "";
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t w = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (w <= 0) {
+      ::close(fd);
+      return "";
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  const std::size_t body = resp.find("\r\n\r\n");
+  return body == std::string::npos ? "" : resp.substr(body + 4);
+}
+
+/// Substring covering the {...} that follows `"key":` (empty if absent).
+std::string object_after(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":{";
+  const std::size_t start = body.find(needle);
+  if (start == std::string::npos) {
+    return "";
+  }
+  std::size_t pos = start + needle.size() - 1;
+  int depth = 0;
+  for (std::size_t i = pos; i < body.size(); ++i) {
+    if (body[i] == '{') {
+      ++depth;
+    } else if (body[i] == '}') {
+      if (--depth == 0) {
+        return body.substr(pos, i - pos + 1);
+      }
+    }
+  }
+  return "";
+}
+
+/// Value of `"field":<number>` inside one instrument's object.
+double number_field(const std::string& obj, const char* field) {
+  const std::string needle = std::string("\"") + field + "\":";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::strtod(obj.c_str() + pos + needle.size(), nullptr);
+}
+
+struct Entry {
+  std::string name;
+  std::string obj;  // the instrument's own {...}
+};
+
+/// Splits a {"name":{...},"name":{...}} object into entries.
+std::vector<Entry> entries_of(const std::string& obj) {
+  std::vector<Entry> out;
+  std::size_t pos = 1;  // skip outer '{'
+  while (pos < obj.size()) {
+    const std::size_t q1 = obj.find('"', pos);
+    if (q1 == std::string::npos) {
+      break;
+    }
+    const std::size_t q2 = obj.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 + 1 >= obj.size() ||
+        obj[q2 + 1] != ':') {
+      break;
+    }
+    if (obj[q2 + 2] != '{') {
+      break;
+    }
+    int depth = 0;
+    std::size_t end = q2 + 2;
+    for (std::size_t i = q2 + 2; i < obj.size(); ++i) {
+      if (obj[i] == '{') {
+        ++depth;
+      } else if (obj[i] == '}') {
+        if (--depth == 0) {
+          end = i;
+          break;
+        }
+      }
+    }
+    out.push_back(Entry{obj.substr(q1 + 1, q2 - q1 - 1),
+                        obj.substr(q2 + 2, end - q2 - 1)});
+    pos = end + 1;
+  }
+  return out;
+}
+
+void render(const std::string& body, const std::string& filter, bool clear) {
+  if (clear) {
+    std::printf("\x1b[H\x1b[2J");  // cursor home + clear screen
+  }
+  const double covered = number_field(body, "covered_s");
+  const std::string counters = object_after(body, "counters");
+  const std::string hists = object_after(body, "histograms");
+  const std::string slo = object_after(body, "slo");
+
+  double rpcs_rate = 0;
+  double errs_rate = 0;
+  for (const Entry& e : entries_of(counters)) {
+    if (e.name == "fgad_server_rpcs_total") {
+      rpcs_rate = number_field(e.obj, "rate_per_s");
+    } else if (e.name == "fgad_server_rpc_errors_total") {
+      errs_rate = number_field(e.obj, "rate_per_s");
+    }
+  }
+  const double err_pct = rpcs_rate > 0 ? 100.0 * errs_rate / rpcs_rate : 0;
+  std::printf("window %.0fs   rpc %.1f/s   errors %.3f%%\n\n", covered,
+              rpcs_rate, err_pct);
+
+  std::printf("%-44s %10s %10s %10s %10s\n", "histogram", "qps", "p50(ms)",
+              "p95(ms)", "p99(ms)");
+  for (const Entry& e : entries_of(hists)) {
+    if (!filter.empty() && e.name.compare(0, filter.size(), filter) != 0) {
+      continue;
+    }
+    std::printf("%-44s %10.1f %10.3f %10.3f %10.3f\n", e.name.c_str(),
+                number_field(e.obj, "rate_per_s"),
+                number_field(e.obj, "p50_ns") / 1e6,
+                number_field(e.obj, "p95_ns") / 1e6,
+                number_field(e.obj, "p99_ns") / 1e6);
+  }
+
+  if (!slo.empty()) {
+    std::printf("\n%-28s %12s %12s %10s %9s\n", "slo objective", "burn(short)",
+                "burn(long)", "breached", "breaches");
+    // Objectives are an array of objects; reuse the entry scanner on a
+    // fake wrapping by scanning for "name" fields directly.
+    std::size_t pos = 0;
+    while ((pos = slo.find("{\"name\":\"", pos)) != std::string::npos) {
+      const std::size_t n1 = pos + 9;
+      const std::size_t n2 = slo.find('"', n1);
+      if (n2 == std::string::npos) {
+        break;
+      }
+      std::size_t end = slo.find('}', n2);
+      if (end == std::string::npos) {
+        end = slo.size();
+      }
+      const std::string obj = slo.substr(pos, end - pos + 1);
+      const bool breached = obj.find("\"breached\":true") != std::string::npos;
+      std::printf("%-28s %12.3f %12.3f %10s %9.0f\n",
+                  slo.substr(n1, n2 - n1).c_str(),
+                  number_field(obj, "short_burn"),
+                  number_field(obj, "long_burn"), breached ? "YES" : "no",
+                  number_field(obj, "breaches"));
+      pos = end + 1;
+    }
+    if (slo.find("\"overloaded\":true") != std::string::npos) {
+      std::printf("\n*** OVERLOADED: /readyz is reporting 503 ***\n");
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  unsigned window_s = 60;
+  unsigned interval_ms = 2000;
+  std::string filter = "fgad_server_";
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--window" && i + 1 < argc) {
+      window_s = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: fgad_top --port N [--host H] [--window S] "
+          "[--interval-ms N] [--filter PREFIX] [--once]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "fgad_top: --port (the metrics port) is required\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, on_sigint);
+  const std::string path =
+      "/vars.json?window=" + std::to_string(window_s) + "s";
+  do {
+    const std::string body = http_get(host, port, path);
+    if (body.empty()) {
+      std::fprintf(stderr, "fgad_top: no response from %s:%u%s\n",
+                   host.c_str(), port, path.c_str());
+      return 1;
+    }
+    render(body, filter, /*clear=*/!once);
+    if (once) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  } while (!g_stop);
+  return 0;
+}
