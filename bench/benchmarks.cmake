@@ -26,3 +26,4 @@ fgad_bench(ablation_integrity)
 fgad_bench(obs_overhead)
 fgad_bench(wal_overhead)
 fgad_bench(net_concurrency)
+fgad_bench(replication_overhead)

@@ -24,7 +24,10 @@ namespace fgad::cloud {
 namespace {
 
 constexpr std::uint32_t kCkptMagic = 0x46474350;  // "FGCP"
-constexpr std::uint16_t kCkptVersion = 1;
+// v1: epoch | last_lsn | image | dedup.
+// v2: epoch | last_lsn | term | image | dedup — the replication fencing
+// term (DESIGN.md §18). v1 checkpoints still load (term 0).
+constexpr std::uint16_t kCkptVersion = 2;
 
 obs::Counter& checkpoints_counter() {
   static obs::Counter& c =
@@ -104,6 +107,39 @@ Bytes io_error_frame(const std::string& msg) {
   e.code = Errc::kIoError;
   e.message = msg;
   return e.to_frame();
+}
+
+Bytes not_primary_frame() {
+  proto::ErrorMsg e;
+  e.code = Errc::kNotPrimary;
+  e.message = "this node is a replication backup; redial the primary";
+  return e.to_frame();
+}
+
+/// Maps a durability/replication failure to the client-visible error
+/// frame: a fencing loss mid-commit means "we are not the primary any
+/// more" (so the failover channel re-routes); everything else keeps its
+/// code so kTimeout stays in the client's indeterminate-commit set.
+Bytes commit_fail_frame(const Status& st) {
+  if (st.code() == Errc::kStaleTerm) {
+    return not_primary_frame();
+  }
+  proto::ErrorMsg e;
+  e.code = st.code();
+  e.message = "commit failed: " + st.to_string();
+  return e.to_frame();
+}
+
+bool is_repl_type(proto::MsgType t) {
+  switch (t) {
+    case proto::MsgType::kReplAppend:
+    case proto::MsgType::kReplAck:
+    case proto::MsgType::kReplSnapshot:
+    case proto::MsgType::kReplHeartbeat:
+      return true;
+    default:
+      return false;
+  }
 }
 
 /// Lists `<prefix><number><suffix>` entries of `dir`, returning the parsed
@@ -273,11 +309,11 @@ GroupCommitter::~GroupCommitter() {
 }
 
 void GroupCommitter::enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
-                             Release release) {
+                             std::uint64_t lsn, Release release) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!stop_) {
-      queue_.push_back(Entry{std::move(wal), ticket, std::move(release)});
+      queue_.push_back(Entry{std::move(wal), ticket, lsn, std::move(release)});
       cv_.notify_one();
       return;
     }
@@ -285,8 +321,13 @@ void GroupCommitter::enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
   // Shut down: degrade to a single-entry flush on the caller's thread so
   // the durability contract still holds.
   std::vector<Entry> one;
-  one.push_back(Entry{std::move(wal), ticket, std::move(release)});
+  one.push_back(Entry{std::move(wal), ticket, lsn, std::move(release)});
   flush(one);
+}
+
+void GroupCommitter::set_gate(Gate gate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gate_ = std::move(gate);
 }
 
 void GroupCommitter::stop() {
@@ -304,6 +345,11 @@ void GroupCommitter::stop() {
 }
 
 void GroupCommitter::flush(std::vector<Entry>& batch) {
+  Gate gate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gate = gate_;
+  }
   // Consecutive entries on the same log share one fsync: sync_to() with
   // the run's highest ticket covers every record staged at or below it.
   // (In practice the run is the whole batch; it only splits across a
@@ -312,8 +358,10 @@ void GroupCommitter::flush(std::vector<Entry>& batch) {
   while (i < batch.size()) {
     std::size_t j = i;
     std::uint64_t max_ticket = 0;
+    std::uint64_t max_lsn = 0;
     while (j < batch.size() && batch[j].wal == batch[i].wal) {
       max_ticket = std::max(max_ticket, batch[j].ticket);
+      max_lsn = std::max(max_lsn, batch[j].lsn);
       ++j;
     }
     // A crash here loses the WHOLE staged batch atomically: nothing in
@@ -334,6 +382,14 @@ void GroupCommitter::flush(std::vector<Entry>& batch) {
       }
       i = j;
       continue;
+    }
+    // Replication sync gate: the batch's records were staged into the
+    // Replicator at append time, so its ship thread has been sending
+    // them to the follower WHILE the fsync above ran. Parking here only
+    // waits out whatever part of the network round trip the disk did
+    // not already cover.
+    if (st && gate && max_lsn > 0) {
+      st = gate(max_lsn);
     }
     const std::uint64_t n = j - i;
     group_commits_counter().inc();
@@ -427,12 +483,17 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
       continue;
     }
     proto::Reader r(BytesView(buf.data(), buf.size() - 4));
-    if (r.u32() != kCkptMagic || r.u16() != kCkptVersion) {
+    const std::uint32_t magic = r.u32();
+    const std::uint16_t version = r.u16();
+    if (magic != kCkptMagic || version < 1 || version > kCkptVersion) {
       ds->recovery_.checkpoint_fallback = true;
       continue;
     }
     const std::uint64_t epoch = r.u64();
     const std::uint64_t lsn = r.u64();
+    // v1 checkpoints predate replication; they read as term 0, which
+    // open() below bootstraps to 1 for a primary.
+    const std::uint64_t term = version >= 2 ? r.u64() : 0;
     const Bytes image = r.bytes();
     if (!r.ok()) {
       ds->recovery_.checkpoint_fallback = true;
@@ -452,6 +513,7 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
     ds->server_ = std::move(server).value();
     ds->dedup_ = std::move(dedup);
     ds->epoch_ = epoch;
+    ds->term_ = term;
     base_lsn = lsn;
     ds->recovery_.checkpoint_epoch = epoch;
     break;
@@ -536,6 +598,15 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
     }
   }
 
+  // 5. Replication role. A primary with no persisted term starts at 1 so
+  //    term 0 can never appear on the wire (a follower uses 0 to mean
+  //    "adopt whatever the primary says"). A backup keeps whatever term
+  //    its newest checkpoint carried and waits for the primary's stream.
+  if (opts.role == ReplRole::kPrimary && ds->term_ == 0) {
+    ds->term_ = 1;
+  }
+  ds->set_role_locked(opts.role, ds->term_);
+
   ds->recovery_.duration_ns = obs::now_ns() - recover_t0;
   recoveries_counter().inc();
   replayed_counter().inc(ds->recovery_.replayed);
@@ -563,6 +634,15 @@ Result<std::unique_ptr<DurableServer>> DurableServer::open(Options opts) {
 
 Bytes DurableServer::handle(BytesView request) {
   const auto type = proto::peek_type(request);
+  if (type && is_repl_type(*type)) {
+    return handle_repl(request);  // primary -> follower stream
+  }
+  if (role_.load(std::memory_order_acquire) != ReplRole::kPrimary) {
+    // A backup answers everything — reads included — with kNotPrimary:
+    // serving reads from a follower would expose a stale, possibly
+    // un-deleted view of data the primary already assured-deleted.
+    return not_primary_frame();
+  }
   if (!type || !proto::is_mutating(*type)) {
     return server_->handle(request);  // reads never touch the log
   }
@@ -573,11 +653,16 @@ Bytes DurableServer::handle(BytesView request) {
   obs::RequestScope rid_scope(rid);
 
   std::shared_ptr<Wal> wal;
+  std::shared_ptr<Replicator> repl;
+  ReplAckMode mode = ReplAckMode::kOff;
   std::uint64_t ticket = 0;
+  std::uint64_t lsn = 0;
   Bytes resp;
   bool checkpointed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    repl = repl_;
+    mode = repl_mode_;
     if (rid != 0) {
       if (const Bytes* cached = dedup_.find(rid)) {
         // Exactly-once: the mutation already applied (possibly replayed
@@ -585,28 +670,44 @@ Bytes DurableServer::handle(BytesView request) {
         // instead of double-applying it.
         dedup_hits_counter().inc();
         obs::FlightRecorder::instance().record(obs::FrEvent::kDedupHit, rid);
-        return *cached;
+        if (repl && mode == ReplAckMode::kSync) {
+          // The cached response was first acked under the sync contract,
+          // so the record is on the follower — but a resend after
+          // failover-and-failback could race a still-catching-up backup.
+          // Gate conservatively on everything logged so far.
+          lsn = next_lsn_ - 1;
+          resp = *cached;
+        } else {
+          return *cached;
+        }
       }
     }
-    CrashPoint::instance().fire(CrashSite::kBeforeWalAppend);
-    if (wal_) {
-      const std::uint64_t lsn = next_lsn_++;
-      auto t = wal_->append(lsn, request);
-      if (!t) {
-        return io_error_frame("wal append failed: " + t.error().message);
+    if (resp.empty()) {
+      CrashPoint::instance().fire(CrashSite::kBeforeWalAppend);
+      if (wal_) {
+        lsn = next_lsn_++;
+        auto t = wal_->append(lsn, request);
+        if (!t) {
+          return io_error_frame("wal append failed: " + t.error().message);
+        }
+        ticket = t.value();
+        wal = wal_;
+        if (repl) {
+          // Staged under the dispatch lock so the ship stream sees the
+          // exact LSN order of the log.
+          repl->stage(term_, lsn, request);
+        }
       }
-      ticket = t.value();
-      wal = wal_;
-    }
-    resp = server_->handle(request);
-    dedup_.put(rid, resp);
-    ++mutations_since_checkpoint_;
-    if (opts_.checkpoint_every_n > 0 &&
-        mutations_since_checkpoint_ >= opts_.checkpoint_every_n) {
-      // Stop-the-world image; also fsyncs and rotates the WAL, so the
-      // just-appended record is durable once this returns.
-      if (auto st = checkpoint_locked(); st) {
-        checkpointed = true;
+      resp = server_->handle(request);
+      dedup_.put(rid, resp);
+      ++mutations_since_checkpoint_;
+      if (opts_.checkpoint_every_n > 0 &&
+          mutations_since_checkpoint_ >= opts_.checkpoint_every_n) {
+        // Stop-the-world image; also fsyncs and rotates the WAL, so the
+        // just-appended record is durable once this returns.
+        if (auto st = checkpoint_locked(); st) {
+          checkpointed = true;
+        }
       }
     }
   }
@@ -617,12 +718,28 @@ Bytes DurableServer::handle(BytesView request) {
       return io_error_frame("wal sync failed: " + st.to_string());
     }
   }
+  // Sync ack mode: the client ACK additionally waits for the follower's
+  // durable ack. The ship thread has been streaming since stage(), so
+  // this overlaps the fsync above rather than serializing after it.
+  if (repl && mode == ReplAckMode::kSync && lsn > 0) {
+    if (auto st = repl->wait_acked(lsn); !st) {
+      return commit_fail_frame(st);
+    }
+  }
   CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
   return resp;
 }
 
 void DurableServer::handle_async(Bytes request, Done done) {
   const auto type = proto::peek_type(request);
+  if (type && is_repl_type(*type)) {
+    done(handle_repl(request));  // primary -> follower stream
+    return;
+  }
+  if (role_.load(std::memory_order_acquire) != ReplRole::kPrimary) {
+    done(not_primary_frame());  // see handle(): backups serve nothing
+    return;
+  }
   if (!type || !proto::is_mutating(*type)) {
     done(server_->handle(request));  // reads never touch the log
     return;
@@ -632,23 +749,33 @@ void DurableServer::handle_async(Bytes request, Done done) {
   obs::RequestScope rid_scope(rid);
 
   std::shared_ptr<Wal> wal;
+  std::shared_ptr<Replicator> repl;
+  ReplAckMode mode = ReplAckMode::kOff;
   std::uint64_t ticket = 0;
+  std::uint64_t lsn = 0;
   Bytes resp;
   bool durable_already = false;
+  bool dedup_hit = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    repl = repl_;
+    mode = repl_mode_;
     if (rid != 0) {
       if (const Bytes* cached = dedup_.find(rid)) {
         dedup_hits_counter().inc();
         obs::FlightRecorder::instance().record(obs::FrEvent::kDedupHit, rid);
         resp = *cached;
         durable_already = true;
+        dedup_hit = true;
+        // Sync ack mode still gates a dedup hit on the follower (see
+        // handle()): re-serve only once everything logged so far acked.
+        lsn = next_lsn_ - 1;
       }
     }
     if (!durable_already) {
       CrashPoint::instance().fire(CrashSite::kBeforeWalAppend);
       if (wal_) {
-        const std::uint64_t lsn = next_lsn_++;
+        lsn = next_lsn_++;
         // Staged, not yet durable: the group committer below performs
         // the fsync for the whole cross-connection batch at once.
         auto t = wal_->append(lsn, request, /*defer_sync=*/true);
@@ -658,6 +785,9 @@ void DurableServer::handle_async(Bytes request, Done done) {
         }
         ticket = t.value();
         wal = wal_;
+        if (repl) {
+          repl->stage(term_, lsn, request);
+        }
       }
       resp = server_->handle(request);
       dedup_.put(rid, resp);
@@ -672,23 +802,34 @@ void DurableServer::handle_async(Bytes request, Done done) {
       }
     }
   }
-  if (wal == nullptr || durable_already) {
+  const bool sync_repl = repl && mode == ReplAckMode::kSync && lsn > 0;
+  if ((wal == nullptr || durable_already) && !sync_repl) {
     CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
     done(std::move(resp));
     return;
   }
+  if (wal == nullptr || durable_already) {
+    // Locally durable (dedup hit or checkpoint covered the record) but
+    // the sync gate still applies: park on the committer with no log to
+    // flush so the reactor thread never blocks on the network.
+    wal = nullptr;
+    ticket = 0;
+  }
   committer_.enqueue(
-      wal, ticket,
-      [rid, resp = std::move(resp), done = std::move(done)](Status st) mutable {
+      wal, ticket, lsn,
+      [rid, dedup_hit, resp = std::move(resp),
+       done = std::move(done)](Status st) mutable {
         if (!st) {
-          done(io_error_frame("wal sync failed: " + st.to_string()));
+          done(commit_fail_frame(st));
           return;
         }
         obs::RequestScope rid_scope(rid);
-        try {
-          CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
-        } catch (const CrashError&) {
-          return;  // simulated death before the ACK: drop the response
+        if (!dedup_hit) {
+          try {
+            CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
+          } catch (const CrashError&) {
+            return;  // simulated death before the ACK: drop the response
+          }
         }
         done(std::move(resp));
       });
@@ -718,6 +859,7 @@ Status DurableServer::checkpoint_locked() {
   w.u16(kCkptVersion);
   w.u64(new_epoch);
   w.u64(last);
+  w.u64(term_);  // v2: fencing term survives restarts (DESIGN.md §18)
   proto::Writer image;
   server_->save(image);
   w.bytes(image.data());

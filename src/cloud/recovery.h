@@ -22,16 +22,19 @@
 //   wal-<epoch>.log           records logged on top of checkpoint <epoch>
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "cloud/replica.h"
 #include "cloud/server.h"
 #include "cloud/wal.h"
 
@@ -89,10 +92,19 @@ class GroupCommitter {
   GroupCommitter& operator=(const GroupCommitter&) = delete;
 
   /// Parks one staged append: `ticket` is the Wal::append return value on
-  /// `wal`. The shared_ptr keeps a rotated-away log alive until its last
-  /// parked response is released.
+  /// `wal`, `lsn` the record's log sequence number (the replication gate
+  /// below is keyed on it). The shared_ptr keeps a rotated-away log alive
+  /// until its last parked response is released.
   void enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
-               Release release);
+               std::uint64_t lsn, Release release);
+
+  /// Post-fsync gate, invoked once per flushed batch with the batch's
+  /// highest LSN. Sync-mode replication parks here (Replicator::
+  /// wait_acked) so the follower's network ack overlaps the local fsync
+  /// instead of serializing after it. A gate failure fails the whole
+  /// batch's releases.
+  using Gate = std::function<Status(std::uint64_t max_lsn)>;
+  void set_gate(Gate gate);
 
   /// Flushes stragglers and joins the committer thread. Entries enqueued
   /// after stop() are synced + released inline on the caller's thread.
@@ -102,16 +114,18 @@ class GroupCommitter {
   struct Entry {
     std::shared_ptr<Wal> wal;
     std::uint64_t ticket = 0;
+    std::uint64_t lsn = 0;
     Release release;
   };
 
   void loop();
   /// One fsync per consecutive same-log run of `batch`, then releases.
-  static void flush(std::vector<Entry>& batch);
+  void flush(std::vector<Entry>& batch);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Entry> queue_;
+  Gate gate_;
   bool stop_ = false;
   std::thread thread_;
 };
@@ -125,6 +139,10 @@ class DurableServer {
     std::size_t dedup_capacity = 4096;
     bool enable_wal = true;                 // false: checkpoints only
     CloudServer::Options server;
+    /// Replication role. A backup answers every client request with
+    /// kNotPrimary and applies only Repl* traffic from its primary; the
+    /// promote() call flips it live (bumping the fencing term).
+    ReplRole role = ReplRole::kPrimary;
   };
 
   /// Statistics from the recovery pass, for logs and tests.
@@ -174,6 +192,29 @@ class DurableServer {
   const RecoveryInfo& recovery_info() const { return recovery_; }
   std::uint64_t last_lsn() const;
 
+  // ---- replication (DESIGN.md §18) ----------------------------------------
+
+  /// Wires a primary-side replicator: snapshot source and demote hook
+  /// are connected, the committer's sync gate installed when `mode` is
+  /// kSync, and the ship thread started. Call once, after open().
+  void attach_replicator(std::shared_ptr<Replicator> repl, ReplAckMode mode);
+
+  /// Promotes a backup to primary: bumps the fencing term, persists it
+  /// in an immediate checkpoint, and starts accepting client traffic.
+  /// From this moment the old primary's appends bounce with kStaleTerm.
+  Status promote();
+
+  /// Drops to backup after the follower fenced us off (or by operator
+  /// request); client traffic starts bouncing with kNotPrimary.
+  void demote(std::uint64_t observed_term);
+
+  ReplRole role() const;
+  std::uint64_t term() const;
+
+  /// Follower-side entry point for Repl* frames (handle/handle_async
+  /// route here; public so tests can drive it directly).
+  Bytes handle_repl(BytesView request);
+
  private:
   DurableServer(Options opts, std::unique_ptr<CloudServer> server,
                 RidDedup dedup);
@@ -181,6 +222,18 @@ class DurableServer {
   Status checkpoint_locked();
   std::string checkpoint_path(std::uint64_t epoch) const;
   std::string wal_path(std::uint64_t epoch) const;
+
+  Bytes handle_repl_append(const proto::ReplAppend& req);
+  Bytes handle_repl_snapshot(const proto::ReplSnapshot& req);
+  Bytes handle_repl_heartbeat(const proto::ReplHeartbeat& req);
+  /// Fencing check shared by every Repl* handler. Returns a kStaleTerm
+  /// error frame when the sender must demote, otherwise adopts the
+  /// sender's term (and demotes *us* if we were a same-or-lower-term
+  /// primary hearing from a newer one).
+  std::optional<Bytes> fence_check_locked(std::uint64_t sender_term);
+  void set_role_locked(ReplRole role, std::uint64_t term);
+  /// Builds the ReplSnapshot payload for catch-up shipping.
+  Result<proto::ReplSnapshot> snapshot_for_ship();
 
   Options opts_;
   std::unique_ptr<CloudServer> server_;
@@ -194,6 +247,12 @@ class DurableServer {
   std::uint64_t next_lsn_ = 1;
   std::uint64_t mutations_since_checkpoint_ = 0;
   RecoveryInfo recovery_;
+  // Atomic so the lock-free read path can bounce client traffic off a
+  // backup without taking the dispatch mutex; writes happen under mu_.
+  std::atomic<ReplRole> role_{ReplRole::kPrimary};
+  std::uint64_t term_ = 0;  // fencing term, persisted in checkpoints
+  std::shared_ptr<Replicator> repl_;  // primary side only
+  ReplAckMode repl_mode_ = ReplAckMode::kOff;
   // Declared last: its thread holds shared_ptr<Wal> copies and must be
   // stopped before the members above are torn down.
   GroupCommitter committer_;

@@ -749,6 +749,14 @@ Bytes CloudServer::handle_locked(BytesView request) {
       return proto::empty_frame(MsgType::kKvPutBatchResp);
     }
 
+    case MsgType::kReplAppend:
+    case MsgType::kReplAck:
+    case MsgType::kReplSnapshot:
+    case MsgType::kReplHeartbeat:
+      return error_frame(Error(
+          Errc::kUnsupported,
+          "server: replication requires a durable server (see DurableServer)"));
+
     default:
       return error_frame(
           Error(Errc::kUnsupported,

@@ -30,6 +30,10 @@ const char* errc_name(Errc c) {
       return "RETRY_EXHAUSTED";
     case Errc::kIndeterminate:
       return "INDETERMINATE";
+    case Errc::kNotPrimary:
+      return "NOT_PRIMARY";
+    case Errc::kStaleTerm:
+      return "STALE_TERM";
   }
   return "UNKNOWN";
 }

@@ -30,6 +30,10 @@ enum class Errc {
   kRetryExhausted,       // bounded retry/backoff gave up
   kIndeterminate,        // a commit's outcome is unknown (transport failed
                          // after send); caller must resync before reuse
+  kNotPrimary,           // node is a replication follower (or demoted);
+                         // clients must re-route to the current primary
+  kStaleTerm,            // replication append carried a fencing term older
+                         // than the receiver's; sender must demote
 };
 
 /// Human-readable name of an error code.

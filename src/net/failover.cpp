@@ -1,0 +1,262 @@
+#include "net/failover.h"
+
+#include <netdb.h>
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "proto/messages.h"
+
+namespace fgad::net {
+
+namespace {
+
+obs::Counter& failover_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_failover_total");
+  return c;
+}
+
+obs::Counter& failover_dials_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("fgad_failover_dials_total");
+  return c;
+}
+
+std::uint64_t frame_rid(BytesView request) {
+  const auto tag = proto::split_tagged(request);
+  return tag ? tag->first : 0;
+}
+
+}  // namespace
+
+bool is_not_primary_frame(BytesView response) {
+  auto env = proto::open_message(response);
+  if (!env || env.value().type != proto::MsgType::kError) {
+    return false;
+  }
+  proto::Reader r(env.value().payload);
+  auto err = proto::ErrorMsg::from(r);
+  return err && err.value().code == Errc::kNotPrimary;
+}
+
+Result<std::string> resolve_ipv4(const std::string& host) {
+  // Numeric addresses short-circuit: no resolver round trip, and tests
+  // without name service keep working.
+  in_addr probe{};
+  if (::inet_pton(AF_INET, host.c_str(), &probe) == 1) {
+    return host;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Error(Errc::kIoError,
+                 "resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  char buf[INET_ADDRSTRLEN] = {0};
+  const auto* sin = reinterpret_cast<const sockaddr_in*>(res->ai_addr);
+  ::inet_ntop(AF_INET, &sin->sin_addr, buf, sizeof(buf));
+  ::freeaddrinfo(res);
+  return std::string(buf);
+}
+
+FailoverChannel::Dial tcp_endpoint_dial(TcpChannel::Options opts) {
+  return [opts](const Endpoint& ep) -> Result<std::unique_ptr<RpcChannel>> {
+    auto addr = resolve_ipv4(ep.host);  // per-dial: never cached
+    if (!addr) {
+      return addr.error();
+    }
+    auto ch = TcpChannel::connect(addr.value(), ep.port, opts);
+    if (!ch) {
+      return ch.error();
+    }
+    return std::unique_ptr<RpcChannel>(std::move(ch).value());
+  };
+}
+
+FailoverChannel::Resolver static_endpoints(std::vector<Endpoint> eps) {
+  return [eps]() -> Result<std::vector<Endpoint>> { return eps; };
+}
+
+FailoverChannel::FailoverChannel(Resolver resolver, Dial dial, Options opts)
+    : resolver_(std::move(resolver)),
+      dial_(std::move(dial)),
+      opts_(opts),
+      rng_state_(opts.seed | 1) {}
+
+int FailoverChannel::backoff_ms(int attempt) {
+  long long ms = opts_.base_backoff_ms;
+  for (int i = 0; i < attempt && ms < opts_.max_backoff_ms; ++i) {
+    ms *= 2;
+  }
+  ms = std::min<long long>(ms, opts_.max_backoff_ms);
+  rng_state_ += 0x9e3779b97f4a7c15ULL;  // splitmix64 jitter draw
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) / 9007199254740992.0;
+  const double factor = 1.0 + opts_.jitter * (2.0 * unit - 1.0);
+  return static_cast<int>(std::max(0.0, static_cast<double>(ms) * factor));
+}
+
+void FailoverChannel::rotate_locked(const char* why, std::uint64_t rid) {
+  channel_.reset();
+  ++cursor_;
+  ++failovers_;
+  failover_counter().inc();
+  obs::FlightRecorder::instance().record(obs::FrEvent::kRetryDial, rid,
+                                         cursor_);
+  // Per-cause breadcrumb (fgad_failover_not_primary_total / _transport_
+  // total); looked up by name each time, the registry dedups.
+  obs::Registry::instance()
+      .counter(std::string("fgad_failover_") + why + "_total")
+      .inc();
+}
+
+Status FailoverChannel::connect_locked() {
+  auto eps = resolver_();  // EVERY dial re-resolves (see header)
+  if (!eps) {
+    return eps.status();
+  }
+  if (eps.value().empty()) {
+    return Status(Errc::kInvalidArgument, "failover: resolver returned no "
+                                          "endpoints");
+  }
+  const Endpoint& ep = eps.value()[cursor_ % eps.value().size()];
+  ++dials_;
+  failover_dials_counter().inc();
+  auto ch = dial_(ep);
+  if (!ch) {
+    ++cursor_;  // a dead endpoint should not eat every attempt
+    return ch.status();
+  }
+  channel_ = std::move(ch).value();
+  return Status::ok();
+}
+
+Result<Bytes> FailoverChannel::roundtrip(BytesView request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roundtrip_locked(request);
+}
+
+Result<Bytes> FailoverChannel::roundtrip_locked(BytesView request) {
+  const bool may_resend = opts_.retryable && opts_.retryable(request);
+  const std::uint64_t rid = frame_rid(request);
+  Error last(Errc::kIoError, "failover: no attempt made");
+  bool sent_once = false;
+  for (int attempt = 0; attempt < std::max(1, opts_.max_attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_ms(attempt - 1)));
+    }
+    if (!channel_) {
+      if (auto st = connect_locked(); !st) {
+        last = st.error();
+        continue;  // dialing sends nothing; always retryable
+      }
+    }
+    // Transport-level resend discipline matches RetryChannel; the
+    // kNotPrimary rotation below is exempt from it (definitively not
+    // executed — see header).
+    if (sent_once && !may_resend) {
+      break;
+    }
+    sent_once = true;
+    Result<Bytes> resp = channel_->roundtrip(request);
+    if (resp) {
+      if (is_not_primary_frame(resp.value())) {
+        rotate_locked("not_primary", rid);
+        last = Error(Errc::kNotPrimary, "failover: endpoint is not primary");
+        sent_once = false;  // not executed: the resend ban does not apply
+        continue;
+      }
+      return resp;
+    }
+    if (!transport_error(resp.error().code)) {
+      return resp;  // protocol-level failure: the connection still works
+    }
+    last = resp.error();
+    rotate_locked("transport", rid);
+    if (!may_resend) {
+      return resp;
+    }
+  }
+  return Error(Errc::kRetryExhausted,
+               "failover: gave up after " +
+                   std::to_string(std::max(1, opts_.max_attempts)) +
+                   " attempts (last: " + last.to_string() + ")");
+}
+
+Result<std::vector<Bytes>> FailoverChannel::roundtrip_batch(
+    const std::vector<Bytes>& requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool all_resendable =
+      opts_.retryable &&
+      std::all_of(requests.begin(), requests.end(),
+                  [&](const Bytes& r) { return opts_.retryable(r); });
+  if (all_resendable) {
+    // Fast path: pipeline the whole batch on the live connection. Any
+    // failure — transport or a mid-batch kNotPrimary — falls through to
+    // the per-request path, which is safe to replay precisely because
+    // every request in the batch passed the predicate.
+    if (channel_ || connect_locked()) {
+      if (channel_) {
+        auto resps = channel_->roundtrip_batch(requests);
+        if (resps) {
+          const bool rerouted = std::any_of(
+              resps.value().begin(), resps.value().end(),
+              [](const Bytes& r) { return is_not_primary_frame(r); });
+          if (!rerouted) {
+            return resps;
+          }
+          rotate_locked("not_primary", 0);
+        } else if (transport_error(resps.error().code)) {
+          rotate_locked("transport", 0);
+        } else {
+          return resps.error();
+        }
+      }
+    }
+  }
+  std::vector<Bytes> out;
+  out.reserve(requests.size());
+  for (const Bytes& r : requests) {
+    auto resp = roundtrip_locked(r);
+    if (!resp) {
+      return resp.error();
+    }
+    out.push_back(std::move(resp).value());
+  }
+  return out;
+}
+
+void FailoverChannel::disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  channel_.reset();
+}
+
+std::uint64_t FailoverChannel::dials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dials_;
+}
+
+std::uint64_t FailoverChannel::failovers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failovers_;
+}
+
+std::size_t FailoverChannel::endpoint_cursor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cursor_;
+}
+
+}  // namespace fgad::net

@@ -1,5 +1,6 @@
 #include "net/fault.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -21,7 +22,10 @@ double FaultInjectingChannel::next_unit() {
 
 Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
   int delay_ms = 0;
-  enum class Fault { kNone, kDropReq, kDisconnect, kDropResp, kTrunc, kFlip };
+  enum class Fault {
+    kNone, kDropReq, kDisconnect, kDropResp, kTrunc, kFlip,
+    kPartTo, kPartFrom, kReorder,
+  };
   Fault fault = Fault::kNone;
   std::uint64_t cut = 0;
   {
@@ -42,7 +46,17 @@ Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
       obs::FlightRecorder::instance().record(obs::FrEvent::kFaultInjected,
                                              rid, code);
     };
-    if (next_unit() < opts_.drop_request) {
+    // The stateful partition outranks the probabilistic draws: a scripted
+    // failover test wants EVERY roundtrip through the cut to blackhole.
+    if (partition_ == Partition::kToServer) {
+      fault = Fault::kPartTo;
+      ++counters_.partitioned_to_server;
+      injected("partition_to_server", 6);
+    } else if (partition_ == Partition::kFromServer) {
+      fault = Fault::kPartFrom;
+      ++counters_.partitioned_from_server;
+      injected("partition_from_server", 7);
+    } else if (next_unit() < opts_.drop_request) {
       fault = Fault::kDropReq;
       ++counters_.dropped_requests;
       injected("drop_request", 0);
@@ -63,6 +77,18 @@ Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
       fault = Fault::kFlip;
       ++counters_.bitflipped;
       injected("bitflip", 4);
+    } else if (next_unit() < opts_.partition_to_server) {
+      fault = Fault::kPartTo;
+      ++counters_.partitioned_to_server;
+      injected("partition_to_server", 6);
+    } else if (next_unit() < opts_.partition_from_server) {
+      fault = Fault::kPartFrom;
+      ++counters_.partitioned_from_server;
+      injected("partition_from_server", 7);
+    } else if (next_unit() < opts_.reorder) {
+      fault = Fault::kReorder;
+      ++counters_.reordered;
+      injected("reorder", 8);
     }
     if (next_unit() < opts_.delay) {
       delay_ms = opts_.delay_ms;
@@ -79,6 +105,10 @@ Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
       // The server never saw the request; a real socket would surface this
       // as a read deadline expiring on the (never-arriving) response.
       return Error(Errc::kTimeout, "fault: request dropped");
+    case Fault::kPartTo:
+      // One-way cut toward the server: indistinguishable from a dropped
+      // request, but (statefully) it keeps happening until heal().
+      return Error(Errc::kTimeout, "fault: partitioned toward server");
     case Fault::kDisconnect:
       return Error(Errc::kConnReset, "fault: connection reset mid-frame");
     default:
@@ -92,6 +122,22 @@ Result<Bytes> FaultInjectingChannel::roundtrip(BytesView request) {
   switch (fault) {
     case Fault::kDropResp:
       return Error(Errc::kTimeout, "fault: response dropped");
+    case Fault::kPartFrom:
+      // The mutation executed server-side; only the ack is gone. This is
+      // the indeterminate-commit case: the caller must resend under its
+      // original rid and let the durable server's dedup converge it.
+      return Error(Errc::kTimeout, "fault: partitioned from server");
+    case Fault::kReorder: {
+      std::lock_guard<std::mutex> lock(mu_);
+      held_.push_back(std::move(payload));
+      if (held_.size() > std::max<std::size_t>(1, opts_.reorder_window)) {
+        Bytes stale = std::move(held_.front());
+        held_.pop_front();
+        return stale;  // an EARLIER roundtrip's response, out of order
+      }
+      // Window not yet full: the response is merely late past the deadline.
+      return Error(Errc::kTimeout, "fault: response reordered past deadline");
+    }
     case Fault::kTrunc:
       if (!payload.empty()) {
         payload.resize(cut % payload.size());
@@ -116,6 +162,22 @@ bool FaultInjectingChannel::dead() const {
 void FaultInjectingChannel::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   dead_ = false;
+  partition_ = Partition::kNone;
+}
+
+void FaultInjectingChannel::partition(Partition dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_ = dir;
+}
+
+void FaultInjectingChannel::heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_ = Partition::kNone;
+}
+
+FaultInjectingChannel::Partition FaultInjectingChannel::partitioned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partition_;
 }
 
 FaultInjectingChannel::Counters FaultInjectingChannel::counters() const {

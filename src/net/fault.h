@@ -6,11 +6,16 @@
 // peer), mid-frame disconnects (kConnReset; the channel then stays dead
 // until reset(), modelling a broken TCP connection that must be redialed),
 // truncated and bit-flipped response frames (exercise every decoder's
-// malformed-input path), and added latency. All randomness is a seeded
-// deterministic stream, so failures reproduce from the test seed.
+// malformed-input path), added latency, one-way partitions (requests or
+// responses silently blackholed — the replication failover suite's bread
+// and butter), and a reorder window that serves a stale earlier response
+// in place of the current one. All randomness is a seeded deterministic
+// stream, so failures reproduce from the test seed; the partition is also
+// drivable statefully (partition()/heal()) for scripted failover tests.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 
@@ -20,6 +25,13 @@ namespace fgad::net {
 
 class FaultInjectingChannel final : public RpcChannel {
  public:
+  /// One-way partition direction (the stateful partition()/heal() API).
+  enum class Partition : std::uint8_t {
+    kNone = 0,
+    kToServer = 1,    // requests blackholed; server never executes
+    kFromServer = 2,  // server EXECUTES; responses blackholed
+  };
+
   struct Options {
     // Independent per-roundtrip fault probabilities in [0, 1]. At most one
     // fault fires per roundtrip (drawn in the order listed).
@@ -30,6 +42,17 @@ class FaultInjectingChannel final : public RpcChannel {
     double bitflip_response = 0;   // one bit of the response flipped
     double delay = 0;              // response delayed by delay_ms
     int delay_ms = 5;
+    // One-shot probabilistic flavors of the one-way partition (the
+    // stateful partition() below persists until heal() instead).
+    double partition_to_server = 0;    // like drop_request, stable code 6
+    double partition_from_server = 0;  // like drop_response, stable code 7
+    // Response reordering: the fired roundtrip's response is parked and a
+    // previously parked (stale) response is returned in its place — the
+    // client's rid check must catch the mismatch. With nothing parked yet
+    // the response is simply late past the deadline (kTimeout). At most
+    // reorder_window responses are parked.
+    double reorder = 0;
+    std::size_t reorder_window = 2;
     std::uint64_t seed = 1;
   };
 
@@ -41,9 +64,13 @@ class FaultInjectingChannel final : public RpcChannel {
     std::uint64_t truncated = 0;
     std::uint64_t bitflipped = 0;
     std::uint64_t delayed = 0;
+    std::uint64_t partitioned_to_server = 0;
+    std::uint64_t partitioned_from_server = 0;
+    std::uint64_t reordered = 0;
     std::uint64_t total_faults() const {
       return dropped_requests + disconnects + dropped_responses + truncated +
-             bitflipped;
+             bitflipped + partitioned_to_server + partitioned_from_server +
+             reordered;
     }
   };
 
@@ -65,7 +92,17 @@ class FaultInjectingChannel final : public RpcChannel {
   bool dead() const;
 
   /// Revives the channel — the fault-model equivalent of redialing.
+  /// Also heals a stateful partition.
   void reset();
+
+  /// Installs a persistent one-way partition (until heal()/reset()).
+  /// Unlike a disconnect the link *looks* alive: every roundtrip times
+  /// out instead of failing fast, and in the kFromServer direction the
+  /// server still executes everything — the exact indeterminate-commit
+  /// ambiguity the tagged-resend machinery exists for.
+  void partition(Partition dir);
+  void heal();
+  Partition partitioned() const;
 
   Counters counters() const;
 
@@ -78,6 +115,8 @@ class FaultInjectingChannel final : public RpcChannel {
   mutable std::mutex mu_;
   std::uint64_t rng_state_;
   bool dead_ = false;
+  Partition partition_ = Partition::kNone;
+  std::deque<Bytes> held_;  // reorder window: parked responses
   Counters counters_;
 };
 

@@ -130,6 +130,12 @@ const char* fr_event_name(FrEvent e) {
       return "group-commit";
     case FrEvent::kSloBreach:
       return "slo-breach";
+    case FrEvent::kReplShip:
+      return "repl-ship";
+    case FrEvent::kReplSnapshotShip:
+      return "repl-snapshot";
+    case FrEvent::kReplRoleChange:
+      return "repl-role-change";
   }
   return "unknown";
 }

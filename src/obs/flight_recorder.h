@@ -61,6 +61,9 @@ enum class FrEvent : std::uint16_t {
   kMark = 15,             // free-form test/tooling marker
   kGroupCommitFlush = 16,  // a = commit batch size, b = fsync duration ns
   kSloBreach = 17,         // a = objective index, b = short burn ×1000
+  kReplShip = 18,          // a = records shipped, b = follower acked lsn
+  kReplSnapshotShip = 19,  // a = image bytes, b = snapshot last lsn
+  kReplRoleChange = 20,    // a = new role (0 backup, 1 primary), b = term
 };
 
 /// Stable short name ("wal-append", ...) for dump lines and JSON.

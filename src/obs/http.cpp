@@ -261,7 +261,31 @@ void MetricsHttpServer::serve_one(int fd) {
     // Readiness: 503 with reasons while recovery replay, a shutdown
     // checkpoint, or sustained SLO overload blocks serving.
     Readiness& r = Readiness::instance();
-    const std::string body = r.render_json();
+    std::string body = r.render_json();
+    // Replicated nodes splice in role/term/lag so an operator (or the
+    // failover smoke harness) can tell primary from backup with one
+    // probe. Keyed on the gauge's *existence* — a non-replicated server
+    // never registers it and keeps the plain document.
+    const Gauge* role = nullptr;
+    const Gauge* term = nullptr;
+    const Gauge* lag_bytes = nullptr;
+    const Gauge* lag_records = nullptr;
+    for (const auto& [name, g] : Registry::instance().all_gauges()) {
+      if (name == "fgad_repl_role") role = g;
+      else if (name == "fgad_repl_term") term = g;
+      else if (name == "fgad_repl_lag_bytes") lag_bytes = g;
+      else if (name == "fgad_repl_lag_records") lag_records = g;
+    }
+    if (role != nullptr && !body.empty() && body.back() == '}') {
+      body.pop_back();
+      body += std::string(",\"repl\":{\"role\":\"") +
+              (role->value() != 0 ? "primary" : "backup") +
+              "\",\"term\":" + std::to_string(term ? term->value() : 0) +
+              ",\"lag_bytes\":" +
+              std::to_string(lag_bytes ? lag_bytes->value() : 0) +
+              ",\"lag_records\":" +
+              std::to_string(lag_records ? lag_records->value() : 0) + "}}";
+    }
     resp = r.ready()
                ? http_response(200, "OK", "application/json", body)
                : http_response(503, "Service Unavailable", "application/json",

@@ -381,6 +381,19 @@ std::vector<SloTracker::Objective> SloTracker::default_server_objectives() {
     o.threshold_ns = 1;
     out.push_back(std::move(o));
   }
+  {
+    // Replication lag: staged-but-unacked bytes on the primary. Sitting
+    // above 16 MiB for a sustained window means the follower is not
+    // keeping up — in async ack mode that is exactly the volume a
+    // failover would lose, so it burns toward the overload signal. The
+    // gauge reads 0 on non-replicated deployments (objective is inert).
+    Objective o;
+    o.name = "repl_lag";
+    o.kind = Kind::kGaugeAbove;
+    o.metric = "fgad_repl_lag_bytes";
+    o.threshold_ns = 16ull * 1024 * 1024;
+    out.push_back(std::move(o));
+  }
   return out;
 }
 

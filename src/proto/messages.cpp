@@ -198,6 +198,10 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kAuditReq: return "audit_req";
     case MsgType::kAuditResp: return "audit_resp";
     case MsgType::kTaggedEnvelope: return "tagged_envelope";
+    case MsgType::kReplAppend: return "repl_append";
+    case MsgType::kReplAck: return "repl_ack";
+    case MsgType::kReplSnapshot: return "repl_snapshot";
+    case MsgType::kReplHeartbeat: return "repl_heartbeat";
   }
   return "unknown";
 }
@@ -1203,6 +1207,95 @@ Result<KvPutBatchReq> KvPutBatchReq::from(Reader& r) {
     if (!r.ok()) return decode_error("kv batch: truncated");
     m.entries.push_back(std::move(e));
   }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes ReplAppend::to_frame() const {
+  Writer w;
+  w.u64(term);
+  w.u64(prev_lsn);
+  w.u64(records.size());
+  for (const auto& rec : records) {
+    w.u64(rec.lsn);
+    w.bytes(rec.request);
+  }
+  return frame(MsgType::kReplAppend, std::move(w));
+}
+
+Result<ReplAppend> ReplAppend::from(Reader& r) {
+  ReplAppend m;
+  m.term = r.u64();
+  m.prev_lsn = r.u64();
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > (1ull << 32) || n > r.remaining() / 12 + 1) {
+    return decode_error("repl append: bad record count");
+  }
+  m.records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ReplRecord rec;
+    rec.lsn = r.u64();
+    rec.request = r.bytes();
+    if (!r.ok()) return decode_error("repl append: truncated record");
+    m.records.push_back(std::move(rec));
+  }
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes ReplAck::to_frame() const {
+  Writer w;
+  w.u64(term);
+  w.u64(last_lsn);
+  w.u8(static_cast<std::uint8_t>(code));
+  return frame(MsgType::kReplAck, std::move(w));
+}
+
+Result<ReplAck> ReplAck::from(Reader& r) {
+  ReplAck m;
+  m.term = r.u64();
+  m.last_lsn = r.u64();
+  const std::uint8_t code = r.u8();
+  if (!r.ok() || code > static_cast<std::uint8_t>(Code::kNeedSnapshot)) {
+    return decode_error("repl ack: bad code");
+  }
+  m.code = static_cast<Code>(code);
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes ReplSnapshot::to_frame() const {
+  Writer w;
+  w.u64(term);
+  w.u64(last_lsn);
+  w.bytes(image);
+  w.bytes(dedup);
+  return frame(MsgType::kReplSnapshot, std::move(w));
+}
+
+Result<ReplSnapshot> ReplSnapshot::from(Reader& r) {
+  ReplSnapshot m;
+  m.term = r.u64();
+  m.last_lsn = r.u64();
+  m.image = r.bytes();
+  m.dedup = r.bytes();
+  if (!r.ok()) return decode_error("repl snapshot: truncated");
+  if (auto st = r.finish(); !st) return Error(st.error());
+  return m;
+}
+
+Bytes ReplHeartbeat::to_frame() const {
+  Writer w;
+  w.u64(term);
+  w.u64(last_lsn);
+  return frame(MsgType::kReplHeartbeat, std::move(w));
+}
+
+Result<ReplHeartbeat> ReplHeartbeat::from(Reader& r) {
+  ReplHeartbeat m;
+  m.term = r.u64();
+  m.last_lsn = r.u64();
+  if (!r.ok()) return decode_error("repl heartbeat: truncated");
   if (auto st = r.finish(); !st) return Error(st.error());
   return m;
 }

@@ -90,6 +90,13 @@ enum class MsgType : std::uint16_t {
   // payload). Untagged frames are unchanged on the wire, so peers that
   // never tag see byte-identical traffic.
   kTaggedEnvelope = 90,
+
+  // Primary–backup WAL replication (DESIGN.md §18). These flow only on the
+  // server-to-server replication link; a plain CloudServer rejects them.
+  kReplAppend = 100,
+  kReplAck = 101,
+  kReplSnapshot = 102,
+  kReplHeartbeat = 103,
 };
 
 /// Frames a payload with its message type (u16 prefix).
@@ -440,6 +447,56 @@ struct KvPutBatchReq {
   std::vector<KvGetRangeResp::Entry> entries;
   Bytes to_frame() const;
   static Result<KvPutBatchReq> from(Reader& r);
+};
+
+// ---- primary–backup replication (DESIGN.md §18) ---------------------------
+//
+// The primary streams its WAL to the follower as ReplAppend batches; every
+// replication request is answered by a ReplAck (or an ErrorMsg carrying
+// kStaleTerm when fencing rejects the sender). ReplSnapshot ships a full
+// checkpoint image when the follower is too far behind for log shipping.
+
+/// One WAL record: the LSN the primary assigned plus the original client
+/// request frame (tagged envelope included, so the follower's RidDedup
+/// table stays byte-identical to the primary's).
+struct ReplRecord {
+  std::uint64_t lsn = 0;
+  Bytes request;
+};
+
+struct ReplAppend {
+  std::uint64_t term = 0;      // sender's fencing term
+  std::uint64_t prev_lsn = 0;  // lsn immediately before records[0]
+  std::vector<ReplRecord> records;
+  Bytes to_frame() const;
+  static Result<ReplAppend> from(Reader& r);
+};
+
+struct ReplAck {
+  /// Follower asks for a full checkpoint ship when log records alone
+  /// cannot bridge the gap between its last LSN and the primary's stream.
+  enum class Code : std::uint8_t { kOk = 0, kNeedSnapshot = 1 };
+  std::uint64_t term = 0;      // receiver's fencing term
+  std::uint64_t last_lsn = 0;  // receiver's highest durable lsn
+  Code code = Code::kOk;
+  Bytes to_frame() const;
+  static Result<ReplAck> from(Reader& r);
+};
+
+struct ReplSnapshot {
+  std::uint64_t term = 0;
+  std::uint64_t last_lsn = 0;  // lsn the image is consistent through
+  Bytes image;                 // CloudServer::save bytes
+  Bytes dedup;                 // RidDedup::serialize bytes
+  Bytes to_frame() const;
+  static Result<ReplSnapshot> from(Reader& r);
+};
+
+struct ReplHeartbeat {
+  std::uint64_t term = 0;
+  std::uint64_t last_lsn = 0;  // sender's highest assigned lsn
+  Bytes to_frame() const;
+  static Result<ReplHeartbeat> from(Reader& r);
 };
 
 /// Empty-payload response frame for the given type.

@@ -42,6 +42,14 @@ TEST(DecodeFuzz, MessageDecodersSurviveRandomBytes) {
     (void)proto::decode_delete_many_commit(r9);
     proto::Reader r10(junk);
     (void)proto::DeleteManyBeginReq::from(r10);
+    proto::Reader r11(junk);
+    (void)proto::ReplAppend::from(r11);
+    proto::Reader r12(junk);
+    (void)proto::ReplAck::from(r12);
+    proto::Reader r13(junk);
+    (void)proto::ReplSnapshot::from(r13);
+    proto::Reader r14(junk);
+    (void)proto::ReplHeartbeat::from(r14);
   }
   SUCCEED();
 }
@@ -70,6 +78,10 @@ TEST(DecodeFuzz, ServerSurvivesTypedGarbagePayloads) {
       proto::MsgType::kKvPutBatchReq,  proto::MsgType::kStatReq,
       proto::MsgType::kDeleteManyBeginReq,
       proto::MsgType::kDeleteManyCommitReq,
+      // Replication control plane: CloudServer answers kUnsupported, but
+      // must never crash on a garbage Repl* payload.
+      proto::MsgType::kReplAppend,     proto::MsgType::kReplAck,
+      proto::MsgType::kReplSnapshot,   proto::MsgType::kReplHeartbeat,
   };
   for (int i = 0; i < 2000; ++i) {
     const auto type = types[rng.next_below(std::size(types))];

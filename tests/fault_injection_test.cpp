@@ -435,5 +435,113 @@ TEST(FaultInjection, EraseItemsLostCommitOnEmptiedFileResyncs) {
   EXPECT_TRUE(left.value().empty());
 }
 
+// ---- one-way partitions & reordering (DESIGN.md §18 failover suite) --------
+
+TEST(FaultInjection, PartitionToServerBlackholesWithoutExecution) {
+  std::atomic<int> executed{0};
+  net::DirectChannel inner([&executed](BytesView req) {
+    ++executed;
+    return Bytes(req.begin(), req.end());
+  });
+  net::FaultInjectingChannel ch(inner, {});
+  ASSERT_TRUE(ch.roundtrip(to_bytes("warm")).is_ok());
+  ASSERT_EQ(executed.load(), 1);
+
+  ch.partition(net::FaultInjectingChannel::Partition::kToServer);
+  EXPECT_EQ(ch.partitioned(), net::FaultInjectingChannel::Partition::kToServer);
+  for (int i = 0; i < 3; ++i) {
+    auto r = ch.roundtrip(to_bytes("lost"));
+    ASSERT_FALSE(r.is_ok());
+    // The link looks alive-but-stalled (kTimeout), not failed-fast: the
+    // caller cannot tell a partition from a slow peer, by design.
+    EXPECT_EQ(r.error().code, Errc::kTimeout);
+  }
+  // The defining property of the kToServer direction: the server never
+  // saw any of it, so nothing was executed — a resend is trivially safe.
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_EQ(ch.counters().partitioned_to_server, 3u);
+
+  ch.heal();
+  EXPECT_EQ(ch.partitioned(), net::FaultInjectingChannel::Partition::kNone);
+  EXPECT_TRUE(ch.roundtrip(to_bytes("back")).is_ok());
+  EXPECT_EQ(executed.load(), 2);
+}
+
+TEST(FaultInjection, PartitionFromServerExecutesButDropsResponse) {
+  std::atomic<int> executed{0};
+  net::DirectChannel inner([&executed](BytesView req) {
+    ++executed;
+    return Bytes(req.begin(), req.end());
+  });
+  net::FaultInjectingChannel ch(inner, {});
+  ch.partition(net::FaultInjectingChannel::Partition::kFromServer);
+  auto r = ch.roundtrip(to_bytes("one-way"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.error().code, Errc::kTimeout);
+  // The indeterminate-commit case: the server DID execute, only the
+  // acknowledgement is gone. This is what handle poisoning + tagged
+  // resends exist for.
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_EQ(ch.counters().partitioned_from_server, 1u);
+}
+
+TEST(FaultInjection, ReorderServesStaleEarlierResponsePastTheWindow) {
+  net::DirectChannel inner(
+      [](BytesView req) { return Bytes(req.begin(), req.end()); });
+  net::FaultInjectingChannel::Options opts;
+  opts.reorder = 1.0;  // every roundtrip fires
+  opts.reorder_window = 2;
+  net::FaultInjectingChannel ch(inner, opts);
+
+  // While the window fills, responses are merely late (kTimeout)...
+  EXPECT_EQ(ch.roundtrip(to_bytes("r1")).error().code, Errc::kTimeout);
+  EXPECT_EQ(ch.roundtrip(to_bytes("r2")).error().code, Errc::kTimeout);
+  // ...then the channel starts answering with the OLDEST parked response:
+  // roundtrip 3 gets roundtrip 1's bytes, out of order. A rid-checking
+  // client must reject this as a mismatched response.
+  auto r3 = ch.roundtrip(to_bytes("r3"));
+  ASSERT_TRUE(r3.is_ok());
+  EXPECT_EQ(to_string(r3.value()), "r1");
+  auto r4 = ch.roundtrip(to_bytes("r4"));
+  ASSERT_TRUE(r4.is_ok());
+  EXPECT_EQ(to_string(r4.value()), "r2");
+  EXPECT_EQ(ch.counters().reordered, 4u);
+  EXPECT_EQ(ch.counters().total_faults(), 4u);
+}
+
+TEST(FaultInjection, ClientRidesOutScriptedPartitionAndHeal) {
+  // Scripted failover rehearsal: a partition toward the server opens
+  // mid-run, every RPC times out, then the partition heals and the
+  // protocol continues with exactly-once effects — nothing the server
+  // never received got applied.
+  CloudServer server;
+  net::DirectChannel inner(
+      [&server](BytesView req) { return server.handle(req); });
+  net::FaultInjectingChannel faulty(inner, {});
+  SystemRandom rnd;
+  Client client(faulty, rnd);
+
+  auto fh = client.outsource(1, 8,
+                             [](std::size_t i) { return payload_for(i); });
+  ASSERT_TRUE(fh.is_ok());
+
+  faulty.partition(net::FaultInjectingChannel::Partition::kToServer);
+  auto blocked = client.access(fh.value(), proto::ItemRef::id(1));
+  ASSERT_FALSE(blocked.is_ok());
+  EXPECT_EQ(blocked.code(), Errc::kTimeout);
+  // A deletion attempted into the blackhole fails without server effect.
+  EXPECT_FALSE(client.erase_item(fh.value(), proto::ItemRef::id(1)));
+
+  faulty.heal();
+  // The item the lost deletion targeted is still there (never executed),
+  // and deleting it now works normally.
+  EXPECT_EQ(client.access(fh.value(), proto::ItemRef::id(1)).value(),
+            payload_for(1));
+  ASSERT_TRUE(client.erase_item(fh.value(), proto::ItemRef::id(1)));
+  EXPECT_FALSE(client.access(fh.value(), proto::ItemRef::id(1)).is_ok());
+  EXPECT_EQ(client.access(fh.value(), proto::ItemRef::id(2)).value(),
+            payload_for(2));
+}
+
 }  // namespace
 }  // namespace fgad

@@ -19,10 +19,12 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "net/failover.h"
 #include "net/inmemory.h"
 #include "net/tcp.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "proto/messages.h"
 
 namespace fgad::net {
 namespace {
@@ -741,6 +743,132 @@ TEST(TcpHardening, AcceptBacksOffUnderFdExhaustionAndRecovers) {
   ASSERT_TRUE(resp.has_value()) << "connection was not served after recovery";
   EXPECT_EQ(to_string(*resp), "REVIVE");
   ::close(cfd);
+}
+
+// ---- FailoverChannel (DESIGN.md §18) ---------------------------------------
+
+/// Channel whose roundtrip fails with kConnReset while `*dead` is set,
+/// and otherwise answers "<tag>:<request>".
+class FlakyEchoChannel final : public RpcChannel {
+ public:
+  FlakyEchoChannel(std::string tag, std::shared_ptr<std::atomic<bool>> dead)
+      : tag_(std::move(tag)), dead_(std::move(dead)) {}
+
+  Result<Bytes> roundtrip(BytesView request) override {
+    if (dead_ && dead_->load()) {
+      return Error(Errc::kConnReset, "test: endpoint died");
+    }
+    Bytes out = to_bytes(tag_ + ":");
+    out.insert(out.end(), request.begin(), request.end());
+    return out;
+  }
+
+ private:
+  std::string tag_;
+  std::shared_ptr<std::atomic<bool>> dead_;
+};
+
+TEST(Failover, RedialReResolvesInsteadOfCachingTheFirstResolution) {
+  // Regression: the Resolver must run on EVERY dial. A client that
+  // caches the first resolution keeps redialing the dead primary's old
+  // address forever after the operator repoints the name.
+  auto old_dead = std::make_shared<std::atomic<bool>>(false);
+  std::atomic<int> resolutions{0};
+  std::mutex mu;
+  std::string live_host = "old-host";
+
+  FailoverChannel::Options opts;
+  opts.base_backoff_ms = 1;
+  opts.max_backoff_ms = 2;
+  opts.retryable = [](BytesView) { return true; };
+  FailoverChannel ch(
+      [&]() -> Result<std::vector<Endpoint>> {
+        ++resolutions;
+        std::lock_guard<std::mutex> lock(mu);
+        return std::vector<Endpoint>{{live_host, 1}};
+      },
+      [&](const Endpoint& ep) -> Result<std::unique_ptr<RpcChannel>> {
+        if (ep.host == "old-host" && old_dead->load()) {
+          return Error(Errc::kConnReset, "test: stale address");
+        }
+        return std::unique_ptr<RpcChannel>(
+            std::make_unique<FlakyEchoChannel>(
+                ep.host, ep.host == "old-host" ? old_dead : nullptr));
+      },
+      opts);
+
+  auto first = ch.roundtrip(to_bytes("a"));
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(to_string(first.value()), "old-host:a");
+  EXPECT_EQ(resolutions.load(), 1);
+
+  // The primary dies and the name is repointed between dials.
+  old_dead->store(true);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    live_host = "new-host";
+  }
+  auto second = ch.roundtrip(to_bytes("b"));
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_EQ(to_string(second.value()), "new-host:b")
+      << "redial used a cached resolution";
+  EXPECT_GE(resolutions.load(), 2);
+}
+
+TEST(Failover, NotPrimaryRotatesAndResendsEvenWithoutRetryPredicate) {
+  // kNotPrimary is a definitive not-executed signal: the refusing node
+  // never touched its WAL. So the failover channel may resend ANY
+  // request after rotating — even one the retryable predicate (null
+  // here, strictest setting) would refuse after a transport error.
+  proto::ErrorMsg bounce;
+  bounce.code = Errc::kNotPrimary;
+  bounce.message = "backup";
+  const Bytes bounce_frame = bounce.to_frame();
+  ASSERT_TRUE(is_not_primary_frame(bounce_frame));
+
+  std::atomic<int> backup_hits{0};
+  FailoverChannel ch(
+      static_endpoints({{"backup", 1}, {"primary", 2}}),
+      [&](const Endpoint& ep) -> Result<std::unique_ptr<RpcChannel>> {
+        if (ep.host == "backup") {
+          ++backup_hits;
+          return std::unique_ptr<RpcChannel>(
+              std::make_unique<DirectChannel>([bounce_frame](BytesView) {
+                return bounce_frame;
+              }));
+        }
+        return std::unique_ptr<RpcChannel>(
+            std::make_unique<FlakyEchoChannel>("primary", nullptr));
+      },
+      FailoverChannel::Options{});  // retryable = null
+
+  auto resp = ch.roundtrip(to_bytes("mutate"));
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(to_string(resp.value()), "primary:mutate");
+  EXPECT_EQ(backup_hits.load(), 1);
+  EXPECT_EQ(ch.failovers(), 1u);
+  EXPECT_EQ(ch.dials(), 2u);
+}
+
+TEST(Failover, TransportErrorWithoutPredicateIsNotResent) {
+  // Without a retryable predicate a transport failure means the request
+  // MAY have executed — the channel must surface the error, not replay
+  // it against the other endpoint.
+  std::atomic<int> sends{0};
+  FailoverChannel ch(
+      static_endpoints({{"a", 1}, {"b", 2}}),
+      [&](const Endpoint&) -> Result<std::unique_ptr<RpcChannel>> {
+        auto dead = std::make_shared<std::atomic<bool>>(true);
+        ++sends;
+        return std::unique_ptr<RpcChannel>(
+            std::make_unique<FlakyEchoChannel>("x", dead));
+      },
+      FailoverChannel::Options{});
+
+  auto resp = ch.roundtrip(to_bytes("mutate"));
+  ASSERT_FALSE(resp.is_ok());
+  EXPECT_EQ(resp.error().code, Errc::kConnReset);
+  EXPECT_EQ(sends.load(), 1) << "must not redial to resend";
 }
 
 }  // namespace

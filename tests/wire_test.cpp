@@ -521,6 +521,31 @@ TEST(MessagesEdge, EveryMessageRejectsTruncationAndTrailingBytes) {
   kv_batch.entries.push_back({5, to_bytes("v5")});
   kv_batch.entries.push_back({6, to_bytes("v6")});
   check_decode_edges("KvPutBatchReq", kv_batch);
+
+  ReplAppend ra;
+  ra.term = 3;
+  ra.prev_lsn = 41;
+  ra.records.push_back({42, to_bytes("frame-a")});
+  ra.records.push_back({43, to_bytes("frame-b")});
+  check_decode_edges("ReplAppend", ra);
+
+  ReplAck rack;
+  rack.term = 3;
+  rack.last_lsn = 43;
+  rack.code = ReplAck::Code::kNeedSnapshot;
+  check_decode_edges("ReplAck", rack);
+
+  ReplSnapshot rs;
+  rs.term = 3;
+  rs.last_lsn = 43;
+  rs.image = to_bytes("checkpoint-image");
+  rs.dedup = to_bytes("dedup-table");
+  check_decode_edges("ReplSnapshot", rs);
+
+  ReplHeartbeat rh;
+  rh.term = 3;
+  rh.last_lsn = 43;
+  check_decode_edges("ReplHeartbeat", rh);
 }
 
 TEST(MessagesEdge, HostileLengthClaimsFailWithoutAllocation) {

@@ -27,6 +27,22 @@
 //                           after-wal-pre-ack, mid-checkpoint,
 //                           post-rename) — crash-recovery test hook
 //
+// Replication (DESIGN.md §18) — requires --state-dir with the WAL on:
+//   --role primary|backup   this node's starting role (default primary).
+//                           A backup answers every client RPC with
+//                           NOT_PRIMARY and applies its primary's stream
+//   --replicate-to H:P      primary only: ship every WAL record to the
+//                           backup's RPC port at H:P (the host is
+//                           re-resolved on every redial)
+//   --repl-ack MODE         sync (client ACK waits for the backup's
+//                           durable ack) | async (default; ship in the
+//                           background) | off
+//   --repl-heartbeat-ms N   idle heartbeat cadence (default 500)
+//   SIGHUP                  promote a backup to primary: bumps the
+//                           fencing term, checkpoints it durably, starts
+//                           serving; the old primary gets STALE_TERM and
+//                           demotes itself
+//
 // --image PATH is the legacy whole-image mode: state is loaded from PATH
 // at startup and saved back only on clean shutdown (no crash safety).
 //
@@ -82,7 +98,9 @@
 #include <vector>
 
 #include "cloud/recovery.h"
+#include "cloud/replica.h"
 #include "cloud/server.h"
+#include "net/failover.h"
 #include "net/tcp.h"
 #include "obs/flight_recorder.h"
 #include "obs/http.h"
@@ -95,9 +113,11 @@
 namespace {
 std::atomic<bool> g_dump_requested{false};
 std::atomic<bool> g_terminate{false};
+std::atomic<bool> g_promote_requested{false};
 
 void on_sigusr1(int) { g_dump_requested.store(true); }
 void on_sigterm(int) { g_terminate.store(true); }
+void on_sighup(int) { g_promote_requested.store(true); }
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +136,9 @@ int main(int argc, char** argv) {
   std::uint64_t vars_interval_ms = 1000;
   bool default_slos = true;
   std::vector<std::string> slo_specs;
+  std::string replicate_to;  // "host:port" of the backup's RPC listener
+  std::string repl_ack = "async";
+  int repl_heartbeat_ms = 500;
   cloud::CloudServer::Options opts;
   cloud::DurableServer::Options dur_opts;
   net::TcpServer::Options net_opts;
@@ -167,6 +190,26 @@ int main(int argc, char** argv) {
       slo_specs.emplace_back(argv[++i]);
     } else if (arg == "--no-default-slos") {
       default_slos = false;
+    } else if (arg == "--role" && i + 1 < argc) {
+      const std::string role = argv[++i];
+      if (role == "primary") {
+        dur_opts.role = cloud::ReplRole::kPrimary;
+      } else if (role == "backup") {
+        dur_opts.role = cloud::ReplRole::kBackup;
+      } else {
+        std::fprintf(stderr, "--role must be primary|backup\n");
+        return 2;
+      }
+    } else if (arg == "--replicate-to" && i + 1 < argc) {
+      replicate_to = argv[++i];
+    } else if (arg == "--repl-ack" && i + 1 < argc) {
+      repl_ack = argv[++i];
+      if (repl_ack != "sync" && repl_ack != "async" && repl_ack != "off") {
+        std::fprintf(stderr, "--repl-ack must be sync|async|off\n");
+        return 2;
+      }
+    } else if (arg == "--repl-heartbeat-ms" && i + 1 < argc) {
+      repl_heartbeat_ms = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: fgad_server [--port N] [--image PATH] [--state-dir DIR]\n"
@@ -178,7 +221,10 @@ int main(int argc, char** argv) {
           "                   [--flight-recorder-size N] "
           "[--flight-recorder-dir DIR] [--trace-capture N]\n"
           "                   [--vars-interval-ms N] [--slo SPEC]... "
-          "[--no-default-slos]\n");
+          "[--no-default-slos]\n"
+          "                   [--role primary|backup] [--replicate-to H:P] "
+          "[--repl-ack sync|async|off]\n"
+          "                   [--repl-heartbeat-ms N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -187,6 +233,19 @@ int main(int argc, char** argv) {
   }
   if (!image.empty() && !dur_opts.dir.empty()) {
     std::fprintf(stderr, "--image and --state-dir are mutually exclusive\n");
+    return 2;
+  }
+  if ((!replicate_to.empty() || dur_opts.role == cloud::ReplRole::kBackup) &&
+      dur_opts.dir.empty()) {
+    std::fprintf(stderr, "replication requires --state-dir\n");
+    return 2;
+  }
+  if (!replicate_to.empty() && !dur_opts.enable_wal) {
+    std::fprintf(stderr, "replication requires the WAL\n");
+    return 2;
+  }
+  if (!replicate_to.empty() && dur_opts.role == cloud::ReplRole::kBackup) {
+    std::fprintf(stderr, "--replicate-to is a primary-side flag\n");
     return 2;
   }
 
@@ -258,6 +317,35 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(info.checkpoint_epoch),
         static_cast<unsigned long long>(info.replayed),
         info.torn_tail ? ", torn tail truncated" : "");
+    if (!replicate_to.empty()) {
+      const auto colon = replicate_to.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= replicate_to.size()) {
+        std::fprintf(stderr, "--replicate-to wants HOST:PORT, got %s\n",
+                     replicate_to.c_str());
+        return 2;
+      }
+      net::Endpoint backup{replicate_to.substr(0, colon),
+                           static_cast<std::uint16_t>(std::atoi(
+                               replicate_to.c_str() + colon + 1))};
+      cloud::Replicator::Options ropts;
+      ropts.mode = repl_ack == "sync"    ? cloud::ReplAckMode::kSync
+                   : repl_ack == "async" ? cloud::ReplAckMode::kAsync
+                                         : cloud::ReplAckMode::kOff;
+      ropts.heartbeat_ms = repl_heartbeat_ms;
+      // The dial re-resolves backup.host every time (net::failover.h) —
+      // repointing the backup's DNS record works without a restart.
+      auto dial = net::tcp_endpoint_dial();
+      auto repl = std::make_shared<cloud::Replicator>(
+          [dial, backup] { return dial(backup); }, ropts);
+      durable->attach_replicator(repl, ropts.mode);
+      std::printf("replicating to %s (%s ack mode, term %llu)\n",
+                  replicate_to.c_str(), repl_ack.c_str(),
+                  static_cast<unsigned long long>(durable->term()));
+    }
+    std::printf("replication role: %s (term %llu)\n",
+                cloud::repl_role_name(durable->role()),
+                static_cast<unsigned long long>(durable->term()));
   } else if (!image.empty()) {
     auto loaded = cloud::CloudServer::load_from_file(image, opts);
     if (loaded) {
@@ -367,13 +455,33 @@ int main(int argc, char** argv) {
     sigemptyset(&st.sa_mask);
     sigaction(SIGTERM, &st, nullptr);
     sigaction(SIGINT, &st, nullptr);
+    // SIGHUP -> promote (flag only; the watcher thread does the work).
+    struct sigaction sh {};
+    sh.sa_handler = on_sighup;
+    sh.sa_flags = SA_RESTART;
+    sigemptyset(&sh.sa_mask);
+    sigaction(SIGHUP, &sh, nullptr);
   }
   std::atomic<bool> stopping{false};
-  std::thread dump_watcher([&stopping] {
+  std::thread dump_watcher([&stopping, &durable] {
     while (!stopping.load()) {
       if (g_dump_requested.exchange(false)) {
         const std::string text = obs::Registry::instance().render_text();
         std::fwrite(text.data(), 1, text.size(), stderr);
+        std::fflush(stderr);
+      }
+      if (g_promote_requested.exchange(false)) {
+        if (durable) {
+          if (auto st = durable->promote(); st) {
+            std::fprintf(stderr, "promoted to primary (term %llu)\n",
+                         static_cast<unsigned long long>(durable->term()));
+          } else {
+            std::fprintf(stderr, "promote failed: %s\n",
+                         st.to_string().c_str());
+          }
+        } else {
+          std::fprintf(stderr, "SIGHUP ignored: not a durable server\n");
+        }
         std::fflush(stderr);
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(200));

@@ -152,6 +152,7 @@ void render(const std::string& body, const std::string& filter, bool clear) {
   }
   const double covered = number_field(body, "covered_s");
   const std::string counters = object_after(body, "counters");
+  const std::string gauges = object_after(body, "gauges");
   const std::string hists = object_after(body, "histograms");
   const std::string slo = object_after(body, "slo");
 
@@ -165,8 +166,31 @@ void render(const std::string& body, const std::string& filter, bool clear) {
     }
   }
   const double err_pct = rpcs_rate > 0 ? 100.0 * errs_rate / rpcs_rate : 0;
-  std::printf("window %.0fs   rpc %.1f/s   errors %.3f%%\n\n", covered,
+  std::printf("window %.0fs   rpc %.1f/s   errors %.3f%%\n", covered,
               rpcs_rate, err_pct);
+
+  // Replicated nodes expose role/term/lag gauges; keep the line out of
+  // the way on single-node deployments (no fgad_repl_role gauge yet).
+  bool has_role = false;
+  double role = 0, term = 0, lag_bytes = 0, lag_records = 0;
+  for (const Entry& e : entries_of(gauges)) {
+    if (e.name == "fgad_repl_role") {
+      has_role = true;
+      role = number_field(e.obj, "value");
+    } else if (e.name == "fgad_repl_term") {
+      term = number_field(e.obj, "value");
+    } else if (e.name == "fgad_repl_lag_bytes") {
+      lag_bytes = number_field(e.obj, "value");
+    } else if (e.name == "fgad_repl_lag_records") {
+      lag_records = number_field(e.obj, "value");
+    }
+  }
+  if (has_role) {
+    std::printf("repl   %s   term %.0f   lag %.0f records / %.1f KiB\n",
+                role != 0 ? "PRIMARY" : "backup", term, lag_records,
+                lag_bytes / 1024.0);
+  }
+  std::printf("\n");
 
   std::printf("%-44s %10s %10s %10s %10s\n", "histogram", "qps", "p50(ms)",
               "p95(ms)", "p99(ms)");

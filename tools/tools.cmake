@@ -16,3 +16,4 @@ target_link_options(fgad_server_tool PRIVATE -rdynamic)
 fgad_tool(fgad_cli fgad_cli.cpp fgad)
 fgad_tool(bench_compare bench_compare.cpp bench_compare)
 fgad_tool(fgad_top fgad_top.cpp fgad_top)
+fgad_tool(fgad_repl_smoke fgad_repl_smoke.cpp fgad_repl_smoke)
