@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,6 +26,7 @@ Client::Client(net::RpcChannel& channel, crypto::RandomSource& rnd,
 crypto::Md Client::derive_item_key(const FileHandle& fh,
                                    const core::AccessInfo& info) {
   obs::Span span("derive_key");
+  obs::ScopedCost cost(obs::CostKind::kKeyDerive);
   if (opts_.use_prefix_cache) {
     return fh.cache.derive_key(math_.chain(), fh.key.value(), info.path,
                                info.leaf_mod);
@@ -84,12 +86,27 @@ Result<Bytes> Client::call(BytesView frame, MsgType expect) {
       proto::is_mutating(*req_type)) {
     rid = obs::generate_request_id();
   }
+  // Under an active trace the envelope is the V2 form, carrying this RPC
+  // span's id so the server's spans parent under it and the response can
+  // return the server-timing trailer. tag_mutations alone (no trace)
+  // stays on the V1 envelope — byte-identical to the pre-§19 wire.
+  const bool traced = rid != 0 && obs::trace_active();
   Result<Bytes> resp =
-      rid != 0 ? channel_.roundtrip(proto::seal_tagged(rid, frame))
-               : channel_.roundtrip(frame);
+      traced ? channel_.roundtrip(proto::seal_tagged_v2(
+                   rid, obs::trace_current_span_id(), 0, {}, frame))
+      : rid != 0 ? channel_.roundtrip(proto::seal_tagged(rid, frame))
+                 : channel_.roundtrip(frame);
   if (!resp) {
     rpc_errors.inc();
     return resp;
+  }
+  if (traced) {
+    // The V2 response's trailer is the server's cost breakdown for this
+    // rid; keep the latest one for tools (fgad_cli --trace).
+    if (const auto rtag = proto::open_tagged(resp.value());
+        rtag && rtag->v2 && !rtag->timings.empty()) {
+      last_server_timing_ = rtag->timings;
+    }
   }
   auto env = proto::open_message(resp.value());
   if (!env) {

@@ -175,6 +175,13 @@ class Client {
   std::uint64_t counter() const { return counter_; }
   void set_counter(std::uint64_t c) { counter_ = c; }
 
+  /// Server-timing trailer of the most recent traced RPC's V2 response:
+  /// the server's per-request cost breakdown (kind = obs::CostKind
+  /// ordinal, value = nanoseconds). Empty until a traced RPC returns one.
+  const std::vector<proto::TimingEntry>& last_server_timing() const {
+    return last_server_timing_;
+  }
+
   const core::ClientMath& math() const { return math_; }
   const core::ItemCodec& codec() const { return codec_; }
   const core::BatchDeriver& deriver() const { return batch_; }
@@ -223,6 +230,7 @@ class Client {
   core::BatchDeriver batch_;
   std::uint64_t counter_ = 0;
   CumulativeTimer compute_timer_;
+  std::vector<proto::TimingEntry> last_server_timing_;
 };
 
 }  // namespace fgad::client

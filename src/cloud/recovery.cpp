@@ -14,6 +14,7 @@
 #include "common/fsio.h"
 #include "crypto/hasher.h"
 #include "integrity/merkle.h"
+#include "obs/cost.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -298,6 +299,84 @@ Status fsck(const CloudServer& server) {
   return Status::ok();
 }
 
+namespace {
+
+/// Owns the rid's trace capture for the durability layer when no outer
+/// capture is active: spans opened anywhere below (WAL append, fsync,
+/// replication wait, the apply inside CloudServer::handle) land on one
+/// timeline that is stored to the TraceStore on scope exit. `parent` is
+/// the client's RPC span id from the V2 envelope, so the stored segment
+/// stitches under the client's tree (DESIGN.md §19).
+class TraceCaptureGuard {
+ public:
+  TraceCaptureGuard(std::uint64_t rid, std::uint64_t parent) {
+    if (rid != 0 && obs::TraceStore::instance().capture_enabled() &&
+        !obs::trace_active()) {
+      rid_ = rid;
+      obs::trace_begin(rid, parent);
+    }
+  }
+  ~TraceCaptureGuard() {
+    if (rid_ != 0) {
+      obs::TraceStore::instance().put(rid_, obs::trace_render_chrome_json());
+      obs::trace_stop();
+    }
+  }
+  TraceCaptureGuard(const TraceCaptureGuard&) = delete;
+  TraceCaptureGuard& operator=(const TraceCaptureGuard&) = delete;
+
+ private:
+  std::uint64_t rid_ = 0;
+};
+
+/// Folds the rid's residual CostLedger row (fsync share, replication
+/// wait, total — buckets charged after CloudServer sealed the response)
+/// into the response's V2 timing trailer. No-op for V1/untagged
+/// responses or when nothing residual accrued, so the dedup-stored bytes
+/// pass through unchanged on resends.
+Bytes reseal_with_costs(std::uint64_t rid, Bytes resp) {
+  auto& ledger = obs::CostLedger::instance();
+  if (rid == 0 || !ledger.enabled()) {
+    return resp;
+  }
+  const auto tag = proto::open_tagged(resp);
+  if (!tag || !tag->v2) {
+    return resp;
+  }
+  const auto residual = ledger.take(rid);
+  if (!residual.any()) {
+    return resp;
+  }
+  auto merged = residual.ns;
+  for (const auto& t : tag->timings) {
+    if (t.kind < merged.size()) {
+      merged[t.kind] += t.ns;
+    }
+  }
+  std::vector<proto::TimingEntry> out;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i] != 0) {
+      out.push_back({static_cast<std::uint8_t>(i), merged[i]});
+    }
+  }
+  return proto::seal_tagged_v2(tag->request_id, tag->span_id,
+                               tag->parent_span_id, out, tag->inner);
+}
+
+/// RAII for the audit log's thread-local commit context: audit lines
+/// written during the bracketed apply carry this term/LSN.
+class CommitContextGuard {
+ public:
+  CommitContextGuard(std::uint64_t term, std::uint64_t lsn) {
+    obs::AuditLog::set_commit_context(term, lsn);
+  }
+  ~CommitContextGuard() { obs::AuditLog::clear_commit_context(); }
+  CommitContextGuard(const CommitContextGuard&) = delete;
+  CommitContextGuard& operator=(const CommitContextGuard&) = delete;
+};
+
+}  // namespace
+
 // ---- GroupCommitter --------------------------------------------------------
 
 GroupCommitter::GroupCommitter() {
@@ -309,11 +388,14 @@ GroupCommitter::~GroupCommitter() {
 }
 
 void GroupCommitter::enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
-                             std::uint64_t lsn, Release release) {
+                             std::uint64_t lsn, Release release,
+                             std::uint64_t rid) {
+  const std::uint64_t now = obs::now_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!stop_) {
-      queue_.push_back(Entry{std::move(wal), ticket, lsn, std::move(release)});
+      queue_.push_back(
+          Entry{std::move(wal), ticket, lsn, std::move(release), rid, now});
       cv_.notify_one();
       return;
     }
@@ -321,7 +403,7 @@ void GroupCommitter::enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
   // Shut down: degrade to a single-entry flush on the caller's thread so
   // the durability contract still holds.
   std::vector<Entry> one;
-  one.push_back(Entry{std::move(wal), ticket, lsn, std::move(release)});
+  one.push_back(Entry{std::move(wal), ticket, lsn, std::move(release), rid, now});
   flush(one);
 }
 
@@ -369,9 +451,11 @@ void GroupCommitter::flush(std::vector<Entry>& batch) {
     // one unit. Tests arm this site to prove no torn partial-batch ACKs.
     Status st = Status::ok();
     std::uint64_t fsync_ns = 0;
+    std::uint64_t fsync_start_ns = 0;
     try {
       CrashPoint::instance().fire(CrashSite::kBeforeGroupFsync);
       const std::uint64_t t0 = obs::now_ns();
+      fsync_start_ns = t0;
       st = batch[i].wal ? batch[i].wal->sync_to(max_ticket) : Status::ok();
       fsync_ns = obs::now_ns() - t0;
     } catch (const CrashError&) {
@@ -388,14 +472,46 @@ void GroupCommitter::flush(std::vector<Entry>& batch) {
     // them to the follower WHILE the fsync above ran. Parking here only
     // waits out whatever part of the network round trip the disk did
     // not already cover.
+    std::uint64_t gate_ns = 0;
     if (st && gate && max_lsn > 0) {
+      const std::uint64_t g0 = obs::now_ns();
       st = gate(max_lsn);
+      gate_ns = obs::now_ns() - g0;
     }
     const std::uint64_t n = j - i;
     group_commits_counter().inc();
     commit_batch_hist().observe(n);
     obs::FlightRecorder::instance().record(obs::FrEvent::kGroupCommitFlush, 0,
                                            n, fsync_ns);
+    // Per-request cost attribution: the run's one fsync (and one sync-ack
+    // gate) covered n mutations, so each rid is charged its 1/n share —
+    // the shares sum back to the batch's real cost. Queue wait is the gap
+    // between the entry's enqueue and the fsync starting. The amortized
+    // fsync share is also spliced into each rid's stored trace as a
+    // committer-thread event (DESIGN.md §19).
+    if (obs::CostLedger::instance().enabled() && n > 0) {
+      auto& ledger = obs::CostLedger::instance();
+      const bool tracing = obs::TraceStore::instance().capture_enabled();
+      for (std::size_t k = i; k < j; ++k) {
+        const std::uint64_t rid = batch[k].rid;
+        if (rid == 0) {
+          continue;
+        }
+        if (batch[k].enqueue_ns != 0 && fsync_start_ns > batch[k].enqueue_ns) {
+          ledger.add(rid, obs::CostKind::kQueueWait,
+                     fsync_start_ns - batch[k].enqueue_ns);
+        }
+        ledger.add(rid, obs::CostKind::kFsyncShare, fsync_ns / n);
+        if (gate_ns != 0) {
+          ledger.add(rid, obs::CostKind::kReplWait, gate_ns / n);
+        }
+        if (tracing && fsync_ns != 0) {
+          obs::TraceStore::instance().append_event(rid, "fsync_share",
+                                                   fsync_start_ns,
+                                                   fsync_ns / n);
+        }
+      }
+    }
     for (std::size_t k = i; k < j; ++k) {
       if (batch[k].release) {
         batch[k].release(st);
@@ -646,11 +762,15 @@ Bytes DurableServer::handle(BytesView request) {
   if (!type || !proto::is_mutating(*type)) {
     return server_->handle(request);  // reads never touch the log
   }
-  const auto tag = proto::split_tagged(request);
-  const std::uint64_t rid = tag ? tag->first : 0;
+  const auto tag = proto::open_tagged(request);
+  const std::uint64_t rid = tag ? tag->request_id : 0;
   // Bind the rid to this thread before touching the durability layer so
   // the WAL append/fsync and crash-point flight events it emits carry it.
   obs::RequestScope rid_scope(rid);
+  // The durability layer owns the rid's trace capture (when enabled) so
+  // its WAL/fsync/replication spans share one timeline with the apply.
+  TraceCaptureGuard trace_guard(rid, tag ? tag->span_id : 0);
+  const std::uint64_t total_t0 = obs::now_ns();
 
   std::shared_ptr<Wal> wal;
   std::shared_ptr<Replicator> repl;
@@ -685,6 +805,8 @@ Bytes DurableServer::handle(BytesView request) {
     if (resp.empty()) {
       CrashPoint::instance().fire(CrashSite::kBeforeWalAppend);
       if (wal_) {
+        obs::Span wal_span("wal_append");
+        obs::ScopedCost wal_cost(obs::CostKind::kWalAppend);
         lsn = next_lsn_++;
         auto t = wal_->append(lsn, request);
         if (!t) {
@@ -698,7 +820,10 @@ Bytes DurableServer::handle(BytesView request) {
           repl->stage(term_, lsn, request);
         }
       }
-      resp = server_->handle(request);
+      {
+        CommitContextGuard commit_ctx(term_, lsn);
+        resp = server_->handle(request);
+      }
       dedup_.put(rid, resp);
       ++mutations_since_checkpoint_;
       if (opts_.checkpoint_every_n > 0 &&
@@ -714,6 +839,8 @@ Bytes DurableServer::handle(BytesView request) {
   // Group commit happens outside the dispatch lock: concurrent mutations
   // pile onto one fsync while the next request proceeds.
   if (wal && !checkpointed) {
+    obs::Span fsync_span("fsync");
+    obs::ScopedCost fsync_cost(obs::CostKind::kFsyncShare);
     if (auto st = wal->sync_through(ticket); !st) {
       return io_error_frame("wal sync failed: " + st.to_string());
     }
@@ -722,12 +849,21 @@ Bytes DurableServer::handle(BytesView request) {
   // durable ack. The ship thread has been streaming since stage(), so
   // this overlaps the fsync above rather than serializing after it.
   if (repl && mode == ReplAckMode::kSync && lsn > 0) {
+    obs::Span repl_span("repl_wait");
+    obs::ScopedCost repl_cost(obs::CostKind::kReplWait);
     if (auto st = repl->wait_acked(lsn); !st) {
       return commit_fail_frame(st);
     }
   }
   CrashPoint::instance().fire(CrashSite::kAfterWalPreAck);
-  return resp;
+  if (rid != 0 && obs::CostLedger::instance().enabled()) {
+    obs::CostLedger::instance().add(rid, obs::CostKind::kTotal,
+                                    obs::now_ns() - total_t0);
+  }
+  // Fold the post-apply buckets (fsync, replication wait, total) into the
+  // V2 response's server-timing trailer. Dedup stored the pre-reseal
+  // bytes above, which is what a resend gets back.
+  return reseal_with_costs(rid, std::move(resp));
 }
 
 void DurableServer::handle_async(Bytes request, Done done) {
@@ -744,9 +880,14 @@ void DurableServer::handle_async(Bytes request, Done done) {
     done(server_->handle(request));  // reads never touch the log
     return;
   }
-  const auto tag = proto::split_tagged(request);
-  const std::uint64_t rid = tag ? tag->first : 0;
+  const auto tag = proto::open_tagged(request);
+  const std::uint64_t rid = tag ? tag->request_id : 0;
   obs::RequestScope rid_scope(rid);
+  // Captures the dispatch-side spans (wal_append + apply); the group
+  // committer splices its amortized fsync share into the stored trace
+  // later via TraceStore::append_event.
+  TraceCaptureGuard trace_guard(rid, tag ? tag->span_id : 0);
+  const std::uint64_t total_t0 = obs::now_ns();
 
   std::shared_ptr<Wal> wal;
   std::shared_ptr<Replicator> repl;
@@ -775,6 +916,8 @@ void DurableServer::handle_async(Bytes request, Done done) {
     if (!durable_already) {
       CrashPoint::instance().fire(CrashSite::kBeforeWalAppend);
       if (wal_) {
+        obs::Span wal_span("wal_append");
+        obs::ScopedCost wal_cost(obs::CostKind::kWalAppend);
         lsn = next_lsn_++;
         // Staged, not yet durable: the group committer below performs
         // the fsync for the whole cross-connection batch at once.
@@ -789,7 +932,10 @@ void DurableServer::handle_async(Bytes request, Done done) {
           repl->stage(term_, lsn, request);
         }
       }
-      resp = server_->handle(request);
+      {
+        CommitContextGuard commit_ctx(term_, lsn);
+        resp = server_->handle(request);
+      }
       dedup_.put(rid, resp);
       ++mutations_since_checkpoint_;
       if (opts_.checkpoint_every_n > 0 &&
@@ -817,7 +963,7 @@ void DurableServer::handle_async(Bytes request, Done done) {
   }
   committer_.enqueue(
       wal, ticket, lsn,
-      [rid, dedup_hit, resp = std::move(resp),
+      [rid, dedup_hit, total_t0, resp = std::move(resp),
        done = std::move(done)](Status st) mutable {
         if (!st) {
           done(commit_fail_frame(st));
@@ -831,8 +977,16 @@ void DurableServer::handle_async(Bytes request, Done done) {
             return;  // simulated death before the ACK: drop the response
           }
         }
-        done(std::move(resp));
-      });
+        // Fold the flush's amortized buckets (queue wait, fsync share,
+        // gate share — charged by GroupCommitter::flush just before this
+        // release ran) plus the total into the V2 trailer.
+        if (rid != 0 && obs::CostLedger::instance().enabled()) {
+          obs::CostLedger::instance().add(rid, obs::CostKind::kTotal,
+                                          obs::now_ns() - total_t0);
+        }
+        done(reseal_with_costs(rid, std::move(resp)));
+      },
+      rid);
 }
 
 Status DurableServer::checkpoint() {

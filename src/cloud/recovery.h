@@ -94,9 +94,11 @@ class GroupCommitter {
   /// Parks one staged append: `ticket` is the Wal::append return value on
   /// `wal`, `lsn` the record's log sequence number (the replication gate
   /// below is keyed on it). The shared_ptr keeps a rotated-away log alive
-  /// until its last parked response is released.
+  /// until its last parked response is released. `rid` (0 = untagged)
+  /// lets flush() attribute the batch's amortized fsync/gate cost and
+  /// queue wait back to the owning request (DESIGN.md §19).
   void enqueue(std::shared_ptr<Wal> wal, std::uint64_t ticket,
-               std::uint64_t lsn, Release release);
+               std::uint64_t lsn, Release release, std::uint64_t rid = 0);
 
   /// Post-fsync gate, invoked once per flushed batch with the batch's
   /// highest LSN. Sync-mode replication parks here (Replicator::
@@ -116,6 +118,8 @@ class GroupCommitter {
     std::uint64_t ticket = 0;
     std::uint64_t lsn = 0;
     Release release;
+    std::uint64_t rid = 0;         // owning request (0 = untagged)
+    std::uint64_t enqueue_ns = 0;  // stamped by enqueue(); queue-wait base
   };
 
   void loop();

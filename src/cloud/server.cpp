@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/fsio.h"
+#include "obs/cost.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -380,7 +381,25 @@ void audit_rpc(const char* op, std::uint64_t file_id, std::uint64_t item,
   e.item = item;
   e.path_len = path_len;
   e.cut_size = cut_size;
+  // When the durability layer bracketed this apply, stamp the line with
+  // the fencing term and commit LSN so the deletion's evidence names one
+  // primary incarnation (DESIGN.md §19).
+  e.term = obs::AuditLog::commit_term();
+  e.lsn = obs::AuditLog::commit_lsn();
   obs::AuditLog::instance().record(e, outcome);
+}
+
+/// Non-zero CostLedger buckets as wire timing entries (kind = CostKind
+/// ordinal), the payload of a kTaggedEnvelopeV2 response trailer.
+std::vector<proto::TimingEntry> timings_of(
+    const obs::CostLedger::Breakdown& b) {
+  std::vector<proto::TimingEntry> out;
+  for (std::size_t i = 0; i < b.ns.size(); ++i) {
+    if (b.ns[i] != 0) {
+      out.push_back({static_cast<std::uint8_t>(i), b.ns[i]});
+    }
+  }
+  return out;
 }
 
 // Streaming responses (FetchItems, KvGetRange) stop adding entries once
@@ -405,34 +424,41 @@ Bytes CloudServer::handle(BytesView request) {
   // the handler (audit lines, slow-op warnings) and is answered with a
   // response tagged with the same id. Untagged requests are handled
   // byte-identically to the pre-tagging protocol.
-  const auto tag = proto::split_tagged(request);
-  const BytesView inner = tag ? tag->second : request;
+  const auto tag = proto::open_tagged(request);
+  const std::uint64_t rid = tag ? tag->request_id : 0;
+  const BytesView inner = tag ? tag->inner : request;
   const auto inner_type = proto::peek_type(inner);
   const std::uint64_t type_ord =
       inner_type ? static_cast<std::uint64_t>(*inner_type) : 0;
-  obs::FlightRecorder::instance().record(obs::FrEvent::kRpcStart,
-                                         tag ? tag->first : 0, type_ord);
+  obs::FlightRecorder::instance().record(obs::FrEvent::kRpcStart, rid,
+                                         type_ord);
   Bytes resp;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (tag) {
-      obs::RequestScope scope(tag->first);
+      obs::RequestScope scope(rid);
       // With --trace-capture on, collect this handler's span tree and
       // park it in the TraceStore under the client's rid, where
-      // GET /trace.json?rid=... can fetch it for Perfetto.
-      const bool capture =
-          tag->first != 0 && obs::TraceStore::instance().capture_enabled();
-      if (capture) {
-        obs::trace_begin(tag->first);
+      // GET /trace.json?rid=... can fetch it for Perfetto. When an outer
+      // layer (DurableServer) already opened a capture for this rid —
+      // so its WAL/fsync spans share the timeline — this layer only
+      // contributes spans and leaves ownership (put + stop) to it. A V2
+      // tag carries the client's RPC span id; depth-0 spans here parent
+      // under it so the stitched document forms one tree.
+      const bool own_trace = rid != 0 &&
+                             obs::TraceStore::instance().capture_enabled() &&
+                             !obs::trace_active();
+      if (own_trace) {
+        obs::trace_begin(rid, tag->span_id);
+      }
+      {
         obs::Span rpc_span(inner_type ? proto::msg_type_name(*inner_type)
                                       : "decode-error");
-        resp = handle_locked(inner);
-      } else {
+        obs::ScopedCost apply_cost(obs::CostKind::kApply);
         resp = handle_locked(inner);
       }
-      if (capture) {
-        obs::TraceStore::instance().put(tag->first,
-                                        obs::trace_render_chrome_json());
+      if (own_trace) {
+        obs::TraceStore::instance().put(rid, obs::trace_render_chrome_json());
         obs::trace_stop();
       }
     } else {
@@ -442,15 +468,26 @@ Bytes CloudServer::handle(BytesView request) {
   if (proto::peek_type(resp) == proto::MsgType::kError) {
     errors.inc();
   }
-  obs::FlightRecorder::instance().record(obs::FrEvent::kRpcEnd,
-                                         tag ? tag->first : 0, type_ord,
+  obs::FlightRecorder::instance().record(obs::FrEvent::kRpcEnd, rid, type_ord,
                                          timer.elapsed_ns());
   if (inner_type) {
     obs::Logger::instance().slow_op(proto::msg_type_name(*inner_type),
-                                    timer.elapsed_ns(),
-                                    tag ? tag->first : 0);
+                                    timer.elapsed_ns(), rid);
   }
-  return tag ? proto::seal_tagged(tag->first, resp) : resp;
+  if (!tag) {
+    return resp;
+  }
+  if (!tag->v2) {
+    return proto::seal_tagged(rid, resp);
+  }
+  // V2 responses echo the client's span ids and carry the server-timing
+  // trailer: whatever the CostLedger accumulated for this rid so far
+  // (apply; plus wal_append when the durability layer staged it before
+  // dispatching here). The durability layer reseals afterwards to fold
+  // in fsync/replication waits that happen after this return.
+  return proto::seal_tagged_v2(rid, tag->span_id, tag->parent_span_id,
+                               timings_of(obs::CostLedger::instance().take(rid)),
+                               resp);
 }
 
 Bytes CloudServer::handle_locked(BytesView request) {

@@ -1,0 +1,114 @@
+#include "obs/cost.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fgad::obs {
+
+const char* cost_kind_name(CostKind k) {
+  switch (k) {
+    case CostKind::kQueueWait: return "queue_wait";
+    case CostKind::kWalAppend: return "wal_append";
+    case CostKind::kFsyncShare: return "fsync_share";
+    case CostKind::kReplWait: return "repl_wait";
+    case CostKind::kApply: return "apply";
+    case CostKind::kKeyDerive: return "key_derive";
+    case CostKind::kTotal: return "total";
+    default: return "unknown";
+  }
+}
+
+struct CostLedger::Impl {
+  std::atomic<bool> enabled{false};
+  std::mutex mu;
+  std::deque<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, Breakdown> rows;
+};
+
+CostLedger::Impl& CostLedger::impl() {
+  static Impl i;
+  return i;
+}
+
+CostLedger& CostLedger::instance() {
+  static CostLedger ledger;
+  return ledger;
+}
+
+void CostLedger::set_enabled(bool on) {
+  if (on) {
+    calibrate_tick_clock();  // one-shot; keeps the spin out of ScopedCost
+  }
+  impl().enabled.store(on, std::memory_order_relaxed);
+  if (!on) {
+    clear();
+  }
+}
+
+bool CostLedger::enabled() const {
+  return impl().enabled.load(std::memory_order_relaxed);
+}
+
+void CostLedger::add(std::uint64_t rid, CostKind k, std::uint64_t ns) {
+  if (rid == 0 || !enabled() || k >= CostKind::kCount) {
+    return;
+  }
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.rows.find(rid);
+  if (it == im.rows.end()) {
+    if (im.order.size() >= kMaxEntries) {
+      im.rows.erase(im.order.front());
+      im.order.pop_front();
+    }
+    im.order.push_back(rid);
+    it = im.rows.emplace(rid, Breakdown{}).first;
+  }
+  it->second.ns[static_cast<std::size_t>(k)] += ns;
+}
+
+CostLedger::Breakdown CostLedger::take(std::uint64_t rid) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.rows.find(rid);
+  if (it == im.rows.end()) {
+    return Breakdown{};
+  }
+  Breakdown b = it->second;
+  im.rows.erase(it);
+  // The order deque keeps a stale rid entry; it is skipped naturally when
+  // eviction finds no row for it, so no O(n) scrub here.
+  return b;
+}
+
+void CostLedger::clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.rows.clear();
+  im.order.clear();
+}
+
+// The scope clock is now_ticks(), not now_ns(): at per-item granularity
+// (the client wraps every key derivation) two vDSO clock reads would be
+// most of the accounting cost.
+ScopedCost::ScopedCost(CostKind kind) : kind_(kind) {
+  if (CostLedger::instance().enabled()) {
+    rid_ = current_request_id();
+    if (rid_ != 0) {
+      t0_ = now_ticks();
+    }
+  }
+}
+
+ScopedCost::~ScopedCost() {
+  if (rid_ != 0) {
+    CostLedger::instance().add(rid_, kind_, ticks_to_ns(now_ticks() - t0_));
+  }
+}
+
+}  // namespace fgad::obs

@@ -136,6 +136,8 @@ const char* fr_event_name(FrEvent e) {
       return "repl-snapshot";
     case FrEvent::kReplRoleChange:
       return "repl-role-change";
+    case FrEvent::kSpanDropped:
+      return "span-dropped";
   }
   return "unknown";
 }

@@ -64,6 +64,7 @@ enum class FrEvent : std::uint16_t {
   kReplShip = 18,          // a = records shipped, b = follower acked lsn
   kReplSnapshotShip = 19,  // a = image bytes, b = snapshot last lsn
   kReplRoleChange = 20,    // a = new role (0 backup, 1 primary), b = term
+  kSpanDropped = 21,       // rid = evicted trace's rid (TraceStore eviction)
 };
 
 /// Stable short name ("wal-append", ...) for dump lines and JSON.

@@ -14,10 +14,13 @@
 #include <cstring>
 #include <string>
 
+#include <vector>
+
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/slo.h"
+#include "obs/stitch.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -88,6 +91,67 @@ std::string query_param(const std::string& query, const char* key) {
   return "";
 }
 
+/// One-shot HTTP GET against a peer metrics endpoint; "" on any error.
+/// Used by the stitched-trace path to fetch the follower's /clock and
+/// /trace.json — plain blocking sockets with a short budget so a dead
+/// peer degrades the response to local-only instead of hanging it.
+std::string peer_http_get(const std::string& host, std::uint16_t port,
+                          const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return "";
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, req, timeout_ms)) {
+    ::close(fd);
+    return "";
+  }
+  std::string resp;
+  while (read_some(fd, resp, timeout_ms)) {
+    if (resp.size() > 16 * 1024 * 1024) {
+      break;  // runaway peer
+    }
+  }
+  ::close(fd);
+  if (resp.find("HTTP/1.1 200") != 0) {
+    return "";
+  }
+  const std::size_t body = resp.find("\r\n\r\n");
+  return body == std::string::npos ? "" : resp.substr(body + 4);
+}
+
+/// Estimates (peer_clock - local_clock) from a few /clock round trips;
+/// invalid when the peer is unreachable.
+OffsetEstimate sample_peer_offset(const std::string& host,
+                                  std::uint16_t port, int timeout_ms) {
+  std::vector<ClockSample> samples;
+  for (int i = 0; i < 5; ++i) {
+    ClockSample s;
+    s.local_send_ns = now_ns();
+    const std::string body = peer_http_get(host, port, "/clock", timeout_ms);
+    s.local_recv_ns = now_ns();
+    const std::size_t pos = body.find("\"now_ns\":");
+    if (pos == std::string::npos) {
+      continue;
+    }
+    s.peer_ns = std::strtoull(body.c_str() + pos + 9, nullptr, 10);
+    samples.push_back(s);
+  }
+  return best_offset(samples);
+}
+
 /// "60", "60s", "5m", "1h" -> seconds; fallback on empty/garbage.
 std::uint64_t parse_window_s(const std::string& v, std::uint64_t fallback) {
   if (v.empty()) {
@@ -143,6 +207,13 @@ MetricsHttpServer::MetricsHttpServer(int listen_fd, std::uint16_t port,
 }
 
 MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::set_stitch_peer(const std::string& host,
+                                        std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(stitch_mu_);
+  stitch_host_ = host;
+  stitch_port_ = port;
+}
 
 void MetricsHttpServer::stop() {
   if (stopping_.exchange(true)) {
@@ -232,13 +303,43 @@ void MetricsHttpServer::serve_one(int fd) {
     }
     body += "]}";
     resp = http_response(200, "OK", "application/json", body);
+  } else if (path == "/clock") {
+    // Steady-clock probe for NTP-style peer offset estimation
+    // (obs/stitch.h). Kept tiny so the RTT — the estimate's error bound
+    // — is dominated by the network, not rendering.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "{\"now_ns\":%llu}",
+                  static_cast<unsigned long long>(now_ns()));
+    resp = http_response(200, "OK", "application/json", buf);
   } else if (path == "/trace.json") {
     // /trace.json?rid=<16-hex-digit id from /traces.json or a CLI trace>
+    // With a stitch peer configured, the peer's segment for the same rid
+    // is fetched (&local=1 stops it from stitching in turn) and merged
+    // skew-corrected into the local document, one pid lane per process.
     std::uint64_t rid = 0;
-    if (query.compare(0, 4, "rid=") == 0) {
-      rid = std::strtoull(query.c_str() + 4, nullptr, 16);
+    const std::string rid_hex = query_param(query, "rid");
+    if (!rid_hex.empty()) {
+      rid = std::strtoull(rid_hex.c_str(), nullptr, 16);
     }
-    const std::string body = TraceStore::instance().get(rid);
+    std::string body = TraceStore::instance().get(rid);
+    std::string peer_host;
+    std::uint16_t peer_port = 0;
+    {
+      std::lock_guard<std::mutex> lock(stitch_mu_);
+      peer_host = stitch_host_;
+      peer_port = stitch_port_;
+    }
+    if (!body.empty() && peer_port != 0 &&
+        query_param(query, "local").empty()) {
+      const OffsetEstimate off =
+          sample_peer_offset(peer_host, peer_port, opts_.io_timeout_ms);
+      const std::string peer_doc = peer_http_get(
+          peer_host, peer_port, "/trace.json?rid=" + rid_hex + "&local=1",
+          opts_.io_timeout_ms);
+      if (off.valid && !peer_doc.empty()) {
+        body = trace_stitch(body, peer_doc, off.offset_ns, /*pid_delta=*/1);
+      }
+    }
     resp = body.empty()
                ? http_response(404, "Not Found", "text/plain",
                                "no trace for that rid\n")

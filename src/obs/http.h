@@ -9,6 +9,12 @@
 //                         replay, shutdown checkpoint, or SLO overload
 //   GET /profile       -> ?seconds=N[&mode=wall]: blocks, samples, and
 //                         returns collapsed/folded stacks (flamegraph-ready)
+//   GET /clock         -> {"now_ns":N} on this process's steady clock —
+//                         the peer-offset sampling target (DESIGN.md §19)
+//   GET /trace.json    -> ?rid=<hex>[&local=1]: the rid's captured span
+//                         document; with a stitch peer configured (and
+//                         no local=1), the peer's segment is fetched and
+//                         merged in skew-corrected
 //
 // One accept thread, one connection at a time, Connection: close. This is
 // an operator scrape target on loopback, not a web server; the framed RPC
@@ -19,6 +25,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/result.h"
@@ -45,6 +53,13 @@ class MetricsHttpServer {
   std::uint16_t port() const { return port_; }
   void stop();
 
+  /// Names a peer metrics endpoint (the replication follower's) whose
+  /// trace segments GET /trace.json?rid= stitches into this node's
+  /// document: the handler samples the peer's GET /clock for a skew
+  /// estimate, fetches the peer's segment with &local=1 (which suppresses
+  /// recursive stitching), and merges it skew-corrected (DESIGN.md §19).
+  void set_stitch_peer(const std::string& host, std::uint16_t port);
+
  private:
   MetricsHttpServer(int listen_fd, std::uint16_t port, Options opts);
   void serve_loop();
@@ -54,6 +69,9 @@ class MetricsHttpServer {
   std::uint16_t port_;
   Options opts_;
   std::atomic<bool> stopping_{false};
+  mutable std::mutex stitch_mu_;
+  std::string stitch_host_;
+  std::uint16_t stitch_port_ = 0;
   std::thread thread_;
 };
 

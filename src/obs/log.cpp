@@ -156,6 +156,9 @@ void AuditLog::record(const Entry& e, const Status& outcome) {
       .u64("item", e.item)
       .u64("path_len", e.path_len)
       .u64("cut", e.cut_size);
+  if (e.term != 0 || e.lsn != 0) {
+    kv.u64("term", e.term).u64("lsn", e.lsn);
+  }
   if (outcome) {
     kv.str("outcome", "ok");
   } else {
@@ -167,5 +170,24 @@ void AuditLog::record(const Entry& e, const Status& outcome) {
   std::fprintf(f, "audit ts=%.6f%s\n", wall_ts(), kv.text().c_str());
   std::fflush(f);
 }
+
+namespace {
+struct CommitContext {
+  std::uint64_t term = 0;
+  std::uint64_t lsn = 0;
+};
+thread_local CommitContext t_commit;
+}  // namespace
+
+void AuditLog::set_commit_context(std::uint64_t term, std::uint64_t lsn) {
+  t_commit.term = term;
+  t_commit.lsn = lsn;
+}
+
+void AuditLog::clear_commit_context() { t_commit = CommitContext{}; }
+
+std::uint64_t AuditLog::commit_term() { return t_commit.term; }
+
+std::uint64_t AuditLog::commit_lsn() { return t_commit.lsn; }
 
 }  // namespace fgad::obs

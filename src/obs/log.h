@@ -108,9 +108,25 @@ class AuditLog {
     std::uint64_t item = 0;
     std::size_t path_len = 0;
     std::size_t cut_size = 0;
+    // Fencing term + commit LSN of the mutation (DESIGN.md §18/§19),
+    // stamped by the durability layer via set_commit_context() so a
+    // deletion's audit line is attributable to one primary incarnation
+    // after a failover. 0/0 = not under a durable commit (the fields are
+    // then omitted from the line, keeping pre-§19 output byte-identical).
+    std::uint64_t term = 0;
+    std::uint64_t lsn = 0;
   };
   /// Thread-safe; near-free when the sink is off.
   void record(const Entry& e, const Status& outcome);
+
+  /// Thread-local commit context: the durability layer brackets each
+  /// apply with the mutation's fencing term and WAL LSN; audit call
+  /// sites deeper in the server pick them up via commit_term()/
+  /// commit_lsn() without any signature plumbing.
+  static void set_commit_context(std::uint64_t term, std::uint64_t lsn);
+  static void clear_commit_context();
+  static std::uint64_t commit_term();
+  static std::uint64_t commit_lsn();
 
  private:
   AuditLog() = default;

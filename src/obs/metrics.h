@@ -210,6 +210,34 @@ class ScopedTimer {
 /// Monotonic wall clock in nanoseconds (steady_clock).
 std::uint64_t now_ns();
 
+/// Raw CPU tick counter for span/cost timing (DESIGN.md §19): a traced
+/// request reads the clock twice per span, and at that rate the ~25 ns
+/// vDSO clock_gettime dominates the instrumentation cost. rdtsc (x86) or
+/// cntvct_el0 (arm64) reads in single-digit nanoseconds; ticks convert to
+/// nanoseconds via the one-shot calibrated ratio in ticks_to_ns(). Falls
+/// back to now_ns() (ratio 1) on other targets.
+inline std::uint64_t now_ticks() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return now_ns();
+#endif
+}
+
+/// Converts a tick delta from now_ticks() to nanoseconds. Calibrates
+/// lazily if calibrate_tick_clock() has not run yet.
+std::uint64_t ticks_to_ns(std::uint64_t ticks);
+
+/// One-shot (~200 µs spin) measurement of the tick clock's rate against
+/// now_ns(). Idempotent and thread-safe; trace_begin() and
+/// CostLedger::set_enabled(true) call it so the spin lands in setup, not
+/// on a request path.
+void calibrate_tick_clock();
+
 /// JSON string-body escaping shared by every exposition surface
 /// (/metrics.json, /vars.json, /readyz): `"` and `\` get a backslash,
 /// control characters become \uXXXX. Metric names are caller-chosen

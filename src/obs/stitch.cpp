@@ -1,0 +1,133 @@
+#include "obs/stitch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fgad::obs {
+
+std::int64_t offset_from_sample(const ClockSample& s) {
+  // Midpoint rule: assume the peer read its clock halfway through the
+  // round trip. Signed arithmetic throughout — the peer's steady clock
+  // can sit on either side of ours.
+  const std::int64_t mid = static_cast<std::int64_t>(
+      (s.local_send_ns + s.local_recv_ns) / 2);
+  return static_cast<std::int64_t>(s.peer_ns) - mid;
+}
+
+OffsetEstimate best_offset(const std::vector<ClockSample>& samples) {
+  OffsetEstimate best;
+  for (const ClockSample& s : samples) {
+    if (s.local_recv_ns < s.local_send_ns) {
+      continue;  // non-causal sample (clock glitch); discard
+    }
+    const std::uint64_t rtt = s.local_recv_ns - s.local_send_ns;
+    if (!best.valid || rtt < best.rtt_ns) {
+      best.valid = true;
+      best.rtt_ns = rtt;
+      best.offset_ns = offset_from_sample(s);
+    }
+  }
+  return best;
+}
+
+std::uint64_t trace_doc_t0_ns(const std::string& doc) {
+  const std::size_t pos = doc.find("\"t0_ns\":");
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(doc.c_str() + pos + 8, nullptr, 10);
+}
+
+namespace {
+
+/// Rewrites `"field":<number>` in one event object by adding `delta`
+/// (formatted back with three decimals for ts, integral for pid).
+void rewrite_number(std::string& obj, const char* field, double delta,
+                    bool integral) {
+  const std::string needle = std::string("\"") + field + "\":";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) {
+    return;
+  }
+  const std::size_t vstart = pos + needle.size();
+  char* endp = nullptr;
+  const double old_v = std::strtod(obj.c_str() + vstart, &endp);
+  const std::size_t vend = static_cast<std::size_t>(endp - obj.c_str());
+  char buf[48];
+  if (integral) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(old_v + delta));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", old_v + delta);
+  }
+  obj.replace(vstart, vend - vstart, buf);
+}
+
+}  // namespace
+
+std::string trace_stitch(const std::string& base_doc,
+                         const std::string& peer_doc,
+                         std::int64_t offset_ns, int pid_delta) {
+  const std::string marker = "\"traceEvents\":[";
+  const std::size_t peer_start = peer_doc.find(marker);
+  const std::size_t base_end = base_doc.rfind("]}");
+  if (peer_start == std::string::npos || base_end == std::string::npos) {
+    return base_doc;
+  }
+  const std::uint64_t base_t0 = trace_doc_t0_ns(base_doc);
+  const std::uint64_t peer_t0 = trace_doc_t0_ns(peer_doc);
+  // Every peer ts (µs relative to peer_t0) lands at
+  //   peer_t0 + ts*1e3 - offset    on the base clock, i.e. relative to
+  // base_t0 it shifts by a constant number of microseconds:
+  const double ts_delta_us =
+      (static_cast<double>(static_cast<std::int64_t>(peer_t0) -
+                           static_cast<std::int64_t>(base_t0)) -
+       static_cast<double>(offset_ns)) /
+      1e3;
+
+  std::string merged = base_doc.substr(0, base_end);
+  bool base_empty = false;
+  {
+    // Is the base event array empty (insertion needs no leading comma)?
+    const std::size_t base_arr = base_doc.find(marker);
+    base_empty = base_arr != std::string::npos &&
+                 base_arr + marker.size() == base_end;
+  }
+
+  // Walk the peer's event array object by object (brace-matched — event
+  // objects contain nested "args" objects but no strings with braces).
+  std::size_t pos = peer_start + marker.size();
+  bool inserted_any = false;
+  while (pos < peer_doc.size() && peer_doc[pos] != ']') {
+    if (peer_doc[pos] != '{') {
+      ++pos;
+      continue;
+    }
+    int depth = 0;
+    std::size_t end = pos;
+    for (std::size_t i = pos; i < peer_doc.size(); ++i) {
+      if (peer_doc[i] == '{') {
+        ++depth;
+      } else if (peer_doc[i] == '}') {
+        if (--depth == 0) {
+          end = i;
+          break;
+        }
+      }
+    }
+    std::string ev = peer_doc.substr(pos, end - pos + 1);
+    rewrite_number(ev, "ts", ts_delta_us, /*integral=*/false);
+    rewrite_number(ev, "pid", pid_delta, /*integral=*/true);
+    if (!base_empty || inserted_any) {
+      merged += ",";
+    }
+    merged += ev;
+    inserted_any = true;
+    pos = end + 1;
+  }
+  merged += "]}";
+  return merged;
+}
+
+}  // namespace fgad::obs

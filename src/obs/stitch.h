@@ -1,0 +1,65 @@
+// Cross-process trace stitching + clock-offset estimation (DESIGN.md §19).
+//
+// Every process renders its spans relative to its own steady clock
+// (obs::now_ns()), and steady clocks of different processes — let alone
+// different hosts — share no epoch. To merge a peer's trace segment into
+// a local timeline we estimate the peer-clock offset NTP-style from
+// request/response round trips against the peer's GET /clock endpoint:
+//
+//   local t0 --- request --->  peer reads its clock: tp
+//   local t1 <-- response ---
+//
+//   offset ≈ tp - (t0 + t1) / 2        (peer_clock - local_clock)
+//
+// The error of one sample is bounded by half its RTT, so among several
+// samples the minimum-RTT one wins (best_offset). Stitching then rewrites
+// each peer event's timestamp into the local timeline:
+//
+//   ts_local = (peer_t0 + ts_peer*1e3 - offset - local_t0) / 1e3   [µs]
+//
+// using the absolute t0_ns each trace document records in its meta
+// object, and shifts the peer's pid lane so processes render separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fgad::obs {
+
+/// One /clock round trip: local send / peer clock reading / local receive,
+/// all in nanoseconds (local_* on the local steady clock).
+struct ClockSample {
+  std::uint64_t local_send_ns = 0;
+  std::uint64_t peer_ns = 0;
+  std::uint64_t local_recv_ns = 0;
+};
+
+/// NTP-style midpoint estimate of (peer_clock - local_clock) from one
+/// sample; error bounded by half the sample's RTT.
+std::int64_t offset_from_sample(const ClockSample& s);
+
+struct OffsetEstimate {
+  std::int64_t offset_ns = 0;  // peer_clock - local_clock
+  std::uint64_t rtt_ns = 0;    // RTT of the winning sample = error bound*2
+  bool valid = false;
+};
+
+/// The minimum-RTT sample's offset (tightest error bound). Samples whose
+/// receive precedes their send are ignored; invalid when none survive.
+OffsetEstimate best_offset(const std::vector<ClockSample>& samples);
+
+/// The `"t0_ns":<n>` recorded in a trace document's meta object (the
+/// absolute local-clock time of trace_begin); 0 when absent.
+std::uint64_t trace_doc_t0_ns(const std::string& doc);
+
+/// Merges `peer_doc`'s trace events into `base_doc`: each peer event's
+/// ts is skew-corrected into the base timeline via `offset_ns`
+/// (peer_clock - base_clock) and its pid is shifted by `pid_delta` so the
+/// peer renders as its own process lane. Returns the merged document
+/// (base unchanged when either document is unparsable).
+std::string trace_stitch(const std::string& base_doc,
+                         const std::string& peer_doc,
+                         std::int64_t offset_ns, int pid_delta);
+
+}  // namespace fgad::obs

@@ -6,26 +6,39 @@
 #include <vector>
 
 #include "common/fsio.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/stitch.h"
 
 namespace fgad::obs {
 
 namespace {
 
+// Span times are raw now_ticks() deltas (converted to ns only at render
+// time via ticks_to_ns) so the per-span cost is two cheap counter reads,
+// not two vDSO clock_gettime calls — see obs::now_ticks().
 struct SpanRecord {
   const char* name;
   std::uint32_t depth;
-  std::uint64_t start_ns;  // relative to trace start
-  std::uint64_t dur_ns;
+  std::uint64_t start_ticks;  // relative to trace start
+  std::uint64_t dur_ticks;
+  std::uint64_t id;      // random-seeded sequence, globally scoped by rid
+  std::uint64_t parent;  // 0 = root (or the wire-carried remote parent)
 };
 
 struct TraceState {
   std::uint64_t rid = 0;
   bool collecting = false;
-  std::uint32_t depth = 0;
+  std::uint32_t depth = 0;  // count of currently open spans
   std::uint64_t t0_ns = 0;
+  std::uint64_t t0_ticks = 0;
+  std::uint64_t id_seq = 0;          // splitmix state for span ids
+  std::uint64_t parent_span_id = 0;  // remote parent for depth-0 spans
+  std::uint64_t cur_parent = 0;      // innermost open span id (or remote)
   std::vector<SpanRecord> spans;
 };
+
+const char* g_process_label = "proc";  // set once at startup
 
 TraceState& state() {
   thread_local TraceState s;
@@ -58,16 +71,38 @@ RequestScope::RequestScope(std::uint64_t rid) : prev_(state().rid) {
 
 RequestScope::~RequestScope() { state().rid = prev_; }
 
-void trace_begin(std::uint64_t rid) {
+void trace_begin(std::uint64_t rid, std::uint64_t parent_span_id) {
+  calibrate_tick_clock();  // one-shot; puts the spin in setup, not a span
   TraceState& s = state();
   s.rid = rid;
   s.collecting = true;
   s.depth = 0;
   s.t0_ns = now_ns();
+  s.t0_ticks = now_ticks();
+  // Span ids are a splitmix64 walk from a random per-trace seed: as
+  // collision-resistant across processes as per-span random draws, but
+  // without a clock read and an atomic fetch-add on every span.
+  s.id_seq = generate_request_id();
+  s.parent_span_id = parent_span_id;
+  s.cur_parent = parent_span_id;
   s.spans.clear();
 }
 
 bool trace_active() { return state().collecting; }
+
+std::uint64_t trace_current_span_id() {
+  TraceState& s = state();
+  if (!s.collecting || s.depth == 0) {
+    return 0;
+  }
+  return s.cur_parent;
+}
+
+void trace_set_process_label(const char* label) {
+  if (label != nullptr && *label != '\0') {
+    g_process_label = label;
+  }
+}
 
 void trace_dump(std::FILE* out) {
   TraceState& s = state();
@@ -82,12 +117,14 @@ void trace_dump(std::FILE* out) {
     std::fprintf(out, "  %*s%-*s +%9.3fms %9.3fms\n",
                  static_cast<int>(2 * r.depth), "",
                  static_cast<int>(36 - 2 * (r.depth > 18 ? 18 : r.depth)),
-                 r.name, static_cast<double>(r.start_ns) / 1e6,
-                 static_cast<double>(r.dur_ns) / 1e6);
+                 r.name, static_cast<double>(ticks_to_ns(r.start_ticks)) / 1e6,
+                 static_cast<double>(ticks_to_ns(r.dur_ticks)) / 1e6);
   }
   s.collecting = false;
   s.depth = 0;
   s.rid = 0;
+  s.parent_span_id = 0;
+  s.cur_parent = 0;
   s.spans.clear();
   s.spans.shrink_to_fit();
 }
@@ -95,19 +132,25 @@ void trace_dump(std::FILE* out) {
 namespace {
 
 /// One "X" (complete) trace event. ts/dur are microseconds as doubles —
-/// the resolution Chrome's trace-event format expects.
+/// the resolution Chrome's trace-event format expects. Span/parent ids
+/// ride in args (hex, to match the rid) so stitched documents keep the
+/// cross-process parent links.
 void append_chrome_event(std::string& out, std::uint64_t rid,
                          const char* name, std::uint32_t depth,
                          std::uint64_t start_ns, std::uint64_t dur_ns,
+                         std::uint64_t span_id, std::uint64_t parent_id,
                          bool first) {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "%s{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
                 "\"dur\":%.3f,\"pid\":1,\"tid\":1,"
-                "\"args\":{\"rid\":\"%016" PRIx64 "\",\"depth\":%u}}",
+                "\"args\":{\"rid\":\"%016" PRIx64 "\",\"depth\":%u,"
+                "\"span\":\"%016" PRIx64 "\",\"parent\":\"%016" PRIx64
+                "\"}}",
                 first ? "" : ",", name,
                 static_cast<double>(start_ns) / 1e3,
-                static_cast<double>(dur_ns) / 1e3, rid, depth);
+                static_cast<double>(dur_ns) / 1e3, rid, depth, span_id,
+                parent_id);
   out += buf;
 }
 
@@ -119,19 +162,34 @@ std::string trace_render_chrome_json() {
     return "";
   }
   const std::uint64_t now = now_ns() - s.t0_ns;
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+  // The meta object records the rid, the absolute local-clock trace start
+  // (the base the stitcher needs to translate timelines — see
+  // obs/stitch.h) and this process's lane label.
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "{\"displayTimeUnit\":\"ms\",\"meta\":{\"rid\":\"%016" PRIx64
+                "\",\"t0_ns\":%llu,\"proc\":\"%s\"},\"traceEvents\":[",
+                s.rid, static_cast<unsigned long long>(s.t0_ns),
+                g_process_label);
+  std::string out = head;
+  char pname[128];
+  std::snprintf(pname, sizeof(pname),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
+                "\"args\":{\"name\":\"%s\"}}",
+                g_process_label);
+  out += pname;
   for (const SpanRecord& r : s.spans) {
     // A span still open when we render (dur recorded as 0 but started
     // earlier) keeps dur 0 — Perfetto shows it as instantaneous, which is
     // honest about what we measured.
-    append_chrome_event(out, s.rid, r.name, r.depth, r.start_ns, r.dur_ns,
-                        first);
-    first = false;
+    append_chrome_event(out, s.rid, r.name, r.depth,
+                        ticks_to_ns(r.start_ticks), ticks_to_ns(r.dur_ticks),
+                        r.id, r.parent, /*first=*/false);
   }
   // A synthetic root spanning the whole trace so the viewer shows total
   // wall time even when the first span started late.
-  append_chrome_event(out, s.rid, "trace", 0, 0, now, first);
+  append_chrome_event(out, s.rid, "trace", 0, 0, now, 0, s.parent_span_id,
+                      /*first=*/false);
   out += "]}";
   return out;
 }
@@ -156,6 +214,8 @@ void trace_stop() {
   s.collecting = false;
   s.depth = 0;
   s.rid = 0;
+  s.parent_span_id = 0;
+  s.cur_parent = 0;
   s.spans.clear();
   s.spans.shrink_to_fit();
 }
@@ -167,10 +227,28 @@ TraceStore& TraceStore::instance() {
   return ts;
 }
 
+namespace {
+
+Counter& trace_dropped_counter() {
+  static Counter& c =
+      Registry::instance().counter("fgad_trace_dropped_total");
+  return c;
+}
+
+void note_trace_dropped(std::uint64_t rid) {
+  // The trace was evicted before anyone read it — flight-record the rid
+  // so "why is /trace.json?rid= empty" is answerable post-hoc.
+  FlightRecorder::instance().record(FrEvent::kSpanDropped, rid);
+  trace_dropped_counter().inc();
+}
+
+}  // namespace
+
 void TraceStore::set_capacity(std::size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = n;
   while (order_.size() > capacity_) {
+    note_trace_dropped(order_.front());
     by_rid_.erase(order_.front());
     order_.pop_front();
   }
@@ -191,15 +269,48 @@ void TraceStore::put(std::uint64_t rid, std::string trace_json) {
   }
   const auto it = by_rid_.find(rid);
   if (it != by_rid_.end()) {
-    it->second = std::move(trace_json);  // refresh; order unchanged
+    // Same rid, same process, same clock: accumulate the new document's
+    // events into the stored timeline (offset 0, same pid lane). A
+    // multi-RPC trace — delete_begin then delete_commit under one rid —
+    // thus renders as one contiguous server-side timeline.
+    it->second = trace_stitch(it->second, trace_json, /*offset_ns=*/0,
+                              /*pid_delta=*/0);
     return;
   }
   while (order_.size() >= capacity_) {
+    note_trace_dropped(order_.front());
     by_rid_.erase(order_.front());
     order_.pop_front();
   }
   order_.push_back(rid);
   by_rid_.emplace(rid, std::move(trace_json));
+}
+
+void TraceStore::append_event(std::uint64_t rid, const char* name,
+                              std::uint64_t abs_start_ns,
+                              std::uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_rid_.find(rid);
+  if (it == by_rid_.end()) {
+    return;
+  }
+  std::string& doc = it->second;
+  const std::size_t end = doc.rfind("]}");
+  if (end == std::string::npos) {
+    return;
+  }
+  const std::uint64_t t0 = trace_doc_t0_ns(doc);
+  const double ts_us =
+      static_cast<double>(static_cast<std::int64_t>(abs_start_ns) -
+                          static_cast<std::int64_t>(t0)) /
+      1e3;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                "\"pid\":1,\"tid\":2,\"args\":{\"rid\":\"%016" PRIx64
+                "\"}}",
+                name, ts_us, static_cast<double>(dur_ns) / 1e3, rid);
+  doc.insert(end, buf);
 }
 
 std::string TraceStore::get(std::uint64_t rid) const {
@@ -219,7 +330,18 @@ Span::Span(const char* name) : index_(kInactive) {
     return;
   }
   index_ = s.spans.size();
-  s.spans.push_back(SpanRecord{name, s.depth, now_ns() - s.t0_ns, 0});
+  std::uint64_t id = splitmix64(s.id_seq);
+  if (id == 0) {
+    id = 1;  // 0 is the "root / no parent" sentinel
+  }
+  s.spans.push_back(
+      SpanRecord{name, s.depth, now_ticks() - s.t0_ticks, 0, id,
+                 s.cur_parent});
+  // Parent tracking is restore-on-destroy instead of an open-span stack:
+  // each Span remembers the parent it displaced, so even out-of-order
+  // destruction unwinds to a consistent state.
+  parent_restore_ = s.cur_parent;
+  s.cur_parent = id;
   ++s.depth;
 }
 
@@ -230,8 +352,9 @@ Span::~Span() {
   TraceState& s = state();
   if (index_ < s.spans.size()) {
     SpanRecord& r = s.spans[index_];
-    r.dur_ns = now_ns() - s.t0_ns - r.start_ns;
+    r.dur_ticks = now_ticks() - s.t0_ticks - r.start_ticks;
   }
+  s.cur_parent = parent_restore_;
   if (s.depth > 0) {
     --s.depth;
   }

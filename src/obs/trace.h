@@ -46,10 +46,22 @@ class RequestScope {
 
 /// Starts collecting spans on this thread under `rid` (also sets
 /// current_request_id). Any previous collection on the thread is dropped.
-void trace_begin(std::uint64_t rid);
+/// `parent_span_id` (when nonzero) parents this thread's root spans under
+/// a span of the remote peer that sent the request — the wire-carried
+/// span context of a kTaggedEnvelopeV2 frame (DESIGN.md §19).
+void trace_begin(std::uint64_t rid, std::uint64_t parent_span_id = 0);
 
 /// True when this thread is collecting spans.
 bool trace_active();
+
+/// The id of the innermost open span on this thread (0 when none or no
+/// trace is active). This is the span context a client puts on the wire.
+std::uint64_t trace_current_span_id();
+
+/// Names this process's lane in rendered/stitched trace documents
+/// ("client", "primary", "backup", ...). `label` must outlive the
+/// process (string literals only); defaults to "proc".
+void trace_set_process_label(const char* label);
 
 /// Prints the collected span tree to `out`, then stops collection and
 /// clears the request id. No-op when no trace is active.
@@ -82,7 +94,18 @@ class TraceStore {
   void set_capacity(std::size_t n);
   bool capture_enabled() const;
 
+  /// Stores `rid`'s rendered document. A second put under the same rid
+  /// merges the new document's events into the stored one (same process,
+  /// same clock — multi-RPC traces accumulate into one timeline).
+  /// Evicting a trace to make room records an FrEvent::kSpanDropped
+  /// (rid = the evicted trace's) and bumps fgad_trace_dropped_total.
   void put(std::uint64_t rid, std::string trace_json);
+  /// Splices one post-hoc event into `rid`'s stored document — work that
+  /// finished after the owning thread's trace was captured (e.g. the
+  /// group committer's amortized fsync share). `abs_start_ns` is on this
+  /// process's obs::now_ns() clock. No-op when rid is absent.
+  void append_event(std::uint64_t rid, const char* name,
+                    std::uint64_t abs_start_ns, std::uint64_t dur_ns);
   /// The stored trace for `rid`, or "" when absent/evicted.
   std::string get(std::uint64_t rid) const;
   /// Stored rids, oldest first.
@@ -107,6 +130,7 @@ class Span {
 
  private:
   std::size_t index_;
+  std::uint64_t parent_restore_ = 0;  // parent id displaced by this span
   static constexpr std::size_t kInactive = ~std::size_t{0};
 };
 

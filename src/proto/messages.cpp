@@ -53,22 +53,84 @@ Bytes seal_tagged(std::uint64_t request_id, BytesView inner_frame) {
   return std::move(w).take();
 }
 
-std::optional<std::pair<std::uint64_t, BytesView>> split_tagged(
-    BytesView framed) {
-  // u16 tag type + u64 request id + at least a u16 inner type.
+Bytes seal_tagged_v2(std::uint64_t request_id, std::uint64_t span_id,
+                     std::uint64_t parent_span_id,
+                     const std::vector<TimingEntry>& timings,
+                     BytesView inner_frame) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(MsgType::kTaggedEnvelopeV2));
+  w.u64(request_id);
+  w.u64(span_id);
+  w.u64(parent_span_id);
+  w.u8(static_cast<std::uint8_t>(
+      timings.size() > 255 ? 255 : timings.size()));
+  std::size_t n = 0;
+  for (const TimingEntry& t : timings) {
+    if (n++ == 255) {
+      break;
+    }
+    w.u8(t.kind);
+    w.u64(t.ns);
+  }
+  w.raw(inner_frame);
+  return std::move(w).take();
+}
+
+namespace {
+std::uint64_t read_le64(BytesView b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(b[off + i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+std::optional<TaggedInfo> open_tagged(BytesView framed) {
+  // u16 tag type + u64 request id is the shortest shared prefix.
   if (framed.size() < 2 + 8 + 2) {
     return std::nullopt;
   }
   const auto t = static_cast<std::uint16_t>(
       framed[0] | static_cast<std::uint16_t>(framed[1]) << 8);
-  if (static_cast<MsgType>(t) != MsgType::kTaggedEnvelope) {
+  TaggedInfo info;
+  if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope) {
+    info.request_id = read_le64(framed, 2);
+    info.inner = framed.subspan(10);
+    return info;
+  }
+  if (static_cast<MsgType>(t) != MsgType::kTaggedEnvelopeV2) {
     return std::nullopt;
   }
-  std::uint64_t rid = 0;
-  for (int i = 0; i < 8; ++i) {
-    rid |= static_cast<std::uint64_t>(framed[2 + i]) << (8 * i);
+  // u16 | rid u64 | span u64 | parent u64 | u8 count | count×9 | inner.
+  if (framed.size() < 2 + 8 + 8 + 8 + 1 + 2) {
+    return std::nullopt;
   }
-  return std::make_pair(rid, framed.subspan(10));
+  info.v2 = true;
+  info.request_id = read_le64(framed, 2);
+  info.span_id = read_le64(framed, 10);
+  info.parent_span_id = read_le64(framed, 18);
+  const std::size_t count = framed[26];
+  std::size_t off = 27;
+  if (framed.size() < off + count * 9 + 2) {
+    return std::nullopt;
+  }
+  info.timings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    info.timings.push_back(
+        TimingEntry{framed[off], read_le64(framed, off + 1)});
+    off += 9;
+  }
+  info.inner = framed.subspan(off);
+  return info;
+}
+
+std::optional<std::pair<std::uint64_t, BytesView>> split_tagged(
+    BytesView framed) {
+  if (auto info = open_tagged(framed)) {
+    return std::make_pair(info->request_id, info->inner);
+  }
+  return std::nullopt;
 }
 
 std::optional<MsgType> peek_type(BytesView framed) {
@@ -80,7 +142,8 @@ std::optional<MsgType> peek_type(BytesView framed) {
   }
   const auto t = static_cast<std::uint16_t>(
       framed[0] | static_cast<std::uint16_t>(framed[1]) << 8);
-  if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope) {
+  if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope ||
+      static_cast<MsgType>(t) == MsgType::kTaggedEnvelopeV2) {
     return std::nullopt;  // nested tags are invalid
   }
   return static_cast<MsgType>(t);
@@ -124,16 +187,25 @@ Result<Envelope> open_message(BytesView framed) {
     return decode_error("message too short");
   }
   Envelope env;
-  if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope) {
-    const std::uint64_t rid = r.u64();
-    t = r.u16();
-    if (!r.ok()) {
+  if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope ||
+      static_cast<MsgType>(t) == MsgType::kTaggedEnvelopeV2) {
+    const auto info = open_tagged(framed);
+    if (!info.has_value()) {
       return decode_error("tagged envelope: truncated");
     }
-    if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope) {
+    Reader inner(info->inner);
+    t = inner.u16();
+    if (!inner.ok()) {
+      return decode_error("tagged envelope: truncated");
+    }
+    if (static_cast<MsgType>(t) == MsgType::kTaggedEnvelope ||
+        static_cast<MsgType>(t) == MsgType::kTaggedEnvelopeV2) {
       return decode_error("tagged envelope: nested tag");
     }
-    env.request_id = rid;
+    env.request_id = info->request_id;
+    env.type = static_cast<MsgType>(t);
+    env.payload = inner.raw(inner.remaining());
+    return env;
   }
   env.type = static_cast<MsgType>(t);
   env.payload = r.raw(r.remaining());
@@ -198,6 +270,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kAuditReq: return "audit_req";
     case MsgType::kAuditResp: return "audit_resp";
     case MsgType::kTaggedEnvelope: return "tagged_envelope";
+    case MsgType::kTaggedEnvelopeV2: return "tagged_envelope_v2";
     case MsgType::kReplAppend: return "repl_append";
     case MsgType::kReplAck: return "repl_ack";
     case MsgType::kReplSnapshot: return "repl_snapshot";

@@ -16,6 +16,7 @@
 
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "core/views.h"
@@ -90,6 +91,15 @@ enum class MsgType : std::uint16_t {
   // payload). Untagged frames are unchanged on the wire, so peers that
   // never tag see byte-identical traffic.
   kTaggedEnvelope = 90,
+  // Distributed tracing (DESIGN.md §19): like kTaggedEnvelope but also
+  // carries the sender's span context and, on responses, a server-timing
+  // trailer. Layout: u16 kTaggedEnvelopeV2 | u64 request_id | u64 span_id
+  // | u64 parent_span_id | u8 n_timing | n_timing × (u8 kind | u64 ns) |
+  // inner frame. Requests set n_timing = 0; a server response echoes the
+  // request id, sets span_id to the request's span_id, and appends one
+  // timing entry per cost-ledger bucket (obs::CostKind). Old-tagged and
+  // untagged traffic is untouched on the wire.
+  kTaggedEnvelopeV2 = 91,
 
   // Primary–backup WAL replication (DESIGN.md §18). These flow only on the
   // server-to-server replication link; a plain CloudServer rejects them.
@@ -106,8 +116,41 @@ Bytes seal_message(MsgType type, BytesView payload);
 /// `request_id` (see MsgType::kTaggedEnvelope).
 Bytes seal_tagged(std::uint64_t request_id, BytesView inner_frame);
 
-/// If `framed` is a tagged envelope, returns {request_id, inner frame
-/// view}; nullopt for untagged or too-short frames.
+/// One server-timing trailer entry on a kTaggedEnvelopeV2 response.
+/// `kind` is a stable wire code (obs::CostKind ordinal), `ns` the
+/// attributed nanoseconds.
+struct TimingEntry {
+  std::uint8_t kind = 0;
+  std::uint64_t ns = 0;
+};
+
+/// Fully decoded kTaggedEnvelope / kTaggedEnvelopeV2 header. V1 frames
+/// decode with zero span ids and no timings.
+struct TaggedInfo {
+  std::uint64_t request_id = 0;
+  std::uint64_t span_id = 0;         // sender's active span (0 = none)
+  std::uint64_t parent_span_id = 0;  // its parent (0 = root)
+  bool v2 = false;                   // arrived as kTaggedEnvelopeV2
+  std::vector<TimingEntry> timings;  // responses only; empty on requests
+  BytesView inner;
+};
+
+/// Wraps an already-sealed frame in a kTaggedEnvelopeV2 carrying the
+/// request id, the sender's span context, and (for responses) a
+/// server-timing trailer.
+Bytes seal_tagged_v2(std::uint64_t request_id, std::uint64_t span_id,
+                     std::uint64_t parent_span_id,
+                     const std::vector<TimingEntry>& timings,
+                     BytesView inner_frame);
+
+/// Decodes either tagged envelope version; nullopt for untagged frames,
+/// truncated headers, or a V2 header whose timing table overruns the
+/// frame.
+std::optional<TaggedInfo> open_tagged(BytesView framed);
+
+/// If `framed` is a tagged envelope (either version), returns
+/// {request_id, inner frame view}; nullopt for untagged or too-short
+/// frames.
 std::optional<std::pair<std::uint64_t, BytesView>> split_tagged(
     BytesView framed);
 

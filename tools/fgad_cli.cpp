@@ -20,16 +20,29 @@
 //
 // --trace collects a client-side span tree for the command and prints it
 // to stderr on exit; every RPC is tagged with the trace's request id, so
-// the server's audit-log lines carry the same id (DESIGN.md §12).
+// the server's audit-log lines carry the same id (DESIGN.md §12). Traced
+// RPCs ride the V2 envelope, so the server returns its per-request cost
+// breakdown (WAL append, fsync share, replication wait, apply) as a
+// server-timing trailer, printed with the trace. --stitch H:P names the
+// server's METRICS endpoint: on exit the CLI samples its /clock for a
+// skew estimate, fetches the server-side (and, transitively, backup-
+// side) span segments via GET /trace.json?rid=, and merges everything
+// into the --trace-json document — one Perfetto timeline spanning
+// client, primary, and backup (DESIGN.md §19).
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "client/client.h"
 #include "client/keystore.h"
+#include "mon_util.h"
 #include "net/retry.h"
 #include "net/tcp.h"
+#include "obs/cost.h"
+#include "obs/metrics.h"
+#include "obs/stitch.h"
 #include "obs/trace.h"
 #include "proto/messages.h"
 
@@ -57,7 +70,7 @@ int usage() {
       stderr,
       "usage: fgad --store KS --pass PW [--host H] [--port N]\n"
       "            [--timeout-ms N] [--retries N] [--trace]\n"
-      "            [--trace-json FILE] CMD [args]\n"
+      "            [--trace-json FILE] [--stitch H:P] CMD [args]\n"
       "commands: init | files | outsource FILE PATH... | ls FILE |\n"
       "          cat FILE ITEM | put FILE PATH | edit FILE ITEM PATH |\n"
       "          rm FILE ITEM... | drop FILE | stats FILE\n");
@@ -83,16 +96,111 @@ struct Session {
 
 /// Exports or prints the span tree on scope exit (any return path) when
 /// --trace / --trace-json is active; a no-op otherwise. The JSON flavor
-/// wins when both are given: one file, loadable in Perfetto.
+/// wins when both are given: one file, loadable in Perfetto. With a
+/// stitch endpoint, the exported document also carries the server-side
+/// segments, skew-corrected into the client's timeline.
 struct TraceDumper {
   std::string json_path;
+  std::string stitch_host;
+  std::uint16_t stitch_port = 0;
+  std::uint64_t rid = 0;
+  // Reads the last V2 response's server-timing trailer; bound to the
+  // Session AFTER it is constructed (the dumper is declared later in
+  // main, so its destructor runs while the Session is still alive).
+  std::function<std::vector<proto::TimingEntry>()> timing_source;
+
+  void print_server_timing() const {
+    if (!timing_source) {
+      return;
+    }
+    const auto timings = timing_source();
+    if (timings.empty()) {
+      return;
+    }
+    std::fprintf(stderr, "server timing (last traced RPC):\n");
+    std::uint64_t parts = 0, total = 0;
+    for (const auto& t : timings) {
+      const auto k = static_cast<obs::CostKind>(t.kind);
+      std::fprintf(stderr, "  %-12s %10.3f ms\n", obs::cost_kind_name(k),
+                   static_cast<double>(t.ns) / 1e6);
+      if (k == obs::CostKind::kTotal) {
+        total = t.ns;
+      } else if (k != obs::CostKind::kKeyDerive) {
+        parts += t.ns;
+      }
+    }
+    if (total != 0) {
+      std::fprintf(stderr, "  parts sum to %.3f ms of %.3f ms total\n",
+                   static_cast<double>(parts) / 1e6,
+                   static_cast<double>(total) / 1e6);
+    }
+  }
+
+  /// The server-side document for this rid (already stitched with the
+  /// server's own peer, i.e. the backup), merged skew-corrected.
+  std::string stitched(std::string doc) const {
+    std::vector<obs::ClockSample> samples;
+    for (int i = 0; i < 5; ++i) {
+      obs::ClockSample cs;
+      cs.local_send_ns = obs::now_ns();
+      const std::string body =
+          montool::http_get(stitch_host, stitch_port, "/clock");
+      cs.local_recv_ns = obs::now_ns();
+      const std::size_t pos = body.find("\"now_ns\":");
+      if (pos == std::string::npos) {
+        continue;
+      }
+      cs.peer_ns = std::strtoull(body.c_str() + pos + 9, nullptr, 10);
+      samples.push_back(cs);
+    }
+    const obs::OffsetEstimate off = obs::best_offset(samples);
+    char rid_hex[24];
+    std::snprintf(rid_hex, sizeof(rid_hex), "%016llx",
+                  static_cast<unsigned long long>(rid));
+    const std::string peer = montool::http_get(
+        stitch_host, stitch_port, std::string("/trace.json?rid=") + rid_hex);
+    if (!off.valid || peer.find("\"t0_ns\":") == std::string::npos) {
+      std::fprintf(stderr,
+                   "stitch: no server-side trace from %s:%u (local only)\n",
+                   stitch_host.c_str(), stitch_port);
+      return doc;
+    }
+    std::fprintf(stderr,
+                 "stitch: clock offset %+lld ns (rtt %llu ns) from %s:%u\n",
+                 static_cast<long long>(off.offset_ns),
+                 static_cast<unsigned long long>(off.rtt_ns),
+                 stitch_host.c_str(), stitch_port);
+    return obs::trace_stitch(doc, peer, off.offset_ns, /*pid_delta=*/1);
+  }
+
   ~TraceDumper() {
+    if (obs::trace_active()) {
+      print_server_timing();
+      // Costs charged locally under the same rid — today just the
+      // client-side item-key derivation chain.
+      const auto local = obs::CostLedger::instance().take(rid);
+      const std::uint64_t derive =
+          local.ns[static_cast<std::size_t>(obs::CostKind::kKeyDerive)];
+      if (derive != 0) {
+        std::fprintf(stderr, "client timing: key_derive %.3f ms\n",
+                     static_cast<double>(derive) / 1e6);
+      }
+    }
     if (!json_path.empty() && obs::trace_active()) {
-      if (auto st = obs::trace_export_json(json_path); !st) {
-        std::fprintf(stderr, "trace export failed: %s\n",
-                     st.to_string().c_str());
+      std::string doc = obs::trace_render_chrome_json();
+      if (stitch_port != 0 && rid != 0) {
+        doc = stitched(std::move(doc));
+      }
+      std::FILE* f = std::fopen(json_path.c_str(), "wb");
+      if (f == nullptr ||
+          std::fwrite(doc.data(), 1, doc.size(), f) != doc.size()) {
+        std::fprintf(stderr, "trace export failed: cannot write %s\n",
+                     json_path.c_str());
       } else {
         std::fprintf(stderr, "trace written to %s\n", json_path.c_str());
+      }
+      if (f != nullptr) {
+        std::fclose(f);
       }
       return;
     }
@@ -111,6 +219,7 @@ int main(int argc, char** argv) {
   int retries = 4;
   bool trace = false;
   std::string trace_json;
+  std::string stitch;
   std::vector<std::string> args;
 
   for (int i = 1; i < argc; ++i) {
@@ -132,6 +241,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-json" && i + 1 < argc) {
       trace = true;
       trace_json = argv[++i];
+    } else if (arg == "--stitch" && i + 1 < argc) {
+      trace = true;
+      stitch = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -145,13 +257,32 @@ int main(int argc, char** argv) {
   const std::string cmd = args[0];
   crypto::SystemRandom rnd;
 
+  // Declared before the dumper so the dumper's destructor (which reads
+  // the client's last server-timing trailer) runs while it is alive.
+  Session s;
   TraceDumper trace_dumper;
   trace_dumper.json_path = trace_json;
+  if (!stitch.empty()) {
+    const auto hp = montool::split_host_port(stitch);
+    if (hp.second == 0) {
+      std::fprintf(stderr, "bad --stitch endpoint: %s\n", stitch.c_str());
+      return 2;
+    }
+    trace_dumper.stitch_host = hp.first;
+    trace_dumper.stitch_port = hp.second;
+  }
   if (trace) {
     const std::uint64_t rid = obs::generate_request_id();
     std::fprintf(stderr, "trace: request id %016llx\n",
                  static_cast<unsigned long long>(rid));
+    obs::trace_set_process_label("client");
     obs::trace_begin(rid);
+    obs::CostLedger::instance().set_enabled(true);
+    trace_dumper.rid = rid;
+    trace_dumper.timing_source = [&s]() {
+      return s.client ? s.client->last_server_timing()
+                      : std::vector<proto::TimingEntry>{};
+    };
   }
 
   // `init` needs no connection.
@@ -165,7 +296,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Session s;
   {
     auto ks = client::Keystore::load_from_file(store_path, passphrase);
     if (!ks) {

@@ -71,6 +71,10 @@
 //                      backpressure set is installed)
 //   --audit-log PATH   append the deletion audit log to PATH (default:
 //                      stderr)
+//   --peer-metrics H:P metrics endpoint of the replication peer; makes
+//                      GET /trace.json?rid=... splice the peer's span
+//                      segment into the reply, clock-offset corrected
+//                      (DESIGN.md §19)
 //   --log-level LVL    debug|info|warn|error|off (default info, to stderr)
 //   --slow-op-ms N     warn about RPCs slower than N ms (0 disables)
 //   SIGUSR1            dump the metrics registry to stderr
@@ -100,8 +104,10 @@
 #include "cloud/recovery.h"
 #include "cloud/replica.h"
 #include "cloud/server.h"
+#include "mon_util.h"
 #include "net/failover.h"
 #include "net/tcp.h"
+#include "obs/cost.h"
 #include "obs/flight_recorder.h"
 #include "obs/http.h"
 #include "obs/log.h"
@@ -136,6 +142,7 @@ int main(int argc, char** argv) {
   std::uint64_t vars_interval_ms = 1000;
   bool default_slos = true;
   std::vector<std::string> slo_specs;
+  std::string peer_metrics;  // "host:port" of the peer's metrics endpoint
   std::string replicate_to;  // "host:port" of the backup's RPC listener
   std::string repl_ack = "async";
   int repl_heartbeat_ms = 500;
@@ -184,6 +191,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-capture" && i + 1 < argc) {
       trace_capture =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--peer-metrics" && i + 1 < argc) {
+      peer_metrics = argv[++i];
     } else if (arg == "--vars-interval-ms" && i + 1 < argc) {
       vars_interval_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--slo" && i + 1 < argc) {
@@ -221,7 +230,7 @@ int main(int argc, char** argv) {
           "                   [--flight-recorder-size N] "
           "[--flight-recorder-dir DIR] [--trace-capture N]\n"
           "                   [--vars-interval-ms N] [--slo SPEC]... "
-          "[--no-default-slos]\n"
+          "[--no-default-slos] [--peer-metrics H:P]\n"
           "                   [--role primary|backup] [--replicate-to H:P] "
           "[--repl-ack sync|async|off]\n"
           "                   [--repl-heartbeat-ms N]\n");
@@ -246,6 +255,10 @@ int main(int argc, char** argv) {
   }
   if (!replicate_to.empty() && dur_opts.role == cloud::ReplRole::kBackup) {
     std::fprintf(stderr, "--replicate-to is a primary-side flag\n");
+    return 2;
+  }
+  if (!peer_metrics.empty() && !metrics_enabled) {
+    std::fprintf(stderr, "--peer-metrics requires --metrics-port\n");
     return 2;
   }
 
@@ -285,6 +298,10 @@ int main(int argc, char** argv) {
     obs::FlightRecorder::install_crash_handlers();
   }
   obs::TraceStore::instance().set_capacity(trace_capture);
+  // Per-request cost accounting (DESIGN.md §19) is cheap enough to keep
+  // always-on in the daemon: a breakdown is only assembled — and shipped
+  // as a server-timing trailer — for V2-tagged requests.
+  obs::CostLedger::instance().set_enabled(true);
 
   // Deterministic crash injection for recovery integration tests.
   if (const char* crash_at = std::getenv("FGAD_CRASH_AT");
@@ -346,6 +363,10 @@ int main(int argc, char** argv) {
     std::printf("replication role: %s (term %llu)\n",
                 cloud::repl_role_name(durable->role()),
                 static_cast<unsigned long long>(durable->term()));
+    // Names this process's lane in captured trace documents so a
+    // stitched view reads client / primary / backup, not pid numbers.
+    obs::trace_set_process_label(
+        durable->role() == cloud::ReplRole::kBackup ? "backup" : "primary");
   } else if (!image.empty()) {
     auto loaded = cloud::CloudServer::load_from_file(image, opts);
     if (loaded) {
@@ -396,6 +417,17 @@ int main(int argc, char** argv) {
     }
     metrics = std::move(m).value();
     std::printf("metrics on http://127.0.0.1:%u/metrics\n", metrics->port());
+    if (!peer_metrics.empty()) {
+      const auto hp = montool::split_host_port(peer_metrics);
+      if (hp.second == 0) {
+        std::fprintf(stderr, "--peer-metrics wants HOST:PORT, got %s\n",
+                     peer_metrics.c_str());
+        return 2;
+      }
+      metrics->set_stitch_peer(hp.first, hp.second);
+      std::printf("stitching /trace.json against peer %s\n",
+                  peer_metrics.c_str());
+    }
   }
 
   // Windowed telemetry + SLO burn-rate tracking (DESIGN.md §17): a 1s
